@@ -1,0 +1,206 @@
+package crowdval
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/experiments"
+	"crowdval/internal/guidance"
+	"crowdval/internal/linalg"
+	"crowdval/internal/model"
+	"crowdval/internal/simulation"
+	"crowdval/internal/spamdetect"
+)
+
+// benchmarkExperiment runs one evaluation experiment (a full table/figure of
+// the paper) per benchmark iteration. Absolute times differ from the paper's
+// testbed; EXPERIMENTS.md records the qualitative comparison.
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per table and figure of the evaluation section.
+
+func BenchmarkFigure1WorkerTypes(b *testing.B)          { benchmarkExperiment(b, "figure1") }
+func BenchmarkFigure4ResponseTime(b *testing.B)         { benchmarkExperiment(b, "figure4") }
+func BenchmarkTable5Partitioning(b *testing.B)          { benchmarkExperiment(b, "table5") }
+func BenchmarkFigure5SeparateVsCombined(b *testing.B)   { benchmarkExperiment(b, "figure5") }
+func BenchmarkFigure6ProbabilityHistogram(b *testing.B) { benchmarkExperiment(b, "figure6") }
+func BenchmarkFigure7IEMSameSelection(b *testing.B)     { benchmarkExperiment(b, "figure7") }
+func BenchmarkFigure8IterationReduction(b *testing.B)   { benchmarkExperiment(b, "figure8") }
+func BenchmarkFigure9SpammerDetection(b *testing.B)     { benchmarkExperiment(b, "figure9") }
+func BenchmarkFigure10Guidance(b *testing.B)            { benchmarkExperiment(b, "figure10") }
+func BenchmarkFigure11ExpertMistakes(b *testing.B)      { benchmarkExperiment(b, "figure11") }
+func BenchmarkTable6MistakeDetection(b *testing.B)      { benchmarkExperiment(b, "table6") }
+func BenchmarkFigure12CostTradeoff(b *testing.B)        { benchmarkExperiment(b, "figure12") }
+func BenchmarkFigure13BudgetAllocation(b *testing.B)    { benchmarkExperiment(b, "figure13") }
+func BenchmarkFigure14TimeConstraint(b *testing.B)      { benchmarkExperiment(b, "figure14") }
+func BenchmarkFigure15UncertaintyPrecision(b *testing.B) {
+	benchmarkExperiment(b, "figure15")
+}
+func BenchmarkFigure16QuestionDifficulty(b *testing.B) { benchmarkExperiment(b, "figure16") }
+func BenchmarkFigure17NumLabels(b *testing.B)          { benchmarkExperiment(b, "figure17") }
+func BenchmarkFigure18NumWorkers(b *testing.B)         { benchmarkExperiment(b, "figure18") }
+func BenchmarkFigure19Reliability(b *testing.B)        { benchmarkExperiment(b, "figure19") }
+func BenchmarkFigure20Spammers(b *testing.B)           { benchmarkExperiment(b, "figure20") }
+func BenchmarkFigure21DifficultyCost(b *testing.B)     { benchmarkExperiment(b, "figure21") }
+func BenchmarkFigure22SpammerCost(b *testing.B)        { benchmarkExperiment(b, "figure22") }
+func BenchmarkFigure23ReliabilityCost(b *testing.B)    { benchmarkExperiment(b, "figure23") }
+
+// Ablation benches for the design choices called out in DESIGN.md.
+
+func BenchmarkAblationStrategies(b *testing.B) { benchmarkExperiment(b, "ablation-strategies") }
+func BenchmarkAblationConfirmationPeriod(b *testing.B) {
+	benchmarkExperiment(b, "ablation-confirmation")
+}
+
+// Micro-benchmarks of the core building blocks.
+
+func benchmarkDataset(b *testing.B, objects, workers int) *simulation.Dataset {
+	b.Helper()
+	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
+		NumObjects:     objects,
+		NumWorkers:     workers,
+		NumLabels:      2,
+		NormalAccuracy: 0.7,
+		Seed:           1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkMajorityVoting(b *testing.B) {
+	d := benchmarkDataset(b, 200, 40)
+	mv := &aggregation.MajorityVoting{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mv.Aggregate(d.Answers, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchEM(b *testing.B) {
+	d := benchmarkDataset(b, 200, 40)
+	em := &aggregation.BatchEM{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Aggregate(d.Answers, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalEMWarmStart(b *testing.B) {
+	d := benchmarkDataset(b, 200, 40)
+	iem := &aggregation.IncrementalEM{}
+	validation := model.NewValidation(d.Answers.NumObjects())
+	res, err := iem.Aggregate(d.Answers, validation, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	validation.Set(0, d.Truth[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iem.Aggregate(d.Answers, validation, res.ProbSet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpammerDetection(b *testing.B) {
+	d := benchmarkDataset(b, 200, 40)
+	validation := model.NewValidation(d.Answers.NumObjects())
+	for o := 0; o < 100; o++ {
+		validation.Set(o, d.Truth[o])
+	}
+	det := &spamdetect.Detector{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(d.Answers, validation, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridSelection(b *testing.B) {
+	d := benchmarkDataset(b, 60, 20)
+	iem := &aggregation.IncrementalEM{}
+	res, err := iem.Aggregate(d.Answers, model.NewValidation(d.Answers.NumObjects()), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategy := &guidance.Hybrid{
+		Uncertainty: &guidance.UncertaintyDriven{CandidateLimit: 6},
+		Worker:      &guidance.WorkerDriven{CandidateLimit: 6},
+		Rand:        rand.New(rand.NewSource(1)),
+	}
+	ctx := &guidance.Context{
+		Answers:    d.Answers,
+		ProbSet:    res.ProbSet,
+		Aggregator: iem,
+		Detector:   &spamdetect.Detector{},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strategy.Select(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiSVD4x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := linalg.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.ComputeSVD(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGuidedSessionStep(b *testing.B) {
+	d := benchmarkDataset(b, 60, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		session, err := NewSession(d.Answers, WithStrategy(StrategyHybrid), WithCandidateLimit(6), WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		object, err := session.NextObject()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := session.SubmitValidation(object, d.Truth[object]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Command crowdval is the command-line interface of the answer-validation
+// library. It generates synthetic crowdsourcing datasets, runs guided
+// validation sessions against a stored ground truth, audits the worker
+// community, and reports dataset statistics.
+//
+// Usage:
+//
+//	crowdval generate -out data.json -objects 100 -workers 25 -labels 2
+//	crowdval generate -out data.json -profile bb
+//	crowdval validate -in data.json -out validated.json -budget 20 -strategy hybrid
+//	crowdval workers  -in validated.json
+//	crowdval stats    -in data.json
+//	crowdval profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crowdval"
+	"crowdval/internal/dataset"
+	"crowdval/internal/metrics"
+	"crowdval/internal/simulation"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:], out)
+	case "validate":
+		return cmdValidate(args[1:], out)
+	case "workers":
+		return cmdWorkers(args[1:], out)
+	case "stats":
+		return cmdStats(args[1:], out)
+	case "profiles":
+		return cmdProfiles(out)
+	case "help", "-h", "--help":
+		return usageError()
+	default:
+		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, profiles)", args[0])
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|profiles> [flags]")
+}
+
+func cmdGenerate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("out", "", "output dataset file (JSON)")
+		profile  = fs.String("profile", "", "dataset profile to mimic (bb, rte, val, twt, art)")
+		objects  = fs.Int("objects", 50, "number of objects")
+		workers  = fs.Int("workers", 20, "number of workers")
+		labels   = fs.Int("labels", 2, "number of labels")
+		perObj   = fs.Int("answers-per-object", 0, "answers per object (0 = all workers answer)")
+		accuracy = fs.Float64("reliability", 0.7, "accuracy of normal workers")
+		spammers = fs.Float64("spammers", 0.25, "fraction of spammers in the crowd")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	var (
+		d   *simulation.Dataset
+		err error
+	)
+	if *profile != "" {
+		d, err = simulation.GenerateProfile(*profile, *seed)
+	} else {
+		normal := 1 - *spammers - 0.25
+		if normal < 0 {
+			normal = 0
+		}
+		d, err = simulation.GenerateCrowd(simulation.CrowdConfig{
+			NumObjects:       *objects,
+			NumWorkers:       *workers,
+			NumLabels:        *labels,
+			AnswersPerObject: *perObj,
+			NormalAccuracy:   *accuracy,
+			Mix: simulation.WorkerMix{
+				Normal: normal, Sloppy: 0.25,
+				UniformSpammer: *spammers / 2, RandomSpammer: *spammers / 2,
+			},
+			Seed: *seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if err := dataset.Save(*outPath, &dataset.File{Dataset: d}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d objects, %d workers, %d labels, %d answers\n",
+		*outPath, d.Answers.NumObjects(), d.Answers.NumWorkers(), d.Answers.NumLabels(), d.Answers.AnswerCount())
+	return nil
+}
+
+func cmdValidate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	var (
+		inPath   = fs.String("in", "", "input dataset file")
+		outPath  = fs.String("out", "", "output file for the validated dataset (optional)")
+		budget   = fs.Int("budget", 0, "maximum number of expert validations (0 = all objects)")
+		strategy = fs.String("strategy", "hybrid", "guidance strategy: hybrid, uncertainty, worker, baseline, random")
+		limit    = fs.Int("candidate-limit", 8, "candidates scored per iteration (0 = all)")
+		period   = fs.Int("confirmation-period", 0, "confirmation-check period (0 = disabled)")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("validate: -in is required")
+	}
+	file, err := dataset.Load(*inPath)
+	if err != nil {
+		return err
+	}
+	if len(file.Dataset.Truth) == 0 {
+		return fmt.Errorf("validate: the dataset has no ground truth to simulate the expert with")
+	}
+	opts := []crowdval.Option{
+		crowdval.WithStrategy(crowdval.StrategyName(*strategy)),
+		crowdval.WithCandidateLimit(*limit),
+		crowdval.WithSeed(*seed),
+	}
+	if *budget > 0 {
+		opts = append(opts, crowdval.WithBudget(*budget))
+	}
+	if *period > 0 {
+		opts = append(opts, crowdval.WithConfirmationCheck(*period))
+	}
+	session, err := crowdval.NewSession(file.Dataset.Answers, opts...)
+	if err != nil {
+		return err
+	}
+	initialPrecision := metrics.Precision(session.Result(), file.Dataset.Truth)
+	fmt.Fprintf(out, "initial precision (no expert input): %.3f\n", initialPrecision)
+
+	for !session.Done() {
+		object, err := session.NextObject()
+		if err != nil {
+			return err
+		}
+		info, err := session.SubmitValidation(object, file.Dataset.Truth[object])
+		if err != nil {
+			return err
+		}
+		precision := metrics.Precision(session.Result(), file.Dataset.Truth)
+		fmt.Fprintf(out, "validation %3d: object %4d -> label %d | precision %.3f | uncertainty %.3f | faulty workers %d\n",
+			session.EffortSpent(), info.Object, info.Label, precision, info.Uncertainty, info.FaultyWorkers)
+	}
+
+	finalPrecision := metrics.Precision(session.Result(), file.Dataset.Truth)
+	fmt.Fprintf(out, "finished: %d validations (%.0f%% of objects), precision %.3f -> %.3f\n",
+		session.EffortSpent(), session.EffortRatio()*100, initialPrecision, finalPrecision)
+
+	if *outPath != "" {
+		file.Validation = session.Validation()
+		if err := dataset.Save(*outPath, file); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote validated dataset to %s\n", *outPath)
+	}
+	return nil
+}
+
+func cmdWorkers(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("workers", flag.ContinueOnError)
+	inPath := fs.String("in", "", "input dataset file (with validations)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("workers: -in is required")
+	}
+	file, err := dataset.Load(*inPath)
+	if err != nil {
+		return err
+	}
+	assessments, err := crowdval.AssessWorkers(file.Dataset.Answers, file.Validation)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-8s %-16s %-10s %-10s %-8s\n", "worker", "validated", "spam-score", "error-rate", "verdict")
+	for _, a := range assessments {
+		verdict := "ok"
+		switch {
+		case a.Spammer:
+			verdict = "spammer"
+		case a.Sloppy:
+			verdict = "sloppy"
+		case a.ValidatedAnswers < 2:
+			verdict = "unknown"
+		}
+		fmt.Fprintf(out, "%-8d %-16d %-10.3f %-10.3f %-8s\n",
+			a.Worker, a.ValidatedAnswers, a.SpammerScore, a.ErrorRate, verdict)
+	}
+	return nil
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	inPath := fs.String("in", "", "input dataset file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	file, err := dataset.Load(*inPath)
+	if err != nil {
+		return err
+	}
+	a := file.Dataset.Answers
+	fmt.Fprintf(out, "dataset:   %s\n", file.Dataset.Name)
+	fmt.Fprintf(out, "objects:   %d\n", a.NumObjects())
+	fmt.Fprintf(out, "workers:   %d\n", a.NumWorkers())
+	fmt.Fprintf(out, "labels:    %d\n", a.NumLabels())
+	fmt.Fprintf(out, "answers:   %d (sparsity %.2f)\n", a.AnswerCount(), a.Sparsity())
+	fmt.Fprintf(out, "validated: %d objects\n", file.Validation.Count())
+	if len(file.Dataset.Truth) > 0 {
+		mv, err := crowdval.MajorityVote(a)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "majority-vote precision: %.3f\n", metrics.Precision(mv, file.Dataset.Truth))
+		probSet, err := crowdval.Aggregate(a, file.Validation, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "i-EM precision:          %.3f\n", metrics.Precision(probSet.Instantiate(), file.Dataset.Truth))
+		fmt.Fprintf(out, "uncertainty:             %.3f\n", crowdval.Uncertainty(probSet))
+	}
+	return nil
+}
+
+func cmdProfiles(out io.Writer) error {
+	fmt.Fprintln(out, "available dataset profiles (sizes follow Table 4 of the paper):")
+	for _, name := range simulation.ProfileNames() {
+		p, err := simulation.Profile(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-4s %-45s %4d objects, %3d workers, %d labels\n",
+			p.Name, p.Domain, p.Objects, p.Workers, p.Labels)
+	}
+	return nil
+}

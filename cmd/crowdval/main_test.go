@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.json")
+	validatedPath := filepath.Join(dir, "validated.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-out", dataPath, "-objects", "30", "-workers", "10", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !strings.Contains(out.String(), "30 objects") {
+		t.Fatalf("generate output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"stats", "-in", dataPath}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "majority-vote precision") {
+		t.Fatalf("stats output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"validate", "-in", dataPath, "-out", validatedPath, "-budget", "8", "-strategy", "baseline"}, &out); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(out.String(), "finished: 8 validations") {
+		t.Fatalf("validate output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"workers", "-in", validatedPath}, &out); err != nil {
+		t.Fatalf("workers: %v", err)
+	}
+	if !strings.Contains(out.String(), "verdict") {
+		t.Fatalf("workers output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"profiles"}, &out); err != nil {
+		t.Fatalf("profiles: %v", err)
+	}
+	if !strings.Contains(out.String(), "rte") {
+		t.Fatalf("profiles output: %s", out.String())
+	}
+}
+
+func TestCLIGenerateProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bb.json")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-out", path, "-profile", "bb"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "108 objects") {
+		t.Fatalf("profile generate output: %s", out.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"generate"}, &out); err == nil {
+		t.Fatal("generate without -out accepted")
+	}
+	if err := run([]string{"validate"}, &out); err == nil {
+		t.Fatal("validate without -in accepted")
+	}
+	if err := run([]string{"validate", "-in", "does-not-exist.json"}, &out); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run([]string{"workers"}, &out); err == nil {
+		t.Fatal("workers without -in accepted")
+	}
+	if err := run([]string{"stats"}, &out); err == nil {
+		t.Fatal("stats without -in accepted")
+	}
+	if err := run([]string{"generate", "-out", filepath.Join(t.TempDir(), "x.json"), "-profile", "nope"}, &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

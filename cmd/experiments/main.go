@@ -1,0 +1,71 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints a text table whose rows/series mirror
+// what the paper reports; EXPERIMENTS.md maps every experiment to the paper's
+// figure or table and records the expected qualitative outcome.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run figure10
+//	experiments -run all -seed 7 -runs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crowdval/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		runID    = fs.String("run", "all", "experiment id to run, or 'all'")
+		seed     = fs.Int64("seed", 1, "random seed")
+		runs     = fs.Int("runs", 0, "number of repetitions (0 = per-experiment default)")
+		parallel = fs.Bool("parallel", false, "enable parallel candidate scoring")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Parallel: *parallel}
+	var selected []experiments.Experiment
+	if *runID == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package crowdval
+
+import "crowdval/internal/cost"
+
+// Cost-model types, re-exported from the internal cost package (§6.8 of the
+// paper): they support deciding how to split a budget between buying crowd
+// answers and paying a validating expert.
+type (
+	// CostModel captures the monetary parameters of a campaign (θ, n, φ0).
+	CostModel = cost.Model
+	// CostBudget is a fixed budget b = ρ·θ·n to be split between crowd and expert.
+	CostBudget = cost.Budget
+	// BudgetAllocation is one way of splitting a budget.
+	BudgetAllocation = cost.Allocation
+	// CompletionTime models campaign completion time under expert validation.
+	CompletionTime = cost.CompletionTime
+)
+
+// DefaultExpertCrowdCostRatio is the default expert-to-crowd cost ratio θ
+// derived from AMT wages vs expert salaries (≈ 12.5).
+const DefaultExpertCrowdCostRatio = cost.DefaultTheta
+
+// FeasibleAllocations filters budget allocations to those whose expert
+// validations fit within the completion-time limit.
+func FeasibleAllocations(allocations []BudgetAllocation, timeModel CompletionTime, timeLimit float64) []BudgetAllocation {
+	return cost.FeasibleAllocations(allocations, timeModel, timeLimit)
+}

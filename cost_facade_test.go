@@ -1,0 +1,39 @@
+package crowdval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostFacade(t *testing.T) {
+	m := CostModel{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EVCostPerObject(10); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("EVCostPerObject = %v", got)
+	}
+	if DefaultExpertCrowdCostRatio != 12.5 {
+		t.Fatalf("default theta = %v", DefaultExpertCrowdCostRatio)
+	}
+
+	b := CostBudget{Rho: 0.4, Theta: 25, NumObjects: 100}
+	allocations := make([]BudgetAllocation, 0, 3)
+	for _, share := range []float64{0.5, 0.75, 1.0} {
+		a, err := b.Allocate(share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocations = append(allocations, a)
+	}
+	timeModel := CompletionTime{TimePerValidation: 1}
+	feasible := FeasibleAllocations(allocations, timeModel, 10)
+	for _, a := range feasible {
+		if a.ExpertValidations > 10 {
+			t.Fatalf("infeasible allocation kept: %+v", a)
+		}
+	}
+	if len(feasible) == 0 {
+		t.Fatal("no feasible allocation found")
+	}
+}

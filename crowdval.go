@@ -1,0 +1,211 @@
+// Package crowdval is a Go library for minimizing expert effort when
+// validating crowdsourced answers. It implements the framework of
+// "Minimizing Efforts in Validating Crowd Answers" (Nguyen Quoc Viet Hung,
+// Duong Chi Thang, Matthias Weidlich, Karl Aberer — SIGMOD 2015):
+//
+//   - probabilistic answer aggregation with an incremental, expert-aware
+//     expectation-maximization algorithm (i-EM);
+//   - guidance strategies that tell a validating expert which object to look
+//     at next (uncertainty-driven, worker-driven, hybrid);
+//   - detection and quarantining of faulty workers (spammers, sloppy workers);
+//   - a confirmation check that catches erroneous expert input;
+//   - a cost model for trading expert validations against additional crowd
+//     answers under budget and completion-time constraints.
+//
+// The package is a facade over the internal packages; it exposes everything a
+// downstream application needs: building answer sets, running guided
+// validation sessions, simulating crowds for testing, and evaluating results.
+//
+// # Quick start
+//
+//	answers := crowdval.NewAnswerSet(numObjects, numWorkers, numLabels)
+//	// ... fill answers with answers.SetAnswer(object, worker, label) ...
+//	session, err := crowdval.NewSession(answers)
+//	if err != nil { ... }
+//	for !session.Done() {
+//	    object := session.NextObject()           // which object to show the expert
+//	    label := askTheHuman(object)             // your UI
+//	    session.SubmitValidation(object, label)  // feed the answer back
+//	}
+//	result := session.Result()                   // final label per object
+//
+// See the examples directory for complete programs.
+package crowdval
+
+import (
+	"crowdval/internal/aggregation"
+	"crowdval/internal/guidance"
+	"crowdval/internal/metrics"
+	"crowdval/internal/model"
+	"crowdval/internal/simulation"
+	"crowdval/internal/spamdetect"
+)
+
+// Core model types, re-exported so users never import internal packages.
+type (
+	// Label identifies one of the possible labels of a classification task.
+	Label = model.Label
+	// AnswerSet holds the crowd answers: an objects × workers matrix of labels.
+	AnswerSet = model.AnswerSet
+	// Validation is the expert answer-validation function.
+	Validation = model.Validation
+	// ConfusionMatrix captures one worker's reliability.
+	ConfusionMatrix = model.ConfusionMatrix
+	// AssignmentMatrix holds the per-object label probabilities.
+	AssignmentMatrix = model.AssignmentMatrix
+	// ProbabilisticAnswerSet is the aggregated, probabilistic view of the answers.
+	ProbabilisticAnswerSet = model.ProbabilisticAnswerSet
+	// DeterministicAssignment is the final label per object.
+	DeterministicAssignment = model.DeterministicAssignment
+	// WorkerType classifies crowd workers (reliable, normal, sloppy, spammers).
+	WorkerType = model.WorkerType
+	// WorkerAssessment is the outcome of assessing one worker.
+	WorkerAssessment = spamdetect.WorkerAssessment
+	// Dataset bundles answers with ground truth and simulated worker types.
+	Dataset = simulation.Dataset
+	// CrowdConfig parameterizes the synthetic crowd generator.
+	CrowdConfig = simulation.CrowdConfig
+	// WorkerMix is the composition of a simulated worker community.
+	WorkerMix = simulation.WorkerMix
+)
+
+// NoLabel denotes a missing answer or validation.
+const NoLabel = model.NoLabel
+
+// Worker types.
+const (
+	ReliableWorker = model.ReliableWorker
+	NormalWorker   = model.NormalWorker
+	SloppyWorker   = model.SloppyWorker
+	UniformSpammer = model.UniformSpammer
+	RandomSpammer  = model.RandomSpammer
+)
+
+// NewAnswerSet creates an empty answer set for numObjects objects, numWorkers
+// workers and numLabels labels.
+func NewAnswerSet(numObjects, numWorkers, numLabels int) (*AnswerSet, error) {
+	return model.NewAnswerSet(numObjects, numWorkers, numLabels)
+}
+
+// NewAnswerSetFromMatrix builds an answer set from a dense objects × workers
+// matrix of labels, where -1 (NoLabel) marks missing answers. numLabels is
+// inferred from the largest label present unless explicitly provided via
+// labels > 0.
+func NewAnswerSetFromMatrix(matrix [][]int, numLabels int) (*AnswerSet, error) {
+	if len(matrix) == 0 || len(matrix[0]) == 0 {
+		return nil, model.ErrOutOfRange
+	}
+	maxLabel := 0
+	for _, row := range matrix {
+		for _, v := range row {
+			if v > maxLabel {
+				maxLabel = v
+			}
+		}
+	}
+	if numLabels <= 0 {
+		numLabels = maxLabel + 1
+	}
+	answers, err := model.NewAnswerSet(len(matrix), len(matrix[0]), numLabels)
+	if err != nil {
+		return nil, err
+	}
+	for o, row := range matrix {
+		for w, v := range row {
+			if v < 0 {
+				continue
+			}
+			if err := answers.SetAnswer(o, w, Label(v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return answers, nil
+}
+
+// NewValidation creates an empty expert validation function for numObjects
+// objects.
+func NewValidation(numObjects int) *Validation {
+	return model.NewValidation(numObjects)
+}
+
+// NewValidationFor creates an empty expert validation function sized for the
+// given answer set.
+func NewValidationFor(answers *AnswerSet) *Validation {
+	return model.NewValidation(answers.NumObjects())
+}
+
+// GenerateCrowd produces a synthetic crowdsourcing dataset (answers, ground
+// truth, worker types) for testing and benchmarking.
+func GenerateCrowd(cfg CrowdConfig) (*Dataset, error) {
+	return simulation.GenerateCrowd(cfg)
+}
+
+// GenerateDatasetProfile produces a synthetic dataset mimicking one of the
+// paper's real-world datasets ("bb", "rte", "val", "twt", "art").
+func GenerateDatasetProfile(name string, seed int64) (*Dataset, error) {
+	return simulation.GenerateProfile(name, seed)
+}
+
+// DatasetProfileNames lists the available dataset profiles.
+func DatasetProfileNames() []string { return simulation.ProfileNames() }
+
+// Aggregate computes the probabilistic answer set for the given answers and
+// expert validations using the incremental i-EM algorithm (validation and
+// prev may be nil).
+func Aggregate(answers *AnswerSet, validation *Validation, prev *ProbabilisticAnswerSet) (*ProbabilisticAnswerSet, error) {
+	iem := &aggregation.IncrementalEM{}
+	res, err := iem.Aggregate(answers, validation, prev)
+	if err != nil {
+		return nil, err
+	}
+	return res.ProbSet, nil
+}
+
+// MajorityVote aggregates the answers by majority voting and returns the
+// resulting label per object. It is the baseline most applications start from.
+func MajorityVote(answers *AnswerSet) (DeterministicAssignment, error) {
+	mv := &aggregation.MajorityVoting{}
+	res, err := mv.Aggregate(answers, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.ProbSet.Instantiate(), nil
+}
+
+// Uncertainty returns the total entropy H(P) of a probabilistic answer set.
+func Uncertainty(p *ProbabilisticAnswerSet) float64 { return aggregation.Uncertainty(p) }
+
+// Precision returns the fraction of objects whose assigned label matches the
+// ground truth.
+func Precision(assignment, truth DeterministicAssignment) float64 {
+	return metrics.Precision(assignment, truth)
+}
+
+// AssessWorkers evaluates every worker against the expert validations
+// collected so far and reports spammer scores, error rates and the resulting
+// spammer/sloppy flags.
+func AssessWorkers(answers *AnswerSet, validation *Validation) ([]WorkerAssessment, error) {
+	det := &spamdetect.Detector{}
+	detection, err := det.Detect(answers, validation, nil)
+	if err != nil {
+		return nil, err
+	}
+	return detection.Assessments, nil
+}
+
+// CheckValidations runs the confirmation check of §5.5 over all expert
+// validations and returns the objects whose validation disagrees with the
+// aggregation of the remaining evidence (likely erroneous expert input).
+func CheckValidations(answers *AnswerSet, validation *Validation) ([]int, error) {
+	check := &guidance.ConfirmationCheck{}
+	suspects, err := check.Check(answers, validation)
+	if err != nil {
+		return nil, err
+	}
+	objects := make([]int, 0, len(suspects))
+	for _, s := range suspects {
+		objects = append(objects, s.Object)
+	}
+	return objects, nil
+}

@@ -1,0 +1,320 @@
+package crowdval
+
+import (
+	"testing"
+)
+
+func TestNewAnswerSetFromMatrix(t *testing.T) {
+	matrix := [][]int{
+		{0, 1, -1},
+		{1, 1, 0},
+	}
+	answers, err := NewAnswerSetFromMatrix(matrix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers.NumObjects() != 2 || answers.NumWorkers() != 3 || answers.NumLabels() != 2 {
+		t.Fatalf("dims = %d/%d/%d", answers.NumObjects(), answers.NumWorkers(), answers.NumLabels())
+	}
+	if answers.Answer(0, 2) != NoLabel {
+		t.Fatal("missing answer not preserved")
+	}
+	if answers.Answer(1, 0) != 1 {
+		t.Fatal("answer not preserved")
+	}
+	// Explicit label count.
+	answers, err = NewAnswerSetFromMatrix(matrix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers.NumLabels() != 5 {
+		t.Fatal("explicit label count ignored")
+	}
+	if _, err := NewAnswerSetFromMatrix(nil, 0); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestMajorityVoteAndAggregate(t *testing.T) {
+	matrix := [][]int{
+		{0, 0, 1},
+		{1, 1, 1},
+		{0, 1, -1},
+	}
+	answers, err := NewAnswerSetFromMatrix(matrix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := MajorityVote(answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv[0] != 0 || mv[1] != 1 {
+		t.Fatalf("majority vote = %v", mv)
+	}
+	probSet, err := Aggregate(answers, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probSet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Uncertainty(probSet) < 0 {
+		t.Fatal("negative uncertainty")
+	}
+	if Precision(mv, DeterministicAssignment{0, 1, 0}) < 0.6 {
+		t.Fatal("unexpected precision")
+	}
+}
+
+func TestGenerateCrowdAndProfiles(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{NumObjects: 10, NumWorkers: 5, NumLabels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Answers.NumObjects() != 10 {
+		t.Fatal("generation failed")
+	}
+	names := DatasetProfileNames()
+	if len(names) != 5 {
+		t.Fatalf("profiles = %v", names)
+	}
+	p, err := GenerateDatasetProfile("bb", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Answers.NumObjects() != 108 {
+		t.Fatal("bb profile size mismatch")
+	}
+	if _, err := GenerateDatasetProfile("nope", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestSessionGuidedValidation(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects: 25, NumWorkers: 12, NumLabels: 2, NormalAccuracy: 0.7, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(d.Answers,
+		WithStrategy(StrategyHybrid),
+		WithBudget(10),
+		WithCandidateLimit(5),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initialUncertainty := session.Uncertainty()
+	initialPrecision := Precision(session.Result(), d.Truth)
+
+	steps := 0
+	for !session.Done() {
+		object, err := session.NextObject()
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := session.SubmitValidation(object, d.Truth[object])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Object != object {
+			t.Fatal("step info object mismatch")
+		}
+		steps++
+		if steps > 10 {
+			t.Fatal("budget not enforced")
+		}
+	}
+	if steps != 10 || session.EffortSpent() != 10 {
+		t.Fatalf("steps = %d, effort = %d", steps, session.EffortSpent())
+	}
+	if session.EffortRatio() != 0.4 {
+		t.Fatalf("effort ratio = %v", session.EffortRatio())
+	}
+	if session.Uncertainty() > initialUncertainty {
+		t.Fatal("uncertainty should not grow with oracle validations")
+	}
+	finalPrecision := Precision(session.Result(), d.Truth)
+	if finalPrecision < initialPrecision {
+		t.Fatalf("precision degraded: %v -> %v", initialPrecision, finalPrecision)
+	}
+	if session.Validation().Count() != 10 {
+		t.Fatal("validations not recorded")
+	}
+	if session.ProbabilisticResult().Validate() != nil {
+		t.Fatal("probabilistic result inconsistent")
+	}
+}
+
+func TestSessionRunWithOracleAndGoal(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects: 20, NumWorkers: 10, NumLabels: 2, NormalAccuracy: 0.75, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(d.Answers,
+		WithStrategy(StrategyBaseline),
+		WithUncertaintyGoal(1e9), // satisfied immediately
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effort, err := session.RunWithOracle(d.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effort != 0 {
+		t.Fatalf("goal should stop the session immediately, effort = %d", effort)
+	}
+
+	session2, err := NewSession(d.Answers, WithStrategy(StrategyRandom), WithBudget(5), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	effort, err = session2.RunWithOracle(d.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effort != 5 {
+		t.Fatalf("effort = %d, want 5", effort)
+	}
+}
+
+func TestSessionOptionsAndErrors(t *testing.T) {
+	if _, err := NewSession(nil); err == nil {
+		t.Fatal("nil answers accepted")
+	}
+	d, err := GenerateCrowd(CrowdConfig{NumObjects: 8, NumWorkers: 5, NumLabels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(d.Answers, WithStrategy("bogus")); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, strategy := range []StrategyName{StrategyHybrid, StrategyUncertainty, StrategyWorker, StrategyBaseline, StrategyRandom} {
+		s, err := NewSession(d.Answers, WithStrategy(strategy), WithBudget(2), WithCandidateLimit(3))
+		if err != nil {
+			t.Fatalf("strategy %s: %v", strategy, err)
+		}
+		if _, err := s.RunWithOracle(d.Truth); err != nil {
+			t.Fatalf("strategy %s run: %v", strategy, err)
+		}
+	}
+	// Submitting an invalid label fails.
+	s, err := NewSession(d.Answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitValidation(0, Label(99)); err == nil {
+		t.Fatal("invalid label accepted")
+	}
+	if _, err := s.SubmitValidation(-1, 0); err == nil {
+		t.Fatal("invalid object accepted")
+	}
+	// Revising an unvalidated object fails.
+	if err := s.Revise(0, 0); err == nil {
+		t.Fatal("revision of unvalidated object accepted")
+	}
+}
+
+func TestSessionConfirmationCheckSurfacesSuspects(t *testing.T) {
+	// Strong consensus crowd; submit a wrong validation and expect the
+	// confirmation check to flag it in the step info of a later validation.
+	matrix := make([][]int, 10)
+	for o := range matrix {
+		row := make([]int, 6)
+		for w := range row {
+			row[w] = o % 2
+		}
+		matrix[o] = row
+	}
+	answers, err := NewAnswerSetFromMatrix(matrix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(answers, WithStrategy(StrategyBaseline), WithConfirmationCheck(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong validation for object 0 (true label by consensus is 0).
+	info, err := session.SubmitValidation(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range info.SuspectValidations {
+		if o == 0 {
+			found = true
+		}
+	}
+	if !found {
+		// The check runs on every validation; submit one more and look again.
+		info, err = session.SubmitValidation(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range info.SuspectValidations {
+			if o == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("erroneous validation never flagged")
+	}
+	// Revising fixes it.
+	if err := session.Revise(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if session.Result()[0] != 0 {
+		t.Fatal("revision not applied")
+	}
+}
+
+func TestAssessWorkersAndCheckValidations(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects: 40, NumWorkers: 10, NumLabels: 2,
+		Mix:            WorkerMix{Normal: 0.6, RandomSpammer: 0.4},
+		NormalAccuracy: 0.9,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate half the objects with the truth.
+	validation := NewValidationFor(d.Answers)
+	for o := 0; o < 20; o++ {
+		validation.Set(o, d.Truth[o])
+	}
+	assessments, err := AssessWorkers(d.Answers, validation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assessments) != 10 {
+		t.Fatalf("assessments = %d", len(assessments))
+	}
+	flagged := 0
+	for _, a := range assessments {
+		if a.Faulty() {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no spammer flagged in a 40% spammer crowd with 20 validations")
+	}
+	suspects, err := CheckValidations(d.Answers, validation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle validations should rarely be flagged; just ensure the call works
+	// and returns a subset of validated objects.
+	for _, o := range suspects {
+		if !validation.Validated(o) {
+			t.Fatal("suspect object was never validated")
+		}
+	}
+}

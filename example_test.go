@@ -1,0 +1,90 @@
+package crowdval_test
+
+import (
+	"fmt"
+	"log"
+
+	"crowdval"
+)
+
+// ExampleMajorityVote aggregates the paper's running example (Table 1) by
+// majority voting.
+func ExampleMajorityVote() {
+	answers, err := crowdval.NewAnswerSetFromMatrix([][]int{
+		{1, 2, 1, 1, 2},
+		{2, 1, 2, 1, 2},
+		{0, 3, 0, 3, 2},
+		{3, 0, 1, 0, 2},
+	}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := crowdval.MajorityVote(answers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result)
+	// Output: [1 2 0 0]
+}
+
+// ExampleNewSession runs a tiny guided validation session in which the ground
+// truth plays the role of the expert.
+func ExampleNewSession() {
+	answers, err := crowdval.NewAnswerSetFromMatrix([][]int{
+		{0, 0, 1},
+		{1, 1, 1},
+		{0, 1, 1},
+		{0, 0, 0},
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := crowdval.DeterministicAssignment{0, 1, 0, 0}
+
+	session, err := crowdval.NewSession(answers,
+		crowdval.WithStrategy(crowdval.StrategyBaseline),
+		crowdval.WithBudget(2),
+		crowdval.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !session.Done() {
+		object, err := session.NextObject()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := session.SubmitValidation(object, truth[object]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("validated %d objects, precision %.2f\n",
+		session.EffortSpent(), crowdval.Precision(session.Result(), truth))
+	// Output: validated 2 objects, precision 1.00
+}
+
+// ExampleAssessWorkers audits a worker community against a handful of expert
+// validations.
+func ExampleAssessWorkers() {
+	// Worker 0 answers correctly, worker 1 always answers label 0.
+	answers, err := crowdval.NewAnswerSetFromMatrix([][]int{
+		{0, 0}, {1, 0}, {0, 0}, {1, 0}, {0, 0}, {1, 0},
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	validation := crowdval.NewValidationFor(answers)
+	for o, l := range []crowdval.Label{0, 1, 0, 1, 0, 1} {
+		validation.Set(o, l)
+	}
+	assessments, err := crowdval.AssessWorkers(answers, validation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range assessments {
+		fmt.Printf("worker %d spammer=%v\n", a.Worker, a.Spammer)
+	}
+	// Output:
+	// worker 0 spammer=false
+	// worker 1 spammer=true
+}

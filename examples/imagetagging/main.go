@@ -1,0 +1,71 @@
+// Image tagging: validating a bluebird-style binary labeling campaign.
+//
+// The bb profile mirrors the bluebird dataset of the paper's evaluation
+// (108 images, 39 workers, 2 labels): workers decide which of two bird
+// species is shown in an image. The program runs the hybrid guidance strategy
+// against a simulated expert and reports how the precision of the result
+// improves with expert effort — the curve of Figure 10 — and how much effort
+// a naive strategy (validating the most uncertain object) would have needed
+// for the same quality.
+//
+// Run with:
+//
+//	go run ./examples/imagetagging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdval"
+)
+
+func main() {
+	data, err := crowdval.GenerateDatasetProfile("bb", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bluebird-style campaign: %d images, %d workers, %d labels, %d answers\n\n",
+		data.Answers.NumObjects(), data.Answers.NumWorkers(), data.Answers.NumLabels(), data.Answers.AnswerCount())
+
+	target := 0.97
+	for _, strategy := range []crowdval.StrategyName{crowdval.StrategyHybrid, crowdval.StrategyBaseline} {
+		effort, precision, err := validateUntil(data, strategy, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("strategy %-9s reached precision %.3f after validating %.0f%% of the images\n",
+			strategy, precision, effort*100)
+	}
+}
+
+// validateUntil runs a guided session with the given strategy until the
+// precision target is reached (or the expert has seen every image) and
+// returns the effort that was necessary.
+func validateUntil(data *crowdval.Dataset, strategy crowdval.StrategyName, target float64) (float64, float64, error) {
+	session, err := crowdval.NewSession(data.Answers,
+		crowdval.WithStrategy(strategy),
+		crowdval.WithCandidateLimit(8),
+		crowdval.WithSeed(7),
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	precision := crowdval.Precision(session.Result(), data.Truth)
+	fmt.Printf("  [%s] initial precision without any expert input: %.3f\n", strategy, precision)
+	for !session.Done() && precision < target {
+		object, err := session.NextObject()
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := session.SubmitValidation(object, data.Truth[object]); err != nil {
+			return 0, 0, err
+		}
+		precision = crowdval.Precision(session.Result(), data.Truth)
+		if session.EffortSpent()%10 == 0 {
+			fmt.Printf("  [%s] after %3d validations: precision %.3f, uncertainty %.2f, quarantined workers %v\n",
+				strategy, session.EffortSpent(), precision, session.Uncertainty(), session.QuarantinedWorkers())
+		}
+	}
+	return session.EffortRatio(), precision, nil
+}

@@ -1,0 +1,83 @@
+// Quickstart: guided validation of a tiny crowdsourced labeling task.
+//
+// Five crowd workers labeled four objects with one of four categories — the
+// running example of the paper (Table 1). The program aggregates the crowd
+// answers, then lets a (simulated) expert validate objects one at a time,
+// always asking about the object the hybrid guidance strategy considers most
+// beneficial. After every validation it prints how the result assignment and
+// its uncertainty evolve.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdval"
+)
+
+func main() {
+	// The answer matrix of Table 1: rows = objects, columns = workers,
+	// entries = labels 0..3 (the paper's labels 1..4), -1 = no answer.
+	matrix := [][]int{
+		{1, 2, 1, 1, 2}, // o1 — correct label 1
+		{2, 1, 2, 1, 2}, // o2 — correct label 2
+		{0, 3, 0, 3, 2}, // o3 — correct label 0
+		{3, 0, 1, 0, 2}, // o4 — correct label 1
+	}
+	truth := crowdval.DeterministicAssignment{1, 2, 0, 1}
+
+	answers, err := crowdval.NewAnswerSetFromMatrix(matrix, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Where do plain majority voting and automatic aggregation get us?
+	mv, err := crowdval.MajorityVote(answers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("majority voting:      ", mv, " precision:", crowdval.Precision(mv, truth))
+
+	probSet, err := crowdval.Aggregate(answers, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auto := probSet.Instantiate()
+	fmt.Println("automatic aggregation:", auto, " precision:", crowdval.Precision(auto, truth))
+
+	// Now let an expert validate answers, guided by the library. In a real
+	// application the label would come from a human; here the ground truth
+	// plays the expert.
+	session, err := crowdval.NewSession(answers,
+		crowdval.WithStrategy(crowdval.StrategyHybrid),
+		crowdval.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nguided validation:")
+	for !session.Done() {
+		object, err := session.NextObject()
+		if err != nil {
+			log.Fatal(err)
+		}
+		expertLabel := truth[object] // ask the human here
+		info, err := session.SubmitValidation(object, expertLabel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		result := session.Result()
+		fmt.Printf("  expert validated object %d as label %d | result %v | precision %.2f | uncertainty %.3f\n",
+			object, expertLabel, result, crowdval.Precision(result, truth), info.Uncertainty)
+		if crowdval.Precision(result, truth) == 1 {
+			fmt.Printf("\nperfect result after validating %d of %d objects (%.0f%% effort)\n",
+				session.EffortSpent(), answers.NumObjects(), session.EffortRatio()*100)
+			break
+		}
+	}
+}

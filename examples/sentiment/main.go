@@ -1,0 +1,131 @@
+// Sentiment analysis with a budget: deciding how much to spend on the crowd
+// and how much on a validating expert.
+//
+// The art profile mirrors the paper's hardest dataset (sentiment of
+// scientific articles): crowd answers alone plateau well below perfect
+// precision. Given a fixed budget b = ρ·θ·n, the program evaluates several
+// ways of splitting it between buying crowd answers (φ0 answers per object)
+// and paying an expert to validate answers (θ times as expensive per answer),
+// and reports which split yields the best precision — the analysis of
+// Figures 13 and 14, including a completion-time constraint.
+//
+// Run with:
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdval"
+)
+
+func main() {
+	// A large simulated campaign: up to ~30 crowd answers are available per
+	// article, so we can "buy" as many as the budget allows.
+	full, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects:     200,
+		NumWorkers:     60,
+		NumLabels:      2,
+		NormalAccuracy: 0.62, // hard questions: even capable workers err often
+		Seed:           11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := full.Answers.NumObjects()
+
+	theta := 25.0 // an expert validation costs as much as 25 crowd answers
+	budget := crowdval.CostBudget{Rho: 0.4, Theta: theta, NumObjects: n}
+	fmt.Printf("campaign: %d articles, total budget %.0f (in crowd-answer units), θ = %.1f\n\n", n, budget.Total(), theta)
+
+	timeModel := crowdval.CompletionTime{CrowdTime: 0, TimePerValidation: 1}
+	timeLimit := 40.0 // the expert has time for at most 40 validations
+
+	type outcome struct {
+		crowdShare float64
+		alloc      crowdval.BudgetAllocation
+		precision  float64
+		feasible   bool
+	}
+	var results []outcome
+
+	for _, crowdShare := range []float64{0.25, 0.50, 0.75, 1.00} {
+		alloc, err := budget.Allocate(crowdShare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		precision, err := precisionForAllocation(full, alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feasible := timeModel.Total(alloc.ExpertValidations) <= timeLimit
+		results = append(results, outcome{crowdShare, alloc, precision, feasible})
+		fmt.Printf("crowd share %3.0f%%: %4.1f answers/article, %3d expert validations -> precision %.3f (time ok: %v)\n",
+			crowdShare*100, alloc.AnswersPerObject, alloc.ExpertValidations, precision, feasible)
+	}
+
+	best := -1
+	for i, r := range results {
+		if r.feasible && (best < 0 || r.precision > results[best].precision) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		r := results[best]
+		fmt.Printf("\nbest feasible split: %.0f%% of the budget on the crowd, %d expert validations, precision %.3f\n",
+			r.crowdShare*100, r.alloc.ExpertValidations, r.precision)
+	}
+}
+
+// precisionForAllocation simulates one budget allocation: it keeps only
+// AnswersPerObject crowd answers per article and lets a simulated expert
+// validate ExpertValidations articles under hybrid guidance.
+func precisionForAllocation(full *crowdval.Dataset, alloc crowdval.BudgetAllocation) (float64, error) {
+	perObject := int(alloc.AnswersPerObject)
+	if perObject < 1 {
+		perObject = 1
+	}
+	reduced, err := subsample(full, perObject)
+	if err != nil {
+		return 0, err
+	}
+	session, err := crowdval.NewSession(reduced.Answers,
+		crowdval.WithStrategy(crowdval.StrategyHybrid),
+		crowdval.WithBudget(alloc.ExpertValidations),
+		crowdval.WithCandidateLimit(6),
+		crowdval.WithSeed(11),
+	)
+	if err != nil {
+		return 0, err
+	}
+	if alloc.ExpertValidations > 0 {
+		if _, err := session.RunWithOracle(reduced.Truth); err != nil {
+			return 0, err
+		}
+	}
+	return crowdval.Precision(session.Result(), reduced.Truth), nil
+}
+
+// subsample keeps at most perObject answers per object, modeling a smaller
+// crowd budget.
+func subsample(full *crowdval.Dataset, perObject int) (*crowdval.Dataset, error) {
+	answers, err := crowdval.NewAnswerSet(full.Answers.NumObjects(), full.Answers.NumWorkers(), full.Answers.NumLabels())
+	if err != nil {
+		return nil, err
+	}
+	for o := 0; o < full.Answers.NumObjects(); o++ {
+		kept := 0
+		for _, wa := range full.Answers.ObjectAnswers(o) {
+			if kept >= perObject {
+				break
+			}
+			if err := answers.SetAnswer(o, wa.Worker, wa.Label); err != nil {
+				return nil, err
+			}
+			kept++
+		}
+	}
+	return &crowdval.Dataset{Name: full.Name, Answers: answers, Truth: full.Truth, WorkerTypes: full.WorkerTypes}, nil
+}

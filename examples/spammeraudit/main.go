@@ -1,0 +1,97 @@
+// Spammer audit: using a few expert validations to clean up a worker
+// community.
+//
+// A simulated crowd with a heavy share of uniform spammers, random spammers
+// and sloppy workers labels 80 objects. The program lets an expert validate a
+// small fraction of the objects — selected by the worker-driven guidance
+// strategy, which targets objects that reveal faulty workers — and then
+// audits every worker: spammer score (distance of the validation-based
+// confusion matrix to rank one), error rate, and verdict. Finally it shows
+// how much the result improves once the flagged workers are quarantined.
+//
+// Run with:
+//
+//	go run ./examples/spammeraudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"crowdval"
+)
+
+func main() {
+	data, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: 80,
+		NumWorkers: 20,
+		NumLabels:  2,
+		Mix: crowdval.WorkerMix{
+			Normal: 0.45, Sloppy: 0.15, UniformSpammer: 0.2, RandomSpammer: 0.2,
+		},
+		NormalAccuracy: 0.8,
+		Seed:           23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crowd of %d workers (%d simulated spammers), %d objects\n\n",
+		data.Answers.NumWorkers(), len(data.Spammers()), data.Answers.NumObjects())
+
+	before, err := crowdval.MajorityVote(data.Answers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precision before any validation (majority voting): %.3f\n", crowdval.Precision(before, data.Truth))
+
+	// Let the expert validate 20% of the objects, guided toward the objects
+	// that unmask faulty workers.
+	session, err := crowdval.NewSession(data.Answers,
+		crowdval.WithStrategy(crowdval.StrategyWorker),
+		crowdval.WithBudget(data.Answers.NumObjects()/5),
+		crowdval.WithCandidateLimit(10),
+		crowdval.WithSeed(23),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := session.RunWithOracle(data.Truth); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expert validated %d objects (%.0f%% effort)\n", session.EffortSpent(), session.EffortRatio()*100)
+	fmt.Printf("precision after guided validation: %.3f\n", crowdval.Precision(session.Result(), data.Truth))
+	fmt.Printf("quarantined workers: %v\n\n", session.QuarantinedWorkers())
+
+	// Audit the whole community against the collected validations.
+	assessments, err := crowdval.AssessWorkers(data.Answers, session.Validation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-7s %-16s %-11s %-11s %-9s %s\n", "worker", "simulated type", "spam score", "error rate", "verdict", "")
+	correctFlags, totalFaulty := 0, 0
+	for _, a := range assessments {
+		verdict := "ok"
+		switch {
+		case a.Spammer:
+			verdict = "spammer"
+		case a.Sloppy:
+			verdict = "sloppy"
+		case a.ValidatedAnswers < 2:
+			verdict = "unknown"
+		}
+		simulated := data.WorkerTypes[a.Worker]
+		if simulated.Faulty() {
+			totalFaulty++
+			if verdict == "spammer" || verdict == "sloppy" {
+				correctFlags++
+			}
+		}
+		score, errRate := a.SpammerScore, a.ErrorRate
+		if math.IsNaN(score) {
+			score, errRate = -1, -1
+		}
+		fmt.Printf("%-7d %-16s %-11.3f %-11.3f %-9s\n", a.Worker, simulated.String(), score, errRate, verdict)
+	}
+	fmt.Printf("\nfaulty workers correctly flagged: %d of %d\n", correctFlags, totalFaulty)
+}

@@ -1,0 +1,143 @@
+// Package aggregation implements the answer-aggregation component of the
+// validation framework (§4 of the paper): majority voting, the classic batch
+// Dawid–Skene expectation maximization, and the paper's incremental i-EM
+// algorithm that treats expert validations as first-class ground truth and
+// warm-starts from the previous validation iteration.
+//
+// All aggregators implement the Aggregator interface and produce a
+// probabilistic answer set P = <N, e, U, C> together with statistics about
+// the computation (number of EM iterations, convergence).
+package aggregation
+
+import (
+	"fmt"
+
+	"crowdval/internal/model"
+)
+
+// Result is the outcome of one aggregation run ("conclude" step of the
+// validation process).
+type Result struct {
+	// ProbSet is the resulting probabilistic answer set.
+	ProbSet *model.ProbabilisticAnswerSet
+	// Iterations is the number of EM iterations that were executed
+	// (1 for non-iterative aggregators such as majority voting).
+	Iterations int
+	// Converged reports whether the iterative aggregation reached its
+	// convergence tolerance before hitting the iteration cap.
+	Converged bool
+}
+
+// Aggregator computes a probabilistic answer set from crowd answers and the
+// expert validations collected so far. Implementations may use prev, the
+// probabilistic answer set of the previous validation iteration, as a warm
+// start; prev may be nil.
+type Aggregator interface {
+	Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error)
+}
+
+// MajorityVoting aggregates answers by relative label frequency per object.
+// It ignores worker reliability and serves as the simplest baseline (Table 1).
+// Expert validations, when present, override the vote for the validated
+// objects. Confusion matrices are estimated against the majority-vote labels.
+type MajorityVoting struct {
+	// Smoothing is added to every confusion-matrix cell before
+	// normalization. Zero disables smoothing.
+	Smoothing float64
+}
+
+// Aggregate implements the Aggregator interface.
+func (mv *MajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: nil answer set")
+	}
+	if validation == nil {
+		validation = model.NewValidation(answers.NumObjects())
+	}
+	if validation.NumObjects() != answers.NumObjects() {
+		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
+			validation.NumObjects(), answers.NumObjects())
+	}
+	n, m := answers.NumObjects(), answers.NumLabels()
+	probSet := &model.ProbabilisticAnswerSet{
+		Answers:    answers,
+		Validation: validation.Clone(),
+		Assignment: model.NewAssignmentMatrix(n, m),
+		Confusions: make([]*model.ConfusionMatrix, answers.NumWorkers()),
+	}
+
+	for o := 0; o < n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			probSet.Assignment.SetCertain(o, l)
+			continue
+		}
+		counts := answers.LabelCounts(o)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		row := make([]float64, m)
+		if total == 0 {
+			for l := range row {
+				row[l] = 1 / float64(m)
+			}
+		} else {
+			for l, c := range counts {
+				row[l] = float64(c) / float64(total)
+			}
+		}
+		probSet.Assignment.SetRow(o, row)
+	}
+
+	// Estimate confusion matrices against the majority-vote labels.
+	mvLabels := probSet.Instantiate()
+	for w := 0; w < answers.NumWorkers(); w++ {
+		c := model.NewConfusionMatrix(m)
+		for _, o := range answers.WorkerObjects(w) {
+			trueLabel := mvLabels[o]
+			if trueLabel == model.NoLabel {
+				continue
+			}
+			c.Add(trueLabel, answers.Answer(o, w), 1)
+		}
+		if mv.Smoothing > 0 {
+			c.Smooth(mv.Smoothing)
+		} else {
+			c.NormalizeRows()
+		}
+		probSet.Confusions[w] = c
+	}
+
+	return &Result{ProbSet: probSet, Iterations: 1, Converged: true}, nil
+}
+
+// CombineExpertAsWorker returns a copy of the answer set extended with one
+// additional pseudo-worker whose answers are the expert validations. It
+// implements the "Combined" strategy of §6.3, where expert input is treated
+// as an ordinary crowd answer rather than as ground truth.
+func CombineExpertAsWorker(answers *model.AnswerSet, validation *model.Validation) (*model.AnswerSet, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: nil answer set")
+	}
+	combined, err := model.NewAnswerSet(answers.NumObjects(), answers.NumWorkers()+1, answers.NumLabels())
+	if err != nil {
+		return nil, err
+	}
+	for o := 0; o < answers.NumObjects(); o++ {
+		for w := 0; w < answers.NumWorkers(); w++ {
+			if l := answers.Answer(o, w); l != model.NoLabel {
+				if err := combined.SetAnswer(o, w, l); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if validation != nil {
+			if l := validation.Get(o); l != model.NoLabel {
+				if err := combined.SetAnswer(o, answers.NumWorkers(), l); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return combined, nil
+}

@@ -1,0 +1,351 @@
+package aggregation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowdval/internal/model"
+)
+
+// InitStrategy selects how a cold-started EM run initializes the assignment
+// matrix and the worker confusion matrices.
+type InitStrategy int
+
+const (
+	// InitMajorityVote initializes the assignment matrix with per-object
+	// label frequencies. This is the standard Dawid–Skene initialization.
+	InitMajorityVote InitStrategy = iota
+	// InitUniform initializes every object with the uniform distribution.
+	InitUniform
+	// InitRandom initializes every object with a random distribution,
+	// matching the "random probability estimation" the paper attributes to
+	// traditional, non-incremental EM.
+	InitRandom
+)
+
+// EMConfig bundles the numerical parameters of the EM-based aggregators.
+type EMConfig struct {
+	// MaxIterations caps the number of E/M iterations. Values below 1 use
+	// DefaultMaxIterations.
+	MaxIterations int
+	// Tolerance is the convergence threshold on the maximal entry-wise
+	// change of the assignment matrix between iterations. Values <= 0 use
+	// DefaultTolerance.
+	Tolerance float64
+	// Smoothing is the additive smoothing applied to confusion-matrix rows
+	// in the M-step, keeping estimates away from hard zeros. Values <= 0
+	// use DefaultSmoothing.
+	Smoothing float64
+}
+
+// Default EM parameters.
+const (
+	DefaultMaxIterations = 100
+	DefaultTolerance     = 1e-4
+	DefaultSmoothing     = 1e-2
+
+	// uniformInitAccuracy is the assumed worker accuracy used to break the
+	// symmetry of a uniform cold start (see BatchEM.Aggregate).
+	uniformInitAccuracy = 0.7
+)
+
+func (c EMConfig) maxIterations() int {
+	if c.MaxIterations < 1 {
+		return DefaultMaxIterations
+	}
+	return c.MaxIterations
+}
+
+func (c EMConfig) tolerance() float64 {
+	if c.Tolerance <= 0 {
+		return DefaultTolerance
+	}
+	return c.Tolerance
+}
+
+func (c EMConfig) smoothing() float64 {
+	if c.Smoothing <= 0 {
+		return DefaultSmoothing
+	}
+	return c.Smoothing
+}
+
+// BatchEM is the traditional Dawid–Skene expectation-maximization aggregator
+// (Ipeirotis et al.). It is cold-started on every call (no warm start from
+// prev) and therefore models the non-incremental EM the paper compares i-EM
+// against. Expert validations are still honoured as ground truth (Eq. 4)
+// unless IgnoreValidation is set.
+type BatchEM struct {
+	Config EMConfig
+	// Init selects the cold-start initialization.
+	Init InitStrategy
+	// Rand is used by InitRandom. A nil Rand falls back to a fixed-seed
+	// generator so runs stay reproducible.
+	Rand *rand.Rand
+	// IgnoreValidation drops the expert input entirely, producing the
+	// purely automatic aggregation ("WO" style usage, or the Combined
+	// strategy after the expert answers were merged into the matrix).
+	IgnoreValidation bool
+}
+
+// Aggregate implements the Aggregator interface.
+func (b *BatchEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: nil answer set")
+	}
+	if validation == nil || b.IgnoreValidation {
+		validation = model.NewValidation(answers.NumObjects())
+	}
+	if validation.NumObjects() != answers.NumObjects() {
+		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
+			validation.NumObjects(), answers.NumObjects())
+	}
+	assignment, err := b.initialAssignment(answers, validation)
+	if err != nil {
+		return nil, err
+	}
+	var confusions []*model.ConfusionMatrix
+	if b.Init == InitUniform {
+		// A fully uniform assignment is a degenerate EM fixed point: soft
+		// counts would yield rank-one confusion matrices and the E-step
+		// would reproduce the uniform distribution. Break the symmetry by
+		// assuming workers are better than random.
+		confusions = make([]*model.ConfusionMatrix, answers.NumWorkers())
+		for w := range confusions {
+			confusions[w] = model.NewDiagonalConfusionMatrix(answers.NumLabels(), uniformInitAccuracy)
+		}
+	} else {
+		confusions = initialConfusions(answers, assignment, b.Config.smoothing())
+	}
+	return runEM(answers, validation, assignment, confusions, b.Config)
+}
+
+func (b *BatchEM) initialAssignment(answers *model.AnswerSet, validation *model.Validation) (*model.AssignmentMatrix, error) {
+	n, m := answers.NumObjects(), answers.NumLabels()
+	u := model.NewAssignmentMatrix(n, m)
+	switch b.Init {
+	case InitMajorityVote:
+		mv := &MajorityVoting{}
+		res, err := mv.Aggregate(answers, validation, nil)
+		if err != nil {
+			return nil, err
+		}
+		u = res.ProbSet.Assignment
+	case InitUniform:
+		// NewAssignmentMatrix is already uniform.
+	case InitRandom:
+		rng := b.Rand
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		for o := 0; o < n; o++ {
+			row := make([]float64, m)
+			for l := range row {
+				row[l] = rng.Float64() + 1e-6
+			}
+			u.SetRow(o, row)
+			u.NormalizeRow(o)
+		}
+	default:
+		return nil, fmt.Errorf("aggregation: unknown init strategy %d", b.Init)
+	}
+	pinValidated(u, validation)
+	return u, nil
+}
+
+// IncrementalEM is the paper's i-EM algorithm (§4.1): expert validations are
+// integrated as ground truth and each call warm-starts from the probabilistic
+// answer set of the previous validation iteration, following the view
+// maintenance principle. When no previous state exists it falls back to a
+// majority-vote initialization.
+type IncrementalEM struct {
+	Config EMConfig
+}
+
+// Aggregate implements the Aggregator interface.
+func (ie *IncrementalEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: nil answer set")
+	}
+	if validation == nil {
+		validation = model.NewValidation(answers.NumObjects())
+	}
+	if validation.NumObjects() != answers.NumObjects() {
+		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
+			validation.NumObjects(), answers.NumObjects())
+	}
+
+	var assignment *model.AssignmentMatrix
+	var confusions []*model.ConfusionMatrix
+	if prev != nil && prev.Assignment != nil && len(prev.Confusions) == answers.NumWorkers() &&
+		prev.Assignment.NumObjects() == answers.NumObjects() && prev.Assignment.NumLabels() == answers.NumLabels() {
+		// Warm start: C⁰_s = C^q_{s-1}, U⁰_s = U^q_{s-1} (with the new
+		// validations pinned).
+		assignment = prev.Assignment.Clone()
+		confusions = make([]*model.ConfusionMatrix, len(prev.Confusions))
+		for w, c := range prev.Confusions {
+			confusions[w] = c.Clone()
+		}
+	} else {
+		mv := &MajorityVoting{}
+		res, err := mv.Aggregate(answers, validation, nil)
+		if err != nil {
+			return nil, err
+		}
+		assignment = res.ProbSet.Assignment
+		confusions = initialConfusions(answers, assignment, ie.Config.smoothing())
+	}
+	pinValidated(assignment, validation)
+	return runEM(answers, validation, assignment, confusions, ie.Config)
+}
+
+// pinValidated forces the rows of validated objects to the expert's label.
+func pinValidated(u *model.AssignmentMatrix, validation *model.Validation) {
+	for o := 0; o < u.NumObjects(); o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			u.SetCertain(o, l)
+		}
+	}
+}
+
+// initialConfusions estimates per-worker confusion matrices from an
+// assignment matrix (soft counts), used to bootstrap the EM iterations.
+func initialConfusions(answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64) []*model.ConfusionMatrix {
+	m := answers.NumLabels()
+	confusions := make([]*model.ConfusionMatrix, answers.NumWorkers())
+	for w := 0; w < answers.NumWorkers(); w++ {
+		c := model.NewConfusionMatrix(m)
+		for _, o := range answers.WorkerObjects(w) {
+			answered := answers.Answer(o, w)
+			for l := 0; l < m; l++ {
+				c.Add(model.Label(l), answered, u.Prob(o, model.Label(l)))
+			}
+		}
+		c.Smooth(smoothing)
+		confusions[w] = c
+	}
+	return confusions
+}
+
+// runEM alternates E- and M-steps (Eq. 1–5) until the assignment matrix stops
+// changing or the iteration cap is reached.
+func runEM(answers *model.AnswerSet, validation *model.Validation, assignment *model.AssignmentMatrix,
+	confusions []*model.ConfusionMatrix, cfg EMConfig) (*Result, error) {
+
+	n, m := answers.NumObjects(), answers.NumLabels()
+	maxIter := cfg.maxIterations()
+	tol := cfg.tolerance()
+	smoothing := cfg.smoothing()
+
+	// Pre-compute the sparse adjacency once; the answer matrix does not
+	// change during EM, and re-deriving it in every E-/M-step would dominate
+	// the cost for sparse answer sets.
+	objectAnswers := make([][]model.WorkerAnswer, n)
+	for o := 0; o < n; o++ {
+		objectAnswers[o] = answers.ObjectAnswers(o)
+	}
+	workerAnswers := make([][]model.ObjectAnswer, answers.NumWorkers())
+	for o, was := range objectAnswers {
+		for _, wa := range was {
+			workerAnswers[wa.Worker] = append(workerAnswers[wa.Worker], model.ObjectAnswer{Object: o, Label: wa.Label})
+		}
+	}
+
+	iterations := 0
+	converged := false
+	current := assignment
+	for iter := 0; iter < maxIter; iter++ {
+		iterations++
+		next := eStep(objectAnswers, validation, current, confusions, n, m)
+		confusions = mStep(workerAnswers, next, m, smoothing)
+		diff := current.MaxAbsDiff(next)
+		current = next
+		if diff < tol {
+			converged = true
+			break
+		}
+	}
+
+	probSet := &model.ProbabilisticAnswerSet{
+		Answers:    answers,
+		Validation: validation.Clone(),
+		Assignment: current,
+		Confusions: confusions,
+	}
+	return &Result{ProbSet: probSet, Iterations: iterations, Converged: converged}, nil
+}
+
+// eStep computes the new assignment matrix from the current confusion
+// matrices and priors (Eq. 1 and Eq. 4). Probabilities are accumulated in log
+// space to avoid underflow with many workers.
+func eStep(objectAnswers [][]model.WorkerAnswer, validation *model.Validation,
+	current *model.AssignmentMatrix, confusions []*model.ConfusionMatrix, n, m int) *model.AssignmentMatrix {
+
+	priors := current.Priors()
+	logPriors := make([]float64, m)
+	for l, p := range priors {
+		if p <= 0 {
+			p = 1e-12
+		}
+		logPriors[l] = math.Log(p)
+	}
+
+	next := model.NewAssignmentMatrix(n, m)
+	logRow := make([]float64, m)
+	for o := 0; o < n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			next.SetCertain(o, l)
+			continue
+		}
+		for l := 0; l < m; l++ {
+			logRow[l] = logPriors[l]
+		}
+		for _, wa := range objectAnswers[o] {
+			f := confusions[wa.Worker]
+			for l := 0; l < m; l++ {
+				p := f.At(model.Label(l), wa.Label)
+				if p <= 0 {
+					p = 1e-12
+				}
+				logRow[l] += math.Log(p)
+			}
+		}
+		// log-sum-exp normalization.
+		maxLog := logRow[0]
+		for l := 1; l < m; l++ {
+			if logRow[l] > maxLog {
+				maxLog = logRow[l]
+			}
+		}
+		row := make([]float64, m)
+		sum := 0.0
+		for l := 0; l < m; l++ {
+			row[l] = math.Exp(logRow[l] - maxLog)
+			sum += row[l]
+		}
+		for l := 0; l < m; l++ {
+			row[l] /= sum
+		}
+		next.SetRow(o, row)
+	}
+	return next
+}
+
+// mStep re-estimates the worker confusion matrices from the assignment
+// probabilities (Eq. 5) with additive smoothing. workerAnswers is the
+// pre-computed per-worker list of (object, answered label) pairs.
+func mStep(workerAnswers [][]model.ObjectAnswer, u *model.AssignmentMatrix, m int, smoothing float64) []*model.ConfusionMatrix {
+	confusions := make([]*model.ConfusionMatrix, len(workerAnswers))
+	for w, answers := range workerAnswers {
+		c := model.NewConfusionMatrix(m)
+		for _, oa := range answers {
+			for l := 0; l < m; l++ {
+				c.Add(model.Label(l), oa.Label, u.Prob(oa.Object, model.Label(l)))
+			}
+		}
+		c.Smooth(smoothing)
+		confusions[w] = c
+	}
+	return confusions
+}

@@ -1,0 +1,150 @@
+package aggregation
+
+import (
+	"fmt"
+
+	"crowdval/internal/model"
+)
+
+// OnlineEM is an online expectation-maximization aggregator in the spirit of
+// the streaming EM algorithms the paper contrasts i-EM with (§4.1): it
+// processes *new crowd answers* incrementally — one object at a time — by
+// interleaving a local E-step for the affected object with a damped, running
+// M-step update of the involved workers' confusion matrices.
+//
+// OnlineEM complements i-EM rather than replacing it: i-EM handles an
+// unchanged answer matrix with a growing set of expert validations, whereas
+// OnlineEM handles a growing answer matrix. Crowdsourcing applications that
+// keep collecting answers while the expert validates can run both: OnlineEM
+// to fold in new answers cheaply, i-EM whenever new expert input arrives.
+type OnlineEM struct {
+	// StepSize is the damping factor of the running confusion-matrix update
+	// in (0, 1]; smaller values forget more slowly. Values outside the range
+	// default to 0.2.
+	StepSize float64
+	// Smoothing keeps confusion matrices away from zeros (default 1e-2).
+	Smoothing float64
+
+	answers    *model.AnswerSet
+	validation *model.Validation
+	probSet    *model.ProbabilisticAnswerSet
+}
+
+func (o *OnlineEM) stepSize() float64 {
+	if o.StepSize <= 0 || o.StepSize > 1 {
+		return 0.2
+	}
+	return o.StepSize
+}
+
+func (o *OnlineEM) smoothing() float64 {
+	if o.Smoothing <= 0 {
+		return DefaultSmoothing
+	}
+	return o.Smoothing
+}
+
+// Start initializes the online aggregator from an initial (possibly empty)
+// answer set using a batch pass.
+func (o *OnlineEM) Start(answers *model.AnswerSet, validation *model.Validation) (*model.ProbabilisticAnswerSet, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: nil answer set")
+	}
+	if validation == nil {
+		validation = model.NewValidation(answers.NumObjects())
+	}
+	iem := &IncrementalEM{Config: EMConfig{Smoothing: o.smoothing()}}
+	res, err := iem.Aggregate(answers, validation, nil)
+	if err != nil {
+		return nil, err
+	}
+	o.answers = answers
+	o.validation = validation.Clone()
+	o.probSet = res.ProbSet
+	return o.probSet, nil
+}
+
+// ProbSet returns the current probabilistic answer set (nil before Start).
+func (o *OnlineEM) ProbSet() *model.ProbabilisticAnswerSet { return o.probSet }
+
+// ObserveAnswer folds one new crowd answer into the model: the answer is
+// added to the answer matrix, the affected object's label distribution is
+// re-estimated from the current confusion matrices, and the answering
+// worker's confusion matrix receives a damped update.
+func (o *OnlineEM) ObserveAnswer(object, worker int, label model.Label) error {
+	if o.probSet == nil {
+		return fmt.Errorf("aggregation: OnlineEM.Start must be called first")
+	}
+	if err := o.answers.SetAnswer(object, worker, label); err != nil {
+		return err
+	}
+	m := o.answers.NumLabels()
+
+	// Local E-step for the affected object (unless the expert pinned it).
+	if v := o.validation.Get(object); v != model.NoLabel {
+		o.probSet.Assignment.SetCertain(object, v)
+	} else {
+		priors := o.probSet.Assignment.Priors()
+		row := make([]float64, m)
+		for l := 0; l < m; l++ {
+			p := priors[l]
+			if p <= 0 {
+				p = 1e-12
+			}
+			row[l] = p
+			for _, wa := range o.answers.ObjectAnswers(object) {
+				f := o.probSet.Confusions[wa.Worker].At(model.Label(l), wa.Label)
+				if f <= 0 {
+					f = 1e-12
+				}
+				row[l] *= f
+			}
+		}
+		o.probSet.Assignment.SetRow(object, row)
+		o.probSet.Assignment.NormalizeRow(object)
+	}
+
+	// Damped M-step for the answering worker: blend the current confusion
+	// matrix with the point estimate implied by this single observation.
+	step := o.stepSize()
+	confusion := o.probSet.Confusions[worker]
+	for l := 0; l < m; l++ {
+		weight := o.probSet.Assignment.Prob(object, model.Label(l))
+		for l2 := 0; l2 < m; l2++ {
+			observed := 0.0
+			if model.Label(l2) == label {
+				observed = 1
+			}
+			current := confusion.At(model.Label(l), model.Label(l2))
+			blended := current + step*weight*(observed-current)
+			confusion.Set(model.Label(l), model.Label(l2), blended)
+		}
+	}
+	confusion.Smooth(o.smoothing())
+	return nil
+}
+
+// ObserveValidation folds a new expert validation into the model and pins the
+// object's distribution, mirroring Eq. 4.
+func (o *OnlineEM) ObserveValidation(object int, label model.Label) error {
+	if o.probSet == nil {
+		return fmt.Errorf("aggregation: OnlineEM.Start must be called first")
+	}
+	if !label.Valid(o.answers.NumLabels()) {
+		return fmt.Errorf("aggregation: invalid label %d", label)
+	}
+	o.validation.Set(object, label)
+	o.probSet.Validation.Set(object, label)
+	o.probSet.Assignment.SetCertain(object, label)
+	return nil
+}
+
+// Aggregate implements the Aggregator interface by running Start; it allows
+// OnlineEM to be dropped into places that expect a batch aggregator.
+func (o *OnlineEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	probSet, err := o.Start(answers, validation)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ProbSet: probSet, Iterations: 1, Converged: true}, nil
+}

@@ -1,0 +1,140 @@
+package aggregation
+
+import (
+	"fmt"
+	"math"
+
+	"crowdval/internal/model"
+)
+
+// WeightedMajorityVoting aggregates answers by majority voting in which every
+// worker's vote is weighted by an estimate of that worker's accuracy. The
+// accuracy is estimated from the expert validations when available and falls
+// back to the plain majority-vote labels otherwise. It is one of the
+// non-iterative aggregation baselines discussed in the paper's related work
+// (§7) and sits between plain majority voting and the EM-based aggregators in
+// both cost and quality.
+type WeightedMajorityVoting struct {
+	// Smoothing is the pseudo-count added to the correct/total counters when
+	// estimating worker accuracies, keeping weights defined for workers with
+	// few observations. Values <= 0 default to 1.
+	Smoothing float64
+}
+
+func (wmv *WeightedMajorityVoting) smoothing() float64 {
+	if wmv.Smoothing <= 0 {
+		return 1
+	}
+	return wmv.Smoothing
+}
+
+// Aggregate implements the Aggregator interface.
+func (wmv *WeightedMajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: nil answer set")
+	}
+	if validation == nil {
+		validation = model.NewValidation(answers.NumObjects())
+	}
+	if validation.NumObjects() != answers.NumObjects() {
+		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
+			validation.NumObjects(), answers.NumObjects())
+	}
+
+	// Reference labels for accuracy estimation: expert validations where
+	// present, majority-vote labels elsewhere.
+	mv := &MajorityVoting{}
+	mvRes, err := mv.Aggregate(answers, validation, nil)
+	if err != nil {
+		return nil, err
+	}
+	reference := mvRes.ProbSet.Instantiate()
+
+	weights := wmv.workerWeights(answers, validation, reference)
+
+	n, m := answers.NumObjects(), answers.NumLabels()
+	probSet := &model.ProbabilisticAnswerSet{
+		Answers:    answers,
+		Validation: validation.Clone(),
+		Assignment: model.NewAssignmentMatrix(n, m),
+		Confusions: mvRes.ProbSet.Confusions,
+	}
+	for o := 0; o < n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			probSet.Assignment.SetCertain(o, l)
+			continue
+		}
+		row := make([]float64, m)
+		total := 0.0
+		for _, wa := range answers.ObjectAnswers(o) {
+			row[wa.Label] += weights[wa.Worker]
+			total += weights[wa.Worker]
+		}
+		if total <= 0 {
+			for l := range row {
+				row[l] = 1 / float64(m)
+			}
+		} else {
+			for l := range row {
+				row[l] /= total
+			}
+		}
+		probSet.Assignment.SetRow(o, row)
+	}
+	return &Result{ProbSet: probSet, Iterations: 1, Converged: true}, nil
+}
+
+// workerWeights estimates one weight per worker: the log-odds of the worker's
+// estimated accuracy against random guessing, floored at a small positive
+// value so that even poor workers keep a (tiny) voice. Accuracy is estimated
+// against the expert validations alone when the worker answered at least two
+// validated objects (the unbiased signal), and against the majority-vote
+// reference otherwise.
+func (wmv *WeightedMajorityVoting) workerWeights(answers *model.AnswerSet, validation *model.Validation, reference model.DeterministicAssignment) []float64 {
+	m := float64(answers.NumLabels())
+	smoothing := wmv.smoothing()
+	weights := make([]float64, answers.NumWorkers())
+	for w := range weights {
+		// First try the validation-only estimate.
+		validatedCorrect, validatedTotal := 0.0, 0.0
+		for _, o := range answers.WorkerObjects(w) {
+			if l := validation.Get(o); l != model.NoLabel {
+				validatedTotal++
+				if answers.Answer(o, w) == l {
+					validatedCorrect++
+				}
+			}
+		}
+		correct, total := smoothing, 2*smoothing
+		if validatedTotal >= 2 {
+			correct += validatedCorrect
+			total += validatedTotal
+		} else {
+			for _, o := range answers.WorkerObjects(w) {
+				ref := reference[o]
+				if l := validation.Get(o); l != model.NoLabel {
+					ref = l
+				}
+				if ref == model.NoLabel {
+					continue
+				}
+				total++
+				if answers.Answer(o, w) == ref {
+					correct++
+				}
+			}
+		}
+		accuracy := correct / total
+		// Log-odds against chance level 1/m; clamp into a sane range.
+		chance := 1 / m
+		if accuracy <= chance {
+			weights[w] = 0.01
+			continue
+		}
+		if accuracy > 0.999 {
+			accuracy = 0.999
+		}
+		weights[w] = math.Log(accuracy/(1-accuracy)) - math.Log(chance/(1-chance))
+	}
+	return weights
+}

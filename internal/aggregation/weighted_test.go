@@ -1,0 +1,175 @@
+package aggregation
+
+import (
+	"testing"
+
+	"crowdval/internal/model"
+)
+
+func TestWeightedMajorityVotingDownweightsSpammers(t *testing.T) {
+	// Two reliable workers and three coordinated random answerers. On the
+	// disputed objects, plain majority voting follows the three unreliable
+	// workers; weighted majority voting should trust the two workers that
+	// agree with the expert validations.
+	const n = 12
+	a := model.MustNewAnswerSet(n, 5, 2)
+	truth := make(model.DeterministicAssignment, n)
+	for o := 0; o < n; o++ {
+		truth[o] = model.Label(o % 2)
+		// Reliable workers 0 and 1 always answer correctly.
+		if err := a.SetAnswer(o, 0, truth[o]); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetAnswer(o, 1, truth[o]); err != nil {
+			t.Fatal(err)
+		}
+		// Workers 2-4 answer label 0 regardless of the truth.
+		for w := 2; w < 5; w++ {
+			if err := a.SetAnswer(o, w, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The expert validated the first 6 objects.
+	v := model.NewValidation(n)
+	for o := 0; o < 6; o++ {
+		v.Set(o, truth[o])
+	}
+
+	mv := &MajorityVoting{}
+	mvRes, err := mv.Aggregate(a, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmv := &WeightedMajorityVoting{}
+	wmvRes, err := wmv.Aggregate(a, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvPrec := precisionOf(mvRes.ProbSet.Instantiate(), truth)
+	wmvPrec := precisionOf(wmvRes.ProbSet.Instantiate(), truth)
+	if wmvPrec <= mvPrec {
+		t.Fatalf("weighted MV precision %v should exceed plain MV precision %v", wmvPrec, mvPrec)
+	}
+	if wmvPrec != 1 {
+		t.Fatalf("weighted MV precision = %v, want 1", wmvPrec)
+	}
+	if err := wmvRes.ProbSet.Validate(); err != nil {
+		t.Fatalf("weighted MV result inconsistent: %v", err)
+	}
+}
+
+func TestWeightedMajorityVotingErrorsAndDefaults(t *testing.T) {
+	wmv := &WeightedMajorityVoting{}
+	if wmv.smoothing() != 1 {
+		t.Fatal("default smoothing should be 1")
+	}
+	if (&WeightedMajorityVoting{Smoothing: 2}).smoothing() != 2 {
+		t.Fatal("explicit smoothing ignored")
+	}
+	if _, err := wmv.Aggregate(nil, nil, nil); err == nil {
+		t.Fatal("nil answers accepted")
+	}
+	a := model.MustNewAnswerSet(2, 2, 2)
+	if _, err := wmv.Aggregate(a, model.NewValidation(5), nil); err == nil {
+		t.Fatal("mismatched validation accepted")
+	}
+	// Unanswered objects fall back to the uniform distribution.
+	res, err := wmv.Aggregate(a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ProbSet.Assignment.Prob(0, 0); got != 0.5 {
+		t.Fatalf("unanswered object probability = %v", got)
+	}
+}
+
+func TestOnlineEMObservations(t *testing.T) {
+	a, truth := syntheticAnswers(t, 30, []float64{0.85, 0.85, 0.85, 0.5}, 21)
+	online := &OnlineEM{}
+	if _, err := online.Start(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := precisionOf(online.ProbSet().Instantiate(), truth)
+
+	// A new, very reliable worker joins and answers every object correctly.
+	extended := model.MustNewAnswerSet(30, 5, 2)
+	for o := 0; o < 30; o++ {
+		for w := 0; w < 4; w++ {
+			if l := a.Answer(o, w); l != model.NoLabel {
+				if err := extended.SetAnswer(o, w, l); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	online2 := &OnlineEM{}
+	if _, err := online2.Start(extended, nil); err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 30; o++ {
+		if err := online2.ObserveAnswer(o, 4, truth[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := precisionOf(online2.ProbSet().Instantiate(), truth)
+	if after < before {
+		t.Fatalf("online observations degraded precision: %v -> %v", before, after)
+	}
+	if !online2.ProbSet().Assignment.IsDistribution(1e-6) {
+		t.Fatal("assignment no longer a distribution after online updates")
+	}
+
+	// Observing a validation pins the object.
+	if err := online2.ObserveValidation(0, truth[0]); err != nil {
+		t.Fatal(err)
+	}
+	if online2.ProbSet().Assignment.Prob(0, truth[0]) != 1 {
+		t.Fatal("validation not pinned")
+	}
+	if err := online2.ObserveValidation(0, model.Label(9)); err == nil {
+		t.Fatal("invalid validation label accepted")
+	}
+	// Subsequent answers on a validated object keep it pinned.
+	if err := online2.ObserveAnswer(0, 4, model.Label(1-int(truth[0]))); err != nil {
+		t.Fatal(err)
+	}
+	if online2.ProbSet().Assignment.Prob(0, truth[0]) != 1 {
+		t.Fatal("validated object lost its pin after a new answer")
+	}
+}
+
+func TestOnlineEMErrorsAndAggregatorInterface(t *testing.T) {
+	online := &OnlineEM{}
+	if err := online.ObserveAnswer(0, 0, 0); err == nil {
+		t.Fatal("ObserveAnswer before Start accepted")
+	}
+	if err := online.ObserveValidation(0, 0); err == nil {
+		t.Fatal("ObserveValidation before Start accepted")
+	}
+	if _, err := online.Start(nil, nil); err == nil {
+		t.Fatal("nil answers accepted")
+	}
+	if online.stepSize() != 0.2 {
+		t.Fatal("default step size")
+	}
+	if (&OnlineEM{StepSize: 0.5}).stepSize() != 0.5 {
+		t.Fatal("explicit step size ignored")
+	}
+	a, _ := syntheticAnswers(t, 10, []float64{0.8, 0.8}, 3)
+	res, err := (&OnlineEM{}).Aggregate(a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ProbSet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range answers are rejected by the underlying answer set.
+	online2 := &OnlineEM{}
+	if _, err := online2.Start(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := online2.ObserveAnswer(99, 0, 0); err == nil {
+		t.Fatal("out-of-range observation accepted")
+	}
+}

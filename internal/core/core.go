@@ -1,0 +1,461 @@
+// Package core implements the guided answer-validation process — the primary
+// contribution of the paper. It glues answer aggregation (i-EM), expert
+// guidance (uncertainty-driven, worker-driven, hybrid), faulty-worker
+// quarantining and the confirmation check for erroneous expert input into the
+// iterative validation engine of Algorithm 1 (§3.2 and §5.4).
+//
+// The engine is a pay-as-you-go process: after every expert validation the
+// probabilistic answer set is updated and a deterministic assignment can be
+// instantiated at any time.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/guidance"
+	"crowdval/internal/model"
+	"crowdval/internal/spamdetect"
+)
+
+// Expert is the validating expert: asked about an object, it returns the
+// label it asserts to be correct. Implementations may be interactive (a
+// human behind a UI) or simulated (an oracle over the ground truth).
+type Expert interface {
+	ValidateObject(object int) (model.Label, error)
+}
+
+// ExpertFunc adapts a plain function to the Expert interface.
+type ExpertFunc func(object int) (model.Label, error)
+
+// ValidateObject implements Expert.
+func (f ExpertFunc) ValidateObject(object int) (model.Label, error) { return f(object) }
+
+// Goal is a predicate over the engine state; the validation process stops as
+// soon as the goal is satisfied. A nil goal never stops the process early.
+type Goal func(e *Engine) bool
+
+// UncertaintyBelow returns a goal that is satisfied once the total
+// uncertainty H(P) of the probabilistic answer set drops below threshold.
+func UncertaintyBelow(threshold float64) Goal {
+	return func(e *Engine) bool { return e.Uncertainty() < threshold }
+}
+
+// Config parameterizes the validation engine.
+type Config struct {
+	// Aggregator computes the probabilistic answer set in the "conclude"
+	// step. Nil uses the incremental i-EM aggregator.
+	Aggregator aggregation.Aggregator
+	// Strategy selects the next object to validate. Nil uses the hybrid
+	// strategy.
+	Strategy guidance.Strategy
+	// Detector assesses workers for the worker-driven guidance and the
+	// quarantine. Nil uses default thresholds.
+	Detector *spamdetect.Detector
+	// Confirmation enables the periodic check for erroneous expert
+	// validations (§5.5). Nil disables the check.
+	Confirmation *guidance.ConfirmationCheck
+	// Budget caps the number of expert validations. Zero or negative means
+	// "up to one validation per object".
+	Budget int
+	// Goal optionally stops the process before the budget is exhausted.
+	Goal Goal
+	// HandleFaultyWorkers enables the quarantine of detected faulty workers
+	// when the worker-driven branch selected the object (Algorithm 1,
+	// line 12). It is enabled by default through NewEngine when the hybrid
+	// or worker-driven strategy is used.
+	HandleFaultyWorkers bool
+	// Parallel enables parallel candidate scoring in the guidance step.
+	Parallel bool
+	// MaxParallelism caps the number of scoring goroutines (< 1: GOMAXPROCS).
+	MaxParallelism int
+	// Rand drives stochastic components (hybrid roulette wheel). Nil uses a
+	// fixed seed so runs are reproducible.
+	Rand *rand.Rand
+}
+
+// IterationRecord captures everything that happened in one iteration of the
+// validation process; the experiment harness consumes these records.
+type IterationRecord struct {
+	// Iteration is the 1-based index of the validation step.
+	Iteration int
+	// Object and Label are the validated object and the expert's answer.
+	Object int
+	Label  model.Label
+	// WorkerDrivenUsed reports whether the worker-driven branch chose the
+	// object (always false for non-hybrid strategies other than
+	// WorkerDriven itself).
+	WorkerDrivenUsed bool
+	// ErrorRate is ε_i = 1 − U_{i-1}(o, l): how much the expert's answer
+	// surprised the previous aggregation.
+	ErrorRate float64
+	// HybridWeight is z_{i+1} after the update (0 for non-hybrid runs).
+	HybridWeight float64
+	// FaultyWorkers is the number of workers flagged in this iteration.
+	FaultyWorkers int
+	// MaskedWorkers and RestoredWorkers list quarantine changes.
+	MaskedWorkers   []int
+	RestoredWorkers []int
+	// Uncertainty is H(P) after the conclude step.
+	Uncertainty float64
+	// EMIterations is the number of EM iterations of the conclude step.
+	EMIterations int
+	// ConfirmationSuspects lists validations flagged as erroneous by the
+	// confirmation check in this iteration (empty when the check did not
+	// run or found nothing).
+	ConfirmationSuspects []guidance.SuspectValidation
+	// RevisedObjects lists objects whose validation was re-elicited after
+	// being flagged; each revision counts as one unit of expert effort.
+	RevisedObjects []int
+}
+
+// Engine drives the iterative validation process over one answer set.
+type Engine struct {
+	cfg Config
+
+	original *model.AnswerSet
+	// working is the answer set the aggregation sees; quarantined workers'
+	// answers are masked out of it.
+	working    *model.AnswerSet
+	validation *model.Validation
+	probSet    *model.ProbabilisticAnswerSet
+	assignment model.DeterministicAssignment
+
+	aggregator   aggregation.Aggregator
+	strategy     guidance.Strategy
+	detector     *spamdetect.Detector
+	quarantine   *spamdetect.Quarantine
+	hybrid       *guidance.Hybrid
+	workerDriven bool // strategy is the pure worker-driven one
+	// lastWorkerDriven records whether the most recent SelectNext call used
+	// the worker-driven branch.
+	lastWorkerDriven bool
+
+	iteration   int
+	effortSpent int
+	history     []IterationRecord
+
+	// confirmedValidations records, per object, the label the expert has
+	// explicitly re-confirmed after the confirmation check flagged it. Such
+	// validations are not re-elicited again unless they change.
+	confirmedValidations map[int]model.Label
+}
+
+// NewEngine prepares a validation engine for the given answer set and runs
+// the initial aggregation (iteration 0).
+func NewEngine(answers *model.AnswerSet, cfg Config) (*Engine, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("core: nil answer set")
+	}
+	e := &Engine{
+		cfg:      cfg,
+		original: answers,
+		working:  answers.Clone(),
+	}
+	e.validation = model.NewValidation(answers.NumObjects())
+	e.aggregator = cfg.Aggregator
+	if e.aggregator == nil {
+		e.aggregator = &aggregation.IncrementalEM{}
+	}
+	e.detector = cfg.Detector
+	if e.detector == nil {
+		e.detector = &spamdetect.Detector{}
+	}
+	e.strategy = cfg.Strategy
+	if e.strategy == nil {
+		rng := cfg.Rand
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		e.strategy = &guidance.Hybrid{Rand: rng}
+		e.cfg.HandleFaultyWorkers = true
+	}
+	if h, ok := e.strategy.(*guidance.Hybrid); ok {
+		e.hybrid = h
+		e.cfg.HandleFaultyWorkers = true
+	}
+	if _, ok := e.strategy.(*guidance.WorkerDriven); ok {
+		e.workerDriven = true
+	}
+	e.quarantine = spamdetect.NewQuarantine()
+	e.confirmedValidations = make(map[int]model.Label)
+
+	res, err := e.aggregator.Aggregate(e.working, e.validation, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial aggregation: %w", err)
+	}
+	e.probSet = res.ProbSet
+	e.assignment = res.ProbSet.Instantiate()
+	return e, nil
+}
+
+// budget returns the effective effort budget.
+func (e *Engine) budget() int {
+	if e.cfg.Budget > 0 {
+		return e.cfg.Budget
+	}
+	return e.original.NumObjects()
+}
+
+// Iteration returns the number of completed validation steps.
+func (e *Engine) Iteration() int { return e.iteration }
+
+// EffortSpent returns the total number of expert interactions, including
+// revisions triggered by the confirmation check.
+func (e *Engine) EffortSpent() int { return e.effortSpent }
+
+// EffortRatio returns the spent effort relative to the number of objects.
+func (e *Engine) EffortRatio() float64 {
+	return float64(e.effortSpent) / float64(e.original.NumObjects())
+}
+
+// Validation returns the current expert validation function.
+func (e *Engine) Validation() *model.Validation { return e.validation }
+
+// ProbSet returns the current probabilistic answer set.
+func (e *Engine) ProbSet() *model.ProbabilisticAnswerSet { return e.probSet }
+
+// Assignment returns the current deterministic assignment.
+func (e *Engine) Assignment() model.DeterministicAssignment { return e.assignment.Clone() }
+
+// Uncertainty returns H(P) of the current probabilistic answer set.
+func (e *Engine) Uncertainty() float64 { return aggregation.Uncertainty(e.probSet) }
+
+// History returns the per-iteration records collected so far.
+func (e *Engine) History() []IterationRecord { return e.history }
+
+// QuarantinedWorkers returns the indices of currently quarantined workers.
+func (e *Engine) QuarantinedWorkers() []int { return e.quarantine.MaskedWorkers() }
+
+// Done reports whether the process should stop: goal reached, budget
+// exhausted or no unvalidated object left.
+func (e *Engine) Done() bool {
+	if e.cfg.Goal != nil && e.cfg.Goal(e) {
+		return true
+	}
+	if e.effortSpent >= e.budget() {
+		return true
+	}
+	return len(e.validation.UnvalidatedObjects()) == 0
+}
+
+// guidanceContext assembles the strategy context for the current state.
+func (e *Engine) guidanceContext() *guidance.Context {
+	return &guidance.Context{
+		Answers:        e.working,
+		ProbSet:        e.probSet,
+		Aggregator:     e.aggregator,
+		Detector:       e.detector,
+		Parallel:       e.cfg.Parallel,
+		MaxParallelism: e.cfg.MaxParallelism,
+	}
+}
+
+// SelectNext runs the guidance strategy and returns the object the expert
+// should validate next (step (1) of Algorithm 1). It does not modify the
+// validation state; callers elicit the expert input themselves and feed it
+// back through Integrate. Interactive applications use SelectNext/Integrate
+// directly; batch runs use Step or Run, which combine them with an Expert.
+func (e *Engine) SelectNext() (int, error) {
+	if len(e.validation.UnvalidatedObjects()) == 0 {
+		return -1, fmt.Errorf("core: all objects are already validated")
+	}
+	object, err := e.strategy.Select(e.guidanceContext())
+	if err != nil {
+		return -1, fmt.Errorf("core: selection failed: %w", err)
+	}
+	if e.hybrid != nil {
+		e.lastWorkerDriven = e.hybrid.LastChoiceWorkerDriven()
+	} else {
+		e.lastWorkerDriven = e.workerDriven
+	}
+	return object, nil
+}
+
+// Integrate records the expert's validation of an object and performs the
+// remaining steps of one iteration of Algorithm 1: faulty-worker detection
+// and quarantining, hybrid-weight update, confirmation check (without
+// automatic re-elicitation — suspects are reported in the record), and the
+// conclude/filter steps that refresh the probabilistic answer set and the
+// deterministic assignment.
+func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, error) {
+	if object < 0 || object >= e.original.NumObjects() {
+		return IterationRecord{}, fmt.Errorf("core: object %d out of range", object)
+	}
+	if !label.Valid(e.original.NumLabels()) {
+		return IterationRecord{}, fmt.Errorf("core: invalid label %d for object %d", label, object)
+	}
+	record := IterationRecord{
+		Iteration:        e.iteration + 1,
+		Object:           object,
+		Label:            label,
+		WorkerDrivenUsed: e.lastWorkerDriven,
+	}
+	e.effortSpent++
+
+	// Error rate ε_i = 1 − U_{i-1}(o, l).
+	record.ErrorRate = 1 - e.probSet.Assignment.Prob(object, label)
+
+	// (3) Handle spammers. The detection always runs (it feeds r_i); the
+	// quarantine is only applied when the worker-driven branch was used and
+	// faulty-worker handling is enabled.
+	e.validation.Set(object, label)
+	detection, err := e.detector.Detect(e.working, e.validation, e.probSet.Assignment.Priors())
+	if err != nil {
+		return IterationRecord{}, fmt.Errorf("core: spammer detection: %w", err)
+	}
+	record.FaultyWorkers = len(detection.FaultyWorkers())
+	if e.cfg.HandleFaultyWorkers && record.WorkerDrivenUsed {
+		masked, restored := e.quarantine.Apply(e.working, detection)
+		record.MaskedWorkers = masked
+		record.RestoredWorkers = restored
+	}
+	if e.hybrid != nil {
+		record.HybridWeight = e.hybrid.UpdateWeight(record.ErrorRate, detection.FaultyRatio(), e.validation.Ratio())
+	}
+
+	// (3b) Confirmation check for erroneous expert input. The suspects are
+	// reported in the record; revision happens in Step (batch mode) or is
+	// left to the caller (interactive mode) via ReviseValidation.
+	// Validations the expert already re-confirmed are not flagged again —
+	// without this, a correct validation that merely disagrees with a noisy
+	// crowd would be re-elicited on every check.
+	if e.cfg.Confirmation != nil && record.Iteration%e.cfg.Confirmation.EffectivePeriod() == 0 {
+		suspects, err := e.cfg.Confirmation.Check(e.working, e.validation)
+		if err != nil {
+			return IterationRecord{}, fmt.Errorf("core: confirmation check: %w", err)
+		}
+		for _, s := range suspects {
+			if confirmed, ok := e.confirmedValidations[s.Object]; ok && confirmed == e.validation.Get(s.Object) {
+				continue
+			}
+			record.ConfirmationSuspects = append(record.ConfirmationSuspects, s)
+		}
+	}
+
+	// (4) Integrate the validation: re-aggregate and re-instantiate.
+	res, err := e.aggregator.Aggregate(e.working, e.validation, e.probSet)
+	if err != nil {
+		return IterationRecord{}, fmt.Errorf("core: aggregation: %w", err)
+	}
+	e.probSet = res.ProbSet
+	e.assignment = res.ProbSet.Instantiate()
+	record.EMIterations = res.Iterations
+	record.Uncertainty = aggregation.Uncertainty(e.probSet)
+
+	e.iteration++
+	e.history = append(e.history, record)
+	return record, nil
+}
+
+// ReviseValidation replaces an earlier expert validation (typically after the
+// confirmation check flagged it) and re-aggregates. The revision counts as
+// one additional unit of expert effort. The revised object is appended to the
+// latest history record.
+func (e *Engine) ReviseValidation(object int, label model.Label) error {
+	if !e.validation.Validated(object) {
+		return fmt.Errorf("core: object %d has no validation to revise", object)
+	}
+	if !label.Valid(e.original.NumLabels()) {
+		return fmt.Errorf("core: invalid label %d for object %d", label, object)
+	}
+	e.effortSpent++
+	e.validation.Set(object, label)
+	e.confirmedValidations[object] = label
+	res, err := e.aggregator.Aggregate(e.working, e.validation, e.probSet)
+	if err != nil {
+		return fmt.Errorf("core: aggregation: %w", err)
+	}
+	e.probSet = res.ProbSet
+	e.assignment = res.ProbSet.Instantiate()
+	if len(e.history) > 0 {
+		last := &e.history[len(e.history)-1]
+		last.RevisedObjects = append(last.RevisedObjects, object)
+	}
+	return nil
+}
+
+// Step executes one full iteration of Algorithm 1 against an Expert: select
+// an object, elicit expert input, integrate it, and — when the confirmation
+// check flags suspect validations — immediately re-elicit those from the
+// expert. It returns the record of the iteration.
+func (e *Engine) Step(expert Expert) (IterationRecord, error) {
+	if expert == nil {
+		return IterationRecord{}, fmt.Errorf("core: nil expert")
+	}
+	object, err := e.SelectNext()
+	if err != nil {
+		return IterationRecord{}, err
+	}
+	label, err := expert.ValidateObject(object)
+	if err != nil {
+		return IterationRecord{}, fmt.Errorf("core: expert validation of object %d: %w", object, err)
+	}
+	if !label.Valid(e.original.NumLabels()) {
+		return IterationRecord{}, fmt.Errorf("core: expert returned invalid label %d for object %d", label, object)
+	}
+	record, err := e.Integrate(object, label)
+	if err != nil {
+		return IterationRecord{}, err
+	}
+	for _, s := range record.ConfirmationSuspects {
+		revised, err := expert.ValidateObject(s.Object)
+		if err != nil {
+			return IterationRecord{}, fmt.Errorf("core: revalidation of object %d: %w", s.Object, err)
+		}
+		if !revised.Valid(e.original.NumLabels()) {
+			return IterationRecord{}, fmt.Errorf("core: expert returned invalid label %d for object %d", revised, s.Object)
+		}
+		if err := e.ReviseValidation(s.Object, revised); err != nil {
+			return IterationRecord{}, err
+		}
+		record.RevisedObjects = append(record.RevisedObjects, s.Object)
+	}
+	if len(e.history) > 0 {
+		e.history[len(e.history)-1] = record
+	}
+	return record, nil
+}
+
+// Summary describes a completed validation run.
+type Summary struct {
+	Iterations  int
+	EffortSpent int
+	// EffortRatio is EffortSpent divided by the number of objects.
+	EffortRatio float64
+	// FinalUncertainty is H(P) at the end of the run.
+	FinalUncertainty float64
+	// GoalReached reports whether the configured goal (if any) was
+	// satisfied.
+	GoalReached bool
+	// Assignment is the final deterministic assignment.
+	Assignment model.DeterministicAssignment
+	// History holds the per-iteration records.
+	History []IterationRecord
+}
+
+// Run executes validation steps until the goal is reached, the budget is
+// exhausted or every object has been validated. The optional onStep callback
+// is invoked after every iteration (e.g. to record precision against a held
+// ground truth); returning false from the callback stops the run early.
+func (e *Engine) Run(expert Expert, onStep func(IterationRecord) bool) (*Summary, error) {
+	for !e.Done() {
+		record, err := e.Step(expert)
+		if err != nil {
+			return nil, err
+		}
+		if onStep != nil && !onStep(record) {
+			break
+		}
+	}
+	return &Summary{
+		Iterations:       e.iteration,
+		EffortSpent:      e.effortSpent,
+		EffortRatio:      e.EffortRatio(),
+		FinalUncertainty: e.Uncertainty(),
+		GoalReached:      e.cfg.Goal != nil && e.cfg.Goal(e),
+		Assignment:       e.Assignment(),
+		History:          e.History(),
+	}, nil
+}

@@ -1,0 +1,185 @@
+// Package cost implements the cost model of §6.8 and Appendix D of the
+// paper: it compares spending a budget on expert validations (the EV
+// approach) against buying additional crowd answers (the WO approach), and
+// supports allocating a fixed budget between the crowd and the expert under
+// optional completion-time constraints.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defaults derived from the paper: the average crowd wage on AMT is just
+// under 2 $/h, the reference expert wage is 25 $/h, so the expert-to-crowd
+// cost ratio θ defaults to 12.5.
+const (
+	DefaultTheta = 12.5
+)
+
+// Model captures the monetary parameters of a crowdsourcing campaign.
+type Model struct {
+	// Theta is θ, the cost of one expert validation expressed in units of
+	// one crowd answer. Values <= 0 fall back to DefaultTheta.
+	Theta float64
+	// NumObjects is n, the number of questions of the campaign.
+	NumObjects int
+	// InitialAnswersPerObject is φ0, the average number of crowd answers
+	// bought per object before any validation happens (its cost in crowd
+	// answer units equals the count).
+	InitialAnswersPerObject float64
+}
+
+func (m Model) theta() float64 {
+	if m.Theta <= 0 {
+		return DefaultTheta
+	}
+	return m.Theta
+}
+
+// Validate checks the model for obviously invalid parameters.
+func (m Model) Validate() error {
+	if m.NumObjects <= 0 {
+		return fmt.Errorf("cost: model needs a positive number of objects, got %d", m.NumObjects)
+	}
+	if m.InitialAnswersPerObject < 0 {
+		return fmt.Errorf("cost: negative initial answers per object")
+	}
+	return nil
+}
+
+// EVTotalCost returns P_EV = θ·i + n·φ0: the total cost of the expert
+// validation approach after i validations.
+func (m Model) EVTotalCost(validations int) float64 {
+	return m.theta()*float64(validations) + float64(m.NumObjects)*m.InitialAnswersPerObject
+}
+
+// EVCostPerObject returns P_EV/n = φ0 + θ·i/n, the normalized cost the
+// paper's cost figures plot on the x-axis.
+func (m Model) EVCostPerObject(validations int) float64 {
+	return m.EVTotalCost(validations) / float64(m.NumObjects)
+}
+
+// WOTotalCost returns P_WO = n·φ: the total cost of the crowd-only approach
+// when φ answers per object have been bought.
+func (m Model) WOTotalCost(answersPerObject float64) float64 {
+	return float64(m.NumObjects) * answersPerObject
+}
+
+// WOCostPerObject returns P_WO/n = φ.
+func (m Model) WOCostPerObject(answersPerObject float64) float64 {
+	return answersPerObject
+}
+
+// ValidationsForBudget returns how many expert validations fit into the given
+// total budget after the initial crowd answers have been paid for.
+func (m Model) ValidationsForBudget(totalBudget float64) int {
+	remaining := totalBudget - float64(m.NumObjects)*m.InitialAnswersPerObject
+	if remaining <= 0 {
+		return 0
+	}
+	return int(math.Floor(remaining / m.theta()))
+}
+
+// Allocation describes one way of splitting a fixed budget between crowd
+// answers and expert validations.
+type Allocation struct {
+	// CrowdShare is the fraction of the budget spent on crowd answers.
+	CrowdShare float64
+	// AnswersPerObject is the resulting φ0.
+	AnswersPerObject float64
+	// ExpertValidations is the resulting number of expert validations i.
+	ExpertValidations int
+	// TotalBudget is the budget the allocation was computed for.
+	TotalBudget float64
+}
+
+// Budget describes a fixed budget b = ρ·θ·n as used in §6.8: ρ ∈ [1/θ, 1]
+// parameterizes the budget between "crowd answers only, one per object"
+// (ρ = 1/θ) and "expert validates everything" (ρ = 1).
+type Budget struct {
+	// Rho is ρ.
+	Rho float64
+	// Theta and NumObjects mirror the cost model.
+	Theta      float64
+	NumObjects int
+}
+
+// Total returns b = ρ·θ·n.
+func (b Budget) Total() float64 {
+	theta := b.Theta
+	if theta <= 0 {
+		theta = DefaultTheta
+	}
+	return b.Rho * theta * float64(b.NumObjects)
+}
+
+// Allocate splits the budget so that crowdShare of it buys crowd answers and
+// the remainder pays for expert validations.
+func (b Budget) Allocate(crowdShare float64) (Allocation, error) {
+	if crowdShare < 0 || crowdShare > 1 {
+		return Allocation{}, fmt.Errorf("cost: crowd share %v outside [0,1]", crowdShare)
+	}
+	if b.NumObjects <= 0 {
+		return Allocation{}, fmt.Errorf("cost: budget needs a positive number of objects")
+	}
+	theta := b.Theta
+	if theta <= 0 {
+		theta = DefaultTheta
+	}
+	total := b.Total()
+	crowdBudget := crowdShare * total
+	expertBudget := total - crowdBudget
+	return Allocation{
+		CrowdShare:        crowdShare,
+		AnswersPerObject:  crowdBudget / float64(b.NumObjects),
+		ExpertValidations: int(math.Floor(expertBudget / theta)),
+		TotalBudget:       total,
+	}, nil
+}
+
+// CompletionTime models the campaign completion time of §6.8: crowd time is
+// assumed constant (workers answer concurrently) and expert time grows
+// linearly with the number of validations.
+type CompletionTime struct {
+	// CrowdTime is the constant time for collecting crowd answers.
+	CrowdTime float64
+	// TimePerValidation is the expert time per validated question.
+	TimePerValidation float64
+}
+
+// Total returns the completion time for the given number of validations.
+func (c CompletionTime) Total(validations int) float64 {
+	return c.CrowdTime + c.TimePerValidation*float64(validations)
+}
+
+// MaxValidationsWithin returns the largest number of validations whose
+// completion time stays within the limit. It returns 0 if even the crowd time
+// alone exceeds the limit.
+func (c CompletionTime) MaxValidationsWithin(limit float64) int {
+	if c.TimePerValidation <= 0 {
+		if c.CrowdTime <= limit {
+			return math.MaxInt32
+		}
+		return 0
+	}
+	remaining := limit - c.CrowdTime
+	if remaining < 0 {
+		return 0
+	}
+	return int(math.Floor(remaining / c.TimePerValidation))
+}
+
+// FeasibleAllocations filters the given allocations to those whose expert
+// validations satisfy the completion-time limit, mirroring the region to the
+// right of point B in Figure 14.
+func FeasibleAllocations(allocations []Allocation, timeModel CompletionTime, timeLimit float64) []Allocation {
+	maxValidations := timeModel.MaxValidationsWithin(timeLimit)
+	var out []Allocation
+	for _, a := range allocations {
+		if a.ExpertValidations <= maxValidations {
+			out = append(out, a)
+		}
+	}
+	return out
+}

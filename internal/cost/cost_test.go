@@ -1,0 +1,166 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelCosts(t *testing.T) {
+	m := Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EVTotalCost(0); got != 300 {
+		t.Fatalf("EVTotalCost(0) = %v", got)
+	}
+	if got := m.EVTotalCost(10); got != 300+250 {
+		t.Fatalf("EVTotalCost(10) = %v", got)
+	}
+	if got := m.EVCostPerObject(10); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("EVCostPerObject(10) = %v", got)
+	}
+	if got := m.WOTotalCost(13); got != 1300 {
+		t.Fatalf("WOTotalCost = %v", got)
+	}
+	if got := m.WOCostPerObject(13); got != 13 {
+		t.Fatalf("WOCostPerObject = %v", got)
+	}
+}
+
+func TestModelDefaultsAndValidation(t *testing.T) {
+	m := Model{NumObjects: 10}
+	// Default θ = 12.5.
+	if got := m.EVTotalCost(2); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("default theta cost = %v", got)
+	}
+	if err := (Model{NumObjects: 0}).Validate(); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	if err := (Model{NumObjects: 5, InitialAnswersPerObject: -1}).Validate(); err == nil {
+		t.Fatal("negative initial answers accepted")
+	}
+}
+
+func TestValidationsForBudget(t *testing.T) {
+	m := Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}
+	if got := m.ValidationsForBudget(300); got != 0 {
+		t.Fatalf("budget equal to crowd cost should allow 0 validations, got %d", got)
+	}
+	if got := m.ValidationsForBudget(200); got != 0 {
+		t.Fatalf("budget below crowd cost should allow 0 validations, got %d", got)
+	}
+	if got := m.ValidationsForBudget(300 + 260); got != 10 {
+		t.Fatalf("ValidationsForBudget = %d, want 10", got)
+	}
+}
+
+func TestBudgetAllocation(t *testing.T) {
+	b := Budget{Rho: 0.4, Theta: 25, NumObjects: 100}
+	if got := b.Total(); got != 1000 {
+		t.Fatalf("Total = %v", got)
+	}
+	// 75% to the crowd, 25% to the expert.
+	alloc, err := b.Allocate(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.AnswersPerObject-7.5) > 1e-12 {
+		t.Fatalf("AnswersPerObject = %v", alloc.AnswersPerObject)
+	}
+	if alloc.ExpertValidations != 10 {
+		t.Fatalf("ExpertValidations = %d, want 10", alloc.ExpertValidations)
+	}
+	if alloc.TotalBudget != 1000 {
+		t.Fatalf("TotalBudget = %v", alloc.TotalBudget)
+	}
+	// All budget to the crowd = WO special case.
+	woAlloc, err := b.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woAlloc.ExpertValidations != 0 || math.Abs(woAlloc.AnswersPerObject-10) > 1e-12 {
+		t.Fatalf("WO allocation = %+v", woAlloc)
+	}
+	if _, err := b.Allocate(-0.1); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if _, err := b.Allocate(1.1); err == nil {
+		t.Fatal("share above 1 accepted")
+	}
+	if _, err := (Budget{Rho: 0.4, NumObjects: 0}).Allocate(0.5); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	// Default theta.
+	def := Budget{Rho: 0.5, NumObjects: 10}
+	if got := def.Total(); math.Abs(got-62.5) > 1e-12 {
+		t.Fatalf("default theta total = %v", got)
+	}
+}
+
+func TestCompletionTime(t *testing.T) {
+	c := CompletionTime{CrowdTime: 10, TimePerValidation: 2}
+	if got := c.Total(5); got != 20 {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := c.MaxValidationsWithin(20); got != 5 {
+		t.Fatalf("MaxValidationsWithin = %d", got)
+	}
+	if got := c.MaxValidationsWithin(9); got != 0 {
+		t.Fatalf("MaxValidationsWithin below crowd time = %d", got)
+	}
+	free := CompletionTime{CrowdTime: 5}
+	if got := free.MaxValidationsWithin(10); got != math.MaxInt32 {
+		t.Fatalf("zero time per validation should be unbounded, got %d", got)
+	}
+	if got := free.MaxValidationsWithin(1); got != 0 {
+		t.Fatalf("crowd time above limit should give 0, got %d", got)
+	}
+}
+
+func TestFeasibleAllocations(t *testing.T) {
+	b := Budget{Rho: 0.4, Theta: 25, NumObjects: 100}
+	var allocations []Allocation
+	for _, share := range []float64{0.2, 0.5, 0.8, 1.0} {
+		a, err := b.Allocate(share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocations = append(allocations, a)
+	}
+	timeModel := CompletionTime{CrowdTime: 0, TimePerValidation: 1}
+	feasible := FeasibleAllocations(allocations, timeModel, 10)
+	// Only allocations with at most 10 validations survive: shares 0.8 (8
+	// validations) and 1.0 (0 validations).
+	if len(feasible) != 2 {
+		t.Fatalf("feasible = %+v", feasible)
+	}
+	for _, a := range feasible {
+		if a.ExpertValidations > 10 {
+			t.Fatalf("infeasible allocation kept: %+v", a)
+		}
+	}
+}
+
+// Property: for any crowd share in [0,1] the allocation never exceeds the
+// budget and EV cost grows monotonically with the number of validations.
+func TestAllocationWithinBudgetProperty(t *testing.T) {
+	f := func(rawShare float64, rawRho float64) bool {
+		share := math.Abs(math.Mod(rawShare, 1))
+		rho := 0.1 + math.Abs(math.Mod(rawRho, 0.9))
+		b := Budget{Rho: rho, Theta: 25, NumObjects: 50}
+		alloc, err := b.Allocate(share)
+		if err != nil {
+			return false
+		}
+		spent := alloc.AnswersPerObject*float64(b.NumObjects) + float64(alloc.ExpertValidations)*b.Theta
+		if spent > b.Total()+1e-9 {
+			return false
+		}
+		m := Model{Theta: 25, NumObjects: 50, InitialAnswersPerObject: alloc.AnswersPerObject}
+		return m.EVTotalCost(3) > m.EVTotalCost(2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package dataset persists crowdsourcing datasets (answer matrices, optional
+// ground truth and worker types) as JSON files and loads them back. It is the
+// storage substrate used by the command-line tools so that generated crowds,
+// collected answers and expert validations can move between invocations.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"crowdval/internal/model"
+	"crowdval/internal/simulation"
+)
+
+// fileFormat is the on-disk JSON representation of a dataset.
+type fileFormat struct {
+	Name        string   `json:"name"`
+	NumObjects  int      `json:"num_objects"`
+	NumWorkers  int      `json:"num_workers"`
+	NumLabels   int      `json:"num_labels"`
+	LabelNames  []string `json:"label_names,omitempty"`
+	ObjectNames []string `json:"object_names,omitempty"`
+	WorkerNames []string `json:"worker_names,omitempty"`
+	// Answers holds one entry per (object, worker, label) triple.
+	Answers [][3]int `json:"answers"`
+	// Truth holds the ground-truth label per object (-1 = unknown).
+	Truth []int `json:"truth,omitempty"`
+	// WorkerTypes holds the simulated worker types (only for synthetic data).
+	WorkerTypes []int `json:"worker_types,omitempty"`
+	// Validations holds expert validations as (object, label) pairs.
+	Validations [][2]int `json:"validations,omitempty"`
+}
+
+// File bundles everything the CLI stores: the dataset plus any expert
+// validations collected so far.
+type File struct {
+	Dataset    *simulation.Dataset
+	Validation *model.Validation
+}
+
+// Write serializes the dataset (and optional validations) to the writer.
+func Write(w io.Writer, f *File) error {
+	if f == nil || f.Dataset == nil || f.Dataset.Answers == nil {
+		return fmt.Errorf("dataset: nothing to write")
+	}
+	d := f.Dataset
+	out := fileFormat{
+		Name:        d.Name,
+		NumObjects:  d.Answers.NumObjects(),
+		NumWorkers:  d.Answers.NumWorkers(),
+		NumLabels:   d.Answers.NumLabels(),
+		LabelNames:  d.Answers.LabelNames,
+		ObjectNames: d.Answers.ObjectNames,
+		WorkerNames: d.Answers.WorkerNames,
+	}
+	for o := 0; o < d.Answers.NumObjects(); o++ {
+		for _, wa := range d.Answers.ObjectAnswers(o) {
+			out.Answers = append(out.Answers, [3]int{o, wa.Worker, int(wa.Label)})
+		}
+	}
+	if len(d.Truth) > 0 {
+		out.Truth = make([]int, len(d.Truth))
+		for o, l := range d.Truth {
+			out.Truth[o] = int(l)
+		}
+	}
+	for _, t := range d.WorkerTypes {
+		out.WorkerTypes = append(out.WorkerTypes, int(t))
+	}
+	if f.Validation != nil {
+		for _, o := range f.Validation.ValidatedObjects() {
+			out.Validations = append(out.Validations, [2]int{o, int(f.Validation.Get(o))})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Read parses a dataset file from the reader.
+func Read(r io.Reader) (*File, error) {
+	var in fileFormat
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding: %w", err)
+	}
+	answers, err := model.NewAnswerSet(in.NumObjects, in.NumWorkers, in.NumLabels)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	answers.LabelNames = in.LabelNames
+	answers.ObjectNames = in.ObjectNames
+	answers.WorkerNames = in.WorkerNames
+	for _, a := range in.Answers {
+		if err := answers.SetAnswer(a[0], a[1], model.Label(a[2])); err != nil {
+			return nil, fmt.Errorf("dataset: answer %v: %w", a, err)
+		}
+	}
+	d := &simulation.Dataset{Name: in.Name, Answers: answers}
+	if len(in.Truth) > 0 {
+		if len(in.Truth) != in.NumObjects {
+			return nil, fmt.Errorf("dataset: truth covers %d objects, expected %d", len(in.Truth), in.NumObjects)
+		}
+		d.Truth = make(model.DeterministicAssignment, len(in.Truth))
+		for o, l := range in.Truth {
+			d.Truth[o] = model.Label(l)
+		}
+	}
+	for _, t := range in.WorkerTypes {
+		d.WorkerTypes = append(d.WorkerTypes, model.WorkerType(t))
+	}
+	validation := model.NewValidation(in.NumObjects)
+	for _, v := range in.Validations {
+		if v[0] < 0 || v[0] >= in.NumObjects || !model.Label(v[1]).Valid(in.NumLabels) {
+			return nil, fmt.Errorf("dataset: invalid validation %v", v)
+		}
+		validation.Set(v[0], model.Label(v[1]))
+	}
+	return &File{Dataset: d, Validation: validation}, nil
+}
+
+// Save writes the dataset file to the given path.
+func Save(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer out.Close()
+	if err := Write(out, f); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// Load reads a dataset file from the given path.
+func Load(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer in.Close()
+	return Read(in)
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdval/internal/model"
+	"crowdval/internal/simulation"
+)
+
+func sampleFile(t *testing.T) *File {
+	t.Helper()
+	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
+		NumObjects: 12, NumWorkers: 6, NumLabels: 3, AnswersPerObject: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Name = "sample"
+	d.Answers.LabelNames = []string{"a", "b", "c"}
+	v := model.NewValidation(12)
+	v.Set(0, d.Truth[0])
+	v.Set(5, d.Truth[5])
+	return &File{Dataset: d, Validation: v}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := sampleFile(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset.Name != "sample" {
+		t.Fatalf("name = %q", got.Dataset.Name)
+	}
+	orig := f.Dataset.Answers
+	loaded := got.Dataset.Answers
+	if loaded.NumObjects() != orig.NumObjects() || loaded.NumWorkers() != orig.NumWorkers() || loaded.NumLabels() != orig.NumLabels() {
+		t.Fatal("dimensions not preserved")
+	}
+	for o := 0; o < orig.NumObjects(); o++ {
+		for w := 0; w < orig.NumWorkers(); w++ {
+			if orig.Answer(o, w) != loaded.Answer(o, w) {
+				t.Fatalf("answer (%d,%d) not preserved", o, w)
+			}
+		}
+	}
+	for o, l := range f.Dataset.Truth {
+		if got.Dataset.Truth[o] != l {
+			t.Fatal("truth not preserved")
+		}
+	}
+	if len(got.Dataset.WorkerTypes) != len(f.Dataset.WorkerTypes) {
+		t.Fatal("worker types not preserved")
+	}
+	if got.Validation.Count() != 2 || got.Validation.Get(5) != f.Dataset.Truth[5] {
+		t.Fatal("validations not preserved")
+	}
+	if got.Dataset.Answers.LabelNames[1] != "b" {
+		t.Fatal("label names not preserved")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	f := sampleFile(t)
+	path := filepath.Join(t.TempDir(), "data.json")
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset.Answers.AnswerCount() != f.Dataset.Answers.AnswerCount() {
+		t.Fatal("answers lost on disk round trip")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"), f); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestWriteInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Fatal("nil file accepted")
+	}
+	if err := Write(&buf, &File{}); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestReadInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not json":            "{",
+		"bad dimensions":      `{"num_objects":0,"num_workers":1,"num_labels":2}`,
+		"answer out of range": `{"num_objects":2,"num_workers":2,"num_labels":2,"answers":[[5,0,1]]}`,
+		"truth length":        `{"num_objects":2,"num_workers":2,"num_labels":2,"answers":[],"truth":[1]}`,
+		"invalid validation":  `{"num_objects":2,"num_workers":2,"num_labels":2,"answers":[],"validations":[[0,7]]}`,
+		"validation object":   `{"num_objects":2,"num_workers":2,"num_labels":2,"answers":[],"validations":[[9,0]]}`,
+	}
+	for name, payload := range cases {
+		if _, err := Read(strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6 and Appendices B–D). Each experiment is a function that runs
+// the corresponding workload on synthetic data (or on the dataset profiles
+// substituting for the paper's real-world datasets) and returns a Table with
+// the same rows/series the paper reports.
+//
+// The experiments are consumed by cmd/experiments (human-readable output) and
+// by the benchmark harness in the repository root (one testing.B benchmark
+// per table/figure). Absolute numbers differ from the paper — the substrate
+// is a simulator, not the authors' crowd — but the qualitative shapes (who
+// wins, by roughly what factor, where crossovers fall) are preserved and
+// recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the uniform output format of all experiments: a titled grid of
+// cells, one row per configuration/measurement.
+type Table struct {
+	// ID is the experiment identifier, e.g. "figure10" or "table6".
+	ID string
+	// Title describes what the paper's figure/table shows.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the measurements, already formatted as strings.
+	Rows [][]string
+}
+
+// AddRow appends one row to the table.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad+2))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Options tune how heavy an experiment run is. The zero value gives a
+// laptop-friendly configuration that still exhibits the paper's qualitative
+// behaviour.
+type Options struct {
+	// Seed controls all pseudo-randomness of the experiment.
+	Seed int64
+	// Runs is the number of repetitions results are averaged over
+	// (the paper uses 100; the default here is 1–3 depending on cost).
+	Runs int
+	// Parallel enables parallel candidate scoring inside the engine.
+	Parallel bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) runs(def int) int {
+	if o.Runs <= 0 {
+		return def
+	}
+	return o.Runs
+}
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f", v*100) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// itoa formats an int.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// Experiment couples an identifier with the function that produces its table.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Options) (*Table, error)
+}
+
+// All returns every experiment of the evaluation in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"figure1", "Worker-type characterization (sensitivity vs specificity)", Figure1WorkerTypes},
+		{"figure4", "Response time per guidance iteration (serial vs parallel)", Figure4ResponseTime},
+		{"table5", "Matrix partitioning start-up time", Table5Partitioning},
+		{"figure5", "Expert input as first-class citizen (Separate vs Combined)", Figure5SeparateVsCombined},
+		{"figure6", "Probability of correct labels under increasing expert effort", Figure6ProbabilityHistogram},
+		{"figure7", "i-EM vs restart EM: identical guidance decisions", Figure7IEMSameSelection},
+		{"figure8", "EM iteration reduction from incrementality", Figure8IterationReduction},
+		{"figure9", "Spammer detection precision/recall vs threshold", Figure9SpammerDetection},
+		{"figure10", "Hybrid vs baseline guidance on dataset profiles", Figure10Guidance},
+		{"figure11", "Guidance under expert mistakes (art)", Figure11ExpertMistakes},
+		{"table6", "Detection rate of injected expert mistakes", Table6MistakeDetection},
+		{"figure12", "Cost trade-off: expert validation (EV) vs more crowd answers (WO)", Figure12CostTradeoff},
+		{"figure13", "Budget allocation between crowd and expert", Figure13BudgetAllocation},
+		{"figure14", "Budget allocation under a completion-time constraint", Figure14TimeConstraint},
+		{"figure15", "Correlation between uncertainty and precision", Figure15UncertaintyPrecision},
+		{"figure16", "Effect of question difficulty (twt vs art)", Figure16QuestionDifficulty},
+		{"figure17", "Effect of the number of labels", Figure17NumLabels},
+		{"figure18", "Effect of the number of workers", Figure18NumWorkers},
+		{"figure19", "Effect of worker reliability", Figure19Reliability},
+		{"figure20", "Effect of the spammer ratio", Figure20Spammers},
+		{"figure21", "Effect of question difficulty on cost (EV vs WO)", Figure21DifficultyCost},
+		{"figure22", "Effect of spammers on cost (EV vs WO)", Figure22SpammerCost},
+		{"figure23", "Effect of worker reliability on cost (EV vs WO)", Figure23ReliabilityCost},
+		{"ablation-strategies", "Ablation: selection strategies", AblationStrategies},
+		{"ablation-confirmation", "Ablation: confirmation-check period", AblationConfirmationPeriod},
+	}
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

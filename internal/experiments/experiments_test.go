@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"crowdval/internal/simulation"
+)
+
+// cell parses a table cell as a float.
+func cell(t *testing.T, table *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(table.Rows) || col >= len(table.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d):\n%s", table.ID, row, col, table)
+	}
+	v, err := strconv.ParseFloat(table.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s is not numeric: %q", row, col, table.ID, table.Rows[row][col])
+	}
+	return v
+}
+
+// findRow returns the index of the first row whose given column equals value.
+func findRow(t *testing.T, table *Table, col int, value string) int {
+	t.Helper()
+	for i, row := range table.Rows {
+		if col < len(row) && row[col] == value {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no row with %q in column %d:\n%s", table.ID, value, col, table)
+	return -1
+}
+
+func TestTableFormatting(t *testing.T) {
+	table := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}}
+	table.AddRow("1", "2")
+	s := table.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "bb") || !strings.Contains(s, "1") {
+		t.Fatalf("rendered table missing content:\n%s", s)
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	if len(all) < 20 {
+		t.Fatalf("expected at least 20 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Run == nil || e.Name == "" {
+			t.Fatalf("incomplete experiment registration: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("figure10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 || o.runs(3) != 3 {
+		t.Fatal("defaults not applied")
+	}
+	o = Options{Seed: 9, Runs: 2}
+	if o.seed() != 9 || o.runs(3) != 2 {
+		t.Fatal("explicit options ignored")
+	}
+}
+
+func TestBuildStrategy(t *testing.T) {
+	for _, kind := range []StrategyKind{StrategyHybrid, StrategyBaseline, StrategyRandom, StrategyUncertainty, StrategyWorker} {
+		s, err := buildStrategy(kind, 0, 1)
+		if err != nil || s == nil {
+			t.Fatalf("buildStrategy(%s) = %v, %v", kind, s, err)
+		}
+	}
+	if _, err := buildStrategy("bogus", 0, 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	points := []CurvePoint{
+		{Effort: 0, Precision: 0.8, Improvement: 0},
+		{Effort: 0.1, Precision: 0.9, Improvement: 0.5},
+		{Effort: 0.2, Precision: 1.0, Improvement: 1},
+	}
+	if got := PrecisionAtEffort(points, 0.15); got != 0.9 {
+		t.Fatalf("PrecisionAtEffort = %v", got)
+	}
+	if got := ImprovementAtEffort(points, 1.0); got != 1 {
+		t.Fatalf("ImprovementAtEffort = %v", got)
+	}
+	if got := EffortToReach(points, 0.95); got != 0.2 {
+		t.Fatalf("EffortToReach = %v", got)
+	}
+	if got := EffortToReach(points, 1.1); got != 1.0 {
+		t.Fatalf("EffortToReach unreachable = %v", got)
+	}
+	costPoints := []CostPoint{{CostPerObject: 10, Improvement: 0.2}, {CostPerObject: 30, Improvement: 0.9}}
+	if got := ImprovementAtCost(costPoints, 20); got != 0.2 {
+		t.Fatalf("ImprovementAtCost = %v", got)
+	}
+}
+
+func TestRunStatsDetectedMistakeRatio(t *testing.T) {
+	s := &RunStats{MistakeObjects: []int{1, 2, 3, 4}, RevisedObjects: []int{2, 4, 9}}
+	if got := s.DetectedMistakeRatio(); got != 0.5 {
+		t.Fatalf("DetectedMistakeRatio = %v", got)
+	}
+	if got := (&RunStats{}).DetectedMistakeRatio(); got != 1 {
+		t.Fatalf("no mistakes should give ratio 1, got %v", got)
+	}
+}
+
+func TestRunValidationCurveShape(t *testing.T) {
+	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
+		NumObjects: 25, NumWorkers: 12, NumLabels: 2, NormalAccuracy: 0.7, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, stats, err := RunValidationCurve(d, CurveConfig{
+		Strategy:       StrategyBaseline,
+		BudgetFraction: 0.4,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != stats.Iterations+1 {
+		t.Fatalf("points = %d, iterations = %d", len(points), stats.Iterations)
+	}
+	if stats.EffortSpent != 10 {
+		t.Fatalf("effort spent = %d, want 10 (40%% of 25)", stats.EffortSpent)
+	}
+	// Efforts are non-decreasing and precision values in range.
+	for i := 1; i < len(points); i++ {
+		if points[i].Effort < points[i-1].Effort {
+			t.Fatal("effort not monotonic")
+		}
+		if points[i].Precision < 0 || points[i].Precision > 1 {
+			t.Fatal("precision out of range")
+		}
+	}
+	if stats.FinalPrecision < stats.InitialPrecision {
+		t.Fatalf("oracle validation reduced precision: %v -> %v", stats.InitialPrecision, stats.FinalPrecision)
+	}
+}
+
+func TestRunCostCurves(t *testing.T) {
+	full, err := simulation.GenerateCrowd(costBaseConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo, err := RunWOCostCurve(full, 3, []int{5, 10, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wo) != 3 { // phi0 point + 5 + 10 (2 <= phi0 skipped)
+		t.Fatalf("WO points = %d", len(wo))
+	}
+	if wo[0].CostPerObject != 3 || wo[0].Improvement != 0 {
+		t.Fatalf("WO base point = %+v", wo[0])
+	}
+	ev, err := RunEVCostCurve(full, 3, 25, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) == 0 || ev[0].CostPerObject != 3 {
+		t.Fatalf("EV points = %+v", ev)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].CostPerObject < ev[i-1].CostPerObject {
+			t.Fatal("EV cost not monotonic")
+		}
+	}
+}
+
+func TestFigure1WorkerTypes(t *testing.T) {
+	table, err := Figure1WorkerTypes(Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 25 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Reliable workers must have high sensitivity and specificity; random
+	// spammers hover around 0.5 on both.
+	for _, row := range table.Rows {
+		sens, _ := strconv.ParseFloat(row[2], 64)
+		spec, _ := strconv.ParseFloat(row[3], 64)
+		switch row[1] {
+		case "reliable":
+			if sens < 0.8 || spec < 0.8 {
+				t.Fatalf("reliable worker at (%v, %v)", sens, spec)
+			}
+		case "random-spammer":
+			if sens < 0.2 || sens > 0.8 || spec < 0.2 || spec > 0.8 {
+				t.Fatalf("random spammer at (%v, %v)", sens, spec)
+			}
+		}
+	}
+}
+
+func TestFigure8IterationReduction(t *testing.T) {
+	table, err := Figure8IterationReduction(Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Incrementality must save iterations at full effort.
+	last := table.Rows[len(table.Rows)-1]
+	reduction, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduction <= 0 {
+		t.Fatalf("iteration reduction = %v%%, want > 0", reduction)
+	}
+}
+
+func TestFigure9SpammerDetectionShape(t *testing.T) {
+	table, err := Figure9SpammerDetection(Options{Seed: 6, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recall with 100% validation effort should beat recall at 20% for the
+	// same threshold (more validations → better confusion estimates).
+	for _, threshold := range []string{"0.10", "0.20", "0.30"} {
+		var low, high float64
+		for _, row := range table.Rows {
+			if row[0] != threshold {
+				continue
+			}
+			recall, _ := strconv.ParseFloat(row[3], 64)
+			if row[1] == "20" {
+				low = recall
+			}
+			if row[1] == "100" {
+				high = recall
+			}
+		}
+		if high+1e-9 < low {
+			t.Fatalf("threshold %s: recall at 100%% (%v) below recall at 20%% (%v)", threshold, high, low)
+		}
+	}
+}
+
+func TestAblationStrategiesShape(t *testing.T) {
+	table, err := AblationStrategies(Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	hybridRow := findRow(t, table, 0, "hybrid")
+	randomRow := findRow(t, table, 0, "random")
+	// The hybrid strategy should need no more effort than random selection to
+	// reach perfect precision.
+	hybridEffort := cell(t, table, hybridRow, 5)
+	randomEffort := cell(t, table, randomRow, 5)
+	if hybridEffort > randomEffort+1e-9 {
+		t.Fatalf("hybrid needs %v%% effort, random needs %v%%", hybridEffort, randomEffort)
+	}
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"crowdval/internal/cost"
+	"crowdval/internal/simulation"
+)
+
+// costBaseConfig is the synthetic crowd the cost experiments draw from: a
+// large worker pool so that up to ~40 answers per object are available for
+// the WO ("ask more workers") approach.
+func costBaseConfig(seed int64) simulation.CrowdConfig {
+	return simulation.CrowdConfig{
+		NumObjects:     50,
+		NumWorkers:     60,
+		NumLabels:      2,
+		NormalAccuracy: 0.7,
+		Seed:           seed,
+	}
+}
+
+// woPhiGrid is the per-object answer counts the WO approach is evaluated at.
+var woPhiGrid = []int{5, 10, 15, 20, 25, 30, 40, 50}
+
+// Figure12CostTradeoff reproduces Figure 12: precision improvement as a
+// function of the invested cost per object for the EV approach (expert
+// validation, several expert-to-crowd cost ratios θ) and the WO approach
+// (buying more crowd answers), for initial costs φ0 = 3 and φ0 = 13.
+func Figure12CostTradeoff(opts Options) (*Table, error) {
+	table := &Table{
+		ID:      "figure12",
+		Title:   "Precision improvement (%) vs cost per object: EV (θ ∈ {12.5,25,50,100}) vs WO",
+		Columns: []string{"phi0", "approach", "impr@cost20", "impr@cost40", "impr@cost60", "impr@cost100"},
+	}
+	costsOfInterest := []float64{20, 40, 60, 100}
+	for _, phi0 := range []int{3, 13} {
+		full, err := simulation.GenerateCrowd(costBaseConfig(opts.seed()))
+		if err != nil {
+			return nil, err
+		}
+		woPoints, err := RunWOCostCurve(full, phi0, woPhiGrid, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		row := []string{itoa(phi0), "WO"}
+		for _, c := range costsOfInterest {
+			row = append(row, pct(ImprovementAtCost(woPoints, c)))
+		}
+		table.AddRow(row...)
+
+		for _, theta := range []float64{12.5, 25, 50, 100} {
+			evPoints, err := RunEVCostCurve(full, phi0, theta, 1.0, opts.seed())
+			if err != nil {
+				return nil, err
+			}
+			row := []string{itoa(phi0), "EV θ=" + f2(theta)}
+			for _, c := range costsOfInterest {
+				row = append(row, pct(ImprovementAtCost(evPoints, c)))
+			}
+			table.AddRow(row...)
+		}
+	}
+	return table, nil
+}
+
+// budgetAllocationCurve evaluates the precision obtained when a fixed budget
+// b = ρ·θ·n is split between crowd answers and expert validations at the
+// given crowd shares. Precisions are averaged over runs repetitions to tame
+// the variance of small campaigns.
+func budgetAllocationCurve(full *simulation.Dataset, rho, theta float64, crowdShares []float64, seed int64, runs int) (map[float64]float64, map[float64]int, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	n := full.Answers.NumObjects()
+	budget := cost.Budget{Rho: rho, Theta: theta, NumObjects: n}
+	precisions := make(map[float64]float64, len(crowdShares))
+	validations := make(map[float64]int, len(crowdShares))
+	for _, share := range crowdShares {
+		alloc, err := budget.Allocate(share)
+		if err != nil {
+			return nil, nil, err
+		}
+		phi0 := int(alloc.AnswersPerObject)
+		if phi0 < 1 {
+			phi0 = 1
+		}
+		budgetFraction := float64(alloc.ExpertValidations) / float64(n)
+		total := 0.0
+		for r := 0; r < runs; r++ {
+			runSeed := seed + int64(r*1009)
+			sub, err := simulation.Subsample(full, phi0, runSeed)
+			if err != nil {
+				return nil, nil, err
+			}
+			var finalPrecision float64
+			if alloc.ExpertValidations == 0 {
+				p, err := aggregatePrecision(sub)
+				if err != nil {
+					return nil, nil, err
+				}
+				finalPrecision = p
+			} else {
+				_, stats, err := RunValidationCurve(sub, CurveConfig{
+					Strategy:       StrategyHybrid,
+					BudgetFraction: budgetFraction,
+					Seed:           runSeed,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				finalPrecision = stats.FinalPrecision
+			}
+			total += finalPrecision
+		}
+		precisions[share] = total / float64(runs)
+		validations[share] = alloc.ExpertValidations
+	}
+	return precisions, validations, nil
+}
+
+// Figure13BudgetAllocation reproduces Figure 13: the precision obtained for
+// different allocations of a fixed budget to crowd answers vs expert
+// validations, for ρ ∈ {0.3, 0.4, 0.5} and θ = 25.
+func Figure13BudgetAllocation(opts Options) (*Table, error) {
+	full, err := simulation.GenerateCrowd(costBaseConfig(opts.seed()))
+	if err != nil {
+		return nil, err
+	}
+	crowdShares := []float64{0.25, 0.5, 0.75, 1.0}
+	table := &Table{
+		ID:      "figure13",
+		Title:   "Precision for different budget allocations (θ=25); crowd share = fraction of budget spent on crowd answers",
+		Columns: []string{"rho", "crowd_25%", "crowd_50%", "crowd_75%", "crowd_100%"},
+	}
+	for _, rho := range []float64{0.3, 0.4, 0.5} {
+		precisions, _, err := budgetAllocationCurve(full, rho, 25, crowdShares, opts.seed(), opts.runs(3))
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow("ρ="+f2(rho),
+			f3(precisions[0.25]), f3(precisions[0.5]), f3(precisions[0.75]), f3(precisions[1.0]))
+	}
+	return table, nil
+}
+
+// Figure14TimeConstraint reproduces Figure 14: the best budget allocation
+// when both a budget (ρ = 0.4, θ = 25) and a completion-time constraint must
+// be satisfied. The time model charges one unit per expert validation.
+func Figure14TimeConstraint(opts Options) (*Table, error) {
+	full, err := simulation.GenerateCrowd(costBaseConfig(opts.seed()))
+	if err != nil {
+		return nil, err
+	}
+	crowdShares := []float64{0.25, 0.5, 0.75, 1.0}
+	precisions, validations, err := budgetAllocationCurve(full, 0.4, 25, crowdShares, opts.seed(), opts.runs(3))
+	if err != nil {
+		return nil, err
+	}
+	timeModel := cost.CompletionTime{CrowdTime: 0, TimePerValidation: 1}
+	timeLimit := 10.0 // at most 10 expert validations fit into the deadline
+
+	table := &Table{
+		ID:      "figure14",
+		Title:   "Budget allocation under a completion-time constraint (ρ=0.4, θ=25, limit=10 validations)",
+		Columns: []string{"crowd_share_pct", "expert_validations", "time", "feasible", "precision"},
+	}
+	bestShare, bestPrecision := -1.0, -1.0
+	for _, share := range crowdShares {
+		t := timeModel.Total(validations[share])
+		feasible := t <= timeLimit
+		if feasible && precisions[share] > bestPrecision {
+			bestShare, bestPrecision = share, precisions[share]
+		}
+		feasibleStr := "no"
+		if feasible {
+			feasibleStr = "yes"
+		}
+		table.AddRow(pct(share), itoa(validations[share]), f2(t), feasibleStr, f3(precisions[share]))
+	}
+	if bestShare >= 0 {
+		table.AddRow("best-feasible", pct(bestShare), "", "", f3(bestPrecision))
+	}
+	return table, nil
+}
+
+// costComparisonTable compares the EV and WO approaches on one dataset at a
+// set of per-object cost levels, with φ0 = 13 and θ = 25 as in Appendix D.
+func costComparisonTable(id, title string, datasets map[string]*simulation.Dataset, order []string, opts Options) (*Table, error) {
+	table := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"dataset", "approach", "impr@cost25", "impr@cost45", "impr@cost65", "impr@cost100"},
+	}
+	const phi0 = 13
+	const theta = 25.0
+	costsOfInterest := []float64{25, 45, 65, 100}
+	for _, label := range order {
+		full := datasets[label]
+		woPoints, err := RunWOCostCurve(full, phi0, woPhiGrid, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		evPoints, err := RunEVCostCurve(full, phi0, theta, 1.0, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		woRow := []string{label, "WO"}
+		evRow := []string{label, "EV"}
+		for _, c := range costsOfInterest {
+			woRow = append(woRow, pct(ImprovementAtCost(woPoints, c)))
+			evRow = append(evRow, pct(ImprovementAtCost(evPoints, c)))
+		}
+		table.AddRow(evRow...)
+		table.AddRow(woRow...)
+	}
+	return table, nil
+}
+
+// Figure21DifficultyCost reproduces Appendix D (Figure 21): the effect of
+// question difficulty on the cost comparison, using the easy twt profile and
+// the hard art profile.
+func Figure21DifficultyCost(opts Options) (*Table, error) {
+	datasets := map[string]*simulation.Dataset{}
+	order := []string{"twt", "art"}
+	for _, name := range order {
+		d, err := simulation.GenerateProfile(name, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		datasets[name] = d
+	}
+	return costComparisonTable("figure21",
+		"Effect of question difficulty on cost (φ0=13, θ=25): EV vs WO",
+		datasets, order, opts)
+}
+
+// Figure22SpammerCost reproduces Appendix D (Figure 22): the effect of the
+// spammer ratio (15% vs 35%) on the cost comparison.
+func Figure22SpammerCost(opts Options) (*Table, error) {
+	datasets := map[string]*simulation.Dataset{}
+	order := []string{"spammers=15%", "spammers=35%"}
+	for i, sigma := range []float64{0.15, 0.35} {
+		cfg := costBaseConfig(opts.seed())
+		cfg.Mix = simulation.WorkerMix{
+			Normal: 1 - sigma - 0.25, Sloppy: 0.25,
+			UniformSpammer: sigma / 2, RandomSpammer: sigma / 2,
+		}
+		d, err := simulation.GenerateCrowd(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = order[i]
+		datasets[order[i]] = d
+	}
+	return costComparisonTable("figure22",
+		"Effect of spammers on cost (φ0=13, θ=25): EV vs WO",
+		datasets, order, opts)
+}
+
+// Figure23ReliabilityCost reproduces Appendix D (Figure 23): the effect of
+// the worker reliability (r = 0.6, 0.65, 0.7) on the cost comparison.
+func Figure23ReliabilityCost(opts Options) (*Table, error) {
+	datasets := map[string]*simulation.Dataset{}
+	var order []string
+	for _, r := range []float64{0.6, 0.65, 0.7} {
+		label := "r=" + f2(r)
+		cfg := costBaseConfig(opts.seed())
+		cfg.NormalAccuracy = r
+		d, err := simulation.GenerateCrowd(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = label
+		datasets[label] = d
+		order = append(order, label)
+	}
+	return costComparisonTable("figure23",
+		"Effect of worker reliability on cost (φ0=13, θ=25): EV vs WO",
+		datasets, order, opts)
+}

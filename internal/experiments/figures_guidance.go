@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"crowdval/internal/metrics"
+	"crowdval/internal/model"
+	"crowdval/internal/simulation"
+	"crowdval/internal/spamdetect"
+)
+
+// effortGrid is the standard set of expert-effort checkpoints (fractions of
+// the object set) at which precision is reported.
+var effortGrid = []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// guidanceComparisonTable runs the hybrid and baseline strategies on a
+// dataset and reports precision at the effort grid plus the effort needed to
+// reach perfect precision.
+func guidanceComparisonTable(id, title string, datasets []*simulation.Dataset, opts Options) (*Table, error) {
+	table := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"dataset", "strategy", "p@10%", "p@20%", "p@40%", "p@60%", "p@80%", "impr@20%", "effort_to_1.0"},
+	}
+	for _, d := range datasets {
+		for _, strategy := range []StrategyKind{StrategyHybrid, StrategyBaseline} {
+			points, _, err := RunValidationCurve(d, CurveConfig{
+				Strategy:      strategy,
+				StopAtPerfect: true,
+				Seed:          opts.seed(),
+				Parallel:      opts.Parallel,
+			})
+			if err != nil {
+				return nil, err
+			}
+			table.AddRow(
+				d.Name,
+				string(strategy),
+				f3(PrecisionAtEffort(points, 0.1)),
+				f3(PrecisionAtEffort(points, 0.2)),
+				f3(PrecisionAtEffort(points, 0.4)),
+				f3(PrecisionAtEffort(points, 0.6)),
+				f3(PrecisionAtEffort(points, 0.8)),
+				pct(ImprovementAtEffort(points, 0.2)),
+				pct(EffortToReach(points, 1.0)),
+			)
+		}
+	}
+	return table, nil
+}
+
+// Figure9SpammerDetection reproduces Figure 9: precision and recall of the
+// spammer detection as functions of the expert effort, for detection
+// thresholds τs ∈ {0.1, 0.2, 0.3}.
+func Figure9SpammerDetection(opts Options) (*Table, error) {
+	table := &Table{
+		ID:      "figure9",
+		Title:   "Spammer detection precision/recall vs expert effort (50 objects, 20 workers)",
+		Columns: []string{"threshold", "effort_pct", "precision", "recall"},
+	}
+	runs := opts.runs(3)
+	for _, threshold := range []float64{0.1, 0.2, 0.3} {
+		for _, effortPct := range []int{20, 40, 60, 80, 100} {
+			var precSum, recSum float64
+			for r := 0; r < runs; r++ {
+				seed := opts.seed() + int64(r*100)
+				d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
+					NumObjects:     50,
+					NumWorkers:     20,
+					NumLabels:      2,
+					NormalAccuracy: 0.7,
+					Seed:           seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				n := d.Answers.NumObjects()
+				validation := model.NewValidation(n)
+				rng := rand.New(rand.NewSource(seed + 1))
+				for _, o := range rng.Perm(n)[:effortPct*n/100] {
+					validation.Set(o, d.Truth[o])
+				}
+				detector := &spamdetect.Detector{SpammerThreshold: threshold}
+				detection, err := detector.Detect(d.Answers, validation, nil)
+				if err != nil {
+					return nil, err
+				}
+				prec, rec := metrics.PrecisionRecall(detection.Spammers(), spammerGroundTruth(d))
+				precSum += prec
+				recSum += rec
+			}
+			table.AddRow(f2(threshold), itoa(effortPct), f3(precSum/float64(runs)), f3(recSum/float64(runs)))
+		}
+	}
+	return table, nil
+}
+
+// Figure10Guidance reproduces Figure 10: hybrid guidance vs the entropy
+// baseline on the bb, rte and val dataset profiles.
+func Figure10Guidance(opts Options) (*Table, error) {
+	var datasets []*simulation.Dataset
+	for _, name := range []string{"bb", "rte", "val"} {
+		d, err := simulation.GenerateProfile(name, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		datasets = append(datasets, d)
+	}
+	return guidanceComparisonTable("figure10",
+		"Hybrid vs baseline guidance: precision vs expert effort (bb, rte, val profiles)",
+		datasets, opts)
+}
+
+// Figure11ExpertMistakes reproduces Figure 11: hybrid vs baseline guidance on
+// the hard art profile when the expert makes mistakes (p = 8%, the worst rate
+// observed in the paper's user study) and the confirmation check runs every
+// 1% of validations.
+func Figure11ExpertMistakes(opts Options) (*Table, error) {
+	d, err := simulation.GenerateProfile("art", opts.seed())
+	if err != nil {
+		return nil, err
+	}
+	period := d.Answers.NumObjects() / 100
+	if period < 1 {
+		period = 1
+	}
+	table := &Table{
+		ID:      "figure11",
+		Title:   "Guidance with erroneous expert input (art profile, 8% mistakes, confirmation check on)",
+		Columns: []string{"strategy", "p@10%", "p@20%", "p@40%", "p@60%", "p@80%", "effort_to_0.95"},
+	}
+	for _, strategy := range []StrategyKind{StrategyHybrid, StrategyBaseline} {
+		points, _, err := RunValidationCurve(d, CurveConfig{
+			Strategy:           strategy,
+			StopAtPerfect:      true,
+			MistakeProbability: 0.08,
+			ConfirmationPeriod: period,
+			Seed:               opts.seed(),
+			Parallel:           opts.Parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(
+			string(strategy),
+			f3(PrecisionAtEffort(points, 0.1)),
+			f3(PrecisionAtEffort(points, 0.2)),
+			f3(PrecisionAtEffort(points, 0.4)),
+			f3(PrecisionAtEffort(points, 0.6)),
+			f3(PrecisionAtEffort(points, 0.8)),
+			pct(EffortToReach(points, 0.95)),
+		)
+	}
+	return table, nil
+}
+
+// Table6MistakeDetection reproduces Table 6: the percentage of injected
+// expert mistakes that the confirmation check detects, per dataset profile
+// and mistake probability.
+func Table6MistakeDetection(opts Options) (*Table, error) {
+	table := &Table{
+		ID:      "table6",
+		Title:   "Percentage of injected expert mistakes detected by the confirmation check",
+		Columns: []string{"dataset", "p=0.15", "p=0.20", "p=0.25", "p=0.30"},
+	}
+	for _, name := range simulation.ProfileNames() {
+		row := []string{name}
+		for _, p := range []float64{0.15, 0.20, 0.25, 0.30} {
+			d, err := simulation.GenerateProfile(name, opts.seed())
+			if err != nil {
+				return nil, err
+			}
+			period := d.Answers.NumObjects() / 100 // every 1% of the objects, as in the paper
+			if period < 1 {
+				period = 1
+			}
+			_, stats, err := RunValidationCurve(d, CurveConfig{
+				Strategy:           StrategyBaseline,
+				BudgetFraction:     0.3,
+				MistakeProbability: p,
+				ConfirmationPeriod: period,
+				Seed:               opts.seed() + int64(p*100),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(stats.DetectedMistakeRatio()))
+		}
+		table.AddRow(row...)
+	}
+	return table, nil
+}
+
+// Figure15UncertaintyPrecision reproduces Appendix B (Figure 15): the
+// correlation between the normalized uncertainty of the probabilistic answer
+// set and the precision of the deterministic assignment, measured along
+// uncertainty-driven validation runs over a synthetic parameter sweep.
+func Figure15UncertaintyPrecision(opts Options) (*Table, error) {
+	var uncertainties, precisions []float64
+	// Each object receives a handful of answers (as in the real datasets), so
+	// the aggregated posteriors are not fully saturated and the uncertainty
+	// measure retains resolution along the run.
+	configs := []simulation.CrowdConfig{
+		{NumObjects: 40, NumWorkers: 20, NumLabels: 2, NormalAccuracy: 0.65, AnswersPerObject: 6},
+		{NumObjects: 40, NumWorkers: 30, NumLabels: 2, NormalAccuracy: 0.7, AnswersPerObject: 6},
+		{NumObjects: 40, NumWorkers: 40, NumLabels: 2, NormalAccuracy: 0.75, AnswersPerObject: 6},
+		{NumObjects: 40, NumWorkers: 25, NumLabels: 2, NormalAccuracy: 0.7, AnswersPerObject: 6,
+			Mix: simulation.WorkerMix{Normal: 0.65, Sloppy: 0.2, UniformSpammer: 0.075, RandomSpammer: 0.075}},
+		{NumObjects: 40, NumWorkers: 25, NumLabels: 2, NormalAccuracy: 0.7, AnswersPerObject: 6,
+			Mix: simulation.WorkerMix{Normal: 0.45, Sloppy: 0.2, UniformSpammer: 0.175, RandomSpammer: 0.175}},
+	}
+	for i, cfg := range configs {
+		cfg.Seed = opts.seed() + int64(i)
+		d, err := simulation.GenerateCrowd(cfg)
+		if err != nil {
+			return nil, err
+		}
+		points, _, err := RunValidationCurve(d, CurveConfig{
+			Strategy:      StrategyUncertainty,
+			StopAtPerfect: true,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Normalize the uncertainty by the maximum observed within the run,
+		// as the paper does, before pooling runs.
+		runMax := 0.0
+		for _, p := range points {
+			if p.Uncertainty > runMax {
+				runMax = p.Uncertainty
+			}
+		}
+		if runMax == 0 {
+			runMax = 1
+		}
+		for _, p := range points {
+			uncertainties = append(uncertainties, p.Uncertainty/runMax)
+			precisions = append(precisions, p.Precision)
+		}
+	}
+	corr, err := metrics.PearsonCorrelation(uncertainties, precisions)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:      "figure15",
+		Title:   "Uncertainty vs precision along validation runs (synthetic sweep)",
+		Columns: []string{"measurements", "pearson_correlation"},
+	}
+	table.AddRow(itoa(len(uncertainties)), f3(corr))
+	return table, nil
+}
+
+// Figure16QuestionDifficulty reproduces Appendix C (Figure 16): hybrid vs
+// baseline guidance on an easy (twt) and a hard (art) dataset profile.
+func Figure16QuestionDifficulty(opts Options) (*Table, error) {
+	var datasets []*simulation.Dataset
+	for _, name := range []string{"twt", "art"} {
+		d, err := simulation.GenerateProfile(name, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		datasets = append(datasets, d)
+	}
+	return guidanceComparisonTable("figure16",
+		"Effect of question difficulty: precision vs expert effort (twt = easy, art = hard)",
+		datasets, opts)
+}
+
+// syntheticComparison builds a synthetic dataset per configuration and runs
+// the hybrid vs baseline comparison. The label of each configuration appears
+// in the dataset column.
+func syntheticComparison(id, title string, opts Options, configs map[string]simulation.CrowdConfig, order []string) (*Table, error) {
+	var datasets []*simulation.Dataset
+	for _, label := range order {
+		cfg := configs[label]
+		cfg.Seed = opts.seed()
+		d, err := simulation.GenerateCrowd(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = label
+		datasets = append(datasets, d)
+	}
+	return guidanceComparisonTable(id, title, datasets, opts)
+}
+
+// Figure17NumLabels reproduces the effect of the number of labels (2 vs 4).
+func Figure17NumLabels(opts Options) (*Table, error) {
+	base := simulation.CrowdConfig{NumObjects: 50, NumWorkers: 20, NormalAccuracy: 0.65}
+	twoLabels := base
+	twoLabels.NumLabels = 2
+	fourLabels := base
+	fourLabels.NumLabels = 4
+	return syntheticComparison("figure17",
+		"Effect of the number of labels (50 objects, 20 workers, r=0.65)",
+		opts,
+		map[string]simulation.CrowdConfig{"2-labels": twoLabels, "4-labels": fourLabels},
+		[]string{"2-labels", "4-labels"})
+}
+
+// Figure18NumWorkers reproduces the effect of the crowd size (20, 30, 40
+// workers).
+func Figure18NumWorkers(opts Options) (*Table, error) {
+	configs := map[string]simulation.CrowdConfig{}
+	var order []string
+	for _, k := range []int{20, 30, 40} {
+		label := itoa(k) + "-workers"
+		configs[label] = simulation.CrowdConfig{NumObjects: 50, NumWorkers: k, NumLabels: 2, NormalAccuracy: 0.65}
+		order = append(order, label)
+	}
+	return syntheticComparison("figure18",
+		"Effect of the number of workers (50 objects, 2 labels, r=0.65)",
+		opts, configs, order)
+}
+
+// Figure19Reliability reproduces the effect of the worker reliability
+// (r = 0.65, 0.70, 0.75).
+func Figure19Reliability(opts Options) (*Table, error) {
+	configs := map[string]simulation.CrowdConfig{}
+	var order []string
+	for _, r := range []float64{0.65, 0.70, 0.75} {
+		label := "r=" + f2(r)
+		configs[label] = simulation.CrowdConfig{NumObjects: 50, NumWorkers: 20, NumLabels: 2, NormalAccuracy: r}
+		order = append(order, label)
+	}
+	return syntheticComparison("figure19",
+		"Effect of worker reliability (50 objects, 20 workers, 2 labels)",
+		opts, configs, order)
+}
+
+// Figure20Spammers reproduces the effect of the spammer ratio
+// (σ = 15%, 25%, 35%).
+func Figure20Spammers(opts Options) (*Table, error) {
+	configs := map[string]simulation.CrowdConfig{}
+	var order []string
+	for _, sigma := range []float64{0.15, 0.25, 0.35} {
+		label := "spammers=" + pct(sigma) + "%"
+		normal := 1 - sigma - 0.25 // keep a quarter of the crowd sloppy, as in the default mix
+		configs[label] = simulation.CrowdConfig{
+			NumObjects: 50, NumWorkers: 20, NumLabels: 2, NormalAccuracy: 0.7,
+			Mix: simulation.WorkerMix{
+				Normal: normal, Sloppy: 0.25,
+				UniformSpammer: sigma / 2, RandomSpammer: sigma / 2,
+			},
+		}
+		order = append(order, label)
+	}
+	return syntheticComparison("figure20",
+		"Effect of the spammer ratio (50 objects, 20 workers, 2 labels)",
+		opts, configs, order)
+}

@@ -1,0 +1,97 @@
+package guidance
+
+import (
+	"fmt"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+)
+
+// ConfirmationCheck implements the lightweight detection of erroneous expert
+// validations of §5.5. Every Period validations the check re-aggregates the
+// answer set once per validated object with that object's validation removed;
+// if the resulting deterministic assignment disagrees with the expert's
+// label, the validation is flagged as potentially erroneous ("the crowd is
+// wrong and the expert wrongly confirmed it" — case 2 in the paper).
+type ConfirmationCheck struct {
+	// Aggregator re-aggregates the answers without individual validations.
+	// Nil uses a batch EM aggregator, which avoids biasing the check with
+	// the state that was produced using the suspect validations.
+	Aggregator aggregation.Aggregator
+	// Period is the number of validations between two checks; it is only
+	// interpreted by the validation engine. Values < 1 mean "after every
+	// validation".
+	Period int
+}
+
+// EffectivePeriod returns the configured period, at least 1.
+func (c *ConfirmationCheck) EffectivePeriod() int {
+	if c == nil || c.Period < 1 {
+		return 1
+	}
+	return c.Period
+}
+
+func (c *ConfirmationCheck) aggregator() aggregation.Aggregator {
+	if c != nil && c.Aggregator != nil {
+		return c.Aggregator
+	}
+	return &aggregation.BatchEM{}
+}
+
+// SuspectValidation describes one expert validation flagged by the check.
+type SuspectValidation struct {
+	// Object is the validated object.
+	Object int
+	// ExpertLabel is the label the expert asserted.
+	ExpertLabel model.Label
+	// CrowdLabel is the label the aggregation produces when the expert's
+	// validation of this object is withheld.
+	CrowdLabel model.Label
+}
+
+// Check runs the confirmation check over all validated objects and returns
+// the validations that disagree with the aggregation of the remaining
+// evidence. The answer set and validation are not modified.
+func (c *ConfirmationCheck) Check(answers *model.AnswerSet, validation *model.Validation) ([]SuspectValidation, error) {
+	if answers == nil || validation == nil {
+		return nil, fmt.Errorf("guidance: nil answers or validation")
+	}
+	agg := c.aggregator()
+	var suspects []SuspectValidation
+	for _, o := range validation.ValidatedObjects() {
+		withheld := validation.CloneWithout(o)
+		res, err := agg.Aggregate(answers, withheld, nil)
+		if err != nil {
+			return nil, err
+		}
+		d := res.ProbSet.Instantiate()
+		if d[o] != validation.Get(o) {
+			suspects = append(suspects, SuspectValidation{
+				Object:      o,
+				ExpertLabel: validation.Get(o),
+				CrowdLabel:  d[o],
+			})
+		}
+	}
+	return suspects, nil
+}
+
+// CheckObject runs the confirmation check for a single validated object and
+// reports whether its validation is suspect. Objects without a validation are
+// never suspect.
+func (c *ConfirmationCheck) CheckObject(answers *model.AnswerSet, validation *model.Validation, object int) (bool, error) {
+	if answers == nil || validation == nil {
+		return false, fmt.Errorf("guidance: nil answers or validation")
+	}
+	if !validation.Validated(object) {
+		return false, nil
+	}
+	withheld := validation.CloneWithout(object)
+	res, err := c.aggregator().Aggregate(answers, withheld, nil)
+	if err != nil {
+		return false, err
+	}
+	d := res.ProbSet.Instantiate()
+	return d[object] != validation.Get(object), nil
+}

@@ -1,0 +1,196 @@
+// Package guidance implements the expert-guidance strategies of §5 of the
+// paper: random selection, the entropy baseline, uncertainty-driven selection
+// by expected information gain, worker-driven selection by expected number of
+// detected faulty workers, and the hybrid strategy that dynamically weighs
+// the two. It also provides the confirmation check for erroneous expert
+// validations (§5.5).
+package guidance
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+	"crowdval/internal/spamdetect"
+)
+
+// Context carries everything a selection strategy may need to score candidate
+// objects for the next expert validation.
+type Context struct {
+	// Answers is the (possibly quarantined) answer set.
+	Answers *model.AnswerSet
+	// ProbSet is the current probabilistic answer set.
+	ProbSet *model.ProbabilisticAnswerSet
+	// Candidates are the object indices eligible for validation (typically
+	// all objects the expert has not validated yet). An empty slice means
+	// "all unvalidated objects of ProbSet".
+	Candidates []int
+	// Aggregator is used by strategies that must evaluate hypothetical
+	// expert inputs (information gain). When nil, an IncrementalEM with
+	// default configuration is used.
+	Aggregator aggregation.Aggregator
+	// Detector is used by the worker-driven strategy. When nil, a detector
+	// with default thresholds is used.
+	Detector *spamdetect.Detector
+	// Parallel enables concurrent scoring of candidates.
+	Parallel bool
+	// MaxParallelism caps the number of scoring goroutines; values < 1 use
+	// GOMAXPROCS.
+	MaxParallelism int
+}
+
+func (c *Context) candidates() []int {
+	if len(c.Candidates) > 0 {
+		return c.Candidates
+	}
+	return c.ProbSet.Validation.UnvalidatedObjects()
+}
+
+func (c *Context) aggregator() aggregation.Aggregator {
+	if c.Aggregator != nil {
+		return c.Aggregator
+	}
+	return &aggregation.IncrementalEM{}
+}
+
+func (c *Context) detector() *spamdetect.Detector {
+	if c.Detector != nil {
+		return c.Detector
+	}
+	return &spamdetect.Detector{}
+}
+
+func (c *Context) parallelism() int {
+	if c.MaxParallelism > 0 {
+		return c.MaxParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ErrNoCandidates is returned when a strategy is asked to select an object
+// but no candidate is available.
+var ErrNoCandidates = fmt.Errorf("guidance: no candidate objects to select from")
+
+// Strategy selects the next object for which expert feedback should be
+// sought (step "select" of the validation process).
+type Strategy interface {
+	// Name identifies the strategy in reports and experiment output.
+	Name() string
+	// Select returns the index of the chosen object.
+	Select(ctx *Context) (int, error)
+}
+
+// Random selects a candidate uniformly at random. It models the unguided
+// manual validation process.
+type Random struct {
+	Rand *rand.Rand
+}
+
+// Name implements Strategy.
+func (r *Random) Name() string { return "random" }
+
+// Select implements Strategy.
+func (r *Random) Select(ctx *Context) (int, error) {
+	candidates := ctx.candidates()
+	if len(candidates) == 0 {
+		return -1, ErrNoCandidates
+	}
+	rng := r.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return candidates[rng.Intn(len(candidates))], nil
+}
+
+// Baseline selects the candidate with the highest entropy, i.e. the most
+// "problematic" object. This is the baseline guidance method of §6.6
+// (Appendix C).
+type Baseline struct{}
+
+// Name implements Strategy.
+func (b *Baseline) Name() string { return "baseline-entropy" }
+
+// Select implements Strategy.
+func (b *Baseline) Select(ctx *Context) (int, error) {
+	candidates := ctx.candidates()
+	if len(candidates) == 0 {
+		return -1, ErrNoCandidates
+	}
+	o, _ := aggregation.MaxEntropyObject(ctx.ProbSet.Assignment, candidates)
+	return o, nil
+}
+
+// scoreCandidates evaluates score(o) for every candidate, optionally in
+// parallel, and returns the candidate with the maximal score. Ties are broken
+// toward the smallest object index so selections stay deterministic.
+func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64, error)) (int, error) {
+	type scored struct {
+		object int
+		value  float64
+		err    error
+	}
+	results := make([]scored, len(candidates))
+
+	if ctx.Parallel && len(candidates) > 1 {
+		workers := ctx.parallelism()
+		if workers > len(candidates) {
+			workers = len(candidates)
+		}
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					v, err := score(candidates[idx])
+					results[idx] = scored{object: candidates[idx], value: v, err: err}
+				}
+			}()
+		}
+		for idx := range candidates {
+			jobs <- idx
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for idx, o := range candidates {
+			v, err := score(o)
+			results[idx] = scored{object: o, value: v, err: err}
+		}
+	}
+
+	best, bestValue := -1, 0.0
+	for _, r := range results {
+		if r.err != nil {
+			return -1, r.err
+		}
+		if best == -1 || r.value > bestValue || (r.value == bestValue && r.object < best) {
+			best, bestValue = r.object, r.value
+		}
+	}
+	if best == -1 {
+		return -1, ErrNoCandidates
+	}
+	return best, nil
+}
+
+// topEntropyCandidates returns up to limit candidates with the highest object
+// entropy. limit <= 0 returns the candidates unchanged. Pre-filtering by
+// entropy keeps the expensive information-gain computation tractable on large
+// answer sets without changing which objects are interesting: objects with
+// near-zero entropy cannot yield a large gain.
+func topEntropyCandidates(u *model.AssignmentMatrix, candidates []int, limit int) []int {
+	if limit <= 0 || len(candidates) <= limit {
+		return candidates
+	}
+	sorted := append([]int(nil), candidates...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return aggregation.ObjectEntropy(u, sorted[i]) > aggregation.ObjectEntropy(u, sorted[j])
+	})
+	return sorted[:limit]
+}

@@ -1,0 +1,405 @@
+package guidance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+	"crowdval/internal/spamdetect"
+)
+
+// buildContext aggregates the answers with i-EM and wraps everything in a
+// guidance context.
+func buildContext(t *testing.T, answers *model.AnswerSet, validation *model.Validation) *Context {
+	t.Helper()
+	if validation == nil {
+		validation = model.NewValidation(answers.NumObjects())
+	}
+	agg := &aggregation.IncrementalEM{}
+	res, err := agg.Aggregate(answers, validation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{
+		Answers:    answers,
+		ProbSet:    res.ProbSet,
+		Aggregator: agg,
+		Detector:   &spamdetect.Detector{},
+	}
+}
+
+// mixedCrowdAnswers builds a binary task with 3 reliable workers and one
+// random spammer answering every object; object ambiguity varies.
+func mixedCrowdAnswers(t *testing.T, n int, seed int64) (*model.AnswerSet, model.DeterministicAssignment) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := model.MustNewAnswerSet(n, 4, 2)
+	truth := make(model.DeterministicAssignment, n)
+	for o := 0; o < n; o++ {
+		truth[o] = model.Label(o % 2)
+		for w := 0; w < 3; w++ {
+			l := truth[o]
+			if rng.Float64() > 0.85 {
+				l = model.Label(1 - int(l))
+			}
+			if err := a.SetAnswer(o, w, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.SetAnswer(o, 3, model.Label(rng.Intn(2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a, truth
+}
+
+func TestRandomStrategy(t *testing.T) {
+	a, _ := mixedCrowdAnswers(t, 10, 1)
+	ctx := buildContext(t, a, nil)
+	r := &Random{Rand: rand.New(rand.NewSource(5))}
+	o, err := r.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o < 0 || o >= 10 {
+		t.Fatalf("selected object %d out of range", o)
+	}
+	if r.Name() != "random" {
+		t.Fatal("unexpected name")
+	}
+	// Restricting the candidates restricts the choice.
+	ctx.Candidates = []int{3}
+	o, err = r.Select(ctx)
+	if err != nil || o != 3 {
+		t.Fatalf("restricted selection = %d (%v)", o, err)
+	}
+	// Nil Rand still works.
+	r2 := &Random{}
+	if _, err := r2.Select(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No candidates left.
+	for o := 0; o < 10; o++ {
+		ctx.ProbSet.Validation.Set(o, 0)
+	}
+	ctx.Candidates = nil
+	if _, err := r.Select(ctx); err != ErrNoCandidates {
+		t.Fatalf("expected ErrNoCandidates, got %v", err)
+	}
+}
+
+func TestBaselineSelectsMaxEntropyObject(t *testing.T) {
+	a, _ := mixedCrowdAnswers(t, 8, 2)
+	ctx := buildContext(t, a, nil)
+	// Force a clearly most-uncertain object.
+	ctx.ProbSet.Assignment.SetRow(5, []float64{0.5, 0.5})
+	for o := 0; o < 8; o++ {
+		if o != 5 {
+			ctx.ProbSet.Assignment.SetRow(o, []float64{0.95, 0.05})
+		}
+	}
+	b := &Baseline{}
+	o, err := b.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 5 {
+		t.Fatalf("baseline selected %d, want 5", o)
+	}
+	if b.Name() != "baseline-entropy" {
+		t.Fatal("unexpected name")
+	}
+	ctx.Candidates = []int{}
+	ctx.ProbSet.Validation = fullyValidated(8)
+	if _, err := b.Select(ctx); err != ErrNoCandidates {
+		t.Fatalf("expected ErrNoCandidates, got %v", err)
+	}
+}
+
+func fullyValidated(n int) *model.Validation {
+	v := model.NewValidation(n)
+	for o := 0; o < n; o++ {
+		v.Set(o, 0)
+	}
+	return v
+}
+
+func TestInformationGainPrefersAmbiguousObjects(t *testing.T) {
+	a, _ := mixedCrowdAnswers(t, 12, 3)
+	ctx := buildContext(t, a, nil)
+
+	// Identify the most and least entropic objects under the aggregation.
+	mostAmbiguous, _ := aggregation.MaxEntropyObject(ctx.ProbSet.Assignment, ctx.ProbSet.Validation.UnvalidatedObjects())
+	leastAmbiguous, leastH := 0, math.Inf(1)
+	for o := 0; o < 12; o++ {
+		if h := aggregation.ObjectEntropy(ctx.ProbSet.Assignment, o); h < leastH {
+			leastAmbiguous, leastH = o, h
+		}
+	}
+	if mostAmbiguous == leastAmbiguous {
+		t.Skip("degenerate aggregation: all objects equally certain")
+	}
+	currentH := aggregation.Uncertainty(ctx.ProbSet)
+	igMost, err := InformationGain(ctx, mostAmbiguous, currentH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	igLeast, err := InformationGain(ctx, leastAmbiguous, -1) // negative triggers recompute
+	if err != nil {
+		t.Fatal(err)
+	}
+	if igMost < igLeast {
+		t.Fatalf("IG(most ambiguous)=%v < IG(least ambiguous)=%v", igMost, igLeast)
+	}
+}
+
+func TestUncertaintyDrivenSelectAndCandidateLimit(t *testing.T) {
+	a, _ := mixedCrowdAnswers(t, 10, 4)
+	ctx := buildContext(t, a, nil)
+	u := &UncertaintyDriven{}
+	serial, err := u.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel scoring must select the same object.
+	ctxParallel := buildContext(t, a, nil)
+	ctxParallel.Parallel = true
+	ctxParallel.MaxParallelism = 4
+	parallel, err := u.Select(ctxParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("serial selected %d, parallel selected %d", serial, parallel)
+	}
+	// A candidate limit of 1 reduces to the entropy baseline.
+	limited := &UncertaintyDriven{CandidateLimit: 1}
+	sel, err := limited.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := (&Baseline{}).Select(ctx)
+	if sel != base {
+		t.Fatalf("candidate-limit-1 selected %d, baseline %d", sel, base)
+	}
+	if u.Name() != "uncertainty-driven" {
+		t.Fatal("unexpected name")
+	}
+	ctx.ProbSet.Validation = fullyValidated(10)
+	ctx.Candidates = nil
+	if _, err := u.Select(ctx); err != ErrNoCandidates {
+		t.Fatalf("expected ErrNoCandidates, got %v", err)
+	}
+}
+
+func TestWorkerDrivenPrefersObjectsAnsweredBySuspects(t *testing.T) {
+	// 6 objects; a random spammer answers only objects 0–2, reliable workers
+	// answer everything. Object 0 is already validated, so validating another
+	// spammer-covered object (1 or 2) pushes the spammer over the assessment
+	// threshold, while objects 3–5 cannot reveal anything.
+	a := model.MustNewAnswerSet(6, 3, 2)
+	truth := model.DeterministicAssignment{0, 1, 0, 1, 0, 1}
+	spammerAnswers := []model.Label{1, 0, 1} // disagrees with truth on all three
+	for o := 0; o < 6; o++ {
+		for w := 0; w < 2; w++ {
+			if err := a.SetAnswer(o, w, truth[o]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for o := 0; o < 3; o++ {
+		if err := a.SetAnswer(o, 2, spammerAnswers[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := model.NewValidation(6)
+	v.Set(0, truth[0])
+	ctx := buildContext(t, a, v)
+	ctx.Detector = &spamdetect.Detector{MinValidatedAnswers: 2, SloppyThreshold: 0.7}
+
+	w := &WorkerDriven{}
+	selected, err := w.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selected != 1 && selected != 2 {
+		t.Fatalf("worker-driven selected %d, want 1 or 2", selected)
+	}
+	if w.Name() != "worker-driven" {
+		t.Fatal("unexpected name")
+	}
+
+	// Expected detections for an object the spammer never answered is (near)
+	// zero — only the vanishingly unlikely hypothesis that the reliable
+	// consensus is wrong contributes.
+	priors := ctx.ProbSet.Assignment.Priors()
+	none, err := ExpectedDetectedFaultyWorkers(ctx, 4, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none > 0.01 {
+		t.Fatalf("expected detections for uncovered object = %v, want ~0", none)
+	}
+	some, err := ExpectedDetectedFaultyWorkers(ctx, selected, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some <= none {
+		t.Fatalf("expected detections: covered %v <= uncovered %v", some, none)
+	}
+}
+
+func TestWorkerDrivenNoCandidates(t *testing.T) {
+	a, _ := mixedCrowdAnswers(t, 4, 6)
+	ctx := buildContext(t, a, fullyValidated(4))
+	w := &WorkerDriven{}
+	if _, err := w.Select(ctx); err != ErrNoCandidates {
+		t.Fatalf("expected ErrNoCandidates, got %v", err)
+	}
+}
+
+func TestHybridWeightFormula(t *testing.T) {
+	h := &Hybrid{}
+	if h.Weight() != 0 {
+		t.Fatal("initial weight must be 0")
+	}
+	// Early phase: no validations yet, the error rate dominates.
+	z := h.UpdateWeight(1, 0, 0)
+	if want := 1 - math.Exp(-1); math.Abs(z-want) > 1e-12 {
+		t.Fatalf("z = %v, want %v", z, want)
+	}
+	// Late phase: validation ratio 1, the faulty-worker ratio dominates.
+	z = h.UpdateWeight(1, 0.5, 1)
+	if want := 1 - math.Exp(-0.5); math.Abs(z-want) > 1e-12 {
+		t.Fatalf("z = %v, want %v", z, want)
+	}
+	// Inputs are clamped to [0, 1].
+	z = h.UpdateWeight(-3, 7, 0.5)
+	if want := 1 - math.Exp(-(0*0.5 + 1*0.5)); math.Abs(z-want) > 1e-12 {
+		t.Fatalf("clamped z = %v, want %v", z, want)
+	}
+	if h.Weight() != z {
+		t.Fatal("Weight() should return the latest value")
+	}
+	if h.Name() != "hybrid" {
+		t.Fatal("unexpected name")
+	}
+}
+
+func TestHybridRouletteWheel(t *testing.T) {
+	a, _ := mixedCrowdAnswers(t, 8, 8)
+	ctx := buildContext(t, a, nil)
+	ctx.Detector = &spamdetect.Detector{}
+
+	// With weight 0 the uncertainty branch is always taken.
+	h := &Hybrid{Rand: rand.New(rand.NewSource(2))}
+	if _, err := h.Select(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h.LastChoiceWorkerDriven() {
+		t.Fatal("weight 0 must never use the worker-driven branch")
+	}
+	// With weight ~1 the worker-driven branch dominates.
+	h.UpdateWeight(1, 1, 1)
+	workerChosen := 0
+	for trial := 0; trial < 10; trial++ {
+		if _, err := h.Select(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if h.LastChoiceWorkerDriven() {
+			workerChosen++
+		}
+	}
+	if workerChosen < 5 {
+		t.Fatalf("worker-driven branch chosen %d/10 times with z=%.3f", workerChosen, h.Weight())
+	}
+	// Nil sub-strategies and nil Rand are tolerated.
+	h2 := &Hybrid{}
+	if _, err := h2.Select(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfirmationCheckDetectsErroneousValidation(t *testing.T) {
+	// Strong crowd consensus on every object; the expert confirms object 0
+	// correctly but validates object 1 with the wrong label.
+	a := model.MustNewAnswerSet(6, 5, 2)
+	truth := model.DeterministicAssignment{0, 1, 0, 1, 0, 1}
+	for o := 0; o < 6; o++ {
+		for w := 0; w < 5; w++ {
+			if err := a.SetAnswer(o, w, truth[o]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	v := model.NewValidation(6)
+	v.Set(0, truth[0])
+	v.Set(1, model.Label(1-int(truth[1]))) // erroneous
+
+	check := &ConfirmationCheck{}
+	suspects, err := check.Check(a, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspects) != 1 || suspects[0].Object != 1 {
+		t.Fatalf("suspects = %+v, want object 1 only", suspects)
+	}
+	if suspects[0].ExpertLabel == suspects[0].CrowdLabel {
+		t.Fatal("suspect labels should disagree")
+	}
+	suspect, err := check.CheckObject(a, v, 1)
+	if err != nil || !suspect {
+		t.Fatalf("CheckObject(1) = %v (%v), want true", suspect, err)
+	}
+	ok, err := check.CheckObject(a, v, 0)
+	if err != nil || ok {
+		t.Fatalf("CheckObject(0) = %v (%v), want false", ok, err)
+	}
+	// Unvalidated objects are never suspect.
+	ok, err = check.CheckObject(a, v, 3)
+	if err != nil || ok {
+		t.Fatal("unvalidated object flagged")
+	}
+	if _, err := check.Check(nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+	if _, err := check.CheckObject(nil, nil, 0); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestConfirmationCheckPeriod(t *testing.T) {
+	var nilCheck *ConfirmationCheck
+	if nilCheck.EffectivePeriod() != 1 {
+		t.Fatal("nil check period should be 1")
+	}
+	c := &ConfirmationCheck{Period: 5}
+	if c.EffectivePeriod() != 5 {
+		t.Fatal("explicit period ignored")
+	}
+	c.Period = -2
+	if c.EffectivePeriod() != 1 {
+		t.Fatal("negative period should clamp to 1")
+	}
+}
+
+func TestTopEntropyCandidates(t *testing.T) {
+	u := model.NewAssignmentMatrix(4, 2)
+	u.SetRow(0, []float64{0.5, 0.5})
+	u.SetRow(1, []float64{0.99, 0.01})
+	u.SetRow(2, []float64{0.7, 0.3})
+	u.SetRow(3, []float64{0.6, 0.4})
+	all := []int{0, 1, 2, 3}
+	top2 := topEntropyCandidates(u, all, 2)
+	if len(top2) != 2 || top2[0] != 0 || top2[1] != 3 {
+		t.Fatalf("top2 = %v, want [0 3]", top2)
+	}
+	if got := topEntropyCandidates(u, all, 0); len(got) != 4 {
+		t.Fatal("limit 0 should keep all candidates")
+	}
+	if got := topEntropyCandidates(u, all, 10); len(got) != 4 {
+		t.Fatal("limit above length should keep all candidates")
+	}
+}

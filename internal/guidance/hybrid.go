@@ -1,0 +1,85 @@
+package guidance
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Hybrid combines the uncertainty-driven and the worker-driven strategies
+// with the dynamic weighting scheme of §5.4 (Eq. 15). In every iteration the
+// engine updates the weight z_i from the observed error rate, the ratio of
+// detected faulty workers and the ratio of answered validations; the strategy
+// then performs a roulette-wheel choice: with probability z_i the
+// worker-driven strategy selects the object, otherwise the uncertainty-driven
+// one does.
+type Hybrid struct {
+	// Uncertainty and Worker are the two underlying strategies. Nil fields
+	// are replaced by strategies with default configuration.
+	Uncertainty *UncertaintyDriven
+	Worker      *WorkerDriven
+	// Rand drives the roulette-wheel choice; nil falls back to a fixed-seed
+	// generator for reproducibility.
+	Rand *rand.Rand
+
+	// weight is the current z_i score in [0, 1).
+	weight float64
+	// lastWorkerDriven records which branch the previous Select call took.
+	lastWorkerDriven bool
+}
+
+// Name implements Strategy.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Weight returns the current z_i value.
+func (h *Hybrid) Weight() float64 { return h.weight }
+
+// LastChoiceWorkerDriven reports whether the most recent Select call used the
+// worker-driven branch. Algorithm 1 only quarantines detected spammers when
+// that branch was taken (line 12).
+func (h *Hybrid) LastChoiceWorkerDriven() bool { return h.lastWorkerDriven }
+
+// UpdateWeight recomputes z_{i+1} = 1 − exp(−(ε_i(1−f_i) + r_i·f_i)) from the
+// error rate ε_i of the latest validation, the ratio of detected faulty
+// workers r_i and the ratio of answered validations f_i (Eq. 15).
+func (h *Hybrid) UpdateWeight(errorRate, faultyRatio, validationRatio float64) float64 {
+	errorRate = clamp01(errorRate)
+	faultyRatio = clamp01(faultyRatio)
+	validationRatio = clamp01(validationRatio)
+	h.weight = 1 - math.Exp(-(errorRate*(1-validationRatio) + faultyRatio*validationRatio))
+	return h.weight
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Select implements Strategy: a roulette-wheel choice between the
+// worker-driven strategy (probability z_i) and the uncertainty-driven
+// strategy (probability 1 − z_i).
+func (h *Hybrid) Select(ctx *Context) (int, error) {
+	rng := h.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+		h.Rand = rng
+	}
+	uncertainty := h.Uncertainty
+	if uncertainty == nil {
+		uncertainty = &UncertaintyDriven{}
+	}
+	worker := h.Worker
+	if worker == nil {
+		worker = &WorkerDriven{}
+	}
+	if rng.Float64() < h.weight {
+		h.lastWorkerDriven = true
+		return worker.Select(ctx)
+	}
+	h.lastWorkerDriven = false
+	return uncertainty.Select(ctx)
+}

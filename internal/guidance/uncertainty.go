@@ -1,0 +1,73 @@
+package guidance
+
+import (
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+)
+
+// UncertaintyDriven selects the object whose validation is expected to reduce
+// the uncertainty of the probabilistic answer set the most, i.e. the object
+// with maximal information gain (§5.2, Eq. 8–10).
+type UncertaintyDriven struct {
+	// CandidateLimit restricts the expensive information-gain computation to
+	// the CandidateLimit candidates with the highest entropy. Zero or
+	// negative values evaluate every candidate.
+	CandidateLimit int
+}
+
+// Name implements Strategy.
+func (u *UncertaintyDriven) Name() string { return "uncertainty-driven" }
+
+// Select implements Strategy.
+func (u *UncertaintyDriven) Select(ctx *Context) (int, error) {
+	candidates := ctx.candidates()
+	if len(candidates) == 0 {
+		return -1, ErrNoCandidates
+	}
+	candidates = topEntropyCandidates(ctx.ProbSet.Assignment, candidates, u.CandidateLimit)
+	currentH := aggregation.Uncertainty(ctx.ProbSet)
+	return scoreCandidates(ctx, candidates, func(o int) (float64, error) {
+		return InformationGain(ctx, o, currentH)
+	})
+}
+
+// InformationGain computes IG(o) = H(P) − H(P | o) for one object (Eq. 9).
+// currentH is H(P); passing a negative value recomputes it.
+//
+// The conditional entropy H(P | o) (Eq. 8) is the expectation, over the
+// current label distribution of o, of the uncertainty of the probabilistic
+// answer set re-aggregated with the hypothetical expert input e(o) = l.
+func InformationGain(ctx *Context, object int, currentH float64) (float64, error) {
+	if currentH < 0 {
+		currentH = aggregation.Uncertainty(ctx.ProbSet)
+	}
+	conditional, err := ConditionalUncertainty(ctx, object)
+	if err != nil {
+		return 0, err
+	}
+	return currentH - conditional, nil
+}
+
+// ConditionalUncertainty computes H(P | o) (Eq. 8): for every label l with
+// non-zero probability, the answers are re-aggregated under the hypothetical
+// validation e(o) = l and the resulting uncertainties are averaged, weighted
+// by U(o, l).
+func ConditionalUncertainty(ctx *Context, object int) (float64, error) {
+	agg := ctx.aggregator()
+	m := ctx.ProbSet.Assignment.NumLabels()
+	expected := 0.0
+	for l := 0; l < m; l++ {
+		p := ctx.ProbSet.Assignment.Prob(object, model.Label(l))
+		if p <= 0 {
+			continue
+		}
+		hypothetical := ctx.ProbSet.Validation.Clone()
+		hypothetical.Set(object, model.Label(l))
+		res, err := agg.Aggregate(ctx.Answers, hypothetical, ctx.ProbSet)
+		if err != nil {
+			return 0, err
+		}
+		expected += p * aggregation.Uncertainty(res.ProbSet)
+	}
+	return expected, nil
+}

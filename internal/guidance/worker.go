@@ -1,0 +1,54 @@
+package guidance
+
+import (
+	"crowdval/internal/model"
+)
+
+// WorkerDriven selects the object whose validation is expected to unmask the
+// most faulty workers (§5.3, Eq. 12–14).
+type WorkerDriven struct {
+	// CandidateLimit restricts the scoring to the CandidateLimit candidates
+	// with the highest entropy. Zero or negative values evaluate every
+	// candidate.
+	CandidateLimit int
+}
+
+// Name implements Strategy.
+func (w *WorkerDriven) Name() string { return "worker-driven" }
+
+// Select implements Strategy.
+func (w *WorkerDriven) Select(ctx *Context) (int, error) {
+	candidates := ctx.candidates()
+	if len(candidates) == 0 {
+		return -1, ErrNoCandidates
+	}
+	candidates = topEntropyCandidates(ctx.ProbSet.Assignment, candidates, w.CandidateLimit)
+	priors := ctx.ProbSet.Assignment.Priors()
+	return scoreCandidates(ctx, candidates, func(o int) (float64, error) {
+		return ExpectedDetectedFaultyWorkers(ctx, o, priors)
+	})
+}
+
+// ExpectedDetectedFaultyWorkers computes R(W | o) = Σ_l U(o, l)·R(W | o = l)
+// (Eq. 13): the expected number of faulty workers that would be detected if
+// the expert validated object o, where the expectation is taken over the
+// current label distribution of o.
+func ExpectedDetectedFaultyWorkers(ctx *Context, object int, priors []float64) (float64, error) {
+	detector := ctx.detector()
+	m := ctx.ProbSet.Assignment.NumLabels()
+	expected := 0.0
+	for l := 0; l < m; l++ {
+		p := ctx.ProbSet.Assignment.Prob(object, model.Label(l))
+		if p <= 0 {
+			continue
+		}
+		hypothetical := ctx.ProbSet.Validation.Clone()
+		hypothetical.Set(object, model.Label(l))
+		count, err := detector.CountFaulty(ctx.Answers, hypothetical, priors)
+		if err != nil {
+			return 0, err
+		}
+		expected += p * float64(count)
+	}
+	return expected, nil
+}

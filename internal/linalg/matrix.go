@@ -1,0 +1,218 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the library: matrices, Frobenius norms, a one-sided Jacobi singular value
+// decomposition and low-rank approximations.
+//
+// The package exists because the spammer score of the worker-driven guidance
+// strategy (Eq. 11 of the paper) is the Frobenius distance of a worker's
+// confusion matrix to its best rank-one approximation, which is obtained via
+// SVD (Eckart–Young). Only the Go standard library is used.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix creates a rows×cols matrix of zeros.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromSlice creates a rows×cols matrix backed by a copy of data,
+// which must have length rows·cols and be in row-major order.
+func NewMatrixFromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("linalg: invalid matrix dimensions %d×%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("linalg: data length %d does not match %d×%d", len(data), rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: append([]float64(nil), data...)}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the entry at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{rows: m.rows, cols: m.cols, data: append([]float64(nil), m.data...)}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("linalg: cannot multiply %d×%d by %d×%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("linalg: cannot multiply %d×%d by vector of length %d", m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Sub returns m − b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("linalg: cannot subtract %d×%d from %d×%d", b.rows, b.cols, m.rows, m.cols)
+	}
+	out := NewMatrix(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm sqrt(Σ m_ij²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// FrobeniusDistance returns ‖m − b‖_F.
+func (m *Matrix) FrobeniusDistance(b *Matrix) (float64, error) {
+	d, err := m.Sub(b)
+	if err != nil {
+		return 0, err
+	}
+	return d.FrobeniusNorm(), nil
+}
+
+// MaxAbs returns the largest absolute entry of the matrix.
+func (m *Matrix) MaxAbs() float64 {
+	maxAbs := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs
+}
+
+// Equal reports whether the two matrices have the same shape and all entries
+// agree within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix with 4-decimal entries, one row per line.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s += fmt.Sprintf("%8.4f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// OuterProduct returns the rank-one matrix u·vᵀ scaled by sigma.
+func OuterProduct(sigma float64, u, v []float64) *Matrix {
+	m := NewMatrix(len(u), len(v))
+	for i := range u {
+		for j := range v {
+			m.Set(i, j, sigma*u[i]*v[j])
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of a vector.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the dot product of two equally long vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMatrixFromSlice(t *testing.T) {
+	m, err := NewMatrixFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	if _, err := NewMatrixFromSlice(2, 2, []float64{1}); err == nil {
+		t.Fatal("mismatched data length accepted")
+	}
+	if _, err := NewMatrixFromSlice(0, 2, nil); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+}
+
+func TestIdentityAndEqual(t *testing.T) {
+	i := Identity(3)
+	if i.At(0, 0) != 1 || i.At(0, 1) != 0 {
+		t.Fatal("identity entries wrong")
+	}
+	if !i.Equal(Identity(3), 0) {
+		t.Fatal("identical matrices not equal")
+	}
+	if i.Equal(Identity(2), 0) {
+		t.Fatal("different shapes reported equal")
+	}
+	j := Identity(3)
+	j.Set(2, 2, 1.5)
+	if i.Equal(j, 0.1) {
+		t.Fatal("entries differing by 0.5 equal within 0.1")
+	}
+	if !i.Equal(j, 0.6) {
+		t.Fatal("entries differing by 0.5 not equal within 0.6")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewMatrixFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims = %d×%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("transpose entries wrong")
+	}
+	if !m.Transpose().Transpose().Equal(m, 0) {
+		t.Fatal("double transpose should be identity")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewMatrixFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b, _ := NewMatrixFromSlice(2, 2, []float64{5, 6, 7, 8})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewMatrixFromSlice(2, 2, []float64{19, 22, 43, 50})
+	if !c.Equal(want, 1e-12) {
+		t.Fatalf("product = %v", c)
+	}
+	if !mustMul(t, a, Identity(2)).Equal(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func mustMul(t *testing.T, a, b *Matrix) *Matrix {
+	t.Helper()
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFromSlice(2, 3, []float64{1, 0, 2, 0, 1, 1})
+	y, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 5 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSubScaleNorms(t *testing.T) {
+	a, _ := NewMatrixFromSlice(2, 2, []float64{3, 0, 0, 4})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v", got)
+	}
+	b := a.Scale(2)
+	if b.At(1, 1) != 8 || a.At(1, 1) != 4 {
+		t.Fatal("Scale wrong or mutated original")
+	}
+	d, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 0) != 3 {
+		t.Fatal("Sub wrong")
+	}
+	if _, err := a.Sub(NewMatrix(3, 3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	dist, err := a.FrobeniusDistance(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist-5) > 1e-12 {
+		t.Fatalf("FrobeniusDistance = %v", dist)
+	}
+	if _, err := a.FrobeniusDistance(NewMatrix(1, 1)); err == nil {
+		t.Fatal("distance shape mismatch accepted")
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := NewMatrixFromSlice(1, 2, []float64{1, 2})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+	if a.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestOuterProductAndVectorOps(t *testing.T) {
+	m := OuterProduct(2, []float64{1, 2}, []float64{3, 4, 5})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("outer dims = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 20 {
+		t.Fatalf("outer(1,2) = %v", m.At(1, 2))
+	}
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AnswerSet is the quadruple N = <O, W, L, M>: n objects, k workers, m labels
+// and an n×k answer matrix whose entries are labels or NoLabel.
+//
+// The zero value is not usable; construct with NewAnswerSet.
+type AnswerSet struct {
+	numObjects int
+	numWorkers int
+	numLabels  int
+
+	// answers is the dense n×k answer matrix, row-major by object.
+	answers []Label
+
+	// Optional human-readable names. When set, their lengths match the
+	// respective dimensions; they carry no semantics for the algorithms.
+	ObjectNames []string
+	WorkerNames []string
+	LabelNames  []string
+}
+
+// NewAnswerSet creates an empty answer set for the given dimensions. All
+// entries of the answer matrix start as NoLabel.
+func NewAnswerSet(numObjects, numWorkers, numLabels int) (*AnswerSet, error) {
+	if numObjects <= 0 || numWorkers <= 0 || numLabels <= 0 {
+		return nil, fmt.Errorf("model: invalid answer set dimensions %d×%d with %d labels",
+			numObjects, numWorkers, numLabels)
+	}
+	a := &AnswerSet{
+		numObjects: numObjects,
+		numWorkers: numWorkers,
+		numLabels:  numLabels,
+		answers:    make([]Label, numObjects*numWorkers),
+	}
+	for i := range a.answers {
+		a.answers[i] = NoLabel
+	}
+	return a, nil
+}
+
+// MustNewAnswerSet is like NewAnswerSet but panics on invalid dimensions.
+// It is intended for tests and examples with constant dimensions.
+func MustNewAnswerSet(numObjects, numWorkers, numLabels int) *AnswerSet {
+	a, err := NewAnswerSet(numObjects, numWorkers, numLabels)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NumObjects returns n, the number of objects.
+func (a *AnswerSet) NumObjects() int { return a.numObjects }
+
+// NumWorkers returns k, the number of workers.
+func (a *AnswerSet) NumWorkers() int { return a.numWorkers }
+
+// NumLabels returns m, the number of labels.
+func (a *AnswerSet) NumLabels() int { return a.numLabels }
+
+func (a *AnswerSet) index(object, worker int) int {
+	return object*a.numWorkers + worker
+}
+
+// ErrOutOfRange is returned when an object, worker or label index is outside
+// the answer set's dimensions.
+var ErrOutOfRange = errors.New("model: index out of range")
+
+// SetAnswer records that worker answered object with the given label.
+// Passing NoLabel removes a previously recorded answer.
+func (a *AnswerSet) SetAnswer(object, worker int, label Label) error {
+	if object < 0 || object >= a.numObjects || worker < 0 || worker >= a.numWorkers {
+		return fmt.Errorf("%w: object %d, worker %d (dims %d×%d)",
+			ErrOutOfRange, object, worker, a.numObjects, a.numWorkers)
+	}
+	if label != NoLabel && !label.Valid(a.numLabels) {
+		return fmt.Errorf("%w: label %d (task has %d labels)", ErrOutOfRange, label, a.numLabels)
+	}
+	a.answers[a.index(object, worker)] = label
+	return nil
+}
+
+// Answer returns M(o, w): the label worker assigned to object, or NoLabel if
+// the worker did not answer. Indices outside the matrix yield NoLabel.
+func (a *AnswerSet) Answer(object, worker int) Label {
+	if object < 0 || object >= a.numObjects || worker < 0 || worker >= a.numWorkers {
+		return NoLabel
+	}
+	return a.answers[a.index(object, worker)]
+}
+
+// Answered reports whether the worker provided a label for the object.
+func (a *AnswerSet) Answered(object, worker int) bool {
+	return a.Answer(object, worker) != NoLabel
+}
+
+// ObjectAnswers returns, for one object, the (worker, label) pairs of all
+// workers that answered it. The slice is freshly allocated.
+func (a *AnswerSet) ObjectAnswers(object int) []WorkerAnswer {
+	if object < 0 || object >= a.numObjects {
+		return nil
+	}
+	var out []WorkerAnswer
+	base := object * a.numWorkers
+	for w := 0; w < a.numWorkers; w++ {
+		if l := a.answers[base+w]; l != NoLabel {
+			out = append(out, WorkerAnswer{Worker: w, Label: l})
+		}
+	}
+	return out
+}
+
+// WorkerAnswer pairs a worker index with the label it assigned.
+type WorkerAnswer struct {
+	Worker int
+	Label  Label
+}
+
+// WorkerObjects returns the indices of all objects the worker answered.
+func (a *AnswerSet) WorkerObjects(worker int) []int {
+	if worker < 0 || worker >= a.numWorkers {
+		return nil
+	}
+	var out []int
+	for o := 0; o < a.numObjects; o++ {
+		if a.answers[a.index(o, worker)] != NoLabel {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// AnswerCount returns the total number of non-empty entries of the answer
+// matrix.
+func (a *AnswerSet) AnswerCount() int {
+	n := 0
+	for _, l := range a.answers {
+		if l != NoLabel {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of empty entries in the answer matrix,
+// in [0, 1]. A fully answered matrix has sparsity 0.
+func (a *AnswerSet) Sparsity() float64 {
+	total := a.numObjects * a.numWorkers
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(a.AnswerCount())/float64(total)
+}
+
+// LabelCounts returns, for one object, how many workers chose each label.
+// The returned slice has length NumLabels.
+func (a *AnswerSet) LabelCounts(object int) []int {
+	counts := make([]int, a.numLabels)
+	if object < 0 || object >= a.numObjects {
+		return counts
+	}
+	base := object * a.numWorkers
+	for w := 0; w < a.numWorkers; w++ {
+		if l := a.answers[base+w]; l != NoLabel {
+			counts[l]++
+		}
+	}
+	return counts
+}
+
+// Clone returns a deep copy of the answer set.
+func (a *AnswerSet) Clone() *AnswerSet {
+	c := &AnswerSet{
+		numObjects: a.numObjects,
+		numWorkers: a.numWorkers,
+		numLabels:  a.numLabels,
+		answers:    append([]Label(nil), a.answers...),
+	}
+	c.ObjectNames = append([]string(nil), a.ObjectNames...)
+	c.WorkerNames = append([]string(nil), a.WorkerNames...)
+	c.LabelNames = append([]string(nil), a.LabelNames...)
+	return c
+}
+
+// MaskWorker removes all answers of the given worker, returning the removed
+// (object, label) pairs so they can be restored later with RestoreWorker.
+// It is used by the worker-driven guidance to quarantine suspected faulty
+// workers without discarding their input permanently (§5.3, "Handling faulty
+// workers").
+func (a *AnswerSet) MaskWorker(worker int) []ObjectAnswer {
+	if worker < 0 || worker >= a.numWorkers {
+		return nil
+	}
+	var removed []ObjectAnswer
+	for o := 0; o < a.numObjects; o++ {
+		idx := a.index(o, worker)
+		if l := a.answers[idx]; l != NoLabel {
+			removed = append(removed, ObjectAnswer{Object: o, Label: l})
+			a.answers[idx] = NoLabel
+		}
+	}
+	return removed
+}
+
+// RestoreWorker re-inserts answers previously removed by MaskWorker.
+func (a *AnswerSet) RestoreWorker(worker int, answers []ObjectAnswer) {
+	if worker < 0 || worker >= a.numWorkers {
+		return
+	}
+	for _, oa := range answers {
+		if oa.Object >= 0 && oa.Object < a.numObjects && oa.Label.Valid(a.numLabels) {
+			a.answers[a.index(oa.Object, worker)] = oa.Label
+		}
+	}
+}
+
+// ObjectAnswer pairs an object index with the label a worker assigned to it.
+type ObjectAnswer struct {
+	Object int
+	Label  Label
+}
+
+// String returns a compact description of the answer set.
+func (a *AnswerSet) String() string {
+	return fmt.Sprintf("AnswerSet(%d objects × %d workers, %d labels, %d answers)",
+		a.numObjects, a.numWorkers, a.numLabels, a.AnswerCount())
+}

@@ -1,0 +1,207 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAnswerSetDimensions(t *testing.T) {
+	a, err := NewAnswerSet(4, 5, 3)
+	if err != nil {
+		t.Fatalf("NewAnswerSet: %v", err)
+	}
+	if a.NumObjects() != 4 || a.NumWorkers() != 5 || a.NumLabels() != 3 {
+		t.Fatalf("dimensions = %d×%d/%d, want 4×5/3", a.NumObjects(), a.NumWorkers(), a.NumLabels())
+	}
+	if a.AnswerCount() != 0 {
+		t.Fatalf("new answer set has %d answers, want 0", a.AnswerCount())
+	}
+	if a.Sparsity() != 1 {
+		t.Fatalf("new answer set sparsity = %v, want 1", a.Sparsity())
+	}
+}
+
+func TestNewAnswerSetInvalid(t *testing.T) {
+	cases := [][3]int{{0, 5, 2}, {5, 0, 2}, {5, 5, 0}, {-1, 5, 2}}
+	for _, c := range cases {
+		if _, err := NewAnswerSet(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewAnswerSet(%v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestSetAndGetAnswer(t *testing.T) {
+	a := MustNewAnswerSet(3, 2, 2)
+	if err := a.SetAnswer(0, 1, 1); err != nil {
+		t.Fatalf("SetAnswer: %v", err)
+	}
+	if got := a.Answer(0, 1); got != 1 {
+		t.Fatalf("Answer(0,1) = %d, want 1", got)
+	}
+	if got := a.Answer(0, 0); got != NoLabel {
+		t.Fatalf("Answer(0,0) = %d, want NoLabel", got)
+	}
+	if !a.Answered(0, 1) || a.Answered(1, 1) {
+		t.Fatal("Answered mismatch")
+	}
+	// Retract the answer.
+	if err := a.SetAnswer(0, 1, NoLabel); err != nil {
+		t.Fatalf("SetAnswer(NoLabel): %v", err)
+	}
+	if a.AnswerCount() != 0 {
+		t.Fatal("answer not retracted")
+	}
+}
+
+func TestSetAnswerOutOfRange(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 2)
+	if err := a.SetAnswer(2, 0, 0); err == nil {
+		t.Error("object out of range accepted")
+	}
+	if err := a.SetAnswer(0, 2, 0); err == nil {
+		t.Error("worker out of range accepted")
+	}
+	if err := a.SetAnswer(0, 0, 5); err == nil {
+		t.Error("label out of range accepted")
+	}
+	if got := a.Answer(9, 9); got != NoLabel {
+		t.Errorf("Answer out of range = %d, want NoLabel", got)
+	}
+}
+
+func TestObjectAndWorkerViews(t *testing.T) {
+	a := MustNewAnswerSet(3, 3, 2)
+	mustSet := func(o, w int, l Label) {
+		t.Helper()
+		if err := a.SetAnswer(o, w, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(0, 0, 0)
+	mustSet(0, 2, 1)
+	mustSet(1, 2, 0)
+
+	oa := a.ObjectAnswers(0)
+	if len(oa) != 2 || oa[0].Worker != 0 || oa[0].Label != 0 || oa[1].Worker != 2 || oa[1].Label != 1 {
+		t.Fatalf("ObjectAnswers(0) = %+v", oa)
+	}
+	if got := a.WorkerObjects(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("WorkerObjects(2) = %v", got)
+	}
+	counts := a.LabelCounts(0)
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("LabelCounts(0) = %v", counts)
+	}
+	if got := a.ObjectAnswers(-1); got != nil {
+		t.Fatalf("ObjectAnswers(-1) = %v, want nil", got)
+	}
+	if got := a.WorkerObjects(99); got != nil {
+		t.Fatalf("WorkerObjects(99) = %v, want nil", got)
+	}
+}
+
+func TestMaskAndRestoreWorker(t *testing.T) {
+	a := MustNewAnswerSet(3, 2, 2)
+	for o := 0; o < 3; o++ {
+		if err := a.SetAnswer(o, 1, Label(o%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.AnswerCount()
+	removed := a.MaskWorker(1)
+	if len(removed) != 3 {
+		t.Fatalf("MaskWorker removed %d answers, want 3", len(removed))
+	}
+	if a.AnswerCount() != before-3 {
+		t.Fatalf("answers after mask = %d", a.AnswerCount())
+	}
+	a.RestoreWorker(1, removed)
+	if a.AnswerCount() != before {
+		t.Fatalf("answers after restore = %d, want %d", a.AnswerCount(), before)
+	}
+	for o := 0; o < 3; o++ {
+		if a.Answer(o, 1) != Label(o%2) {
+			t.Fatalf("restored answer mismatch at object %d", o)
+		}
+	}
+}
+
+func TestAnswerSetClone(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 2)
+	if err := a.SetAnswer(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.LabelNames = []string{"neg", "pos"}
+	c := a.Clone()
+	if err := c.SetAnswer(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.LabelNames[0] = "changed"
+	if a.Answer(0, 0) != 1 {
+		t.Fatal("clone mutation leaked into original answers")
+	}
+	if a.LabelNames[0] != "neg" {
+		t.Fatal("clone mutation leaked into original names")
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 2)
+	if err := a.SetAnswer(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Sparsity(), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sparsity = %v, want %v", got, want)
+	}
+}
+
+func TestWorkerTypeString(t *testing.T) {
+	if ReliableWorker.String() != "reliable" || RandomSpammer.String() != "random-spammer" {
+		t.Fatal("unexpected worker type names")
+	}
+	if WorkerType(42).String() == "" {
+		t.Fatal("unknown worker type should still render")
+	}
+	if ReliableWorker.Faulty() || NormalWorker.Faulty() {
+		t.Fatal("reliable/normal must not be faulty")
+	}
+	if !SloppyWorker.Faulty() || !UniformSpammer.Faulty() || !RandomSpammer.Faulty() {
+		t.Fatal("sloppy/spammers must be faulty")
+	}
+}
+
+// Property: masking then restoring a worker always yields the original matrix.
+func TestMaskRestoreRoundTripProperty(t *testing.T) {
+	f := func(seedAnswers []uint8) bool {
+		const n, k, m = 6, 4, 3
+		a := MustNewAnswerSet(n, k, m)
+		for i, v := range seedAnswers {
+			o := i % n
+			w := (i / n) % k
+			l := Label(int(v) % (m + 1))
+			if l == Label(m) {
+				l = NoLabel
+			}
+			if err := a.SetAnswer(o, w, l); err != nil {
+				return false
+			}
+		}
+		orig := a.Clone()
+		for w := 0; w < k; w++ {
+			removed := a.MaskWorker(w)
+			a.RestoreWorker(w, removed)
+		}
+		for o := 0; o < n; o++ {
+			for w := 0; w < k; w++ {
+				if a.Answer(o, w) != orig.Answer(o, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

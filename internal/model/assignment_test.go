@@ -1,0 +1,127 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAssignmentMatrixUniform(t *testing.T) {
+	u := NewAssignmentMatrix(3, 4)
+	if u.NumObjects() != 3 || u.NumLabels() != 4 {
+		t.Fatalf("dims = %d×%d", u.NumObjects(), u.NumLabels())
+	}
+	if !u.IsDistribution(1e-9) {
+		t.Fatal("fresh assignment matrix must hold distributions")
+	}
+	if got := u.Prob(1, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Prob = %v, want 0.25", got)
+	}
+}
+
+func TestAssignmentSetCertainAndMostLikely(t *testing.T) {
+	u := NewAssignmentMatrix(2, 3)
+	u.SetCertain(0, 2)
+	if l, p := u.MostLikely(0); l != 2 || p != 1 {
+		t.Fatalf("MostLikely = (%d, %v), want (2, 1)", l, p)
+	}
+	if got := u.Prob(0, 0); got != 0 {
+		t.Fatalf("Prob(0,0) = %v, want 0", got)
+	}
+	// Tie broken toward smaller index.
+	u.SetRow(1, []float64{0.4, 0.4, 0.2})
+	if l, _ := u.MostLikely(1); l != 0 {
+		t.Fatalf("tie break = %d, want 0", l)
+	}
+}
+
+func TestAssignmentNormalizeRow(t *testing.T) {
+	u := NewAssignmentMatrix(2, 2)
+	u.SetRow(0, []float64{2, 6})
+	u.NormalizeRow(0)
+	if got := u.Prob(0, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("normalized = %v, want 0.75", got)
+	}
+	u.SetRow(1, []float64{0, 0})
+	u.NormalizeRow(1)
+	if got := u.Prob(1, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("zero row should become uniform, got %v", got)
+	}
+	u.SetRow(1, []float64{math.NaN(), 1})
+	u.NormalizeRow(1)
+	if got := u.Prob(1, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("NaN row should become uniform, got %v", got)
+	}
+}
+
+func TestAssignmentPriors(t *testing.T) {
+	u := NewAssignmentMatrix(2, 2)
+	u.SetRow(0, []float64{1, 0})
+	u.SetRow(1, []float64{0.5, 0.5})
+	priors := u.Priors()
+	if math.Abs(priors[0]-0.75) > 1e-12 || math.Abs(priors[1]-0.25) > 1e-12 {
+		t.Fatalf("Priors = %v", priors)
+	}
+	sum := priors[0] + priors[1]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("priors sum to %v", sum)
+	}
+}
+
+func TestAssignmentMaxAbsDiffAndClone(t *testing.T) {
+	u := NewAssignmentMatrix(2, 2)
+	v := u.Clone()
+	if d := u.MaxAbsDiff(v); d != 0 {
+		t.Fatalf("diff of clones = %v", d)
+	}
+	v.SetProb(1, 1, 0.9)
+	if d := u.MaxAbsDiff(v); math.Abs(d-0.4) > 1e-12 {
+		t.Fatalf("diff = %v, want 0.4", d)
+	}
+	w := NewAssignmentMatrix(3, 2)
+	if !math.IsInf(u.MaxAbsDiff(w), 1) {
+		t.Fatal("mismatched dimensions should give +Inf")
+	}
+	// Clone must not share storage.
+	v.SetProb(0, 0, 0)
+	if u.Prob(0, 0) == 0 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestAssignmentRowCopy(t *testing.T) {
+	u := NewAssignmentMatrix(1, 2)
+	row := u.Row(0)
+	row[0] = 42
+	if u.Prob(0, 0) == 42 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+// Property: after SetRow with non-negative values and NormalizeRow, the row is
+// a probability distribution and MostLikely returns its argmax.
+func TestAssignmentNormalizeProperty(t *testing.T) {
+	f := func(vals [4]float64) bool {
+		u := NewAssignmentMatrix(1, 4)
+		row := make([]float64, 4)
+		for i, v := range vals {
+			row[i] = math.Abs(math.Mod(v, 100))
+		}
+		u.SetRow(0, row)
+		u.NormalizeRow(0)
+		if !u.IsDistribution(1e-9) {
+			return false
+		}
+		best, bestP := u.MostLikely(0)
+		for l := 0; l < 4; l++ {
+			if u.Prob(0, Label(l)) > bestP+1e-12 {
+				return false
+			}
+		}
+		_ = best
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformConfusionMatrix(t *testing.T) {
+	c := NewUniformConfusionMatrix(4)
+	if c.NumLabels() != 4 {
+		t.Fatalf("NumLabels = %d", c.NumLabels())
+	}
+	for l := 0; l < 4; l++ {
+		for l2 := 0; l2 < 4; l2++ {
+			if got := c.At(Label(l), Label(l2)); math.Abs(got-0.25) > 1e-12 {
+				t.Fatalf("At(%d,%d) = %v, want 0.25", l, l2, got)
+			}
+		}
+	}
+	if !c.IsRowStochastic(1e-9) {
+		t.Fatal("uniform matrix should be row-stochastic")
+	}
+}
+
+func TestDiagonalConfusionMatrix(t *testing.T) {
+	c := NewDiagonalConfusionMatrix(3, 0.7)
+	if got := c.At(1, 1); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("diagonal = %v, want 0.7", got)
+	}
+	if got := c.At(1, 2); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("off-diagonal = %v, want 0.15", got)
+	}
+	if !c.IsRowStochastic(1e-9) {
+		t.Fatal("diagonal matrix should be row-stochastic")
+	}
+	if got := c.Accuracy(nil); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 0.7", got)
+	}
+	if got := c.ErrorRate(nil); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("ErrorRate = %v, want 0.3", got)
+	}
+}
+
+func TestDiagonalConfusionSingleLabel(t *testing.T) {
+	c := NewDiagonalConfusionMatrix(1, 0.9)
+	if got := c.At(0, 0); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("single-label diagonal = %v", got)
+	}
+}
+
+func TestNormalizeRowsZeroRow(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	c.Set(0, 0, 3)
+	c.Set(0, 1, 1)
+	// Row 1 stays all zero.
+	c.NormalizeRows()
+	if got := c.At(0, 0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("normalized (0,0) = %v, want 0.75", got)
+	}
+	if got := c.At(1, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("zero row should become uniform, got %v", got)
+	}
+	if !c.IsRowStochastic(1e-9) {
+		t.Fatal("normalized matrix must be row-stochastic")
+	}
+}
+
+func TestSmoothRemovesZeros(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	c.Set(0, 0, 1)
+	c.Set(1, 1, 1)
+	c.Smooth(0.01)
+	for l := 0; l < 2; l++ {
+		for l2 := 0; l2 < 2; l2++ {
+			if c.At(Label(l), Label(l2)) <= 0 {
+				t.Fatalf("entry (%d,%d) still zero after smoothing", l, l2)
+			}
+		}
+	}
+	if !c.IsRowStochastic(1e-9) {
+		t.Fatal("smoothed matrix must be row-stochastic")
+	}
+}
+
+func TestErrorRateWithPriors(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	c.Set(0, 0, 1) // perfect on label 0
+	c.Set(1, 0, 1) // always wrong on label 1
+	priors := []float64{0.8, 0.2}
+	if got := c.ErrorRate(priors); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("ErrorRate = %v, want 0.2", got)
+	}
+	if got := c.Accuracy(priors); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 0.8", got)
+	}
+}
+
+func TestConfusionAddRowDenseCloneString(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	c.Add(0, 1, 2)
+	c.Add(0, 1, 1)
+	if got := c.At(0, 1); got != 3 {
+		t.Fatalf("Add accumulated %v, want 3", got)
+	}
+	row := c.Row(0)
+	row[1] = 99
+	if c.At(0, 1) != 3 {
+		t.Fatal("Row must return a copy")
+	}
+	d := c.Dense()
+	if len(d) != 4 || d[1] != 3 {
+		t.Fatalf("Dense = %v", d)
+	}
+	cl := c.Clone()
+	cl.Set(0, 1, 0)
+	if c.At(0, 1) != 3 {
+		t.Fatal("Clone must not share storage")
+	}
+	if c.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+// Property: Accuracy + ErrorRate = 1 for any row-stochastic matrix and priors
+// that form a distribution.
+func TestAccuracyErrorRateComplementProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		const m = 3
+		if len(raw) < m*m+m {
+			return true
+		}
+		c := NewConfusionMatrix(m)
+		idx := 0
+		for l := 0; l < m; l++ {
+			for l2 := 0; l2 < m; l2++ {
+				c.Set(Label(l), Label(l2), math.Abs(math.Mod(raw[idx], 10)))
+				idx++
+			}
+		}
+		c.NormalizeRows()
+		priors := make([]float64, m)
+		sum := 0.0
+		for l := 0; l < m; l++ {
+			priors[l] = math.Abs(math.Mod(raw[idx], 10)) + 1e-3
+			sum += priors[l]
+			idx++
+		}
+		for l := range priors {
+			priors[l] /= sum
+		}
+		total := c.Accuracy(priors) + c.ErrorRate(priors)
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package model defines the crowdsourcing data model used throughout the
+// library: objects, workers, labels, answer matrices, expert validations,
+// worker confusion matrices, probabilistic label assignments and the
+// deterministic assignments derived from them.
+//
+// The vocabulary follows "Minimizing Efforts in Validating Crowd Answers"
+// (SIGMOD 2015), §3.1: an answer set N = <O, W, L, M> collects the labels
+// that k workers assigned to n objects; a probabilistic answer set
+// P = <N, e, U, C> augments it with an expert validation function e, an
+// assignment matrix U and the per-worker confusion matrices C.
+package model
+
+import "fmt"
+
+// Label identifies one of the m possible labels of a classification task.
+// Labels are dense indices in [0, m). The special value NoLabel denotes the
+// absence of a label (a worker skipped the object, or the expert has not
+// validated it yet).
+type Label int
+
+// NoLabel is the ⊥ label: no answer / no validation.
+const NoLabel Label = -1
+
+// Valid reports whether l is a proper label for a task with numLabels labels.
+func (l Label) Valid(numLabels int) bool {
+	return l >= 0 && int(l) < numLabels
+}
+
+// WorkerType classifies crowd workers following Kazai et al. (CIKM 2011),
+// as summarized in §2 of the paper.
+type WorkerType int
+
+const (
+	// ReliableWorker answers with very high reliability.
+	ReliableWorker WorkerType = iota
+	// NormalWorker has general knowledge but makes occasional mistakes.
+	NormalWorker
+	// SloppyWorker has little knowledge and answers mostly incorrectly,
+	// but unintentionally.
+	SloppyWorker
+	// UniformSpammer intentionally gives the same answer to every question.
+	UniformSpammer
+	// RandomSpammer gives uniformly random answers.
+	RandomSpammer
+)
+
+var workerTypeNames = map[WorkerType]string{
+	ReliableWorker: "reliable",
+	NormalWorker:   "normal",
+	SloppyWorker:   "sloppy",
+	UniformSpammer: "uniform-spammer",
+	RandomSpammer:  "random-spammer",
+}
+
+// String returns the lower-case name of the worker type.
+func (t WorkerType) String() string {
+	if s, ok := workerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("WorkerType(%d)", int(t))
+}
+
+// Faulty reports whether the worker type is one of the problematic types the
+// worker-driven guidance strategy tries to detect (sloppy workers, uniform
+// spammers and random spammers).
+func (t WorkerType) Faulty() bool {
+	switch t {
+	case SloppyWorker, UniformSpammer, RandomSpammer:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,137 @@
+package model
+
+import "fmt"
+
+// ProbabilisticAnswerSet is the quadruple P = <N, e, U, C>: an answer set N,
+// an expert validation function e, an assignment matrix U and one confusion
+// matrix per worker.
+type ProbabilisticAnswerSet struct {
+	Answers    *AnswerSet
+	Validation *Validation
+	Assignment *AssignmentMatrix
+	Confusions []*ConfusionMatrix
+}
+
+// NewProbabilisticAnswerSet builds an initial probabilistic answer set for the
+// given answers: an empty validation function, a uniform assignment matrix and
+// uniform confusion matrices for every worker.
+func NewProbabilisticAnswerSet(answers *AnswerSet) *ProbabilisticAnswerSet {
+	confusions := make([]*ConfusionMatrix, answers.NumWorkers())
+	for w := range confusions {
+		confusions[w] = NewUniformConfusionMatrix(answers.NumLabels())
+	}
+	return &ProbabilisticAnswerSet{
+		Answers:    answers,
+		Validation: NewValidation(answers.NumObjects()),
+		Assignment: NewAssignmentMatrix(answers.NumObjects(), answers.NumLabels()),
+		Confusions: confusions,
+	}
+}
+
+// Validate verifies the internal consistency of the probabilistic answer set:
+// matching dimensions, row-stochastic matrices and validation labels within
+// range. It returns nil when the set is consistent.
+func (p *ProbabilisticAnswerSet) Validate() error {
+	if p.Answers == nil || p.Validation == nil || p.Assignment == nil {
+		return fmt.Errorf("model: probabilistic answer set has nil components")
+	}
+	n, m, k := p.Answers.NumObjects(), p.Answers.NumLabels(), p.Answers.NumWorkers()
+	if p.Validation.NumObjects() != n {
+		return fmt.Errorf("model: validation covers %d objects, answer set has %d", p.Validation.NumObjects(), n)
+	}
+	if p.Assignment.NumObjects() != n || p.Assignment.NumLabels() != m {
+		return fmt.Errorf("model: assignment matrix is %d×%d, expected %d×%d",
+			p.Assignment.NumObjects(), p.Assignment.NumLabels(), n, m)
+	}
+	if len(p.Confusions) != k {
+		return fmt.Errorf("model: %d confusion matrices for %d workers", len(p.Confusions), k)
+	}
+	const tol = 1e-6
+	if !p.Assignment.IsDistribution(tol) {
+		return fmt.Errorf("model: assignment matrix rows are not probability distributions")
+	}
+	for w, c := range p.Confusions {
+		if c.NumLabels() != m {
+			return fmt.Errorf("model: confusion matrix of worker %d is %d×%d, expected %d×%d",
+				w, c.NumLabels(), c.NumLabels(), m, m)
+		}
+		if !c.IsRowStochastic(tol) {
+			return fmt.Errorf("model: confusion matrix of worker %d is not row-stochastic", w)
+		}
+	}
+	for o := 0; o < n; o++ {
+		if l := p.Validation.Get(o); l != NoLabel && !l.Valid(m) {
+			return fmt.Errorf("model: validation of object %d uses invalid label %d", o, l)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the probabilistic answer set. The underlying
+// answer set is also cloned, so the copy can be mutated independently (e.g.
+// for hypothetical validations during information-gain computation).
+func (p *ProbabilisticAnswerSet) Clone() *ProbabilisticAnswerSet {
+	confusions := make([]*ConfusionMatrix, len(p.Confusions))
+	for w, c := range p.Confusions {
+		confusions[w] = c.Clone()
+	}
+	return &ProbabilisticAnswerSet{
+		Answers:    p.Answers.Clone(),
+		Validation: p.Validation.Clone(),
+		Assignment: p.Assignment.Clone(),
+		Confusions: confusions,
+	}
+}
+
+// CloneShared returns a copy that shares the (immutable) answer set but deep
+// copies the validation, assignment and confusion matrices. This is the cheap
+// clone used when exploring hypothetical expert inputs.
+func (p *ProbabilisticAnswerSet) CloneShared() *ProbabilisticAnswerSet {
+	confusions := make([]*ConfusionMatrix, len(p.Confusions))
+	for w, c := range p.Confusions {
+		confusions[w] = c.Clone()
+	}
+	return &ProbabilisticAnswerSet{
+		Answers:    p.Answers,
+		Validation: p.Validation.Clone(),
+		Assignment: p.Assignment.Clone(),
+		Confusions: confusions,
+	}
+}
+
+// DeterministicAssignment is the result of the crowdsourcing process: a
+// function d: O → L that assigns one label to every object.
+type DeterministicAssignment []Label
+
+// NewDeterministicAssignment creates an assignment with all objects set to
+// NoLabel.
+func NewDeterministicAssignment(numObjects int) DeterministicAssignment {
+	d := make(DeterministicAssignment, numObjects)
+	for i := range d {
+		d[i] = NoLabel
+	}
+	return d
+}
+
+// Clone returns a copy of the deterministic assignment.
+func (d DeterministicAssignment) Clone() DeterministicAssignment {
+	return append(DeterministicAssignment(nil), d...)
+}
+
+// Instantiate derives the deterministic assignment from the probabilistic
+// answer set: validated objects keep the expert's label, all other objects
+// receive the most likely label of the assignment matrix ("filter" step of
+// the validation process, §3.2).
+func (p *ProbabilisticAnswerSet) Instantiate() DeterministicAssignment {
+	n := p.Answers.NumObjects()
+	d := NewDeterministicAssignment(n)
+	for o := 0; o < n; o++ {
+		if l := p.Validation.Get(o); l != NoLabel {
+			d[o] = l
+			continue
+		}
+		l, _ := p.Assignment.MostLikely(o)
+		d[o] = l
+	}
+	return d
+}

@@ -1,0 +1,115 @@
+package model
+
+import "testing"
+
+func newTestProbSet(t *testing.T) *ProbabilisticAnswerSet {
+	t.Helper()
+	a := MustNewAnswerSet(3, 2, 2)
+	for o := 0; o < 3; o++ {
+		if err := a.SetAnswer(o, 0, Label(o%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewProbabilisticAnswerSet(a)
+}
+
+func TestNewProbabilisticAnswerSetConsistent(t *testing.T) {
+	p := newTestProbSet(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.Confusions) != 2 {
+		t.Fatalf("confusions = %d, want 2", len(p.Confusions))
+	}
+}
+
+func TestProbSetValidateDetectsInconsistencies(t *testing.T) {
+	p := newTestProbSet(t)
+	p.Assignment.SetRow(0, []float64{2, 2})
+	if err := p.Validate(); err == nil {
+		t.Fatal("non-distribution assignment accepted")
+	}
+
+	p = newTestProbSet(t)
+	p.Confusions = p.Confusions[:1]
+	if err := p.Validate(); err == nil {
+		t.Fatal("missing confusion matrix accepted")
+	}
+
+	p = newTestProbSet(t)
+	p.Validation = NewValidation(99)
+	if err := p.Validate(); err == nil {
+		t.Fatal("mismatched validation accepted")
+	}
+
+	p = newTestProbSet(t)
+	p.Validation.Set(0, 7)
+	if err := p.Validate(); err == nil {
+		t.Fatal("invalid validation label accepted")
+	}
+
+	if err := (&ProbabilisticAnswerSet{}).Validate(); err == nil {
+		t.Fatal("nil components accepted")
+	}
+}
+
+func TestInstantiatePrefersValidationThenMostLikely(t *testing.T) {
+	p := newTestProbSet(t)
+	p.Assignment.SetRow(0, []float64{0.2, 0.8})
+	p.Assignment.SetRow(1, []float64{0.9, 0.1})
+	p.Assignment.SetRow(2, []float64{0.6, 0.4})
+	p.Validation.Set(2, 1) // expert overrides the most-likely label 0
+
+	d := p.Instantiate()
+	if d[0] != 1 || d[1] != 0 {
+		t.Fatalf("instantiated = %v", d)
+	}
+	if d[2] != 1 {
+		t.Fatalf("validated object must keep expert label, got %d", d[2])
+	}
+}
+
+func TestProbSetClones(t *testing.T) {
+	p := newTestProbSet(t)
+	deep := p.Clone()
+	shared := p.CloneShared()
+
+	deep.Validation.Set(0, 1)
+	shared.Validation.Set(1, 1)
+	if p.Validation.Validated(0) || p.Validation.Validated(1) {
+		t.Fatal("clone validations leaked into original")
+	}
+
+	deep.Assignment.SetCertain(0, 1)
+	shared.Assignment.SetCertain(1, 1)
+	if p.Assignment.Prob(0, 1) == 1 || p.Assignment.Prob(1, 1) == 1 {
+		t.Fatal("clone assignments leaked into original")
+	}
+
+	deep.Confusions[0].Set(0, 0, 0.99)
+	if p.Confusions[0].At(0, 0) == 0.99 {
+		t.Fatal("clone confusions leaked into original")
+	}
+
+	// Deep clone has its own answer set, shared clone reuses it.
+	if deep.Answers == p.Answers {
+		t.Fatal("Clone must copy the answer set")
+	}
+	if shared.Answers != p.Answers {
+		t.Fatal("CloneShared must share the answer set")
+	}
+}
+
+func TestNewDeterministicAssignment(t *testing.T) {
+	d := NewDeterministicAssignment(3)
+	for _, l := range d {
+		if l != NoLabel {
+			t.Fatal("fresh deterministic assignment must be all NoLabel")
+		}
+	}
+	c := d.Clone()
+	c[0] = 1
+	if d[0] != NoLabel {
+		t.Fatal("Clone shares storage")
+	}
+}

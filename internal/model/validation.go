@@ -1,0 +1,100 @@
+package model
+
+// Validation is the expert answer-validation function e: O → L ∪ {⊥}.
+// It records, per object, the label the validating expert asserted to be
+// correct, or NoLabel if the object has not been validated yet.
+type Validation struct {
+	labels []Label
+}
+
+// NewValidation creates an empty validation function for numObjects objects.
+func NewValidation(numObjects int) *Validation {
+	v := &Validation{labels: make([]Label, numObjects)}
+	for i := range v.labels {
+		v.labels[i] = NoLabel
+	}
+	return v
+}
+
+// NumObjects returns the number of objects covered by the function.
+func (v *Validation) NumObjects() int { return len(v.labels) }
+
+// Get returns e(object), or NoLabel for out-of-range objects.
+func (v *Validation) Get(object int) Label {
+	if object < 0 || object >= len(v.labels) {
+		return NoLabel
+	}
+	return v.labels[object]
+}
+
+// Set records the expert input e(object) = label. Setting NoLabel retracts a
+// validation.
+func (v *Validation) Set(object int, label Label) {
+	if object < 0 || object >= len(v.labels) {
+		return
+	}
+	v.labels[object] = label
+}
+
+// Validated reports whether the expert has validated the object.
+func (v *Validation) Validated(object int) bool {
+	return v.Get(object) != NoLabel
+}
+
+// Count returns the number of validated objects.
+func (v *Validation) Count() int {
+	n := 0
+	for _, l := range v.labels {
+		if l != NoLabel {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidatedObjects returns the indices of all validated objects in ascending
+// order.
+func (v *Validation) ValidatedObjects() []int {
+	var out []int
+	for o, l := range v.labels {
+		if l != NoLabel {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// UnvalidatedObjects returns the indices of all objects the expert has not
+// validated yet, in ascending order.
+func (v *Validation) UnvalidatedObjects() []int {
+	var out []int
+	for o, l := range v.labels {
+		if l == NoLabel {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Ratio returns the fraction of validated objects, the quantity f_i = i/|O|
+// used by the hybrid weighting scheme (Eq. 15).
+func (v *Validation) Ratio() float64 {
+	if len(v.labels) == 0 {
+		return 0
+	}
+	return float64(v.Count()) / float64(len(v.labels))
+}
+
+// Clone returns a deep copy of the validation function.
+func (v *Validation) Clone() *Validation {
+	return &Validation{labels: append([]Label(nil), v.labels...)}
+}
+
+// CloneWithout returns a copy of the validation function from which the
+// validation of the given object has been removed. It is used by the
+// confirmation check for erroneous expert input (§5.5).
+func (v *Validation) CloneWithout(object int) *Validation {
+	c := v.Clone()
+	c.Set(object, NoLabel)
+	return c
+}

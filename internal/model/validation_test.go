@@ -1,0 +1,74 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidationBasics(t *testing.T) {
+	v := NewValidation(4)
+	if v.NumObjects() != 4 || v.Count() != 0 {
+		t.Fatalf("new validation: objects=%d count=%d", v.NumObjects(), v.Count())
+	}
+	v.Set(1, 2)
+	v.Set(3, 0)
+	if !v.Validated(1) || v.Validated(0) {
+		t.Fatal("Validated mismatch")
+	}
+	if got := v.Get(1); got != 2 {
+		t.Fatalf("Get(1) = %d", got)
+	}
+	if got := v.Get(99); got != NoLabel {
+		t.Fatalf("out-of-range Get = %d", got)
+	}
+	if got := v.Count(); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := v.ValidatedObjects(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ValidatedObjects = %v", got)
+	}
+	if got := v.UnvalidatedObjects(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("UnvalidatedObjects = %v", got)
+	}
+	if got := v.Ratio(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	// Retract.
+	v.Set(1, NoLabel)
+	if v.Validated(1) || v.Count() != 1 {
+		t.Fatal("retraction failed")
+	}
+	// Out-of-range Set is a no-op.
+	v.Set(-1, 0)
+	v.Set(100, 0)
+	if v.Count() != 1 {
+		t.Fatal("out-of-range Set changed state")
+	}
+}
+
+func TestValidationCloneWithout(t *testing.T) {
+	v := NewValidation(3)
+	v.Set(0, 1)
+	v.Set(2, 0)
+	c := v.CloneWithout(2)
+	if c.Validated(2) {
+		t.Fatal("CloneWithout kept the validation")
+	}
+	if !c.Validated(0) {
+		t.Fatal("CloneWithout dropped other validations")
+	}
+	if !v.Validated(2) {
+		t.Fatal("CloneWithout mutated the original")
+	}
+	c.Set(1, 1)
+	if v.Validated(1) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestValidationRatioEmpty(t *testing.T) {
+	v := &Validation{}
+	if v.Ratio() != 0 {
+		t.Fatal("empty validation ratio should be 0")
+	}
+}

@@ -1,0 +1,201 @@
+// Package partition splits large, sparse answer matrices into smaller, denser
+// blocks that can be validated and aggregated independently.
+//
+// The paper (§5.4) relies on METIS-style sparse matrix partitioning because
+// workers only answer a limited number of questions, so the full answer
+// matrix of a large crowdsourcing campaign is sparse. This package provides a
+// stdlib-only substitute: a greedy breadth-first block partitioner over the
+// bipartite object–worker graph. It keeps objects that share workers in the
+// same block (so per-block confusion matrices remain informative) and bounds
+// the block size so each block "fits for human interactions".
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdval/internal/model"
+)
+
+// Block is one partition cell: a set of object indices and the workers that
+// answered at least one of them.
+type Block struct {
+	Objects []int
+	Workers []int
+}
+
+// Partitioning is the result of partitioning an answer set.
+type Partitioning struct {
+	Blocks []Block
+	// answers is the original answer set the partitioning refers to.
+	answers *model.AnswerSet
+}
+
+// Options control the partitioner.
+type Options struct {
+	// MaxObjectsPerBlock bounds the number of objects per block. Values
+	// below 1 are treated as 1.
+	MaxObjectsPerBlock int
+}
+
+// Partition splits the objects of the answer set into blocks of at most
+// opts.MaxObjectsPerBlock objects. Objects connected through shared workers
+// are greedily grouped together (breadth-first traversal of the bipartite
+// graph); isolated objects form their own blocks at the end.
+func Partition(answers *model.AnswerSet, opts Options) (*Partitioning, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("partition: nil answer set")
+	}
+	maxObjects := opts.MaxObjectsPerBlock
+	if maxObjects < 1 {
+		maxObjects = 1
+	}
+	n := answers.NumObjects()
+
+	// Adjacency: object -> workers, worker -> objects.
+	objectWorkers := make([][]int, n)
+	workerObjects := make([][]int, answers.NumWorkers())
+	for o := 0; o < n; o++ {
+		for _, wa := range answers.ObjectAnswers(o) {
+			objectWorkers[o] = append(objectWorkers[o], wa.Worker)
+			workerObjects[wa.Worker] = append(workerObjects[wa.Worker], o)
+		}
+	}
+
+	visited := make([]bool, n)
+	var blocks []Block
+
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		// Grow a block from this seed using BFS over shared workers.
+		var objects []int
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 && len(objects) < maxObjects {
+			o := queue[0]
+			queue = queue[1:]
+			objects = append(objects, o)
+			for _, w := range objectWorkers[o] {
+				for _, next := range workerObjects[w] {
+					if !visited[next] && len(objects)+len(queue) < maxObjects {
+						visited[next] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+		}
+		// Whatever is left in the queue still belongs to this block (it was
+		// already marked visited and counted against maxObjects).
+		objects = append(objects, queue...)
+		sort.Ints(objects)
+		blocks = append(blocks, Block{
+			Objects: objects,
+			Workers: blockWorkers(objects, objectWorkers),
+		})
+	}
+
+	return &Partitioning{Blocks: blocks, answers: answers}, nil
+}
+
+func blockWorkers(objects []int, objectWorkers [][]int) []int {
+	seen := make(map[int]bool)
+	for _, o := range objects {
+		for _, w := range objectWorkers[o] {
+			seen[w] = true
+		}
+	}
+	workers := make([]int, 0, len(seen))
+	for w := range seen {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	return workers
+}
+
+// NumBlocks returns the number of blocks.
+func (p *Partitioning) NumBlocks() int { return len(p.Blocks) }
+
+// LargestBlock returns the maximal number of objects in a block (0 when there
+// are no blocks).
+func (p *Partitioning) LargestBlock() int {
+	largest := 0
+	for _, b := range p.Blocks {
+		if len(b.Objects) > largest {
+			largest = len(b.Objects)
+		}
+	}
+	return largest
+}
+
+// CoversAllObjects reports whether every object of the answer set appears in
+// exactly one block.
+func (p *Partitioning) CoversAllObjects() bool {
+	if p.answers == nil {
+		return false
+	}
+	seen := make(map[int]int)
+	for _, b := range p.Blocks {
+		for _, o := range b.Objects {
+			seen[o]++
+		}
+	}
+	if len(seen) != p.answers.NumObjects() {
+		return false
+	}
+	for _, count := range seen {
+		if count != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Density returns, for one block, the fraction of (object, worker) cells of
+// the block's sub-matrix that contain an answer. Empty blocks have density 0.
+func (p *Partitioning) Density(block int) float64 {
+	if block < 0 || block >= len(p.Blocks) || p.answers == nil {
+		return 0
+	}
+	b := p.Blocks[block]
+	if len(b.Objects) == 0 || len(b.Workers) == 0 {
+		return 0
+	}
+	filled := 0
+	for _, o := range b.Objects {
+		for _, w := range b.Workers {
+			if p.answers.Answered(o, w) {
+				filled++
+			}
+		}
+	}
+	return float64(filled) / float64(len(b.Objects)*len(b.Workers))
+}
+
+// SubAnswerSet materializes one block as a standalone answer set whose object
+// and worker indices are renumbered densely. The returned mappings give, for
+// each new index, the original object/worker index.
+func (p *Partitioning) SubAnswerSet(block int) (*model.AnswerSet, []int, []int, error) {
+	if block < 0 || block >= len(p.Blocks) {
+		return nil, nil, nil, fmt.Errorf("partition: block %d out of range (have %d)", block, len(p.Blocks))
+	}
+	b := p.Blocks[block]
+	if len(b.Objects) == 0 || len(b.Workers) == 0 {
+		return nil, nil, nil, fmt.Errorf("partition: block %d has no answers", block)
+	}
+	sub, err := model.NewAnswerSet(len(b.Objects), len(b.Workers), p.answers.NumLabels())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for oi, o := range b.Objects {
+		for wi, w := range b.Workers {
+			if l := p.answers.Answer(o, w); l != model.NoLabel {
+				if err := sub.SetAnswer(oi, wi, l); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	return sub, append([]int(nil), b.Objects...), append([]int(nil), b.Workers...), nil
+}

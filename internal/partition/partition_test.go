@@ -1,0 +1,204 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdval/internal/model"
+)
+
+// denseAnswers builds an answer set in which every worker answers every
+// object with label 0.
+func denseAnswers(t *testing.T, objects, workers int) *model.AnswerSet {
+	t.Helper()
+	a := model.MustNewAnswerSet(objects, workers, 2)
+	for o := 0; o < objects; o++ {
+		for w := 0; w < workers; w++ {
+			if err := a.SetAnswer(o, w, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a
+}
+
+func TestPartitionNil(t *testing.T) {
+	if _, err := Partition(nil, Options{}); err == nil {
+		t.Fatal("nil answer set accepted")
+	}
+}
+
+func TestPartitionCoversAllObjects(t *testing.T) {
+	a := denseAnswers(t, 17, 4)
+	p, err := Partition(a, Options{MaxObjectsPerBlock: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CoversAllObjects() {
+		t.Fatal("partitioning does not cover all objects exactly once")
+	}
+	if p.LargestBlock() > 5 {
+		t.Fatalf("largest block = %d, want <= 5", p.LargestBlock())
+	}
+	if p.NumBlocks() < 4 {
+		t.Fatalf("blocks = %d, want >= 4 for 17 objects with max 5", p.NumBlocks())
+	}
+}
+
+func TestPartitionZeroMaxObjectsClampedToOne(t *testing.T) {
+	a := denseAnswers(t, 3, 2)
+	p, err := Partition(a, Options{MaxObjectsPerBlock: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 3 || p.LargestBlock() != 1 {
+		t.Fatalf("blocks = %d largest = %d, want 3 blocks of 1", p.NumBlocks(), p.LargestBlock())
+	}
+}
+
+func TestPartitionIsolatedObjects(t *testing.T) {
+	// Objects 0 and 1 share worker 0; object 2 has no answers at all.
+	a := model.MustNewAnswerSet(3, 2, 2)
+	if err := a.SetAnswer(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetAnswer(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Partition(a, Options{MaxObjectsPerBlock: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CoversAllObjects() {
+		t.Fatal("isolated object missing from partitioning")
+	}
+	if p.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2 (connected pair + isolated object)", p.NumBlocks())
+	}
+}
+
+func TestPartitionGroupsConnectedObjects(t *testing.T) {
+	// Two disjoint worker communities answering disjoint object sets.
+	a := model.MustNewAnswerSet(6, 4, 2)
+	for o := 0; o < 3; o++ {
+		for w := 0; w < 2; w++ {
+			if err := a.SetAnswer(o, w, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for o := 3; o < 6; o++ {
+		for w := 2; w < 4; w++ {
+			if err := a.SetAnswer(o, w, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p, err := Partition(a, Options{MaxObjectsPerBlock: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", p.NumBlocks())
+	}
+	for i, b := range p.Blocks {
+		if len(b.Objects) != 3 || len(b.Workers) != 2 {
+			t.Fatalf("block %d = %+v", i, b)
+		}
+		if d := p.Density(i); d != 1 {
+			t.Fatalf("block %d density = %v, want 1", i, d)
+		}
+	}
+	if p.Density(-1) != 0 || p.Density(99) != 0 {
+		t.Fatal("out-of-range density should be 0")
+	}
+}
+
+func TestSubAnswerSet(t *testing.T) {
+	a := model.MustNewAnswerSet(4, 3, 2)
+	if err := a.SetAnswer(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetAnswer(3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Partition(a, Options{MaxObjectsPerBlock: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the block containing object 2.
+	blockIdx := -1
+	for i, b := range p.Blocks {
+		for _, o := range b.Objects {
+			if o == 2 {
+				blockIdx = i
+			}
+		}
+	}
+	if blockIdx < 0 {
+		t.Fatal("object 2 not in any block")
+	}
+	sub, objMap, workerMap, err := p.SubAnswerSet(blockIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumLabels() != 2 {
+		t.Fatalf("sub labels = %d", sub.NumLabels())
+	}
+	// Every answer in the sub matrix must match the original through the maps.
+	for oi := 0; oi < sub.NumObjects(); oi++ {
+		for wi := 0; wi < sub.NumWorkers(); wi++ {
+			if sub.Answer(oi, wi) != a.Answer(objMap[oi], workerMap[wi]) {
+				t.Fatalf("sub answer mismatch at (%d,%d)", oi, wi)
+			}
+		}
+	}
+	if _, _, _, err := p.SubAnswerSet(-1); err == nil {
+		t.Fatal("negative block index accepted")
+	}
+	if _, _, _, err := p.SubAnswerSet(99); err == nil {
+		t.Fatal("out-of-range block index accepted")
+	}
+}
+
+func TestSubAnswerSetEmptyBlock(t *testing.T) {
+	// An answer set with a fully unanswered object creates a block without
+	// workers, which cannot be materialized.
+	a := model.MustNewAnswerSet(1, 1, 2)
+	p, err := Partition(a, Options{MaxObjectsPerBlock: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := p.SubAnswerSet(0); err == nil {
+		t.Fatal("empty block materialization should fail")
+	}
+}
+
+// Property: for random sparse answer sets, the partitioning always covers all
+// objects exactly once and never exceeds the block size bound.
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(seed int64, maxBlock uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		k := 2 + rng.Intn(10)
+		a := model.MustNewAnswerSet(n, k, 2)
+		for o := 0; o < n; o++ {
+			answers := rng.Intn(k)
+			for j := 0; j < answers; j++ {
+				if err := a.SetAnswer(o, rng.Intn(k), model.Label(rng.Intn(2))); err != nil {
+					return false
+				}
+			}
+		}
+		limit := int(maxBlock%20) + 1
+		p, err := Partition(a, Options{MaxObjectsPerBlock: limit})
+		if err != nil {
+			return false
+		}
+		return p.CoversAllObjects() && p.LargestBlock() <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crowdval/internal/model"
+)
+
+// OracleExpert is a simulated validating expert that always answers with the
+// ground-truth label. It mimics the evaluation setup in which the datasets'
+// ground truth plays the role of the expert (§6.6).
+type OracleExpert struct {
+	Truth model.DeterministicAssignment
+}
+
+// ValidateObject implements the core.Expert contract.
+func (e *OracleExpert) ValidateObject(object int) (model.Label, error) {
+	if object < 0 || object >= len(e.Truth) {
+		return model.NoLabel, fmt.Errorf("simulation: object %d outside the ground truth (%d objects)", object, len(e.Truth))
+	}
+	if e.Truth[object] == model.NoLabel {
+		return model.NoLabel, fmt.Errorf("simulation: no ground truth for object %d", object)
+	}
+	return e.Truth[object], nil
+}
+
+// ErroneousExpert simulates the expert-mistake study of §6.7: on the first
+// elicitation for an object the expert answers incorrectly with probability
+// MistakeProbability (choosing a uniformly random wrong label); when asked
+// again about the same object — which happens when the confirmation check
+// flags the validation — the expert reconsiders and answers correctly.
+type ErroneousExpert struct {
+	Truth              model.DeterministicAssignment
+	NumLabels          int
+	MistakeProbability float64
+	Rand               *rand.Rand
+
+	asked    map[int]bool
+	mistakes map[int]bool
+}
+
+// NewErroneousExpert creates an erroneous expert with the given mistake
+// probability.
+func NewErroneousExpert(truth model.DeterministicAssignment, numLabels int, mistakeProbability float64, rng *rand.Rand) *ErroneousExpert {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &ErroneousExpert{
+		Truth:              truth,
+		NumLabels:          numLabels,
+		MistakeProbability: mistakeProbability,
+		Rand:               rng,
+		asked:              make(map[int]bool),
+		mistakes:           make(map[int]bool),
+	}
+}
+
+// ValidateObject implements the core.Expert contract.
+func (e *ErroneousExpert) ValidateObject(object int) (model.Label, error) {
+	if object < 0 || object >= len(e.Truth) || e.Truth[object] == model.NoLabel {
+		return model.NoLabel, fmt.Errorf("simulation: no ground truth for object %d", object)
+	}
+	truth := e.Truth[object]
+	if e.asked[object] {
+		// Reconsideration after the confirmation check: the expert fixes the
+		// earlier slip.
+		return truth, nil
+	}
+	e.asked[object] = true
+	if e.NumLabels > 1 && e.Rand.Float64() < e.MistakeProbability {
+		e.mistakes[object] = true
+		wrong := e.Rand.Intn(e.NumLabels - 1)
+		if model.Label(wrong) >= truth {
+			wrong++
+		}
+		return model.Label(wrong), nil
+	}
+	return truth, nil
+}
+
+// Mistakes returns the objects for which the expert gave an erroneous first
+// answer, in ascending order.
+func (e *ErroneousExpert) Mistakes() []int {
+	out := make([]int, 0, len(e.mistakes))
+	for o := range e.mistakes {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MistakeCount returns the number of erroneous first answers given so far.
+func (e *ErroneousExpert) MistakeCount() int { return len(e.mistakes) }

@@ -1,0 +1,110 @@
+package simulation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DatasetProfile describes one of the five real-world datasets of the paper's
+// evaluation (Table 4) in terms of the synthetic parameters that reproduce
+// its size, sparsity and difficulty. The profiles substitute for the original
+// data (see DESIGN.md): the paper's algorithms only consume the answer matrix
+// and the ground truth, so a synthetic matrix with the same shape and a
+// worker population calibrated to the same initial precision exercises the
+// same behaviour.
+type DatasetProfile struct {
+	// Name is the short dataset identifier used throughout the paper.
+	Name string
+	// Domain describes the original crowdsourcing task.
+	Domain string
+	// Objects, Workers and Labels are the dimensions from Table 4.
+	Objects int
+	Workers int
+	Labels  int
+	// AnswersPerObject is the simulated redundancy per question.
+	AnswersPerObject int
+	// NormalAccuracy calibrates the difficulty of the questions: lower
+	// values model harder tasks (e.g. the art dataset).
+	NormalAccuracy float64
+	// SloppyAccuracy is the accuracy of the sloppy part of the population.
+	SloppyAccuracy float64
+	// Mix is the worker-type composition.
+	Mix WorkerMix
+}
+
+// profiles holds the five dataset profiles, keyed by name.
+var profiles = map[string]DatasetProfile{
+	"bb": {
+		Name: "bb", Domain: "image tagging", Objects: 108, Workers: 39, Labels: 2,
+		AnswersPerObject: 15, NormalAccuracy: 0.68, SloppyAccuracy: 0.45,
+		Mix: WorkerMix{Normal: 0.5, Sloppy: 0.3, UniformSpammer: 0.1, RandomSpammer: 0.1},
+	},
+	"rte": {
+		Name: "rte", Domain: "semantic analysis (textual entailment)", Objects: 800, Workers: 164, Labels: 2,
+		AnswersPerObject: 10, NormalAccuracy: 0.8, SloppyAccuracy: 0.5,
+		Mix: WorkerMix{Normal: 0.6, Sloppy: 0.25, UniformSpammer: 0.075, RandomSpammer: 0.075},
+	},
+	"val": {
+		Name: "val", Domain: "sentiment analysis (headline valence)", Objects: 100, Workers: 38, Labels: 2,
+		AnswersPerObject: 10, NormalAccuracy: 0.65, SloppyAccuracy: 0.42,
+		Mix: WorkerMix{Normal: 0.45, Sloppy: 0.3, UniformSpammer: 0.125, RandomSpammer: 0.125},
+	},
+	"twt": {
+		Name: "twt", Domain: "sentiment analysis (tweets)", Objects: 300, Workers: 58, Labels: 2,
+		AnswersPerObject: 12, NormalAccuracy: 0.7, SloppyAccuracy: 0.45,
+		Mix: WorkerMix{Normal: 0.5, Sloppy: 0.3, UniformSpammer: 0.1, RandomSpammer: 0.1},
+	},
+	"art": {
+		Name: "art", Domain: "sentiment analysis (scientific articles, hard)", Objects: 200, Workers: 49, Labels: 2,
+		AnswersPerObject: 12, NormalAccuracy: 0.58, SloppyAccuracy: 0.38,
+		Mix: WorkerMix{Normal: 0.4, Sloppy: 0.35, UniformSpammer: 0.125, RandomSpammer: 0.125},
+	},
+}
+
+// ProfileNames returns the names of the available dataset profiles in a
+// stable order.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile returns the dataset profile with the given name.
+func Profile(name string) (DatasetProfile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return DatasetProfile{}, fmt.Errorf("simulation: unknown dataset profile %q (available: %v)", name, ProfileNames())
+	}
+	return p, nil
+}
+
+// Generate materializes the profile into a dataset using the given seed.
+func (p DatasetProfile) Generate(seed int64) (*Dataset, error) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects:       p.Objects,
+		NumWorkers:       p.Workers,
+		NumLabels:        p.Labels,
+		Mix:              p.Mix,
+		NormalAccuracy:   p.NormalAccuracy,
+		SloppyAccuracy:   p.SloppyAccuracy,
+		AnswersPerObject: p.AnswersPerObject,
+		Seed:             seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Name = p.Name
+	return d, nil
+}
+
+// GenerateProfile is a convenience wrapper combining Profile and Generate.
+func GenerateProfile(name string, seed int64) (*Dataset, error) {
+	p, err := Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(seed)
+}

@@ -1,0 +1,274 @@
+// Package simulation generates synthetic crowdsourcing data following the
+// worker-type model of the paper (Appendix A): reliable, normal and sloppy
+// workers plus uniform and random spammers. It also ships profiles that mimic
+// the five real-world datasets of the evaluation (bluebird, rte, valence,
+// tweet, article) in size, sparsity and difficulty, and simulated experts
+// (perfect oracles and experts that occasionally make mistakes).
+//
+// The real datasets themselves are not redistributed here; the profiles are
+// the substitution documented in DESIGN.md — they exercise exactly the same
+// code paths and reproduce the qualitative shapes of the evaluation.
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdval/internal/model"
+)
+
+// WorkerMix describes the composition of the worker community as fractions
+// per worker type. The fractions are normalized before use.
+type WorkerMix struct {
+	Reliable       float64
+	Normal         float64
+	Sloppy         float64
+	UniformSpammer float64
+	RandomSpammer  float64
+}
+
+// DefaultWorkerMix follows the crowd-population study cited in the paper
+// (Kazai et al.): 43% capable workers, 32% sloppy workers and 25% spammers,
+// the latter split evenly between uniform and random spammers.
+func DefaultWorkerMix() WorkerMix {
+	return WorkerMix{Normal: 0.43, Sloppy: 0.32, UniformSpammer: 0.125, RandomSpammer: 0.125}
+}
+
+func (m WorkerMix) total() float64 {
+	return m.Reliable + m.Normal + m.Sloppy + m.UniformSpammer + m.RandomSpammer
+}
+
+// CrowdConfig parameterizes the synthetic crowd generator.
+type CrowdConfig struct {
+	// NumObjects (n), NumWorkers (k) and NumLabels (m) define the task.
+	NumObjects int
+	NumWorkers int
+	NumLabels  int
+	// Mix is the worker-type composition; a zero value uses DefaultWorkerMix.
+	Mix WorkerMix
+	// ReliableAccuracy is the probability that a reliable worker answers
+	// correctly (default 0.95).
+	ReliableAccuracy float64
+	// NormalAccuracy is the r parameter of the paper: the probability that
+	// a normal worker answers correctly (default 0.65).
+	NormalAccuracy float64
+	// SloppyAccuracy is the probability that a sloppy worker answers
+	// correctly (default 0.4).
+	SloppyAccuracy float64
+	// AnswersPerObject limits how many workers answer each object; 0 means
+	// every worker answers every object.
+	AnswersPerObject int
+	// MaxQuestionsPerWorker caps how many objects a single worker answers;
+	// 0 means unlimited. It controls the sparsity studied in Table 5.
+	MaxQuestionsPerWorker int
+	// Seed makes the generation reproducible.
+	Seed int64
+}
+
+func (c CrowdConfig) withDefaults() CrowdConfig {
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultWorkerMix()
+	}
+	if c.ReliableAccuracy == 0 {
+		c.ReliableAccuracy = 0.95
+	}
+	if c.NormalAccuracy == 0 {
+		c.NormalAccuracy = 0.65
+	}
+	if c.SloppyAccuracy == 0 {
+		c.SloppyAccuracy = 0.4
+	}
+	return c
+}
+
+// Dataset bundles a generated answer set with its ground truth and the
+// simulated worker types.
+type Dataset struct {
+	Name        string
+	Answers     *model.AnswerSet
+	Truth       model.DeterministicAssignment
+	WorkerTypes []model.WorkerType
+}
+
+// FaultyWorkers returns the indices of simulated workers whose type is
+// faulty (sloppy, uniform spammer or random spammer).
+func (d *Dataset) FaultyWorkers() []int {
+	var out []int
+	for w, t := range d.WorkerTypes {
+		if t.Faulty() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Spammers returns the indices of simulated uniform and random spammers.
+func (d *Dataset) Spammers() []int {
+	var out []int
+	for w, t := range d.WorkerTypes {
+		if t == model.UniformSpammer || t == model.RandomSpammer {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// GenerateCrowd produces a synthetic dataset according to the configuration.
+func GenerateCrowd(cfg CrowdConfig) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumObjects <= 0 || cfg.NumWorkers <= 0 || cfg.NumLabels <= 0 {
+		return nil, fmt.Errorf("simulation: invalid dimensions %d objects, %d workers, %d labels",
+			cfg.NumObjects, cfg.NumWorkers, cfg.NumLabels)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	answers, err := model.NewAnswerSet(cfg.NumObjects, cfg.NumWorkers, cfg.NumLabels)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ground truth: uniformly random labels.
+	truth := make(model.DeterministicAssignment, cfg.NumObjects)
+	for o := range truth {
+		truth[o] = model.Label(rng.Intn(cfg.NumLabels))
+	}
+
+	workerTypes := assignWorkerTypes(cfg, rng)
+	// Uniform spammers stick to a single label each.
+	stuckLabel := make([]model.Label, cfg.NumWorkers)
+	for w := range stuckLabel {
+		stuckLabel[w] = model.Label(rng.Intn(cfg.NumLabels))
+	}
+
+	answered := make([]int, cfg.NumWorkers) // questions answered per worker
+	for o := 0; o < cfg.NumObjects; o++ {
+		workers := selectWorkers(cfg, rng, answered)
+		for _, w := range workers {
+			label := simulateAnswer(cfg, rng, workerTypes[w], truth[o], stuckLabel[w])
+			if err := answers.SetAnswer(o, w, label); err != nil {
+				return nil, err
+			}
+			answered[w]++
+		}
+	}
+
+	return &Dataset{
+		Name:        "synthetic",
+		Answers:     answers,
+		Truth:       truth,
+		WorkerTypes: workerTypes,
+	}, nil
+}
+
+// assignWorkerTypes distributes worker types according to the mix.
+func assignWorkerTypes(cfg CrowdConfig, rng *rand.Rand) []model.WorkerType {
+	mix := cfg.Mix
+	total := mix.total()
+	types := make([]model.WorkerType, cfg.NumWorkers)
+	// Deterministic proportional assignment followed by a shuffle keeps the
+	// realized mix close to the requested one even for small crowds.
+	counts := []struct {
+		t model.WorkerType
+		f float64
+	}{
+		{model.ReliableWorker, mix.Reliable / total},
+		{model.NormalWorker, mix.Normal / total},
+		{model.SloppyWorker, mix.Sloppy / total},
+		{model.UniformSpammer, mix.UniformSpammer / total},
+		{model.RandomSpammer, mix.RandomSpammer / total},
+	}
+	idx := 0
+	for _, c := range counts {
+		n := int(c.f*float64(cfg.NumWorkers) + 0.5)
+		for i := 0; i < n && idx < cfg.NumWorkers; i++ {
+			types[idx] = c.t
+			idx++
+		}
+	}
+	// Fill any remainder (rounding) with normal workers.
+	for ; idx < cfg.NumWorkers; idx++ {
+		types[idx] = model.NormalWorker
+	}
+	rng.Shuffle(len(types), func(i, j int) { types[i], types[j] = types[j], types[i] })
+	return types
+}
+
+// selectWorkers picks which workers answer one object, honouring the
+// answers-per-object and questions-per-worker limits.
+func selectWorkers(cfg CrowdConfig, rng *rand.Rand, answered []int) []int {
+	eligible := make([]int, 0, cfg.NumWorkers)
+	for w := 0; w < cfg.NumWorkers; w++ {
+		if cfg.MaxQuestionsPerWorker > 0 && answered[w] >= cfg.MaxQuestionsPerWorker {
+			continue
+		}
+		eligible = append(eligible, w)
+	}
+	if cfg.AnswersPerObject <= 0 || cfg.AnswersPerObject >= len(eligible) {
+		return eligible
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	return eligible[:cfg.AnswersPerObject]
+}
+
+// simulateAnswer draws one answer for a worker of the given type.
+func simulateAnswer(cfg CrowdConfig, rng *rand.Rand, t model.WorkerType, truth, stuck model.Label) model.Label {
+	switch t {
+	case model.UniformSpammer:
+		return stuck
+	case model.RandomSpammer:
+		return model.Label(rng.Intn(cfg.NumLabels))
+	}
+	accuracy := cfg.NormalAccuracy
+	switch t {
+	case model.ReliableWorker:
+		accuracy = cfg.ReliableAccuracy
+	case model.SloppyWorker:
+		accuracy = cfg.SloppyAccuracy
+	}
+	if rng.Float64() < accuracy {
+		return truth
+	}
+	// Wrong answer: uniformly among the other labels.
+	wrong := rng.Intn(cfg.NumLabels - 1)
+	if model.Label(wrong) >= truth {
+		wrong++
+	}
+	return model.Label(wrong)
+}
+
+// Subsample returns a copy of the dataset in which every object keeps at most
+// answersPerObject randomly chosen answers. It models the paper's cost
+// experiments, where answers are removed from the matrix and added back as
+// the crowd budget grows (Appendix D).
+func Subsample(d *Dataset, answersPerObject int, seed int64) (*Dataset, error) {
+	if d == nil || d.Answers == nil {
+		return nil, fmt.Errorf("simulation: nil dataset")
+	}
+	if answersPerObject < 0 {
+		return nil, fmt.Errorf("simulation: negative answers per object")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	answers, err := model.NewAnswerSet(d.Answers.NumObjects(), d.Answers.NumWorkers(), d.Answers.NumLabels())
+	if err != nil {
+		return nil, err
+	}
+	for o := 0; o < d.Answers.NumObjects(); o++ {
+		all := d.Answers.ObjectAnswers(o)
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		keep := len(all)
+		if answersPerObject < keep {
+			keep = answersPerObject
+		}
+		for _, wa := range all[:keep] {
+			if err := answers.SetAnswer(o, wa.Worker, wa.Label); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Dataset{
+		Name:        d.Name + "-subsampled",
+		Answers:     answers,
+		Truth:       d.Truth.Clone(),
+		WorkerTypes: append([]model.WorkerType(nil), d.WorkerTypes...),
+	}, nil
+}

@@ -1,0 +1,381 @@
+package simulation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdval/internal/metrics"
+	"crowdval/internal/model"
+)
+
+func TestGenerateCrowdDimensionsAndDeterminism(t *testing.T) {
+	cfg := CrowdConfig{NumObjects: 50, NumWorkers: 20, NumLabels: 3, Seed: 42}
+	d1, err := GenerateCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Answers.NumObjects() != 50 || d1.Answers.NumWorkers() != 20 || d1.Answers.NumLabels() != 3 {
+		t.Fatalf("dims = %v", d1.Answers)
+	}
+	if len(d1.Truth) != 50 || len(d1.WorkerTypes) != 20 {
+		t.Fatal("truth or worker types missing")
+	}
+	for _, l := range d1.Truth {
+		if !l.Valid(3) {
+			t.Fatal("invalid ground-truth label")
+		}
+	}
+	d2, err := GenerateCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 50; o++ {
+		for w := 0; w < 20; w++ {
+			if d1.Answers.Answer(o, w) != d2.Answers.Answer(o, w) {
+				t.Fatal("same seed produced different answers")
+			}
+		}
+	}
+	d3, err := GenerateCrowd(CrowdConfig{NumObjects: 50, NumWorkers: 20, NumLabels: 3, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for o := 0; o < 50 && same; o++ {
+		for w := 0; w < 20; w++ {
+			if d1.Answers.Answer(o, w) != d3.Answers.Answer(o, w) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical answers")
+	}
+}
+
+func TestGenerateCrowdInvalidConfig(t *testing.T) {
+	if _, err := GenerateCrowd(CrowdConfig{NumObjects: 0, NumWorkers: 5, NumLabels: 2}); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	if _, err := GenerateCrowd(CrowdConfig{NumObjects: 5, NumWorkers: 0, NumLabels: 2}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := GenerateCrowd(CrowdConfig{NumObjects: 5, NumWorkers: 5, NumLabels: 0}); err == nil {
+		t.Fatal("zero labels accepted")
+	}
+}
+
+func TestWorkerMixDistribution(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects: 10, NumWorkers: 100, NumLabels: 2,
+		Mix:  WorkerMix{Normal: 0.5, Sloppy: 0.2, UniformSpammer: 0.2, RandomSpammer: 0.1},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[model.WorkerType]int{}
+	for _, wt := range d.WorkerTypes {
+		counts[wt]++
+	}
+	if counts[model.NormalWorker] < 45 || counts[model.NormalWorker] > 55 {
+		t.Fatalf("normal workers = %d, want ~50", counts[model.NormalWorker])
+	}
+	if counts[model.UniformSpammer] < 15 || counts[model.UniformSpammer] > 25 {
+		t.Fatalf("uniform spammers = %d, want ~20", counts[model.UniformSpammer])
+	}
+	if got := len(d.FaultyWorkers()); got != counts[model.SloppyWorker]+counts[model.UniformSpammer]+counts[model.RandomSpammer] {
+		t.Fatalf("FaultyWorkers = %d", got)
+	}
+	if got := len(d.Spammers()); got != counts[model.UniformSpammer]+counts[model.RandomSpammer] {
+		t.Fatalf("Spammers = %d", got)
+	}
+}
+
+func TestWorkerTypeBehaviours(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects: 300, NumWorkers: 12, NumLabels: 2,
+		Mix:              WorkerMix{Normal: 0.25, Reliable: 0.25, UniformSpammer: 0.25, RandomSpammer: 0.25},
+		ReliableAccuracy: 0.95,
+		NormalAccuracy:   0.7,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, wt := range d.WorkerTypes {
+		correct, total := 0, 0
+		distinct := map[model.Label]bool{}
+		for o := 0; o < 300; o++ {
+			a := d.Answers.Answer(o, w)
+			if a == model.NoLabel {
+				continue
+			}
+			total++
+			distinct[a] = true
+			if a == d.Truth[o] {
+				correct++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("worker %d answered nothing", w)
+		}
+		acc := float64(correct) / float64(total)
+		switch wt {
+		case model.ReliableWorker:
+			if acc < 0.88 {
+				t.Fatalf("reliable worker accuracy = %v", acc)
+			}
+		case model.NormalWorker:
+			if acc < 0.6 || acc > 0.8 {
+				t.Fatalf("normal worker accuracy = %v", acc)
+			}
+		case model.UniformSpammer:
+			if len(distinct) != 1 {
+				t.Fatalf("uniform spammer used %d labels", len(distinct))
+			}
+		case model.RandomSpammer:
+			if acc < 0.35 || acc > 0.65 {
+				t.Fatalf("random spammer accuracy = %v", acc)
+			}
+		}
+	}
+}
+
+func TestAnswersPerObjectAndQuestionsPerWorkerLimits(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{
+		NumObjects: 40, NumWorkers: 20, NumLabels: 2,
+		AnswersPerObject:      5,
+		MaxQuestionsPerWorker: 15,
+		Seed:                  9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 40; o++ {
+		if got := len(d.Answers.ObjectAnswers(o)); got > 5 {
+			t.Fatalf("object %d has %d answers, cap was 5", o, got)
+		}
+	}
+	for w := 0; w < 20; w++ {
+		if got := len(d.Answers.WorkerObjects(w)); got > 15 {
+			t.Fatalf("worker %d answered %d questions, cap was 15", w, got)
+		}
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	d, err := GenerateCrowd(CrowdConfig{NumObjects: 30, NumWorkers: 25, NumLabels: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subsample(d, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 30; o++ {
+		if got := len(sub.Answers.ObjectAnswers(o)); got > 13 {
+			t.Fatalf("object %d kept %d answers", o, got)
+		}
+		// Every kept answer must match the original.
+		for _, wa := range sub.Answers.ObjectAnswers(o) {
+			if d.Answers.Answer(o, wa.Worker) != wa.Label {
+				t.Fatal("subsample altered an answer")
+			}
+		}
+	}
+	if len(sub.Truth) != len(d.Truth) {
+		t.Fatal("subsample lost the ground truth")
+	}
+	if _, err := Subsample(nil, 5, 1); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := Subsample(d, -1, 1); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	// Subsampling with a huge limit keeps everything.
+	all, err := Subsample(d, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Answers.AnswerCount() != d.Answers.AnswerCount() {
+		t.Fatal("unlimited subsample dropped answers")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 5 {
+		t.Fatalf("profiles = %v", names)
+	}
+	wantDims := map[string][3]int{
+		"bb":  {108, 39, 2},
+		"rte": {800, 164, 2},
+		"val": {100, 38, 2},
+		"twt": {300, 58, 2},
+		"art": {200, 49, 2},
+	}
+	for name, dims := range wantDims {
+		p, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Objects != dims[0] || p.Workers != dims[1] || p.Labels != dims[2] {
+			t.Fatalf("%s dims = %d/%d/%d, want %v", name, p.Objects, p.Workers, p.Labels, dims)
+		}
+		d, err := GenerateProfile(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Answers.NumObjects() != dims[0] || d.Answers.NumWorkers() != dims[1] {
+			t.Fatalf("%s generated dims mismatch", name)
+		}
+		if d.Name != name {
+			t.Fatalf("dataset name = %q", d.Name)
+		}
+	}
+	if _, err := Profile("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := GenerateProfile("nope", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestProfileDifficultyOrdering checks the calibration property we rely on in
+// the experiments: the art profile (hard questions) has a lower majority-vote
+// precision than the rte profile (easy questions).
+func TestProfileDifficultyOrdering(t *testing.T) {
+	mvPrecision := func(name string) float64 {
+		t.Helper()
+		d, err := GenerateProfile(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assignment := make(model.DeterministicAssignment, d.Answers.NumObjects())
+		for o := 0; o < d.Answers.NumObjects(); o++ {
+			counts := d.Answers.LabelCounts(o)
+			best := 0
+			for l, c := range counts {
+				if c > counts[best] {
+					best = l
+				}
+			}
+			assignment[o] = model.Label(best)
+		}
+		return metrics.Precision(assignment, d.Truth)
+	}
+	easy := mvPrecision("rte")
+	hard := mvPrecision("art")
+	if easy <= hard {
+		t.Fatalf("rte precision %v should exceed art precision %v", easy, hard)
+	}
+	if hard < 0.4 || hard > 0.85 {
+		t.Fatalf("art majority-vote precision = %v, want a hard-but-not-random task", hard)
+	}
+	if easy < 0.8 {
+		t.Fatalf("rte majority-vote precision = %v, want an easy task", easy)
+	}
+}
+
+func TestOracleExpert(t *testing.T) {
+	truth := model.DeterministicAssignment{0, 1, model.NoLabel}
+	e := &OracleExpert{Truth: truth}
+	if l, err := e.ValidateObject(1); err != nil || l != 1 {
+		t.Fatalf("oracle = %v, %v", l, err)
+	}
+	if _, err := e.ValidateObject(5); err == nil {
+		t.Fatal("out-of-range object accepted")
+	}
+	if _, err := e.ValidateObject(2); err == nil {
+		t.Fatal("object without ground truth accepted")
+	}
+}
+
+func TestErroneousExpert(t *testing.T) {
+	truth := make(model.DeterministicAssignment, 200)
+	for i := range truth {
+		truth[i] = model.Label(i % 2)
+	}
+	e := NewErroneousExpert(truth, 2, 0.3, rand.New(rand.NewSource(1)))
+	mistakes := 0
+	for o := 0; o < 200; o++ {
+		l, err := e.ValidateObject(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != truth[o] {
+			mistakes++
+		}
+	}
+	if e.MistakeCount() != mistakes {
+		t.Fatalf("MistakeCount = %d, observed %d", e.MistakeCount(), mistakes)
+	}
+	// Roughly 30% mistakes expected.
+	if mistakes < 40 || mistakes > 80 {
+		t.Fatalf("mistakes = %d, want ~60", mistakes)
+	}
+	if len(e.Mistakes()) != mistakes {
+		t.Fatal("Mistakes() length mismatch")
+	}
+	// Re-asking always yields the truth.
+	for _, o := range e.Mistakes() {
+		l, err := e.ValidateObject(o)
+		if err != nil || l != truth[o] {
+			t.Fatalf("reconsidered answer = %v, %v", l, err)
+		}
+	}
+	if _, err := e.ValidateObject(999); err == nil {
+		t.Fatal("out-of-range object accepted")
+	}
+	// A zero mistake probability behaves like the oracle.
+	perfect := NewErroneousExpert(truth, 2, 0, nil)
+	for o := 0; o < 50; o++ {
+		if l, _ := perfect.ValidateObject(o); l != truth[o] {
+			t.Fatal("zero-probability expert made a mistake")
+		}
+	}
+}
+
+func TestDefaultWorkerMix(t *testing.T) {
+	mix := DefaultWorkerMix()
+	if math.Abs(mix.total()-1) > 1e-9 {
+		t.Fatalf("default mix sums to %v", mix.total())
+	}
+	if mix.UniformSpammer+mix.RandomSpammer != 0.25 {
+		t.Fatalf("spammer share = %v, want 0.25", mix.UniformSpammer+mix.RandomSpammer)
+	}
+}
+
+// Property: generated answers always use valid labels and respect redundancy
+// limits.
+func TestGenerateCrowdValidityProperty(t *testing.T) {
+	f := func(seed int64, redundancy uint8) bool {
+		per := int(redundancy%10) + 1
+		d, err := GenerateCrowd(CrowdConfig{
+			NumObjects: 15, NumWorkers: 8, NumLabels: 3,
+			AnswersPerObject: per,
+			Seed:             seed,
+		})
+		if err != nil {
+			return false
+		}
+		for o := 0; o < 15; o++ {
+			if len(d.Answers.ObjectAnswers(o)) > per {
+				return false
+			}
+			for _, wa := range d.Answers.ObjectAnswers(o) {
+				if !wa.Label.Valid(3) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

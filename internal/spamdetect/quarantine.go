@@ -1,0 +1,83 @@
+package spamdetect
+
+import (
+	"sort"
+
+	"crowdval/internal/model"
+)
+
+// Quarantine implements the faulty-worker handling of §5.3: answers of
+// suspected faulty workers are removed from the answer set (masked) but kept
+// aside, and are re-inserted as soon as the worker is no longer suspected.
+// This avoids permanently excluding truthful workers that merely look faulty
+// while only a few of their answers have been validated (Table 3).
+type Quarantine struct {
+	masked map[int][]model.ObjectAnswer
+}
+
+// NewQuarantine creates an empty quarantine.
+func NewQuarantine() *Quarantine {
+	return &Quarantine{masked: make(map[int][]model.ObjectAnswer)}
+}
+
+// MaskedWorkers returns the indices of currently quarantined workers in
+// ascending order.
+func (q *Quarantine) MaskedWorkers() []int {
+	out := make([]int, 0, len(q.masked))
+	for w := range q.masked {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsMasked reports whether the worker is currently quarantined.
+func (q *Quarantine) IsMasked(worker int) bool {
+	_, ok := q.masked[worker]
+	return ok
+}
+
+// Apply reconciles the quarantine with a detection result: answers of newly
+// suspected workers are masked out of the answer set, and workers that are no
+// longer suspected get their answers restored. It returns the workers that
+// were newly masked and the ones that were restored.
+func (q *Quarantine) Apply(answers *model.AnswerSet, detection Detection) (masked, restored []int) {
+	suspected := make(map[int]bool)
+	for _, w := range detection.FaultyWorkers() {
+		suspected[w] = true
+	}
+	// Restore workers that are no longer suspected.
+	for w := range q.masked {
+		if !suspected[w] {
+			answers.RestoreWorker(w, q.masked[w])
+			delete(q.masked, w)
+			restored = append(restored, w)
+		}
+	}
+	// Mask newly suspected workers.
+	for w := range suspected {
+		if _, already := q.masked[w]; already {
+			continue
+		}
+		removed := answers.MaskWorker(w)
+		if len(removed) == 0 {
+			// Nothing to quarantine (the worker has no remaining answers);
+			// still record it so IsMasked reflects the suspicion.
+			removed = []model.ObjectAnswer{}
+		}
+		q.masked[w] = removed
+		masked = append(masked, w)
+	}
+	sort.Ints(masked)
+	sort.Ints(restored)
+	return masked, restored
+}
+
+// RestoreAll puts every quarantined answer back into the answer set and
+// empties the quarantine.
+func (q *Quarantine) RestoreAll(answers *model.AnswerSet) {
+	for w, removed := range q.masked {
+		answers.RestoreWorker(w, removed)
+		delete(q.masked, w)
+	}
+}

@@ -1,0 +1,249 @@
+package crowdval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/core"
+	"crowdval/internal/guidance"
+	"crowdval/internal/model"
+	"crowdval/internal/spamdetect"
+)
+
+// StrategyName selects a guidance strategy for a Session.
+type StrategyName string
+
+// Available guidance strategies.
+const (
+	// StrategyHybrid dynamically combines uncertainty-driven and
+	// worker-driven guidance (the paper's recommended strategy).
+	StrategyHybrid StrategyName = "hybrid"
+	// StrategyUncertainty always selects the object with the maximal
+	// expected information gain.
+	StrategyUncertainty StrategyName = "uncertainty"
+	// StrategyWorker always selects the object expected to unmask the most
+	// faulty workers.
+	StrategyWorker StrategyName = "worker"
+	// StrategyBaseline selects the object with the highest entropy.
+	StrategyBaseline StrategyName = "baseline"
+	// StrategyRandom selects a random unvalidated object.
+	StrategyRandom StrategyName = "random"
+)
+
+// sessionConfig collects the options of a Session.
+type sessionConfig struct {
+	strategy           StrategyName
+	budget             int
+	candidateLimit     int
+	parallel           bool
+	confirmationPeriod int
+	spammerThreshold   float64
+	sloppyThreshold    float64
+	uncertaintyGoal    float64
+	seed               int64
+}
+
+// Option configures a Session.
+type Option func(*sessionConfig)
+
+// WithStrategy selects the guidance strategy (default: hybrid).
+func WithStrategy(s StrategyName) Option { return func(c *sessionConfig) { c.strategy = s } }
+
+// WithBudget caps the number of expert validations (default: one per object).
+func WithBudget(n int) Option { return func(c *sessionConfig) { c.budget = n } }
+
+// WithCandidateLimit bounds the number of candidate objects scored per
+// iteration; smaller values trade guidance quality for speed (default 0 =
+// score every candidate).
+func WithCandidateLimit(n int) Option { return func(c *sessionConfig) { c.candidateLimit = n } }
+
+// WithParallelScoring enables concurrent candidate scoring.
+func WithParallelScoring() Option { return func(c *sessionConfig) { c.parallel = true } }
+
+// WithConfirmationCheck enables the periodic check for erroneous expert input
+// every period validations.
+func WithConfirmationCheck(period int) Option {
+	return func(c *sessionConfig) { c.confirmationPeriod = period }
+}
+
+// WithDetectionThresholds overrides the spammer score threshold τs and the
+// sloppy-worker error-rate threshold τp.
+func WithDetectionThresholds(spammer, sloppy float64) Option {
+	return func(c *sessionConfig) { c.spammerThreshold = spammer; c.sloppyThreshold = sloppy }
+}
+
+// WithUncertaintyGoal stops the session once the total uncertainty of the
+// probabilistic answer set drops below the threshold.
+func WithUncertaintyGoal(threshold float64) Option {
+	return func(c *sessionConfig) { c.uncertaintyGoal = threshold }
+}
+
+// WithSeed fixes the seed of the stochastic components (hybrid roulette
+// wheel, random strategy) so sessions are reproducible.
+func WithSeed(seed int64) Option { return func(c *sessionConfig) { c.seed = seed } }
+
+// StepInfo summarizes the consequences of one submitted validation.
+type StepInfo struct {
+	// Object and Label echo the submitted validation.
+	Object int
+	Label  Label
+	// ErrorRate is 1 − U(object, label) before the validation: how much the
+	// expert's answer surprised the aggregation.
+	ErrorRate float64
+	// Uncertainty is the total entropy of the probabilistic answer set after
+	// integrating the validation.
+	Uncertainty float64
+	// FaultyWorkers is the number of workers currently flagged as faulty.
+	FaultyWorkers int
+	// QuarantinedWorkers lists workers whose answers are currently masked.
+	QuarantinedWorkers []int
+	// SuspectValidations lists previously validated objects whose expert
+	// label now disagrees with the aggregated crowd evidence; consider
+	// re-validating them with Revise.
+	SuspectValidations []int
+}
+
+// Session is an interactive guided-validation session: it tells the caller
+// which object the expert should look at next and integrates the expert's
+// answers pay-as-you-go.
+type Session struct {
+	engine *core.Engine
+	cfg    sessionConfig
+}
+
+// NewSession prepares a guided validation session over the given answers.
+func NewSession(answers *AnswerSet, opts ...Option) (*Session, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("crowdval: nil answer set")
+	}
+	cfg := sessionConfig{strategy: StrategyHybrid, seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	strategy, err := buildSessionStrategy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	detector := &spamdetect.Detector{
+		SpammerThreshold: cfg.spammerThreshold,
+		SloppyThreshold:  cfg.sloppyThreshold,
+	}
+	engineCfg := core.Config{
+		Aggregator:          &aggregation.IncrementalEM{},
+		Strategy:            strategy,
+		Detector:            detector,
+		Budget:              cfg.budget,
+		Parallel:            cfg.parallel,
+		HandleFaultyWorkers: true,
+		Rand:                rand.New(rand.NewSource(cfg.seed)),
+	}
+	if cfg.confirmationPeriod > 0 {
+		engineCfg.Confirmation = &guidance.ConfirmationCheck{Period: cfg.confirmationPeriod}
+	}
+	if cfg.uncertaintyGoal > 0 {
+		engineCfg.Goal = core.UncertaintyBelow(cfg.uncertaintyGoal)
+	}
+	engine, err := core.NewEngine(answers, engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: engine, cfg: cfg}, nil
+}
+
+func buildSessionStrategy(cfg sessionConfig) (guidance.Strategy, error) {
+	switch cfg.strategy {
+	case StrategyHybrid, "":
+		return &guidance.Hybrid{
+			Uncertainty: &guidance.UncertaintyDriven{CandidateLimit: cfg.candidateLimit},
+			Worker:      &guidance.WorkerDriven{CandidateLimit: cfg.candidateLimit},
+			Rand:        rand.New(rand.NewSource(cfg.seed)),
+		}, nil
+	case StrategyUncertainty:
+		return &guidance.UncertaintyDriven{CandidateLimit: cfg.candidateLimit}, nil
+	case StrategyWorker:
+		return &guidance.WorkerDriven{CandidateLimit: cfg.candidateLimit}, nil
+	case StrategyBaseline:
+		return &guidance.Baseline{}, nil
+	case StrategyRandom:
+		return &guidance.Random{Rand: rand.New(rand.NewSource(cfg.seed))}, nil
+	default:
+		return nil, fmt.Errorf("crowdval: unknown strategy %q", cfg.strategy)
+	}
+}
+
+// NextObject returns the object the expert should validate next.
+func (s *Session) NextObject() (int, error) { return s.engine.SelectNext() }
+
+// SubmitValidation integrates the expert's label for an object and returns a
+// summary of its consequences.
+func (s *Session) SubmitValidation(object int, label Label) (StepInfo, error) {
+	record, err := s.engine.Integrate(object, label)
+	if err != nil {
+		return StepInfo{}, err
+	}
+	info := StepInfo{
+		Object:             record.Object,
+		Label:              record.Label,
+		ErrorRate:          record.ErrorRate,
+		Uncertainty:        record.Uncertainty,
+		FaultyWorkers:      record.FaultyWorkers,
+		QuarantinedWorkers: s.engine.QuarantinedWorkers(),
+	}
+	for _, suspect := range record.ConfirmationSuspects {
+		info.SuspectValidations = append(info.SuspectValidations, suspect.Object)
+	}
+	return info, nil
+}
+
+// Revise replaces an earlier validation (e.g. after it was reported in
+// StepInfo.SuspectValidations). The revision counts as additional expert
+// effort.
+func (s *Session) Revise(object int, label Label) error {
+	return s.engine.ReviseValidation(object, label)
+}
+
+// Done reports whether the session should stop: goal reached, budget
+// exhausted or all objects validated.
+func (s *Session) Done() bool { return s.engine.Done() }
+
+// Result returns the current best label for every object: expert labels where
+// available, the most probable label elsewhere.
+func (s *Session) Result() DeterministicAssignment { return s.engine.Assignment() }
+
+// ProbabilisticResult exposes the full probabilistic answer set.
+func (s *Session) ProbabilisticResult() *ProbabilisticAnswerSet { return s.engine.ProbSet() }
+
+// Uncertainty returns the total entropy of the current probabilistic answer
+// set; it decreases as validations accumulate.
+func (s *Session) Uncertainty() float64 { return s.engine.Uncertainty() }
+
+// EffortSpent returns the number of expert interactions so far.
+func (s *Session) EffortSpent() int { return s.engine.EffortSpent() }
+
+// EffortRatio returns the effort spent relative to the number of objects.
+func (s *Session) EffortRatio() float64 { return s.engine.EffortRatio() }
+
+// Validation returns the expert validations collected so far.
+func (s *Session) Validation() *Validation { return s.engine.Validation() }
+
+// QuarantinedWorkers lists the workers whose answers are currently excluded
+// from the aggregation because they are suspected to be faulty.
+func (s *Session) QuarantinedWorkers() []int { return s.engine.QuarantinedWorkers() }
+
+// RunWithOracle drives the session to completion using a ground-truth oracle
+// as the expert — useful for simulations and tests. It returns the number of
+// validations performed.
+func (s *Session) RunWithOracle(truth DeterministicAssignment) (int, error) {
+	expert := core.ExpertFunc(func(object int) (model.Label, error) {
+		if object < 0 || object >= len(truth) || truth[object] == NoLabel {
+			return NoLabel, fmt.Errorf("crowdval: no ground truth for object %d", object)
+		}
+		return truth[object], nil
+	})
+	summary, err := s.engine.Run(expert, nil)
+	if err != nil {
+		return 0, err
+	}
+	return summary.EffortSpent, nil
+}
