@@ -167,6 +167,118 @@ func BenchmarkHybridSelection(b *testing.B) {
 	}
 }
 
+// benchmarkSparseCrowd generates a large sparse crowd: perObject answers per
+// object, i.e. density perObject/workers (≈1% for 5/500).
+func benchmarkSparseCrowd(b *testing.B, objects, workers, perObject int) *simulation.Dataset {
+	b.Helper()
+	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
+		NumObjects:       objects,
+		NumWorkers:       workers,
+		NumLabels:        2,
+		NormalAccuracy:   0.7,
+		AnswersPerObject: perObject,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// benchmarkAggregateSize compares, on one crowd shape, the pre-optimization
+// pipeline (dense n×k matrix, single-goroutine EM — see
+// reference_dense_test.go) against the sparse representation with serial and
+// sharded E-/M-steps. BENCHMARKS.md records the measured numbers.
+func benchmarkAggregateSize(b *testing.B, objects, workers, perObject int) {
+	d := benchmarkSparseCrowd(b, objects, workers, perObject)
+	validation := model.NewValidation(objects)
+	for o := 0; o < objects/100; o++ {
+		validation.Set(o*97%objects, d.Truth[o*97%objects])
+	}
+
+	b.Run("dense-serial", func(b *testing.B) {
+		dense := newDenseAnswers(d.Answers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			denseSerialIEM(dense, validation, nil, aggregation.EMConfig{})
+		}
+	})
+	b.Run("sparse-serial", func(b *testing.B) {
+		iem := &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: 1}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := iem.Aggregate(d.Answers, validation, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse-parallel", func(b *testing.B) {
+		iem := &aggregation.IncrementalEM{} // Parallelism 0 = GOMAXPROCS shards
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := iem.Aggregate(d.Answers, validation, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAggregate is the headline hot-path benchmark: a cold-start i-EM
+// aggregation on sparse crowds, before (dense serial) and after (sparse,
+// sharded) the hot-path rebuild.
+func BenchmarkAggregate(b *testing.B) {
+	b.Run("2500x100", func(b *testing.B) { benchmarkAggregateSize(b, 2500, 100, 8) })
+	b.Run("50000x500", func(b *testing.B) { benchmarkAggregateSize(b, 50000, 500, 5) })
+}
+
+// BenchmarkAggregateWarmStart measures the pay-as-you-go path: one new
+// expert validation arrives and i-EM re-aggregates from the previous
+// probabilistic answer set (§4.1). This is the call that runs after every
+// expert answer, so its cost bounds the interactive latency.
+func BenchmarkAggregateWarmStart(b *testing.B) {
+	const objects, workers, perObject = 50000, 500, 5
+	d := benchmarkSparseCrowd(b, objects, workers, perObject)
+	validation := model.NewValidation(objects)
+	iemWarm := &aggregation.IncrementalEM{}
+	res, err := iemWarm.Aggregate(d.Answers, validation, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	validation.Set(0, d.Truth[0])
+
+	b.Run("dense-serial", func(b *testing.B) {
+		dense := newDenseAnswers(d.Answers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			denseSerialIEM(dense, validation, res.ProbSet, aggregation.EMConfig{})
+		}
+	})
+	b.Run("sparse-serial", func(b *testing.B) {
+		iem := &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: 1}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := iem.Aggregate(d.Answers, validation, res.ProbSet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse-parallel", func(b *testing.B) {
+		iem := &aggregation.IncrementalEM{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := iem.Aggregate(d.Answers, validation, res.ProbSet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkJacobiSVD4x4(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	m := linalg.NewMatrix(4, 4)

@@ -1,0 +1,3 @@
+module crowdval
+
+go 1.24

@@ -7,12 +7,21 @@
 // All aggregators implement the Aggregator interface and produce a
 // probabilistic answer set P = <N, e, U, C> together with statistics about
 // the computation (number of EM iterations, convergence).
+//
+// The EM aggregators form the hot path of the pay-as-you-go validation loop
+// (the engine re-aggregates after every expert answer), so they read the
+// answer set exclusively through its sparse adjacency views — one E/M
+// iteration costs O(#answers · m) — and shard the E-step over objects and
+// the M-step over workers (EMConfig.Parallelism). Sharding is bitwise
+// deterministic: results are identical for every parallelism degree, which
+// the equivalence tests in em_parallel_test.go assert.
 package aggregation
 
 import (
 	"fmt"
 
 	"crowdval/internal/model"
+	"crowdval/internal/par"
 )
 
 // Result is the outcome of one aggregation run ("conclude" step of the
@@ -36,6 +45,18 @@ type Aggregator interface {
 	Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error)
 }
 
+// Sharded is implemented by aggregators that can produce a copy of
+// themselves with internal sharding disabled. Callers that invoke an
+// aggregator from many goroutines at once — the validation engine's parallel
+// candidate scoring — use it to avoid nesting sharded E-/M-steps inside
+// every scorer.
+type Sharded interface {
+	// SerialVariant returns a copy that runs its work on a single goroutine
+	// and is safe to call from concurrent scorers. Results are unchanged
+	// (sharding is bitwise neutral).
+	SerialVariant() Aggregator
+}
+
 // MajorityVoting aggregates answers by relative label frequency per object.
 // It ignores worker reliability and serves as the simplest baseline (Table 1).
 // Expert validations, when present, override the vote for the validated
@@ -44,6 +65,10 @@ type MajorityVoting struct {
 	// Smoothing is added to every confusion-matrix cell before
 	// normalization. Zero disables smoothing.
 	Smoothing float64
+	// Parallelism shards the per-object vote and the per-worker confusion
+	// estimation. Values < 1 use GOMAXPROCS; 1 forces the serial path.
+	// Results are identical for every setting.
+	Parallelism int
 }
 
 // Aggregate implements the Aggregator interface.
@@ -58,57 +83,83 @@ func (mv *MajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.
 		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
 			validation.NumObjects(), answers.NumObjects())
 	}
-	n, m := answers.NumObjects(), answers.NumLabels()
+	m := answers.NumLabels()
 	probSet := &model.ProbabilisticAnswerSet{
 		Answers:    answers,
 		Validation: validation.Clone(),
-		Assignment: model.NewAssignmentMatrix(n, m),
+		Assignment: majorityVoteAssignment(answers, validation, mv.Parallelism),
 		Confusions: make([]*model.ConfusionMatrix, answers.NumWorkers()),
 	}
 
-	for o := 0; o < n; o++ {
-		if l := validation.Get(o); l != model.NoLabel {
-			probSet.Assignment.SetCertain(o, l)
-			continue
-		}
-		counts := answers.LabelCounts(o)
-		total := 0
-		for _, c := range counts {
-			total += c
-		}
-		row := make([]float64, m)
-		if total == 0 {
-			for l := range row {
-				row[l] = 1 / float64(m)
-			}
-		} else {
-			for l, c := range counts {
-				row[l] = float64(c) / float64(total)
-			}
-		}
-		probSet.Assignment.SetRow(o, row)
-	}
-
-	// Estimate confusion matrices against the majority-vote labels.
+	// Estimate confusion matrices against the majority-vote labels. Workers
+	// are independent; each shard fills disjoint slots of the slice.
 	mvLabels := probSet.Instantiate()
-	for w := 0; w < answers.NumWorkers(); w++ {
-		c := model.NewConfusionMatrix(m)
-		for _, o := range answers.WorkerObjects(w) {
-			trueLabel := mvLabels[o]
-			if trueLabel == model.NoLabel {
-				continue
+	par.For(answers.NumWorkers(), mv.Parallelism, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			c := model.NewConfusionMatrix(m)
+			for _, oa := range answers.WorkerView(w) {
+				trueLabel := mvLabels[oa.Object]
+				if trueLabel == model.NoLabel {
+					continue
+				}
+				c.Add(trueLabel, oa.Label, 1)
 			}
-			c.Add(trueLabel, answers.Answer(o, w), 1)
+			if mv.Smoothing > 0 {
+				c.Smooth(mv.Smoothing)
+			} else {
+				c.NormalizeRows()
+			}
+			probSet.Confusions[w] = c
 		}
-		if mv.Smoothing > 0 {
-			c.Smooth(mv.Smoothing)
-		} else {
-			c.NormalizeRows()
-		}
-		probSet.Confusions[w] = c
-	}
+	})
 
 	return &Result{ProbSet: probSet, Iterations: 1, Converged: true}, nil
+}
+
+// SerialVariant implements Sharded.
+func (mv *MajorityVoting) SerialVariant() Aggregator {
+	serial := *mv
+	serial.Parallelism = 1
+	return &serial
+}
+
+// majorityVoteAssignment computes the per-object label-frequency assignment
+// with validated objects pinned (the vote half of MajorityVoting). The EM
+// cold starts use it directly so they do not pay for the confusion-matrix
+// estimation they would discard. Rows are independent, so the object range
+// is sharded; each shard writes only its own rows, keeping results
+// deterministic.
+func majorityVoteAssignment(answers *model.AnswerSet, validation *model.Validation, parallelism int) *model.AssignmentMatrix {
+	n, m := answers.NumObjects(), answers.NumLabels()
+	u := model.NewAssignmentMatrix(n, m)
+	par.For(n, parallelism, func(lo, hi int) {
+		counts := make([]int, m)
+		for o := lo; o < hi; o++ {
+			if l := validation.Get(o); l != model.NoLabel {
+				u.SetCertain(o, l)
+				continue
+			}
+			for l := range counts {
+				counts[l] = 0
+			}
+			total := 0
+			for _, wa := range answers.ObjectView(o) {
+				counts[wa.Label]++
+				total++
+			}
+			row := u.RowSlice(o)
+			if total == 0 {
+				for l := range row {
+					row[l] = 1 / float64(m)
+				}
+			} else {
+				for l, c := range counts {
+					row[l] = float64(c) / float64(total)
+				}
+			}
+		}
+	})
+	return u
 }
 
 // CombineExpertAsWorker returns a copy of the answer set extended with one
@@ -124,11 +175,9 @@ func CombineExpertAsWorker(answers *model.AnswerSet, validation *model.Validatio
 		return nil, err
 	}
 	for o := 0; o < answers.NumObjects(); o++ {
-		for w := 0; w < answers.NumWorkers(); w++ {
-			if l := answers.Answer(o, w); l != model.NoLabel {
-				if err := combined.SetAnswer(o, w, l); err != nil {
-					return nil, err
-				}
+		for _, wa := range answers.ObjectView(o) {
+			if err := combined.SetAnswer(o, wa.Worker, wa.Label); err != nil {
+				return nil, err
 			}
 		}
 		if validation != nil {

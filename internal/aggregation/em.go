@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"crowdval/internal/model"
+	"crowdval/internal/par"
 )
 
 // InitStrategy selects how a cold-started EM run initializes the assignment
@@ -37,6 +38,12 @@ type EMConfig struct {
 	// in the M-step, keeping estimates away from hard zeros. Values <= 0
 	// use DefaultSmoothing.
 	Smoothing float64
+	// Parallelism is the number of shards the E-step (over objects) and the
+	// M-step (over workers) are split into. Values < 1 use GOMAXPROCS; 1
+	// forces the serial path. Results are bitwise identical for every
+	// setting: each shard writes disjoint rows/workers and the convergence
+	// reduction is an order-independent maximum.
+	Parallelism int
 }
 
 // Default EM parameters.
@@ -116,25 +123,33 @@ func (b *BatchEM) Aggregate(answers *model.AnswerSet, validation *model.Validati
 			confusions[w] = model.NewDiagonalConfusionMatrix(answers.NumLabels(), uniformInitAccuracy)
 		}
 	} else {
-		confusions = initialConfusions(answers, assignment, b.Config.smoothing())
+		confusions = initialConfusions(answers, assignment, b.Config.smoothing(), b.Config.Parallelism)
 	}
 	return runEM(answers, validation, assignment, confusions, b.Config)
 }
 
+// SerialVariant implements Sharded. The copy drops a caller-supplied
+// Rand: it would be shared across concurrent scorers, and rand.Rand is not
+// thread-safe; the copy falls back to the fixed-seed generator instead, so
+// InitRandom cold starts stay reproducible per call.
+func (b *BatchEM) SerialVariant() Aggregator {
+	serial := *b
+	serial.Config.Parallelism = 1
+	serial.Rand = nil
+	return &serial
+}
+
 func (b *BatchEM) initialAssignment(answers *model.AnswerSet, validation *model.Validation) (*model.AssignmentMatrix, error) {
 	n, m := answers.NumObjects(), answers.NumLabels()
-	u := model.NewAssignmentMatrix(n, m)
+	var u *model.AssignmentMatrix
 	switch b.Init {
 	case InitMajorityVote:
-		mv := &MajorityVoting{}
-		res, err := mv.Aggregate(answers, validation, nil)
-		if err != nil {
-			return nil, err
-		}
-		u = res.ProbSet.Assignment
+		u = majorityVoteAssignment(answers, validation, b.Config.Parallelism)
 	case InitUniform:
 		// NewAssignmentMatrix is already uniform.
+		u = model.NewAssignmentMatrix(n, m)
 	case InitRandom:
+		u = model.NewAssignmentMatrix(n, m)
 		rng := b.Rand
 		if rng == nil {
 			rng = rand.New(rand.NewSource(1))
@@ -163,6 +178,13 @@ type IncrementalEM struct {
 	Config EMConfig
 }
 
+// SerialVariant implements Sharded.
+func (ie *IncrementalEM) SerialVariant() Aggregator {
+	serial := *ie
+	serial.Config.Parallelism = 1
+	return &serial
+}
+
 // Aggregate implements the Aggregator interface.
 func (ie *IncrementalEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
 	if answers == nil {
@@ -188,13 +210,8 @@ func (ie *IncrementalEM) Aggregate(answers *model.AnswerSet, validation *model.V
 			confusions[w] = c.Clone()
 		}
 	} else {
-		mv := &MajorityVoting{}
-		res, err := mv.Aggregate(answers, validation, nil)
-		if err != nil {
-			return nil, err
-		}
-		assignment = res.ProbSet.Assignment
-		confusions = initialConfusions(answers, assignment, ie.Config.smoothing())
+		assignment = majorityVoteAssignment(answers, validation, ie.Config.Parallelism)
+		confusions = initialConfusions(answers, assignment, ie.Config.smoothing(), ie.Config.Parallelism)
 	}
 	pinValidated(assignment, validation)
 	return runEM(answers, validation, assignment, confusions, ie.Config)
@@ -211,56 +228,40 @@ func pinValidated(u *model.AssignmentMatrix, validation *model.Validation) {
 
 // initialConfusions estimates per-worker confusion matrices from an
 // assignment matrix (soft counts), used to bootstrap the EM iterations.
-func initialConfusions(answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64) []*model.ConfusionMatrix {
-	m := answers.NumLabels()
+// Workers are independent, so the estimation is sharded like the M-step.
+func initialConfusions(answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64, parallelism int) []*model.ConfusionMatrix {
 	confusions := make([]*model.ConfusionMatrix, answers.NumWorkers())
-	for w := 0; w < answers.NumWorkers(); w++ {
-		c := model.NewConfusionMatrix(m)
-		for _, o := range answers.WorkerObjects(w) {
-			answered := answers.Answer(o, w)
-			for l := 0; l < m; l++ {
-				c.Add(model.Label(l), answered, u.Prob(o, model.Label(l)))
-			}
-		}
-		c.Smooth(smoothing)
-		confusions[w] = c
-	}
+	mStepInto(answers, u, smoothing, parallelism, confusions)
 	return confusions
 }
 
 // runEM alternates E- and M-steps (Eq. 1–5) until the assignment matrix stops
-// changing or the iteration cap is reached.
+// changing or the iteration cap is reached. Both steps read the answer set
+// through its sparse adjacency views, so one iteration costs
+// O(#answers · m), not O(n·k·m), and both are sharded across
+// cfg.Parallelism goroutines with bitwise-deterministic results.
 func runEM(answers *model.AnswerSet, validation *model.Validation, assignment *model.AssignmentMatrix,
 	confusions []*model.ConfusionMatrix, cfg EMConfig) (*Result, error) {
 
-	n, m := answers.NumObjects(), answers.NumLabels()
 	maxIter := cfg.maxIterations()
 	tol := cfg.tolerance()
 	smoothing := cfg.smoothing()
+	parallelism := cfg.Parallelism
 
-	// Pre-compute the sparse adjacency once; the answer matrix does not
-	// change during EM, and re-deriving it in every E-/M-step would dominate
-	// the cost for sparse answer sets.
-	objectAnswers := make([][]model.WorkerAnswer, n)
-	for o := 0; o < n; o++ {
-		objectAnswers[o] = answers.ObjectAnswers(o)
-	}
-	workerAnswers := make([][]model.ObjectAnswer, answers.NumWorkers())
-	for o, was := range objectAnswers {
-		for _, wa := range was {
-			workerAnswers[wa.Worker] = append(workerAnswers[wa.Worker], model.ObjectAnswer{Object: o, Label: wa.Label})
-		}
-	}
-
+	n, m := answers.NumObjects(), answers.NumLabels()
 	iterations := 0
 	converged := false
-	current := assignment
+	// Ping-pong between two assignment buffers and reuse the log-confusion
+	// table and the confusion matrices across iterations: every row/entry is
+	// fully rewritten each iteration, so reuse changes no values, only the
+	// per-iteration allocation volume on the pay-as-you-go hot path.
+	current, next := assignment, model.NewAssignmentMatrix(n, m)
+	logConf := make([]float64, len(confusions)*m*m)
 	for iter := 0; iter < maxIter; iter++ {
 		iterations++
-		next := eStep(objectAnswers, validation, current, confusions, n, m)
-		confusions = mStep(workerAnswers, next, m, smoothing)
-		diff := current.MaxAbsDiff(next)
-		current = next
+		diff := eStep(answers, validation, current, next, confusions, logConf, parallelism)
+		mStepInto(answers, next, smoothing, parallelism, confusions)
+		current, next = next, current
 		if diff < tol {
 			converged = true
 			break
@@ -276,12 +277,19 @@ func runEM(answers *model.AnswerSet, validation *model.Validation, assignment *m
 	return &Result{ProbSet: probSet, Iterations: iterations, Converged: converged}, nil
 }
 
-// eStep computes the new assignment matrix from the current confusion
-// matrices and priors (Eq. 1 and Eq. 4). Probabilities are accumulated in log
-// space to avoid underflow with many workers.
-func eStep(objectAnswers [][]model.WorkerAnswer, validation *model.Validation,
-	current *model.AssignmentMatrix, confusions []*model.ConfusionMatrix, n, m int) *model.AssignmentMatrix {
+// eStep computes the new assignment matrix (written into next, whose every
+// row it overwrites) from the current confusion matrices and priors (Eq. 1
+// and Eq. 4) and returns the maximal entry-wise change against current (the
+// convergence criterion). Probabilities are accumulated in log space to
+// avoid underflow with many workers. Objects are independent given the
+// priors, so the step shards the object range; each shard writes only its
+// own rows and reports a local maximum, and the shard maxima are folded with
+// max — an exact, order-independent reduction, so any parallelism yields
+// identical bits.
+func eStep(answers *model.AnswerSet, validation *model.Validation,
+	current, next *model.AssignmentMatrix, confusions []*model.ConfusionMatrix, logConf []float64, parallelism int) float64 {
 
+	n, m := current.NumObjects(), current.NumLabels()
 	priors := current.Priors()
 	logPriors := make([]float64, m)
 	for l, p := range priors {
@@ -291,61 +299,100 @@ func eStep(objectAnswers [][]model.WorkerAnswer, validation *model.Validation,
 		logPriors[l] = math.Log(p)
 	}
 
-	next := model.NewAssignmentMatrix(n, m)
-	logRow := make([]float64, m)
-	for o := 0; o < n; o++ {
-		if l := validation.Get(o); l != model.NoLabel {
-			next.SetCertain(o, l)
-			continue
-		}
-		for l := 0; l < m; l++ {
-			logRow[l] = logPriors[l]
-		}
-		for _, wa := range objectAnswers[o] {
-			f := confusions[wa.Worker]
+	// Hoist the logarithms out of the per-answer loop: one k·m² table per
+	// iteration instead of one math.Log per (answer, label). The table holds
+	// exactly the values the inner loop would compute, so the accumulation
+	// below is bitwise unchanged.
+	mm := m * m
+	par.For(len(confusions), parallelism, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			f := confusions[w]
 			for l := 0; l < m; l++ {
-				p := f.At(model.Label(l), wa.Label)
-				if p <= 0 {
-					p = 1e-12
+				for l2 := 0; l2 < m; l2++ {
+					p := f.At(model.Label(l), model.Label(l2))
+					if p <= 0 {
+						p = 1e-12
+					}
+					logConf[w*mm+l*m+l2] = math.Log(p)
 				}
-				logRow[l] += math.Log(p)
 			}
 		}
-		// log-sum-exp normalization.
-		maxLog := logRow[0]
-		for l := 1; l < m; l++ {
-			if logRow[l] > maxLog {
-				maxLog = logRow[l]
+	})
+
+	shards := par.Shards(parallelism, n)
+	shardDiff := make([]float64, shards)
+	par.ForN(n, shards, func(shard, lo, hi int) {
+		localDiff := 0.0
+		for o := lo; o < hi; o++ {
+			row := next.RowSlice(o)
+			if l := validation.Get(o); l != model.NoLabel {
+				next.SetCertain(o, l)
+			} else {
+				for l := 0; l < m; l++ {
+					row[l] = logPriors[l]
+				}
+				for _, wa := range answers.ObjectView(o) {
+					lf := logConf[wa.Worker*mm+int(wa.Label) : wa.Worker*mm+mm]
+					for l := 0; l < m; l++ {
+						row[l] += lf[l*m]
+					}
+				}
+				// log-sum-exp normalization.
+				maxLog := row[0]
+				for l := 1; l < m; l++ {
+					if row[l] > maxLog {
+						maxLog = row[l]
+					}
+				}
+				sum := 0.0
+				for l := 0; l < m; l++ {
+					row[l] = math.Exp(row[l] - maxLog)
+					sum += row[l]
+				}
+				for l := 0; l < m; l++ {
+					row[l] /= sum
+				}
+			}
+			for l := 0; l < m; l++ {
+				if d := math.Abs(row[l] - current.Prob(o, model.Label(l))); d > localDiff {
+					localDiff = d
+				}
 			}
 		}
-		row := make([]float64, m)
-		sum := 0.0
-		for l := 0; l < m; l++ {
-			row[l] = math.Exp(logRow[l] - maxLog)
-			sum += row[l]
+		shardDiff[shard] = localDiff
+	})
+	diff := 0.0
+	for _, d := range shardDiff {
+		if d > diff {
+			diff = d
 		}
-		for l := 0; l < m; l++ {
-			row[l] /= sum
-		}
-		next.SetRow(o, row)
 	}
-	return next
+	return diff
 }
 
-// mStep re-estimates the worker confusion matrices from the assignment
-// probabilities (Eq. 5) with additive smoothing. workerAnswers is the
-// pre-computed per-worker list of (object, answered label) pairs.
-func mStep(workerAnswers [][]model.ObjectAnswer, u *model.AssignmentMatrix, m int, smoothing float64) []*model.ConfusionMatrix {
-	confusions := make([]*model.ConfusionMatrix, len(workerAnswers))
-	for w, answers := range workerAnswers {
-		c := model.NewConfusionMatrix(m)
-		for _, oa := range answers {
-			for l := 0; l < m; l++ {
-				c.Add(model.Label(l), oa.Label, u.Prob(oa.Object, model.Label(l)))
+// mStepInto re-estimates the worker confusion matrices from the assignment
+// probabilities (Eq. 5) with additive smoothing, overwriting confusions in
+// place (nil slots are allocated, existing matrices are reset and reused).
+// Each worker's matrix depends only on that worker's adjacency list, so the
+// worker range is sharded; every shard writes disjoint slots of the result
+// slice, keeping parallel runs bitwise identical to serial ones.
+func mStepInto(answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64, parallelism int, confusions []*model.ConfusionMatrix) {
+	m := u.NumLabels()
+	par.For(len(confusions), parallelism, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			c := confusions[w]
+			if c == nil {
+				c = model.NewConfusionMatrix(m)
+				confusions[w] = c
+			} else {
+				c.Reset()
 			}
+			for _, oa := range answers.WorkerView(w) {
+				for l := 0; l < m; l++ {
+					c.Add(model.Label(l), oa.Label, u.Prob(oa.Object, model.Label(l)))
+				}
+			}
+			c.Smooth(smoothing)
 		}
-		c.Smooth(smoothing)
-		confusions[w] = c
-	}
-	return confusions
+	})
 }

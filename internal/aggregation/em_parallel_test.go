@@ -1,0 +1,150 @@
+package aggregation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crowdval/internal/model"
+)
+
+// randomSparseAnswers generates a seeded random sparse answer set with
+// roughly perObject answers per object, plus a validation covering a
+// fraction of the objects. It deliberately avoids the simulation package so
+// the equivalence tests depend only on the code under test.
+func randomSparseAnswers(t testing.TB, n, k, m, perObject int, validated float64, seed int64) (*model.AnswerSet, *model.Validation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := model.MustNewAnswerSet(n, k, m)
+	for o := 0; o < n; o++ {
+		for i := 0; i < perObject; i++ {
+			w := rng.Intn(k)
+			if err := a.SetAnswer(o, w, model.Label(rng.Intn(m))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	v := model.NewValidation(n)
+	for o := 0; o < n; o++ {
+		if rng.Float64() < validated {
+			v.Set(o, model.Label(rng.Intn(m)))
+		}
+	}
+	return a, v
+}
+
+// assertBitwiseEqual fails unless the two results are identical down to the
+// last float bit: same iteration count, same assignment matrix, same
+// confusion matrices.
+func assertBitwiseEqual(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("iterations/converged = %d/%v, want %d/%v",
+			got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	gu, wu := got.ProbSet.Assignment, want.ProbSet.Assignment
+	if gu.NumObjects() != wu.NumObjects() || gu.NumLabels() != wu.NumLabels() {
+		t.Fatalf("assignment dims %dx%d, want %dx%d", gu.NumObjects(), gu.NumLabels(), wu.NumObjects(), wu.NumLabels())
+	}
+	for o := 0; o < gu.NumObjects(); o++ {
+		for l := 0; l < gu.NumLabels(); l++ {
+			if gu.Prob(o, model.Label(l)) != wu.Prob(o, model.Label(l)) {
+				t.Fatalf("assignment (%d, %d) = %v, want %v (not bitwise equal)",
+					o, l, gu.Prob(o, model.Label(l)), wu.Prob(o, model.Label(l)))
+			}
+		}
+	}
+	if len(got.ProbSet.Confusions) != len(want.ProbSet.Confusions) {
+		t.Fatalf("%d confusions, want %d", len(got.ProbSet.Confusions), len(want.ProbSet.Confusions))
+	}
+	for w := range got.ProbSet.Confusions {
+		gc, wc := got.ProbSet.Confusions[w], want.ProbSet.Confusions[w]
+		m := gc.NumLabels()
+		for l := 0; l < m; l++ {
+			for l2 := 0; l2 < m; l2++ {
+				if gc.At(model.Label(l), model.Label(l2)) != wc.At(model.Label(l), model.Label(l2)) {
+					t.Fatalf("confusion of worker %d at (%d, %d) differs", w, l, l2)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEMBitwiseEqualsSerial asserts the central determinism contract
+// of the sharded E-/M-steps: for every aggregator and every parallelism
+// degree the result is bit-for-bit the serial result.
+func TestParallelEMBitwiseEqualsSerial(t *testing.T) {
+	shapes := []struct{ n, k, m, per int }{
+		{60, 15, 2, 4},
+		{150, 40, 3, 6},
+		{301, 57, 4, 5}, // sizes not divisible by the shard counts
+	}
+	builders := []struct {
+		name  string
+		build func(parallelism int) Aggregator
+	}{
+		{"batch-mv", func(p int) Aggregator {
+			return &BatchEM{Config: EMConfig{Parallelism: p}}
+		}},
+		{"batch-uniform", func(p int) Aggregator {
+			return &BatchEM{Init: InitUniform, Config: EMConfig{Parallelism: p}}
+		}},
+		{"batch-random", func(p int) Aggregator {
+			return &BatchEM{Init: InitRandom, Rand: rand.New(rand.NewSource(5)), Config: EMConfig{Parallelism: p}}
+		}},
+		{"incremental-cold", func(p int) Aggregator {
+			return &IncrementalEM{Config: EMConfig{Parallelism: p}}
+		}},
+		{"majority-voting", func(p int) Aggregator {
+			return &MajorityVoting{Parallelism: p}
+		}},
+	}
+	for si, shape := range shapes {
+		answers, validation := randomSparseAnswers(t, shape.n, shape.k, shape.m, shape.per, 0.2, int64(100+si))
+		for _, b := range builders {
+			serial, err := b.build(1).Aggregate(answers, validation, nil)
+			if err != nil {
+				t.Fatalf("%s serial: %v", b.name, err)
+			}
+			for _, p := range []int{2, 3, 8} {
+				t.Run(fmt.Sprintf("%s/n%d/p%d", b.name, shape.n, p), func(t *testing.T) {
+					parallel, err := b.build(p).Aggregate(answers, validation, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertBitwiseEqual(t, parallel, serial)
+				})
+			}
+		}
+	}
+}
+
+// TestParallelWarmStartBitwiseEqualsSerial covers the i-EM warm start — the
+// pay-as-you-go hot path: aggregate, add one validation, re-aggregate from
+// the previous probabilistic answer set.
+func TestParallelWarmStartBitwiseEqualsSerial(t *testing.T) {
+	answers, validation := randomSparseAnswers(t, 200, 30, 3, 5, 0.1, 42)
+	run := func(p int) *Result {
+		iem := &IncrementalEM{Config: EMConfig{Parallelism: p}}
+		res, err := iem.Aggregate(answers, validation, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2 := validation.Clone()
+		for o := 0; o < answers.NumObjects(); o++ {
+			if v2.Get(o) == model.NoLabel {
+				v2.Set(o, 1)
+				break
+			}
+		}
+		warm, err := iem.Aggregate(answers, v2, res.ProbSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return warm
+	}
+	serial := run(1)
+	for _, p := range []int{2, 4, 8} {
+		assertBitwiseEqual(t, run(p), serial)
+	}
+}

@@ -17,6 +17,11 @@ import (
 // OnlineEM handles a growing answer matrix. Crowdsourcing applications that
 // keep collecting answers while the expert validates can run both: OnlineEM
 // to fold in new answers cheaply, i-EM whenever new expert input arrives.
+//
+// OnlineEM is stateful (it retains the answer set and probabilistic answer
+// set between observations) and therefore not safe for concurrent use; in
+// particular it must not serve as the aggregator of a validation engine with
+// parallel candidate scoring enabled (core.NewEngine rejects that combination).
 type OnlineEM struct {
 	// StepSize is the damping factor of the running confusion-matrix update
 	// in (0, 1]; smaller values forget more slowly. Values outside the range
@@ -92,7 +97,7 @@ func (o *OnlineEM) ObserveAnswer(object, worker int, label model.Label) error {
 				p = 1e-12
 			}
 			row[l] = p
-			for _, wa := range o.answers.ObjectAnswers(object) {
+			for _, wa := range o.answers.ObjectView(object) {
 				f := o.probSet.Confusions[wa.Worker].At(model.Label(l), wa.Label)
 				if f <= 0 {
 					f = 1e-12

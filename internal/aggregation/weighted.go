@@ -19,6 +19,16 @@ type WeightedMajorityVoting struct {
 	// estimating worker accuracies, keeping weights defined for workers with
 	// few observations. Values <= 0 default to 1.
 	Smoothing float64
+	// Parallelism is forwarded to the inner majority-vote pass. Values < 1
+	// use GOMAXPROCS; 1 forces the serial path.
+	Parallelism int
+}
+
+// SerialVariant implements Sharded.
+func (wmv *WeightedMajorityVoting) SerialVariant() Aggregator {
+	serial := *wmv
+	serial.Parallelism = 1
+	return &serial
 }
 
 func (wmv *WeightedMajorityVoting) smoothing() float64 {
@@ -43,7 +53,7 @@ func (wmv *WeightedMajorityVoting) Aggregate(answers *model.AnswerSet, validatio
 
 	// Reference labels for accuracy estimation: expert validations where
 	// present, majority-vote labels elsewhere.
-	mv := &MajorityVoting{}
+	mv := &MajorityVoting{Parallelism: wmv.Parallelism}
 	mvRes, err := mv.Aggregate(answers, validation, nil)
 	if err != nil {
 		return nil, err
@@ -66,7 +76,7 @@ func (wmv *WeightedMajorityVoting) Aggregate(answers *model.AnswerSet, validatio
 		}
 		row := make([]float64, m)
 		total := 0.0
-		for _, wa := range answers.ObjectAnswers(o) {
+		for _, wa := range answers.ObjectView(o) {
 			row[wa.Label] += weights[wa.Worker]
 			total += weights[wa.Worker]
 		}
@@ -97,10 +107,10 @@ func (wmv *WeightedMajorityVoting) workerWeights(answers *model.AnswerSet, valid
 	for w := range weights {
 		// First try the validation-only estimate.
 		validatedCorrect, validatedTotal := 0.0, 0.0
-		for _, o := range answers.WorkerObjects(w) {
-			if l := validation.Get(o); l != model.NoLabel {
+		for _, oa := range answers.WorkerView(w) {
+			if l := validation.Get(oa.Object); l != model.NoLabel {
 				validatedTotal++
-				if answers.Answer(o, w) == l {
+				if oa.Label == l {
 					validatedCorrect++
 				}
 			}
@@ -110,16 +120,16 @@ func (wmv *WeightedMajorityVoting) workerWeights(answers *model.AnswerSet, valid
 			correct += validatedCorrect
 			total += validatedTotal
 		} else {
-			for _, o := range answers.WorkerObjects(w) {
-				ref := reference[o]
-				if l := validation.Get(o); l != model.NoLabel {
+			for _, oa := range answers.WorkerView(w) {
+				ref := reference[oa.Object]
+				if l := validation.Get(oa.Object); l != model.NoLabel {
 					ref = l
 				}
 				if ref == model.NoLabel {
 					continue
 				}
 				total++
-				if answers.Answer(o, w) == ref {
+				if oa.Label == ref {
 					correct++
 				}
 			}

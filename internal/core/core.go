@@ -67,8 +67,20 @@ type Config struct {
 	// or worker-driven strategy is used.
 	HandleFaultyWorkers bool
 	// Parallel enables parallel candidate scoring in the guidance step.
+	// Because the scorers themselves fan out across MaxParallelism
+	// goroutines, the engine hands them serial variants of the inner
+	// components: a Parallelism-1 copy of the detector, and — for
+	// aggregators implementing aggregation.Sharded (the EM and
+	// majority-vote aggregators, including the nil default) — the
+	// aggregator's SerialVariant. Other aggregators are handed to scoring
+	// as-is and must be safe for concurrent Aggregate calls; the stateful
+	// OnlineEM is not, and NewEngine rejects it when Parallel is set.
 	Parallel bool
-	// MaxParallelism caps the number of scoring goroutines (< 1: GOMAXPROCS).
+	// MaxParallelism caps the number of goroutines of the parallel stages:
+	// guidance candidate scoring, the sharded E-/M-steps of the default
+	// aggregator and the sharded worker assessment of the default detector
+	// (< 1: GOMAXPROCS). Aggregation and detection results are identical
+	// for every setting.
 	MaxParallelism int
 	// Rand drives stochastic components (hybrid roulette wheel). Nil uses a
 	// fixed seed so runs are reproducible.
@@ -122,12 +134,19 @@ type Engine struct {
 	probSet    *model.ProbabilisticAnswerSet
 	assignment model.DeterministicAssignment
 
-	aggregator   aggregation.Aggregator
-	strategy     guidance.Strategy
-	detector     *spamdetect.Detector
-	quarantine   *spamdetect.Quarantine
-	hybrid       *guidance.Hybrid
-	workerDriven bool // strategy is the pure worker-driven one
+	aggregator aggregation.Aggregator
+	strategy   guidance.Strategy
+	detector   *spamdetect.Detector
+	// scoringAggregator and scoringDetector are the instances handed to the
+	// guidance step. When parallel candidate scoring is enabled they are
+	// serial variants: scoring already fans out across MaxParallelism
+	// goroutines, and nesting GOMAXPROCS-wide EM/detection shards inside
+	// each scorer would oversubscribe the CPU.
+	scoringAggregator aggregation.Aggregator
+	scoringDetector   *spamdetect.Detector
+	quarantine        *spamdetect.Quarantine
+	hybrid            *guidance.Hybrid
+	workerDriven      bool // strategy is the pure worker-driven one
 	// lastWorkerDriven records whether the most recent SelectNext call used
 	// the worker-driven branch.
 	lastWorkerDriven bool
@@ -156,11 +175,24 @@ func NewEngine(answers *model.AnswerSet, cfg Config) (*Engine, error) {
 	e.validation = model.NewValidation(answers.NumObjects())
 	e.aggregator = cfg.Aggregator
 	if e.aggregator == nil {
-		e.aggregator = &aggregation.IncrementalEM{}
+		e.aggregator = &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: cfg.MaxParallelism}}
 	}
 	e.detector = cfg.Detector
 	if e.detector == nil {
-		e.detector = &spamdetect.Detector{}
+		e.detector = &spamdetect.Detector{Parallelism: cfg.MaxParallelism}
+	}
+	e.scoringAggregator = e.aggregator
+	e.scoringDetector = e.detector
+	if cfg.Parallel {
+		if _, ok := e.aggregator.(*aggregation.OnlineEM); ok {
+			return nil, fmt.Errorf("core: OnlineEM is stateful and not safe for parallel candidate scoring")
+		}
+		if s, ok := e.aggregator.(aggregation.Sharded); ok {
+			e.scoringAggregator = s.SerialVariant()
+		}
+		serialDetector := *e.detector
+		serialDetector.Parallelism = 1
+		e.scoringDetector = &serialDetector
 	}
 	e.strategy = cfg.Strategy
 	if e.strategy == nil {
@@ -245,8 +277,8 @@ func (e *Engine) guidanceContext() *guidance.Context {
 	return &guidance.Context{
 		Answers:        e.working,
 		ProbSet:        e.probSet,
-		Aggregator:     e.aggregator,
-		Detector:       e.detector,
+		Aggregator:     e.scoringAggregator,
+		Detector:       e.scoringDetector,
 		Parallel:       e.cfg.Parallel,
 		MaxParallelism: e.cfg.MaxParallelism,
 	}

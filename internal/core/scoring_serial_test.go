@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+)
+
+func scoringTestAnswers(t *testing.T) *model.AnswerSet {
+	t.Helper()
+	a := model.MustNewAnswerSet(6, 4, 2)
+	for o := 0; o < 6; o++ {
+		for w := 0; w < 4; w++ {
+			if err := a.SetAnswer(o, w, model.Label((o+w)%2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a
+}
+
+// TestParallelScoringGetsSerialVariants asserts that enabling parallel
+// candidate scoring hands the guidance step serial copies of the aggregator
+// and detector, while the engine's own conclude step keeps the sharded
+// originals — the guard against nesting GOMAXPROCS-wide shards inside every
+// scoring goroutine.
+func TestParallelScoringGetsSerialVariants(t *testing.T) {
+	answers := scoringTestAnswers(t)
+
+	e, err := NewEngine(answers, Config{Parallel: true, MaxParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iem, ok := e.scoringAggregator.(*aggregation.IncrementalEM)
+	if !ok {
+		t.Fatalf("scoring aggregator is %T, want *IncrementalEM", e.scoringAggregator)
+	}
+	if iem.Config.Parallelism != 1 {
+		t.Fatalf("scoring aggregator parallelism = %d, want 1", iem.Config.Parallelism)
+	}
+	if e.scoringAggregator == e.aggregator {
+		t.Fatal("scoring aggregator must be a distinct serial copy")
+	}
+	if e.scoringDetector.Parallelism != 1 {
+		t.Fatalf("scoring detector parallelism = %d, want 1", e.scoringDetector.Parallelism)
+	}
+	if e.detector.Parallelism != 4 {
+		t.Fatalf("conclude-step detector parallelism = %d, want 4", e.detector.Parallelism)
+	}
+
+	// A caller-supplied BatchEM is serialized too, and its Rand — unsafe to
+	// share across concurrent scorers — is dropped from the copy.
+	batch := &aggregation.BatchEM{Init: aggregation.InitRandom, Rand: rand.New(rand.NewSource(7))}
+	e, err = NewEngine(answers, Config{Parallel: true, Aggregator: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, ok := e.scoringAggregator.(*aggregation.BatchEM)
+	if !ok {
+		t.Fatalf("scoring aggregator is %T, want *BatchEM", e.scoringAggregator)
+	}
+	if serial == batch || serial.Rand != nil || serial.Config.Parallelism != 1 {
+		t.Fatalf("BatchEM scoring copy = %+v, want distinct copy with nil Rand and Parallelism 1", serial)
+	}
+	if batch.Rand == nil {
+		t.Fatal("original BatchEM must keep its Rand")
+	}
+}
+
+// TestParallelScoringRejectsOnlineEM asserts that the stateful OnlineEM —
+// whose Aggregate mutates the receiver — cannot be combined with parallel
+// candidate scoring.
+func TestParallelScoringRejectsOnlineEM(t *testing.T) {
+	answers := scoringTestAnswers(t)
+	if _, err := NewEngine(answers, Config{Parallel: true, Aggregator: &aggregation.OnlineEM{}}); err == nil {
+		t.Fatal("NewEngine accepted OnlineEM with parallel scoring")
+	}
+	if _, err := NewEngine(answers, Config{Aggregator: &aggregation.OnlineEM{}}); err != nil {
+		t.Fatalf("NewEngine rejected OnlineEM without parallel scoring: %v", err)
+	}
+}
+
+// TestSerialScoringSharesAggregator asserts that without Parallel the
+// guidance step uses the engine's own (possibly sharded) instances — serial
+// scoring cannot nest, and sharded per-candidate aggregation is desirable.
+func TestSerialScoringSharesAggregator(t *testing.T) {
+	answers := scoringTestAnswers(t)
+	e, err := NewEngine(answers, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.scoringAggregator != e.aggregator {
+		t.Fatal("serial scoring should share the engine aggregator")
+	}
+	if e.scoringDetector != e.detector {
+		t.Fatal("serial scoring should share the engine detector")
+	}
+}

@@ -1,7 +1,3 @@
-// Package dataset persists crowdsourcing datasets (answer matrices, optional
-// ground truth and worker types) as JSON files and loads them back. It is the
-// storage substrate used by the command-line tools so that generated crowds,
-// collected answers and expert validations can move between invocations.
 package dataset
 
 import (
@@ -56,7 +52,7 @@ func Write(w io.Writer, f *File) error {
 		WorkerNames: d.Answers.WorkerNames,
 	}
 	for o := 0; o < d.Answers.NumObjects(); o++ {
-		for _, wa := range d.Answers.ObjectAnswers(o) {
+		for _, wa := range d.Answers.ObjectView(o) {
 			out.Answers = append(out.Answers, [3]int{o, wa.Worker, int(wa.Label)})
 		}
 	}

@@ -1,0 +1,12 @@
+// Package dataset persists crowdsourcing datasets (answer matrices, optional
+// ground truth and worker types) as JSON files and loads them back. It is
+// the storage substrate used by the command-line tools so that generated
+// crowds, collected answers and expert validations can move between
+// invocations of cmd/crowdval.
+//
+// The on-disk format lists answers as sparse (object, worker, label)
+// triples — mirroring the answer-set vocabulary N = <O, W, L, M> of
+// "Minimizing Efforts in Validating Crowd Answers" (SIGMOD 2015, §3.1) and
+// matching the in-memory adjacency-list representation of model.AnswerSet,
+// so file size is proportional to the number of answers rather than to n×k.
+package dataset

@@ -68,7 +68,11 @@ func Figure4ResponseTime(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		agg := &aggregation.IncrementalEM{}
+		// Serial EM inside the scorers on both sides: the figure compares
+		// serial vs parallel *candidate scoring*, so the per-candidate
+		// aggregation must not shard on its own (nested sharding would both
+		// skew the "serial" column and oversubscribe the "parallel" one).
+		agg := &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: 1}}
 		res, err := agg.Aggregate(d.Answers, model.NewValidation(numObjects), nil)
 		if err != nil {
 			return nil, err
@@ -81,7 +85,7 @@ func Figure4ResponseTime(opts Options) (*Table, error) {
 					Answers:    d.Answers,
 					ProbSet:    res.ProbSet,
 					Aggregator: agg,
-					Detector:   &spamdetect.Detector{},
+					Detector:   &spamdetect.Detector{Parallelism: 1},
 					Parallel:   parallel,
 				}
 				start := time.Now()

@@ -50,18 +50,25 @@ func (c *Context) candidates() []int {
 	return c.ProbSet.Validation.UnvalidatedObjects()
 }
 
+// aggregator and detector default to serial instances: strategies call them
+// once per scored candidate, potentially from MaxParallelism scoring
+// goroutines at once, so a GOMAXPROCS-sharded default would nest parallelism
+// and oversubscribe the CPU. Explicit Aggregator/Detector fields are used
+// exactly as given — a caller that scores serially may hand in sharded
+// instances (note that core.Engine builds its scoring Context with a
+// serialized detector copy when its Parallel flag is set; see core.Config).
 func (c *Context) aggregator() aggregation.Aggregator {
 	if c.Aggregator != nil {
 		return c.Aggregator
 	}
-	return &aggregation.IncrementalEM{}
+	return &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: 1}}
 }
 
 func (c *Context) detector() *spamdetect.Detector {
 	if c.Detector != nil {
 		return c.Detector
 	}
-	return &spamdetect.Detector{}
+	return &spamdetect.Detector{Parallelism: 1}
 }
 
 func (c *Context) parallelism() int {

@@ -1,0 +1,12 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the library: matrices, Frobenius norms, a one-sided Jacobi singular value
+// decomposition and low-rank approximations.
+//
+// The package exists because the spammer score of the worker-driven guidance
+// strategy (Eq. 11 of "Minimizing Efforts in Validating Crowd Answers",
+// SIGMOD 2015, §5.3) is the Frobenius distance of a worker's confusion
+// matrix to its best rank-one approximation, which is obtained via SVD
+// (Eckart–Young). Confusion matrices are m×m for m labels — typically tiny —
+// so a compact Jacobi SVD over the standard library is all that is needed;
+// no external BLAS/LAPACK dependency is taken.
+package linalg

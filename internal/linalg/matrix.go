@@ -1,11 +1,3 @@
-// Package linalg provides the small dense linear-algebra substrate used by
-// the library: matrices, Frobenius norms, a one-sided Jacobi singular value
-// decomposition and low-rank approximations.
-//
-// The package exists because the spammer score of the worker-driven guidance
-// strategy (Eq. 11 of the paper) is the Frobenius distance of a worker's
-// confusion matrix to its best rank-one approximation, which is obtained via
-// SVD (Eckart–Young). Only the Go standard library is used.
 package linalg
 
 import (

@@ -1,0 +1,13 @@
+// Package metrics implements the evaluation measures of §6.1 and the
+// appendices of "Minimizing Efforts in Validating Crowd Answers" (SIGMOD
+// 2015): precision of a deterministic assignment against a ground truth,
+// percentage of precision improvement, relative expert effort,
+// precision/recall of the faulty-worker detection, Pearson correlation,
+// probability histograms (Figure 6) and the sensitivity/specificity
+// characterization of worker types (Figure 1).
+//
+// The experiment harness (internal/experiments) consumes these measures to
+// reproduce the paper's tables and figures; applications can use them to
+// evaluate their own validation runs whenever a (partial) ground truth is
+// available.
+package metrics

@@ -1,7 +1,3 @@
-// Package metrics implements the evaluation measures of the paper's §6.1 and
-// appendices: precision of a deterministic assignment, percentage of precision
-// improvement, relative expert effort, precision/recall of the spammer
-// detection, Pearson correlation and probability histograms.
 package metrics
 
 import (
@@ -181,9 +177,9 @@ func Histogram(values []float64, numBins int) []float64 {
 // used to reproduce the worker-type characterization of Figure 1.
 func SensitivitySpecificity(answers *model.AnswerSet, worker int, truth model.DeterministicAssignment) (sensitivity, specificity float64) {
 	var tp, fn, tn, fp int
-	for o := 0; o < answers.NumObjects(); o++ {
-		a := answers.Answer(o, worker)
-		if a == model.NoLabel || o >= len(truth) || truth[o] == model.NoLabel {
+	for _, oa := range answers.WorkerView(worker) {
+		o, a := oa.Object, oa.Label
+		if o >= len(truth) || truth[o] == model.NoLabel {
 			continue
 		}
 		switch truth[o] {

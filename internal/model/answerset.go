@@ -3,10 +3,19 @@ package model
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // AnswerSet is the quadruple N = <O, W, L, M>: n objects, k workers, m labels
 // and an n×k answer matrix whose entries are labels or NoLabel.
+//
+// The matrix is stored sparsely as two mutually consistent adjacency lists:
+// per object the (worker, label) pairs sorted by worker, and per worker the
+// (object, label) pairs sorted by object. Crowdsourcing matrices are sparse —
+// each worker answers a bounded number of questions (§5.4 of the paper) — so
+// this keeps memory and full-matrix traversals proportional to the number of
+// answers rather than to n×k, which is what makes aggregation over large
+// crowds (tens of thousands of objects, hundreds of workers) tractable.
 //
 // The zero value is not usable; construct with NewAnswerSet.
 type AnswerSet struct {
@@ -14,8 +23,12 @@ type AnswerSet struct {
 	numWorkers int
 	numLabels  int
 
-	// answers is the dense n×k answer matrix, row-major by object.
-	answers []Label
+	// byObject[o] lists the answers given to object o, sorted by worker.
+	byObject [][]WorkerAnswer
+	// byWorker[w] lists the answers given by worker w, sorted by object.
+	byWorker [][]ObjectAnswer
+	// count is the total number of recorded answers.
+	count int
 
 	// Optional human-readable names. When set, their lengths match the
 	// respective dimensions; they carry no semantics for the algorithms.
@@ -31,16 +44,13 @@ func NewAnswerSet(numObjects, numWorkers, numLabels int) (*AnswerSet, error) {
 		return nil, fmt.Errorf("model: invalid answer set dimensions %d×%d with %d labels",
 			numObjects, numWorkers, numLabels)
 	}
-	a := &AnswerSet{
+	return &AnswerSet{
 		numObjects: numObjects,
 		numWorkers: numWorkers,
 		numLabels:  numLabels,
-		answers:    make([]Label, numObjects*numWorkers),
-	}
-	for i := range a.answers {
-		a.answers[i] = NoLabel
-	}
-	return a, nil
+		byObject:   make([][]WorkerAnswer, numObjects),
+		byWorker:   make([][]ObjectAnswer, numWorkers),
+	}, nil
 }
 
 // MustNewAnswerSet is like NewAnswerSet but panics on invalid dimensions.
@@ -62,13 +72,25 @@ func (a *AnswerSet) NumWorkers() int { return a.numWorkers }
 // NumLabels returns m, the number of labels.
 func (a *AnswerSet) NumLabels() int { return a.numLabels }
 
-func (a *AnswerSet) index(object, worker int) int {
-	return object*a.numWorkers + worker
-}
-
 // ErrOutOfRange is returned when an object, worker or label index is outside
 // the answer set's dimensions.
 var ErrOutOfRange = errors.New("model: index out of range")
+
+// objectPos returns the position of worker in byObject[object] or, if absent,
+// the position where it would be inserted, plus whether it was found.
+func (a *AnswerSet) objectPos(object, worker int) (int, bool) {
+	row := a.byObject[object]
+	i := sort.Search(len(row), func(i int) bool { return row[i].Worker >= worker })
+	return i, i < len(row) && row[i].Worker == worker
+}
+
+// workerPos returns the position of object in byWorker[worker] or, if absent,
+// the position where it would be inserted, plus whether it was found.
+func (a *AnswerSet) workerPos(worker, object int) (int, bool) {
+	col := a.byWorker[worker]
+	i := sort.Search(len(col), func(i int) bool { return col[i].Object >= object })
+	return i, i < len(col) && col[i].Object == object
+}
 
 // SetAnswer records that worker answered object with the given label.
 // Passing NoLabel removes a previously recorded answer.
@@ -80,7 +102,30 @@ func (a *AnswerSet) SetAnswer(object, worker int, label Label) error {
 	if label != NoLabel && !label.Valid(a.numLabels) {
 		return fmt.Errorf("%w: label %d (task has %d labels)", ErrOutOfRange, label, a.numLabels)
 	}
-	a.answers[a.index(object, worker)] = label
+	oi, oFound := a.objectPos(object, worker)
+	if label == NoLabel {
+		if oFound {
+			a.byObject[object] = append(a.byObject[object][:oi], a.byObject[object][oi+1:]...)
+			wi, _ := a.workerPos(worker, object)
+			a.byWorker[worker] = append(a.byWorker[worker][:wi], a.byWorker[worker][wi+1:]...)
+			a.count--
+		}
+		return nil
+	}
+	if oFound {
+		a.byObject[object][oi].Label = label
+		wi, _ := a.workerPos(worker, object)
+		a.byWorker[worker][wi].Label = label
+		return nil
+	}
+	a.byObject[object] = append(a.byObject[object], WorkerAnswer{})
+	copy(a.byObject[object][oi+1:], a.byObject[object][oi:])
+	a.byObject[object][oi] = WorkerAnswer{Worker: worker, Label: label}
+	wi, _ := a.workerPos(worker, object)
+	a.byWorker[worker] = append(a.byWorker[worker], ObjectAnswer{})
+	copy(a.byWorker[worker][wi+1:], a.byWorker[worker][wi:])
+	a.byWorker[worker][wi] = ObjectAnswer{Object: object, Label: label}
+	a.count++
 	return nil
 }
 
@@ -90,7 +135,10 @@ func (a *AnswerSet) Answer(object, worker int) Label {
 	if object < 0 || object >= a.numObjects || worker < 0 || worker >= a.numWorkers {
 		return NoLabel
 	}
-	return a.answers[a.index(object, worker)]
+	if i, found := a.objectPos(object, worker); found {
+		return a.byObject[object][i].Label
+	}
+	return NoLabel
 }
 
 // Answered reports whether the worker provided a label for the object.
@@ -99,19 +147,24 @@ func (a *AnswerSet) Answered(object, worker int) bool {
 }
 
 // ObjectAnswers returns, for one object, the (worker, label) pairs of all
-// workers that answered it. The slice is freshly allocated.
+// workers that answered it, sorted by worker. The slice is freshly allocated;
+// use ObjectView for allocation-free access on hot paths.
 func (a *AnswerSet) ObjectAnswers(object int) []WorkerAnswer {
+	if object < 0 || object >= a.numObjects || len(a.byObject[object]) == 0 {
+		return nil
+	}
+	return append([]WorkerAnswer(nil), a.byObject[object]...)
+}
+
+// ObjectView returns the internal adjacency list of one object: the (worker,
+// label) pairs of all workers that answered it, sorted by worker. The slice
+// is a view into the answer set — callers must not modify it, and it is only
+// valid until the next mutation of the answer set.
+func (a *AnswerSet) ObjectView(object int) []WorkerAnswer {
 	if object < 0 || object >= a.numObjects {
 		return nil
 	}
-	var out []WorkerAnswer
-	base := object * a.numWorkers
-	for w := 0; w < a.numWorkers; w++ {
-		if l := a.answers[base+w]; l != NoLabel {
-			out = append(out, WorkerAnswer{Worker: w, Label: l})
-		}
-	}
-	return out
+	return a.byObject[object]
 }
 
 // WorkerAnswer pairs a worker index with the label it assigned.
@@ -120,31 +173,33 @@ type WorkerAnswer struct {
 	Label  Label
 }
 
-// WorkerObjects returns the indices of all objects the worker answered.
+// WorkerObjects returns the indices of all objects the worker answered, in
+// ascending order.
 func (a *AnswerSet) WorkerObjects(worker int) []int {
-	if worker < 0 || worker >= a.numWorkers {
+	if worker < 0 || worker >= a.numWorkers || len(a.byWorker[worker]) == 0 {
 		return nil
 	}
-	var out []int
-	for o := 0; o < a.numObjects; o++ {
-		if a.answers[a.index(o, worker)] != NoLabel {
-			out = append(out, o)
-		}
+	out := make([]int, len(a.byWorker[worker]))
+	for i, oa := range a.byWorker[worker] {
+		out[i] = oa.Object
 	}
 	return out
 }
 
+// WorkerView returns the internal adjacency list of one worker: the (object,
+// label) pairs of all objects the worker answered, sorted by object. The
+// slice is a view into the answer set — callers must not modify it, and it is
+// only valid until the next mutation of the answer set.
+func (a *AnswerSet) WorkerView(worker int) []ObjectAnswer {
+	if worker < 0 || worker >= a.numWorkers {
+		return nil
+	}
+	return a.byWorker[worker]
+}
+
 // AnswerCount returns the total number of non-empty entries of the answer
 // matrix.
-func (a *AnswerSet) AnswerCount() int {
-	n := 0
-	for _, l := range a.answers {
-		if l != NoLabel {
-			n++
-		}
-	}
-	return n
-}
+func (a *AnswerSet) AnswerCount() int { return a.count }
 
 // Sparsity returns the fraction of empty entries in the answer matrix,
 // in [0, 1]. A fully answered matrix has sparsity 0.
@@ -153,7 +208,7 @@ func (a *AnswerSet) Sparsity() float64 {
 	if total == 0 {
 		return 0
 	}
-	return 1 - float64(a.AnswerCount())/float64(total)
+	return 1 - float64(a.count)/float64(total)
 }
 
 // LabelCounts returns, for one object, how many workers chose each label.
@@ -163,11 +218,8 @@ func (a *AnswerSet) LabelCounts(object int) []int {
 	if object < 0 || object >= a.numObjects {
 		return counts
 	}
-	base := object * a.numWorkers
-	for w := 0; w < a.numWorkers; w++ {
-		if l := a.answers[base+w]; l != NoLabel {
-			counts[l]++
-		}
+	for _, wa := range a.byObject[object] {
+		counts[wa.Label]++
 	}
 	return counts
 }
@@ -178,7 +230,19 @@ func (a *AnswerSet) Clone() *AnswerSet {
 		numObjects: a.numObjects,
 		numWorkers: a.numWorkers,
 		numLabels:  a.numLabels,
-		answers:    append([]Label(nil), a.answers...),
+		byObject:   make([][]WorkerAnswer, a.numObjects),
+		byWorker:   make([][]ObjectAnswer, a.numWorkers),
+		count:      a.count,
+	}
+	for o, row := range a.byObject {
+		if len(row) > 0 {
+			c.byObject[o] = append([]WorkerAnswer(nil), row...)
+		}
+	}
+	for w, col := range a.byWorker {
+		if len(col) > 0 {
+			c.byWorker[w] = append([]ObjectAnswer(nil), col...)
+		}
 	}
 	c.ObjectNames = append([]string(nil), a.ObjectNames...)
 	c.WorkerNames = append([]string(nil), a.WorkerNames...)
@@ -192,17 +256,17 @@ func (a *AnswerSet) Clone() *AnswerSet {
 // workers without discarding their input permanently (§5.3, "Handling faulty
 // workers").
 func (a *AnswerSet) MaskWorker(worker int) []ObjectAnswer {
-	if worker < 0 || worker >= a.numWorkers {
+	if worker < 0 || worker >= a.numWorkers || len(a.byWorker[worker]) == 0 {
 		return nil
 	}
-	var removed []ObjectAnswer
-	for o := 0; o < a.numObjects; o++ {
-		idx := a.index(o, worker)
-		if l := a.answers[idx]; l != NoLabel {
-			removed = append(removed, ObjectAnswer{Object: o, Label: l})
-			a.answers[idx] = NoLabel
+	removed := a.byWorker[worker]
+	a.byWorker[worker] = nil
+	for _, oa := range removed {
+		if i, found := a.objectPos(oa.Object, worker); found {
+			a.byObject[oa.Object] = append(a.byObject[oa.Object][:i], a.byObject[oa.Object][i+1:]...)
 		}
 	}
+	a.count -= len(removed)
 	return removed
 }
 
@@ -213,7 +277,8 @@ func (a *AnswerSet) RestoreWorker(worker int, answers []ObjectAnswer) {
 	}
 	for _, oa := range answers {
 		if oa.Object >= 0 && oa.Object < a.numObjects && oa.Label.Valid(a.numLabels) {
-			a.answers[a.index(oa.Object, worker)] = oa.Label
+			// Errors are impossible here: indices and label were validated.
+			_ = a.SetAnswer(oa.Object, worker, oa.Label)
 		}
 	}
 }
@@ -227,5 +292,5 @@ type ObjectAnswer struct {
 // String returns a compact description of the answer set.
 func (a *AnswerSet) String() string {
 	return fmt.Sprintf("AnswerSet(%d objects × %d workers, %d labels, %d answers)",
-		a.numObjects, a.numWorkers, a.numLabels, a.AnswerCount())
+		a.numObjects, a.numWorkers, a.numLabels, a.count)
 }

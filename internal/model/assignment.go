@@ -60,6 +60,14 @@ func (u *AssignmentMatrix) SetRow(object int, row []float64) {
 	copy(u.data[object*u.numLabels:(object+1)*u.numLabels], row)
 }
 
+// RowSlice returns the distribution of one object as a mutable view into the
+// matrix. It exists for the aggregation hot path, which writes each row in
+// place instead of staging it in a scratch buffer; callers own the row until
+// they hand the matrix on.
+func (u *AssignmentMatrix) RowSlice(object int) []float64 {
+	return u.data[object*u.numLabels : (object+1)*u.numLabels]
+}
+
 // NormalizeRow rescales the distribution of one object to sum to one,
 // replacing a zero-sum row with the uniform distribution.
 func (u *AssignmentMatrix) NormalizeRow(object int) {

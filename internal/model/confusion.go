@@ -75,6 +75,15 @@ func (c *ConfusionMatrix) Add(trueLabel, answeredLabel Label, delta float64) {
 	c.data[int(trueLabel)*c.numLabels+int(answeredLabel)] += delta
 }
 
+// Reset zeroes every entry so the matrix can be reused as a count
+// accumulator without reallocating (the EM M-step re-estimates all worker
+// matrices on every iteration).
+func (c *ConfusionMatrix) Reset() {
+	for i := range c.data {
+		c.data[i] = 0
+	}
+}
+
 // Row returns a copy of the row for the given true label.
 func (c *ConfusionMatrix) Row(trueLabel Label) []float64 {
 	row := make([]float64, c.numLabels)

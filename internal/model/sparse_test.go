@@ -1,0 +1,118 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSparseAnswerSetAgainstDenseOracle drives the sparse adjacency
+// representation with a long random sequence of inserts, updates and
+// removals and checks every accessor against a plain dense matrix oracle.
+func TestSparseAnswerSetAgainstDenseOracle(t *testing.T) {
+	const (
+		n, k, m = 37, 23, 4
+		ops     = 20000
+	)
+	rng := rand.New(rand.NewSource(7))
+	a := MustNewAnswerSet(n, k, m)
+	oracle := make([]Label, n*k)
+	for i := range oracle {
+		oracle[i] = NoLabel
+	}
+
+	for i := 0; i < ops; i++ {
+		o, w := rng.Intn(n), rng.Intn(k)
+		label := Label(rng.Intn(m + 1)) // m means "remove"
+		if int(label) == m {
+			label = NoLabel
+		}
+		if err := a.SetAnswer(o, w, label); err != nil {
+			t.Fatalf("SetAnswer(%d, %d, %d): %v", o, w, label, err)
+		}
+		oracle[o*k+w] = label
+	}
+
+	count := 0
+	for o := 0; o < n; o++ {
+		for w := 0; w < k; w++ {
+			want := oracle[o*k+w]
+			if got := a.Answer(o, w); got != want {
+				t.Fatalf("Answer(%d, %d) = %d, want %d", o, w, got, want)
+			}
+			if want != NoLabel {
+				count++
+			}
+		}
+	}
+	if got := a.AnswerCount(); got != count {
+		t.Fatalf("AnswerCount() = %d, want %d", got, count)
+	}
+
+	for o := 0; o < n; o++ {
+		row := a.ObjectView(o)
+		prev := -1
+		for _, wa := range row {
+			if wa.Worker <= prev {
+				t.Fatalf("ObjectView(%d) not strictly sorted by worker: %v", o, row)
+			}
+			prev = wa.Worker
+			if oracle[o*k+wa.Worker] != wa.Label {
+				t.Fatalf("ObjectView(%d) has (%d, %d), oracle says %d", o, wa.Worker, wa.Label, oracle[o*k+wa.Worker])
+			}
+		}
+	}
+	for w := 0; w < k; w++ {
+		col := a.WorkerView(w)
+		prev := -1
+		for _, oa := range col {
+			if oa.Object <= prev {
+				t.Fatalf("WorkerView(%d) not strictly sorted by object: %v", w, col)
+			}
+			prev = oa.Object
+			if oracle[oa.Object*k+w] != oa.Label {
+				t.Fatalf("WorkerView(%d) has (%d, %d), oracle says %d", w, oa.Object, oa.Label, oracle[oa.Object*k+w])
+			}
+		}
+	}
+}
+
+// TestMaskWorkerKeepsAdjacencyConsistent masks and restores workers amid
+// random edits and verifies both adjacency directions stay in sync.
+func TestMaskWorkerKeepsAdjacencyConsistent(t *testing.T) {
+	const n, k, m = 20, 8, 3
+	rng := rand.New(rand.NewSource(11))
+	a := MustNewAnswerSet(n, k, m)
+	for o := 0; o < n; o++ {
+		for w := 0; w < k; w++ {
+			if rng.Float64() < 0.4 {
+				if err := a.SetAnswer(o, w, Label(rng.Intn(m))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	want := a.Clone()
+	for round := 0; round < 10; round++ {
+		w := rng.Intn(k)
+		removed := a.MaskWorker(w)
+		if got := len(a.WorkerView(w)); got != 0 {
+			t.Fatalf("worker %d still has %d answers after mask", w, got)
+		}
+		for _, oa := range removed {
+			if a.Answer(oa.Object, w) != NoLabel {
+				t.Fatalf("object %d still sees masked worker %d", oa.Object, w)
+			}
+		}
+		a.RestoreWorker(w, removed)
+	}
+	for o := 0; o < n; o++ {
+		for w := 0; w < k; w++ {
+			if a.Answer(o, w) != want.Answer(o, w) {
+				t.Fatalf("answer (%d, %d) changed across mask/restore rounds", o, w)
+			}
+		}
+	}
+	if a.AnswerCount() != want.AnswerCount() {
+		t.Fatalf("count %d after rounds, want %d", a.AnswerCount(), want.AnswerCount())
+	}
+}

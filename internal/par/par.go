@@ -1,0 +1,75 @@
+// Package par provides the small deterministic data-parallelism substrate
+// used by the aggregation and spam-detection hot paths: a range sharder that
+// splits [0, n) into at most `shards` contiguous chunks and runs one
+// goroutine per chunk.
+//
+// Shard boundaries depend only on n and the shard count, and every chunk
+// writes to disjoint output indices, so parallel results are bitwise
+// identical to serial ones — a property the equivalence tests of
+// internal/aggregation assert. This matters for the paper's pay-as-you-go
+// validation loop (§3.2): re-aggregating after every expert answer must not
+// make the process non-deterministic.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Shards normalizes a requested parallelism degree: values < 1 mean
+// "use GOMAXPROCS", and the result is clamped to n so no empty shard is
+// spawned. n <= 0 yields 0.
+func Shards(requested, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if requested < 1 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > n {
+		requested = n
+	}
+	return requested
+}
+
+// For splits the index range [0, n) into at most `shards` contiguous chunks
+// of near-equal size and invokes fn(lo, hi) for each chunk, concurrently when
+// more than one chunk results. It blocks until every chunk has been
+// processed. shards < 1 uses GOMAXPROCS.
+//
+// fn must confine its writes to data indexed by [lo, hi); under that
+// contract the result is independent of the shard count.
+func For(n, shards int, fn func(lo, hi int)) {
+	ForN(n, Shards(shards, n), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForN is like For but additionally passes the shard index (0-based, in
+// [0, shards)) so each chunk can deposit a partial result — e.g. a local
+// convergence maximum — into its own slot of a caller-owned slice. shards
+// must already be normalized with Shards.
+func ForN(n, shards int, fn func(shard, lo, hi int)) {
+	if shards <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	chunk := (n + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		if lo > n {
+			lo = n
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShards(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 10, runtime.GOMAXPROCS(0)},
+		{-3, 10, runtime.GOMAXPROCS(0)},
+		{4, 10, 4},
+		{4, 3, 3},
+		{1, 10, 1},
+		{4, 0, 0},
+		{4, -1, 0},
+	}
+	for _, c := range cases {
+		want := c.want
+		if c.n > 0 && want > c.n {
+			want = c.n
+		}
+		if got := Shards(c.requested, c.n); got != want {
+			t.Errorf("Shards(%d, %d) = %d, want %d", c.requested, c.n, got, want)
+		}
+	}
+}
+
+// TestForCoversEveryIndexOnce checks, across many (n, shards) combinations,
+// that every index of [0, n) is visited exactly once and chunks are disjoint.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 7, 16, 100, 101} {
+		for _, shards := range []int{1, 2, 3, 4, 7, 8, 64} {
+			visits := make([]int32, n)
+			For(n, shards, func(lo, hi int) {
+				if lo > hi {
+					t.Errorf("n=%d shards=%d: lo %d > hi %d", n, shards, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d shards=%d: index %d visited %d times", n, shards, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForNShardIndicesDisjoint checks that shard indices are unique and fall
+// in [0, shards), so callers can use them to index partial-result slices.
+func TestForNShardIndicesDisjoint(t *testing.T) {
+	n := 100
+	shards := Shards(8, n)
+	seen := make([]int32, shards)
+	ForN(n, shards, func(shard, lo, hi int) {
+		if shard < 0 || shard >= shards {
+			t.Errorf("shard index %d out of [0, %d)", shard, shards)
+		}
+		atomic.AddInt32(&seen[shard], 1)
+	})
+	for s, v := range seen {
+		if v != 1 {
+			t.Errorf("shard %d invoked %d times", s, v)
+		}
+	}
+}

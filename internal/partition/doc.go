@@ -1,0 +1,16 @@
+// Package partition splits large, sparse answer matrices into smaller,
+// denser blocks that can be validated and aggregated independently.
+//
+// "Minimizing Efforts in Validating Crowd Answers" (SIGMOD 2015, §5.4)
+// relies on METIS-style sparse matrix partitioning because workers only
+// answer a limited number of questions, so the full answer matrix of a large
+// crowdsourcing campaign is sparse. This package provides a stdlib-only
+// substitute: a greedy breadth-first block partitioner over the bipartite
+// object–worker graph. It keeps objects that share workers in the same block
+// (so per-block confusion matrices remain informative) and bounds the block
+// size so each block "fits for human interactions".
+//
+// The partitioner consumes the sparse adjacency views of model.AnswerSet
+// directly, so building the bipartite graph costs O(#answers), matching the
+// storage layout introduced for the aggregation hot path.
+package partition

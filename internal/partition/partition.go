@@ -1,13 +1,3 @@
-// Package partition splits large, sparse answer matrices into smaller, denser
-// blocks that can be validated and aggregated independently.
-//
-// The paper (§5.4) relies on METIS-style sparse matrix partitioning because
-// workers only answer a limited number of questions, so the full answer
-// matrix of a large crowdsourcing campaign is sparse. This package provides a
-// stdlib-only substitute: a greedy breadth-first block partitioner over the
-// bipartite object–worker graph. It keeps objects that share workers in the
-// same block (so per-block confusion matrices remain informative) and bounds
-// the block size so each block "fits for human interactions".
 package partition
 
 import (
@@ -56,7 +46,7 @@ func Partition(answers *model.AnswerSet, opts Options) (*Partitioning, error) {
 	objectWorkers := make([][]int, n)
 	workerObjects := make([][]int, answers.NumWorkers())
 	for o := 0; o < n; o++ {
-		for _, wa := range answers.ObjectAnswers(o) {
+		for _, wa := range answers.ObjectView(o) {
 			objectWorkers[o] = append(objectWorkers[o], wa.Worker)
 			workerObjects[wa.Worker] = append(workerObjects[wa.Worker], o)
 		}
@@ -162,10 +152,14 @@ func (p *Partitioning) Density(block int) float64 {
 	if len(b.Objects) == 0 || len(b.Workers) == 0 {
 		return 0
 	}
+	inBlock := make(map[int]bool, len(b.Workers))
+	for _, w := range b.Workers {
+		inBlock[w] = true
+	}
 	filled := 0
 	for _, o := range b.Objects {
-		for _, w := range b.Workers {
-			if p.answers.Answered(o, w) {
+		for _, wa := range p.answers.ObjectView(o) {
+			if inBlock[wa.Worker] {
 				filled++
 			}
 		}
@@ -188,12 +182,18 @@ func (p *Partitioning) SubAnswerSet(block int) (*model.AnswerSet, []int, []int, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	workerIndex := make(map[int]int, len(b.Workers))
+	for wi, w := range b.Workers {
+		workerIndex[w] = wi
+	}
 	for oi, o := range b.Objects {
-		for wi, w := range b.Workers {
-			if l := p.answers.Answer(o, w); l != model.NoLabel {
-				if err := sub.SetAnswer(oi, wi, l); err != nil {
-					return nil, nil, nil, err
-				}
+		for _, wa := range p.answers.ObjectView(o) {
+			wi, ok := workerIndex[wa.Worker]
+			if !ok {
+				continue
+			}
+			if err := sub.SetAnswer(oi, wi, wa.Label); err != nil {
+				return nil, nil, nil, err
 			}
 		}
 	}

@@ -1,0 +1,20 @@
+// Package simulation generates synthetic crowdsourcing data following the
+// worker-type model of "Minimizing Efforts in Validating Crowd Answers"
+// (SIGMOD 2015, Appendix A): reliable, normal and sloppy workers plus
+// uniform and random spammers, mixed according to the crowd-population study
+// the paper cites (Kazai et al., CIKM 2011). It also ships profiles that
+// mimic the five real-world datasets of the evaluation (bluebird, rte,
+// valence, tweet, article) in size, sparsity and difficulty, and simulated
+// experts (perfect oracles and experts that occasionally make mistakes,
+// §5.5).
+//
+// Sparsity is controlled through CrowdConfig.AnswersPerObject and
+// CrowdConfig.MaxQuestionsPerWorker — the knobs behind the paper's Table 5 —
+// and feeds the sparse adjacency representation of model.AnswerSet directly,
+// so generating a 50 000 × 500 crowd at ~1% density allocates memory for the
+// ~250 000 answers only, never for the 25 000 000-cell dense matrix.
+//
+// The real datasets themselves are not redistributed here; the profiles are
+// the substitution documented in DESIGN.md — they exercise exactly the same
+// code paths and reproduce the qualitative shapes of the evaluation.
+package simulation

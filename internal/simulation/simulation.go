@@ -1,13 +1,3 @@
-// Package simulation generates synthetic crowdsourcing data following the
-// worker-type model of the paper (Appendix A): reliable, normal and sloppy
-// workers plus uniform and random spammers. It also ships profiles that mimic
-// the five real-world datasets of the evaluation (bluebird, rte, valence,
-// tweet, article) in size, sparsity and difficulty, and simulated experts
-// (perfect oracles and experts that occasionally make mistakes).
-//
-// The real datasets themselves are not redistributed here; the profiles are
-// the substitution documented in DESIGN.md — they exercise exactly the same
-// code paths and reproduce the qualitative shapes of the evaluation.
 package simulation
 
 import (

@@ -1,0 +1,20 @@
+// Package spamdetect implements the faulty-worker detection of §5.3 of
+// "Minimizing Efforts in Validating Crowd Answers" (SIGMOD 2015): uniform
+// and random spammers are detected through the spammer score (the Frobenius
+// distance of a worker's validation-based confusion matrix to its best
+// rank-one approximation, Eq. 11), and sloppy workers through the
+// prior-weighted error rate of that matrix.
+//
+// Crucially, and unlike Raykar & Yu's original spammer score, the confusion
+// matrices used here are built only from expert answer validations, so the
+// estimates are not biased by an incorrect automatic aggregation.
+//
+// Detection runs after every expert validation (Algorithm 1, line 9), so it
+// sits on the interactive hot path. Each worker's validation-based confusion
+// matrix is built by walking that worker's sparse adjacency list — O(degree)
+// per worker, independent of how many validations exist — and the per-worker
+// assessments are sharded across a configurable number of goroutines with
+// results identical to the serial scan. The quarantine (quarantine.go)
+// masks and restores the answers of flagged workers, implementing the
+// "Handling faulty workers" step of §5.3.
+package spamdetect

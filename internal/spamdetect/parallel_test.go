@@ -1,0 +1,60 @@
+package spamdetect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdval/internal/model"
+)
+
+// TestDetectParallelEquivalence asserts that the sharded worker assessment
+// returns exactly the serial result for every parallelism degree.
+func TestDetectParallelEquivalence(t *testing.T) {
+	const n, k, m = 120, 35, 3
+	rng := rand.New(rand.NewSource(3))
+	answers := model.MustNewAnswerSet(n, k, m)
+	for o := 0; o < n; o++ {
+		for i := 0; i < 6; i++ {
+			if err := answers.SetAnswer(o, rng.Intn(k), model.Label(rng.Intn(m))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	validation := model.NewValidation(n)
+	for o := 0; o < n; o += 2 {
+		validation.Set(o, model.Label(rng.Intn(m)))
+	}
+
+	serial, err := (&Detector{Parallelism: 1}).Detect(answers, validation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 8} {
+		parallel, err := (&Detector{Parallelism: p}).Detect(answers, validation, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel.Assessments) != len(serial.Assessments) {
+			t.Fatalf("p=%d: %d assessments, want %d", p, len(parallel.Assessments), len(serial.Assessments))
+		}
+		for w := range serial.Assessments {
+			got, want := parallel.Assessments[w], serial.Assessments[w]
+			if got.Worker != want.Worker || got.ValidatedAnswers != want.ValidatedAnswers ||
+				got.Spammer != want.Spammer || got.Sloppy != want.Sloppy ||
+				!floatEqual(got.SpammerScore, want.SpammerScore) ||
+				!floatEqual(got.ErrorRate, want.ErrorRate) {
+				t.Fatalf("p=%d: assessment of worker %d = %+v, want %+v", p, w, got, want)
+			}
+		}
+	}
+}
+
+// floatEqual is bitwise float equality with NaN == NaN (unassessed workers
+// carry NaN scores).
+func floatEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}

@@ -1,12 +1,3 @@
-// Package spamdetect implements the faulty-worker detection of §5.3 of the
-// paper: uniform and random spammers are detected through the spammer score
-// (the Frobenius distance of a worker's validation-based confusion matrix to
-// its best rank-one approximation, Eq. 11), and sloppy workers through the
-// prior-weighted error rate of that matrix.
-//
-// Crucially, and unlike Raykar & Yu's original spammer score, the confusion
-// matrices used here are built only from expert answer validations, so the
-// estimates are not biased by an incorrect automatic aggregation.
 package spamdetect
 
 import (
@@ -15,6 +6,7 @@ import (
 
 	"crowdval/internal/linalg"
 	"crowdval/internal/model"
+	"crowdval/internal/par"
 )
 
 // Default detection thresholds. The paper evaluates τs ∈ {0.1, 0.2, 0.3} and
@@ -40,6 +32,10 @@ type Detector struct {
 	// MinValidatedAnswers is the minimal number of validated answers before
 	// a worker is assessed. Values <= 0 use the default.
 	MinValidatedAnswers int
+	// Parallelism shards the per-worker assessment of Detect. Values < 1
+	// use GOMAXPROCS; 1 forces the serial path. Workers are assessed
+	// independently, so results are identical for every setting.
+	Parallelism int
 }
 
 func (d *Detector) spammerThreshold() float64 {
@@ -61,6 +57,13 @@ func (d *Detector) minValidatedAnswers() int {
 		return DefaultMinValidatedAnswers
 	}
 	return d.MinValidatedAnswers
+}
+
+func (d *Detector) parallelism() int {
+	if d == nil {
+		return 0
+	}
+	return d.Parallelism
 }
 
 // WorkerAssessment is the per-worker outcome of a detection run.
@@ -143,13 +146,15 @@ func ValidationConfusion(answers *model.AnswerSet, validation *model.Validation,
 	m := answers.NumLabels()
 	c := model.NewConfusionMatrix(m)
 	count := 0
-	for _, o := range validation.ValidatedObjects() {
-		trueLabel := validation.Get(o)
-		answered := answers.Answer(o, worker)
-		if answered == model.NoLabel {
+	// Walk the worker's sparse adjacency list rather than the validated
+	// objects: a worker answers a bounded number of questions, so this is
+	// O(degree) per worker independent of how many validations exist.
+	for _, oa := range answers.WorkerView(worker) {
+		trueLabel := validation.Get(oa.Object)
+		if trueLabel == model.NoLabel {
 			continue
 		}
-		c.Add(trueLabel, answered, 1)
+		c.Add(trueLabel, oa.Label, 1)
 		count++
 	}
 	c.NormalizeRows()
@@ -182,27 +187,43 @@ func (d *Detector) Detect(answers *model.AnswerSet, validation *model.Validation
 	sloppyThr := d.sloppyThreshold()
 	minAnswers := d.minValidatedAnswers()
 
-	assessments := make([]WorkerAssessment, answers.NumWorkers())
-	for w := 0; w < answers.NumWorkers(); w++ {
-		confusion, count := ValidationConfusion(answers, validation, w)
-		assessment := WorkerAssessment{
-			Worker:           w,
-			ValidatedAnswers: count,
-			SpammerScore:     math.NaN(),
-			ErrorRate:        math.NaN(),
-		}
-		if count >= minAnswers {
-			score, err := SpammerScore(confusion)
-			if err != nil {
-				return Detection{}, err
+	// Workers are assessed independently, so the worker range is sharded;
+	// every shard writes disjoint slots of the assessment slice. Shards
+	// cover contiguous worker ranges, so taking the error of the first
+	// failed shard reports the same (smallest) failing worker as a serial
+	// scan would.
+	k := answers.NumWorkers()
+	assessments := make([]WorkerAssessment, k)
+	shards := par.Shards(d.parallelism(), k)
+	shardErr := make([]error, shards)
+	par.ForN(k, shards, func(shard, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			confusion, count := ValidationConfusion(answers, validation, w)
+			assessment := WorkerAssessment{
+				Worker:           w,
+				ValidatedAnswers: count,
+				SpammerScore:     math.NaN(),
+				ErrorRate:        math.NaN(),
 			}
-			errRate := confusion.ErrorRate(priors)
-			assessment.SpammerScore = score
-			assessment.ErrorRate = errRate
-			assessment.Spammer = score < spamThr
-			assessment.Sloppy = errRate > sloppyThr
+			if count >= minAnswers {
+				score, err := SpammerScore(confusion)
+				if err != nil {
+					shardErr[shard] = err
+					return
+				}
+				errRate := confusion.ErrorRate(priors)
+				assessment.SpammerScore = score
+				assessment.ErrorRate = errRate
+				assessment.Spammer = score < spamThr
+				assessment.Sloppy = errRate > sloppyThr
+			}
+			assessments[w] = assessment
 		}
-		assessments[w] = assessment
+	})
+	for _, err := range shardErr {
+		if err != nil {
+			return Detection{}, err
+		}
 	}
 	return Detection{Assessments: assessments}, nil
 }

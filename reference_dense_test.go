@@ -1,0 +1,329 @@
+package crowdval
+
+import (
+	"math"
+	"testing"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+)
+
+// This file carries a faithful reimplementation of the pre-optimization
+// aggregation pipeline: a dense n×k answer matrix scanned with O(n·k) loops
+// and a single-goroutine EM. It serves two purposes:
+//
+//   - the equivalence tests assert that the sparse, sharded production
+//     implementation reproduces the dense serial results bit for bit;
+//   - the BenchmarkAggregate baselines measure the speedup of the sparse
+//     representation and of the parallel E-/M-steps against it.
+
+// denseAnswers is the old storage layout: one Label per (object, worker)
+// cell, row-major by object.
+type denseAnswers struct {
+	n, k, m int
+	cells   []model.Label
+}
+
+func newDenseAnswers(a *model.AnswerSet) *denseAnswers {
+	d := &denseAnswers{n: a.NumObjects(), k: a.NumWorkers(), m: a.NumLabels()}
+	d.cells = make([]model.Label, d.n*d.k)
+	for i := range d.cells {
+		d.cells[i] = model.NoLabel
+	}
+	for o := 0; o < d.n; o++ {
+		for _, wa := range a.ObjectView(o) {
+			d.cells[o*d.k+wa.Worker] = wa.Label
+		}
+	}
+	return d
+}
+
+func (d *denseAnswers) answer(o, w int) model.Label { return d.cells[o*d.k+w] }
+
+// denseMajorityVote replicates the seed MajorityVoting: per-object label
+// frequencies via a full row scan, confusions estimated against the
+// majority-vote labels via full column scans.
+func denseMajorityVote(d *denseAnswers, validation *model.Validation) (*model.AssignmentMatrix, []*model.ConfusionMatrix) {
+	u := model.NewAssignmentMatrix(d.n, d.m)
+	for o := 0; o < d.n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			u.SetCertain(o, l)
+			continue
+		}
+		counts := make([]int, d.m)
+		total := 0
+		for w := 0; w < d.k; w++ {
+			if l := d.answer(o, w); l != model.NoLabel {
+				counts[l]++
+				total++
+			}
+		}
+		row := make([]float64, d.m)
+		if total == 0 {
+			for l := range row {
+				row[l] = 1 / float64(d.m)
+			}
+		} else {
+			for l, c := range counts {
+				row[l] = float64(c) / float64(total)
+			}
+		}
+		u.SetRow(o, row)
+	}
+	mvLabels := make(model.DeterministicAssignment, d.n)
+	for o := 0; o < d.n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			mvLabels[o] = l
+			continue
+		}
+		l, _ := u.MostLikely(o)
+		mvLabels[o] = l
+	}
+	confusions := make([]*model.ConfusionMatrix, d.k)
+	for w := 0; w < d.k; w++ {
+		c := model.NewConfusionMatrix(d.m)
+		for o := 0; o < d.n; o++ {
+			a := d.answer(o, w)
+			if a == model.NoLabel || mvLabels[o] == model.NoLabel {
+				continue
+			}
+			c.Add(mvLabels[o], a, 1)
+		}
+		c.NormalizeRows()
+		confusions[w] = c
+	}
+	return u, confusions
+}
+
+// denseInitialConfusions replicates the seed initialConfusions: soft counts
+// from the assignment matrix, one full column scan per worker.
+func denseInitialConfusions(d *denseAnswers, u *model.AssignmentMatrix, smoothing float64) []*model.ConfusionMatrix {
+	confusions := make([]*model.ConfusionMatrix, d.k)
+	for w := 0; w < d.k; w++ {
+		c := model.NewConfusionMatrix(d.m)
+		for o := 0; o < d.n; o++ {
+			answered := d.answer(o, w)
+			if answered == model.NoLabel {
+				continue
+			}
+			for l := 0; l < d.m; l++ {
+				c.Add(model.Label(l), answered, u.Prob(o, model.Label(l)))
+			}
+		}
+		c.Smooth(smoothing)
+		confusions[w] = c
+	}
+	return confusions
+}
+
+// denseSerialIEM replicates the seed IncrementalEM.Aggregate on the dense
+// layout: majority-vote cold start (or warm start from prev), then serial
+// E-/M-iterations over adjacency lists re-derived from the dense matrix.
+func denseSerialIEM(d *denseAnswers, validation *model.Validation, prev *model.ProbabilisticAnswerSet, cfg aggregation.EMConfig) (*model.AssignmentMatrix, []*model.ConfusionMatrix, int) {
+	maxIter := cfg.MaxIterations
+	if maxIter < 1 {
+		maxIter = aggregation.DefaultMaxIterations
+	}
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		tol = aggregation.DefaultTolerance
+	}
+	smoothing := cfg.Smoothing
+	if smoothing <= 0 {
+		smoothing = aggregation.DefaultSmoothing
+	}
+
+	var assignment *model.AssignmentMatrix
+	var confusions []*model.ConfusionMatrix
+	if prev != nil && prev.Assignment != nil && len(prev.Confusions) == d.k {
+		assignment = prev.Assignment.Clone()
+		confusions = make([]*model.ConfusionMatrix, len(prev.Confusions))
+		for w, c := range prev.Confusions {
+			confusions[w] = c.Clone()
+		}
+	} else {
+		assignment, _ = denseMajorityVote(d, validation)
+		confusions = denseInitialConfusions(d, assignment, smoothing)
+	}
+	for o := 0; o < d.n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			assignment.SetCertain(o, l)
+		}
+	}
+
+	// Seed runEM: adjacency re-derived from the dense matrix by full scans.
+	objectAnswers := make([][]model.WorkerAnswer, d.n)
+	for o := 0; o < d.n; o++ {
+		for w := 0; w < d.k; w++ {
+			if l := d.answer(o, w); l != model.NoLabel {
+				objectAnswers[o] = append(objectAnswers[o], model.WorkerAnswer{Worker: w, Label: l})
+			}
+		}
+	}
+	workerAnswers := make([][]model.ObjectAnswer, d.k)
+	for o, was := range objectAnswers {
+		for _, wa := range was {
+			workerAnswers[wa.Worker] = append(workerAnswers[wa.Worker], model.ObjectAnswer{Object: o, Label: wa.Label})
+		}
+	}
+
+	iterations := 0
+	current := assignment
+	for iter := 0; iter < maxIter; iter++ {
+		iterations++
+		next := denseEStep(objectAnswers, validation, current, confusions, d.n, d.m)
+		confusions = denseMStep(workerAnswers, next, d.m, smoothing)
+		diff := current.MaxAbsDiff(next)
+		current = next
+		if diff < tol {
+			break
+		}
+	}
+	return current, confusions, iterations
+}
+
+func denseEStep(objectAnswers [][]model.WorkerAnswer, validation *model.Validation,
+	current *model.AssignmentMatrix, confusions []*model.ConfusionMatrix, n, m int) *model.AssignmentMatrix {
+
+	priors := current.Priors()
+	logPriors := make([]float64, m)
+	for l, p := range priors {
+		if p <= 0 {
+			p = 1e-12
+		}
+		logPriors[l] = math.Log(p)
+	}
+	next := model.NewAssignmentMatrix(n, m)
+	logRow := make([]float64, m)
+	for o := 0; o < n; o++ {
+		if l := validation.Get(o); l != model.NoLabel {
+			next.SetCertain(o, l)
+			continue
+		}
+		for l := 0; l < m; l++ {
+			logRow[l] = logPriors[l]
+		}
+		for _, wa := range objectAnswers[o] {
+			f := confusions[wa.Worker]
+			for l := 0; l < m; l++ {
+				p := f.At(model.Label(l), wa.Label)
+				if p <= 0 {
+					p = 1e-12
+				}
+				logRow[l] += math.Log(p)
+			}
+		}
+		maxLog := logRow[0]
+		for l := 1; l < m; l++ {
+			if logRow[l] > maxLog {
+				maxLog = logRow[l]
+			}
+		}
+		row := make([]float64, m)
+		sum := 0.0
+		for l := 0; l < m; l++ {
+			row[l] = math.Exp(logRow[l] - maxLog)
+			sum += row[l]
+		}
+		for l := 0; l < m; l++ {
+			row[l] /= sum
+		}
+		next.SetRow(o, row)
+	}
+	return next
+}
+
+func denseMStep(workerAnswers [][]model.ObjectAnswer, u *model.AssignmentMatrix, m int, smoothing float64) []*model.ConfusionMatrix {
+	confusions := make([]*model.ConfusionMatrix, len(workerAnswers))
+	for w, answers := range workerAnswers {
+		c := model.NewConfusionMatrix(m)
+		for _, oa := range answers {
+			for l := 0; l < m; l++ {
+				c.Add(model.Label(l), oa.Label, u.Prob(oa.Object, model.Label(l)))
+			}
+		}
+		c.Smooth(smoothing)
+		confusions[w] = c
+	}
+	return confusions
+}
+
+// TestSparseParallelMatchesDenseSerialReference is the top-level equivalence
+// test required for the hot-path rebuild: on seeded random crowds, the sparse
+// sharded i-EM must reproduce the dense single-goroutine seed implementation
+// bit for bit — cold start and warm start, serial and parallel.
+func TestSparseParallelMatchesDenseSerialReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		d, err := GenerateCrowd(CrowdConfig{
+			NumObjects:       400,
+			NumWorkers:       60,
+			NumLabels:        3,
+			NormalAccuracy:   0.7,
+			AnswersPerObject: 7,
+			Seed:             seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validation := model.NewValidation(d.Answers.NumObjects())
+		for o := 0; o < 40; o++ {
+			validation.Set(o*7%d.Answers.NumObjects(), d.Truth[o*7%d.Answers.NumObjects()])
+		}
+		dense := newDenseAnswers(d.Answers)
+
+		for _, p := range []int{1, 0, 8} {
+			iem := &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: p}}
+
+			// Cold start.
+			got, err := iem.Aggregate(d.Answers, validation, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantU, wantC, wantIter := denseSerialIEM(dense, validation, nil, aggregation.EMConfig{})
+			assertSameModel(t, seed, p, "cold", got, wantU, wantC, wantIter)
+
+			// Warm start with one more validation — the pay-as-you-go path.
+			v2 := validation.Clone()
+			for o := 0; o < d.Answers.NumObjects(); o++ {
+				if v2.Get(o) == model.NoLabel {
+					v2.Set(o, d.Truth[o])
+					break
+				}
+			}
+			warm, err := iem.Aggregate(d.Answers, v2, got.ProbSet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantU2, wantC2, wantIter2 := denseSerialIEM(dense, v2, got.ProbSet, aggregation.EMConfig{})
+			assertSameModel(t, seed, p, "warm", warm, wantU2, wantC2, wantIter2)
+		}
+	}
+}
+
+func assertSameModel(t *testing.T, seed int64, parallelism int, phase string,
+	got *aggregation.Result, wantU *model.AssignmentMatrix, wantC []*model.ConfusionMatrix, wantIter int) {
+	t.Helper()
+	if got.Iterations != wantIter {
+		t.Fatalf("seed %d p %d %s: %d EM iterations, reference did %d", seed, parallelism, phase, got.Iterations, wantIter)
+	}
+	u := got.ProbSet.Assignment
+	for o := 0; o < u.NumObjects(); o++ {
+		for l := 0; l < u.NumLabels(); l++ {
+			if u.Prob(o, model.Label(l)) != wantU.Prob(o, model.Label(l)) {
+				t.Fatalf("seed %d p %d %s: assignment (%d, %d) = %v, reference %v",
+					seed, parallelism, phase, o, l, u.Prob(o, model.Label(l)), wantU.Prob(o, model.Label(l)))
+			}
+		}
+	}
+	for w := range wantC {
+		gc := got.ProbSet.Confusions[w]
+		for l := 0; l < gc.NumLabels(); l++ {
+			for l2 := 0; l2 < gc.NumLabels(); l2++ {
+				if gc.At(model.Label(l), model.Label(l2)) != wantC[w].At(model.Label(l), model.Label(l2)) {
+					t.Fatalf("seed %d p %d %s: confusion of worker %d differs at (%d, %d)",
+						seed, parallelism, phase, w, l, l2)
+				}
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"crowdval/internal/aggregation"
 	"crowdval/internal/core"
 	"crowdval/internal/guidance"
 	"crowdval/internal/model"
@@ -37,6 +36,7 @@ type sessionConfig struct {
 	budget             int
 	candidateLimit     int
 	parallel           bool
+	parallelism        int
 	confirmationPeriod int
 	spammerThreshold   float64
 	sloppyThreshold    float64
@@ -60,6 +60,14 @@ func WithCandidateLimit(n int) Option { return func(c *sessionConfig) { c.candid
 
 // WithParallelScoring enables concurrent candidate scoring.
 func WithParallelScoring() Option { return func(c *sessionConfig) { c.parallel = true } }
+
+// WithParallelism caps the number of goroutines the session's parallel
+// stages use: the sharded E-/M-steps of the i-EM aggregation, the sharded
+// faulty-worker assessment, and (when WithParallelScoring is set) the
+// candidate scoring. The default (0) uses GOMAXPROCS; 1 forces the serial
+// paths. Aggregation and detection results are bitwise identical for every
+// setting, so this is purely a resource knob.
+func WithParallelism(n int) Option { return func(c *sessionConfig) { c.parallelism = n } }
 
 // WithConfirmationCheck enables the periodic check for erroneous expert input
 // every period validations.
@@ -128,13 +136,18 @@ func NewSession(answers *AnswerSet, opts ...Option) (*Session, error) {
 	detector := &spamdetect.Detector{
 		SpammerThreshold: cfg.spammerThreshold,
 		SloppyThreshold:  cfg.sloppyThreshold,
+		Parallelism:      cfg.parallelism,
 	}
+	// Aggregator is left nil: the engine builds an IncrementalEM with
+	// Parallelism = MaxParallelism, and — when parallel scoring is on — a
+	// serial variant for the guidance step so the two levels of parallelism
+	// do not multiply.
 	engineCfg := core.Config{
-		Aggregator:          &aggregation.IncrementalEM{},
 		Strategy:            strategy,
 		Detector:            detector,
 		Budget:              cfg.budget,
 		Parallel:            cfg.parallel,
+		MaxParallelism:      cfg.parallelism,
 		HandleFaultyWorkers: true,
 		Rand:                rand.New(rand.NewSource(cfg.seed)),
 	}
