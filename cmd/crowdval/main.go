@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +28,13 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		// Errors wrapping one of the library's sentinels are reported with
+		// the sentinel's name, giving scripts a stable string to match.
+		if name := crowdval.ErrorName(err); name != "" {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", name, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -115,13 +122,15 @@ func cmdGenerate(args []string, out io.Writer) error {
 func cmdValidate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	var (
-		inPath   = fs.String("in", "", "input dataset file")
-		outPath  = fs.String("out", "", "output file for the validated dataset (optional)")
-		budget   = fs.Int("budget", 0, "maximum number of expert validations (0 = all objects)")
-		strategy = fs.String("strategy", "hybrid", "guidance strategy: hybrid, uncertainty, worker, baseline, random")
-		limit    = fs.Int("candidate-limit", 8, "candidates scored per iteration (0 = all)")
-		period   = fs.Int("confirmation-period", 0, "confirmation-check period (0 = disabled)")
-		seed     = fs.Int64("seed", 1, "random seed")
+		inPath      = fs.String("in", "", "input dataset file")
+		outPath     = fs.String("out", "", "output file for the validated dataset (optional)")
+		budget      = fs.Int("budget", 0, "maximum number of expert validations (0 = all objects)")
+		strategy    = fs.String("strategy", "hybrid", "guidance strategy: hybrid, uncertainty, worker, baseline, random")
+		limit       = fs.Int("candidate-limit", 8, "candidates scored per iteration (0 = all)")
+		period      = fs.Int("confirmation-period", 0, "confirmation-check period (0 = disabled)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		parallelism = fs.Int("parallelism", 0, "goroutines for sharded aggregation/detection/scoring (0 = GOMAXPROCS, 1 = serial; results are identical for every setting)")
+		timeout     = fs.Duration("timeout", 0, "abort the whole validation run after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,10 +145,20 @@ func cmdValidate(args []string, out io.Writer) error {
 	if len(file.Dataset.Truth) == 0 {
 		return fmt.Errorf("validate: the dataset has no ground truth to simulate the expert with")
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	opts := []crowdval.Option{
 		crowdval.WithStrategy(crowdval.StrategyName(*strategy)),
 		crowdval.WithCandidateLimit(*limit),
 		crowdval.WithSeed(*seed),
+		crowdval.WithParallelism(*parallelism),
+		// Covers the initial cold aggregation inside NewSession too, so the
+		// deadline bounds the whole run, not just the validation loop.
+		crowdval.WithContext(ctx),
 	}
 	if *budget > 0 {
 		opts = append(opts, crowdval.WithBudget(*budget))
@@ -155,11 +174,11 @@ func cmdValidate(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "initial precision (no expert input): %.3f\n", initialPrecision)
 
 	for !session.Done() {
-		object, err := session.NextObject()
+		object, err := session.NextObjectContext(ctx)
 		if err != nil {
 			return err
 		}
-		info, err := session.SubmitValidation(object, file.Dataset.Truth[object])
+		info, err := session.SubmitValidationContext(ctx, object, file.Dataset.Truth[object])
 		if err != nil {
 			return err
 		}

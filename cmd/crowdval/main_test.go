@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"crowdval"
 )
 
 func TestCLIEndToEnd(t *testing.T) {
@@ -34,6 +38,17 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "finished: 8 validations") {
 		t.Fatalf("validate output: %s", out.String())
+	}
+
+	// -parallelism is bitwise neutral: a serial re-run prints the same
+	// validation log (the first run additionally reports the -out write).
+	parallelOut := out.String()
+	out.Reset()
+	if err := run([]string{"validate", "-in", dataPath, "-budget", "8", "-strategy", "baseline", "-parallelism", "1"}, &out); err != nil {
+		t.Fatalf("validate -parallelism 1: %v", err)
+	}
+	if !strings.HasPrefix(parallelOut, out.String()) {
+		t.Fatalf("serial validate output diverged:\n--- parallel\n%s\n--- serial\n%s", parallelOut, out.String())
 	}
 
 	out.Reset()
@@ -90,5 +105,40 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"generate", "-out", filepath.Join(t.TempDir(), "x.json"), "-profile", "nope"}, &out); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestCLITimeoutReportsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.json")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-out", dataPath, "-objects", "400", "-workers", "40", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns budget cannot finish even the first validation step; the run
+	// must fail with the context's deadline error, which ErrorName does not
+	// rename (it is the standard library's sentinel).
+	err := run([]string{"validate", "-in", dataPath, "-budget", "5", "-strategy", "baseline", "-timeout", "1ns"}, &out)
+	if err == nil {
+		t.Fatal("timeout ignored")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCLIUnknownStrategyHasTypedName(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.json")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-out", dataPath, "-objects", "10", "-workers", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"validate", "-in", dataPath, "-strategy", "bogus"}, &out)
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if name := crowdval.ErrorName(err); name != "ErrUnknownStrategy" {
+		t.Fatalf("ErrorName = %q, want ErrUnknownStrategy", name)
 	}
 }

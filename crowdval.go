@@ -29,11 +29,34 @@
 //	}
 //	result := session.Result()                   // final label per object
 //
-// See the examples directory for complete programs.
+// # Streaming and serving
+//
+// Sessions are long-lived, updatable and serializable, matching the
+// incremental nature of i-EM: Session.AddAnswers folds newly arrived crowd
+// answers (including previously unseen objects and workers) into the running
+// aggregation via the warm start, Session.SubmitValidations integrates a
+// whole batch of expert input with one detection and aggregation pass, and
+// Session.Snapshot / ResumeSession park and resume a session across
+// processes with a bit-for-bit identical continuation. Expensive calls have
+// context-aware variants (NextObjectContext, SubmitValidationContext, ...)
+// whose cancellation rolls back cleanly.
+//
+// # Errors
+//
+// The public API reports failures through typed sentinel errors
+// (ErrSessionDone, ErrBudgetExhausted, ErrAlreadyValidated, ErrOutOfRange,
+// ErrUnknownStrategy, ...) that support errors.Is; see the documentation in
+// errors.go for the full taxonomy and ErrorName for stable string codes.
+//
+// See the examples directory for complete programs; examples/streaming walks
+// through the ingest → batch-validate → snapshot → resume life cycle.
 package crowdval
 
 import (
+	"fmt"
+
 	"crowdval/internal/aggregation"
+	"crowdval/internal/cverr"
 	"crowdval/internal/guidance"
 	"crowdval/internal/metrics"
 	"crowdval/internal/model"
@@ -90,13 +113,20 @@ func NewAnswerSet(numObjects, numWorkers, numLabels int) (*AnswerSet, error) {
 // NewAnswerSetFromMatrix builds an answer set from a dense objects × workers
 // matrix of labels, where -1 (NoLabel) marks missing answers. numLabels is
 // inferred from the largest label present unless explicitly provided via
-// labels > 0.
+// numLabels > 0; an explicit numLabels smaller than a label present in the
+// matrix fails with an error wrapping ErrOutOfRange, and rows of differing
+// lengths fail with an error wrapping ErrRaggedMatrix.
 func NewAnswerSetFromMatrix(matrix [][]int, numLabels int) (*AnswerSet, error) {
 	if len(matrix) == 0 || len(matrix[0]) == 0 {
-		return nil, model.ErrOutOfRange
+		return nil, fmt.Errorf("%w: answer matrix has no objects or no workers", cverr.ErrDimensionMismatch)
 	}
+	width := len(matrix[0])
 	maxLabel := 0
-	for _, row := range matrix {
+	for o, row := range matrix {
+		if len(row) != width {
+			return nil, fmt.Errorf("%w: row %d has %d columns, row 0 has %d",
+				cverr.ErrRaggedMatrix, o, len(row), width)
+		}
 		for _, v := range row {
 			if v > maxLabel {
 				maxLabel = v
@@ -105,8 +135,11 @@ func NewAnswerSetFromMatrix(matrix [][]int, numLabels int) (*AnswerSet, error) {
 	}
 	if numLabels <= 0 {
 		numLabels = maxLabel + 1
+	} else if maxLabel >= numLabels {
+		return nil, fmt.Errorf("%w: explicit numLabels %d but the matrix contains label %d (labels are 0-based, so it needs at least %d)",
+			cverr.ErrOutOfRange, numLabels, maxLabel, maxLabel+1)
 	}
-	answers, err := model.NewAnswerSet(len(matrix), len(matrix[0]), numLabels)
+	answers, err := model.NewAnswerSet(len(matrix), width, numLabels)
 	if err != nil {
 		return nil, err
 	}
@@ -152,10 +185,13 @@ func DatasetProfileNames() []string { return simulation.ProfileNames() }
 
 // Aggregate computes the probabilistic answer set for the given answers and
 // expert validations using the incremental i-EM algorithm (validation and
-// prev may be nil).
-func Aggregate(answers *AnswerSet, validation *Validation, prev *ProbabilisticAnswerSet) (*ProbabilisticAnswerSet, error) {
-	iem := &aggregation.IncrementalEM{}
-	res, err := iem.Aggregate(answers, validation, prev)
+// prev may be nil). Options tune the run: WithParallelism shards the E-/M-
+// steps (bitwise neutral) and WithContext makes the aggregation cancellable.
+func Aggregate(answers *AnswerSet, validation *Validation, prev *ProbabilisticAnswerSet, opts ...Option) (*ProbabilisticAnswerSet, error) {
+	cfg := defaultSessionConfig()
+	cfg.apply(opts)
+	iem := &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: cfg.parallelism}}
+	res, err := iem.AggregateContext(cfg.ctx, answers, validation, prev)
 	if err != nil {
 		return nil, err
 	}
@@ -163,10 +199,13 @@ func Aggregate(answers *AnswerSet, validation *Validation, prev *ProbabilisticAn
 }
 
 // MajorityVote aggregates the answers by majority voting and returns the
-// resulting label per object. It is the baseline most applications start from.
-func MajorityVote(answers *AnswerSet) (DeterministicAssignment, error) {
-	mv := &aggregation.MajorityVoting{}
-	res, err := mv.Aggregate(answers, nil, nil)
+// resulting label per object. It is the baseline most applications start
+// from. WithParallelism and WithContext apply.
+func MajorityVote(answers *AnswerSet, opts ...Option) (DeterministicAssignment, error) {
+	cfg := defaultSessionConfig()
+	cfg.apply(opts)
+	mv := &aggregation.MajorityVoting{Parallelism: cfg.parallelism}
+	res, err := mv.AggregateContext(cfg.ctx, answers, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -184,10 +223,18 @@ func Precision(assignment, truth DeterministicAssignment) float64 {
 
 // AssessWorkers evaluates every worker against the expert validations
 // collected so far and reports spammer scores, error rates and the resulting
-// spammer/sloppy flags.
-func AssessWorkers(answers *AnswerSet, validation *Validation) ([]WorkerAssessment, error) {
-	det := &spamdetect.Detector{}
-	detection, err := det.Detect(answers, validation, nil)
+// spammer/sloppy flags. WithDetectionThresholds overrides τs and τp,
+// WithParallelism shards the per-worker assessment, and WithContext makes
+// the call cancellable.
+func AssessWorkers(answers *AnswerSet, validation *Validation, opts ...Option) ([]WorkerAssessment, error) {
+	cfg := defaultSessionConfig()
+	cfg.apply(opts)
+	det := &spamdetect.Detector{
+		SpammerThreshold: cfg.spammerThreshold,
+		SloppyThreshold:  cfg.sloppyThreshold,
+		Parallelism:      cfg.parallelism,
+	}
+	detection, err := det.DetectContext(cfg.ctx, answers, validation, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -197,9 +244,15 @@ func AssessWorkers(answers *AnswerSet, validation *Validation) ([]WorkerAssessme
 // CheckValidations runs the confirmation check of §5.5 over all expert
 // validations and returns the objects whose validation disagrees with the
 // aggregation of the remaining evidence (likely erroneous expert input).
-func CheckValidations(answers *AnswerSet, validation *Validation) ([]int, error) {
-	check := &guidance.ConfirmationCheck{}
-	suspects, err := check.Check(answers, validation)
+// WithParallelism shards the per-object re-aggregations and WithContext
+// makes the scan cancellable.
+func CheckValidations(answers *AnswerSet, validation *Validation, opts ...Option) ([]int, error) {
+	cfg := defaultSessionConfig()
+	cfg.apply(opts)
+	check := &guidance.ConfirmationCheck{
+		Aggregator: &aggregation.BatchEM{Config: aggregation.EMConfig{Parallelism: cfg.parallelism}},
+	}
+	suspects, err := check.CheckContext(cfg.ctx, answers, validation)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,87 @@
+package crowdval
+
+import (
+	"crowdval/internal/cverr"
+)
+
+// Error taxonomy.
+//
+// Every error the public API returns either is one of the sentinel errors
+// below or wraps one of them, so callers branch with errors.Is rather than by
+// matching message strings:
+//
+//	_, err := session.SubmitValidation(object, label)
+//	switch {
+//	case errors.Is(err, crowdval.ErrBudgetExhausted):
+//		// stop asking the expert, ship the current result
+//	case errors.Is(err, crowdval.ErrAlreadyValidated):
+//		// use session.Revise instead
+//	}
+//
+// The sentinels group as follows:
+//
+//   - Input validation: ErrNilAnswerSet, ErrNilValidation, ErrOutOfRange,
+//     ErrInvalidLabel, ErrDimensionMismatch, ErrRaggedMatrix.
+//   - Session life cycle: ErrSessionDone, ErrBudgetExhausted,
+//     ErrAlreadyValidated, ErrNotValidated, ErrUnknownStrategy,
+//     ErrNoCandidates, ErrNilExpert, ErrNoGroundTruth.
+//   - Snapshots: ErrBadSnapshot, ErrSnapshotVersion.
+//
+// Context cancellation is reported with the standard context.Canceled and
+// context.DeadlineExceeded errors (possibly wrapped); match those with
+// errors.Is too.
+var (
+	// ErrNilAnswerSet reports a nil answer set where one is required.
+	ErrNilAnswerSet = cverr.ErrNilAnswerSet
+	// ErrNilValidation reports a nil expert validation function where one is
+	// required.
+	ErrNilValidation = cverr.ErrNilValidation
+	// ErrOutOfRange reports an object, worker or label index outside the
+	// answer set's dimensions.
+	ErrOutOfRange = cverr.ErrOutOfRange
+	// ErrInvalidLabel reports a label that is not valid for the task.
+	ErrInvalidLabel = cverr.ErrInvalidLabel
+	// ErrDimensionMismatch reports components that disagree about the number
+	// of objects, workers or labels (including attempts to shrink).
+	ErrDimensionMismatch = cverr.ErrDimensionMismatch
+	// ErrRaggedMatrix reports a dense answer matrix with rows of differing
+	// lengths.
+	ErrRaggedMatrix = cverr.ErrRaggedMatrix
+
+	// ErrSessionDone reports a session that can make no further progress:
+	// the goal is reached or every object is validated.
+	ErrSessionDone = cverr.ErrSessionDone
+	// ErrBudgetExhausted reports a validation that would exceed the
+	// session's expert-effort budget.
+	ErrBudgetExhausted = cverr.ErrBudgetExhausted
+	// ErrAlreadyValidated reports a validation submitted for an object the
+	// expert already validated; use Session.Revise instead.
+	ErrAlreadyValidated = cverr.ErrAlreadyValidated
+	// ErrNotValidated reports a revision of an object that has no
+	// validation yet.
+	ErrNotValidated = cverr.ErrNotValidated
+	// ErrUnknownStrategy reports an unrecognized guidance strategy name.
+	ErrUnknownStrategy = cverr.ErrUnknownStrategy
+	// ErrNoCandidates reports a selection with no eligible objects.
+	ErrNoCandidates = cverr.ErrNoCandidates
+	// ErrNilExpert reports a batch run without an expert.
+	ErrNilExpert = cverr.ErrNilExpert
+	// ErrNoGroundTruth reports an oracle run that lacks a truth label for a
+	// selected object.
+	ErrNoGroundTruth = cverr.ErrNoGroundTruth
+
+	// ErrBadSnapshot reports a structurally damaged session snapshot.
+	ErrBadSnapshot = cverr.ErrBadSnapshot
+	// ErrSnapshotVersion reports a snapshot from an unsupported encoding
+	// version.
+	ErrSnapshotVersion = cverr.ErrSnapshotVersion
+)
+
+// ErrorName returns the exported identifier of the sentinel err wraps (e.g.
+// "ErrBudgetExhausted"), or "" when err wraps none of them. Serving tiers use
+// it to turn errors into stable machine-readable codes for logs, metrics and
+// process exit messages. The mapping is registered where the sentinels are
+// defined, so it cannot drift when the taxonomy grows.
+func ErrorName(err error) string {
+	return cverr.Name(err)
+}

@@ -1,0 +1,157 @@
+// Streaming: a long-lived, updatable, serializable validation session.
+//
+// The program plays through the life cycle of one serving-tier session:
+//
+//  1. a session starts over the answers collected so far, while the crowd
+//     keeps working;
+//  2. newly arrived crowd answers — including answers for objects and
+//     workers the session has never seen — stream in through AddAnswers and
+//     are folded into the running aggregation via the i-EM warm start;
+//  3. the expert validates in batches (SubmitValidations), re-running
+//     detection and aggregation once per batch;
+//  4. the session is parked with Snapshot — in production the bytes would go
+//     to a session store — and resumed with ResumeSession, bit-for-bit, as
+//     if it had never stopped;
+//  5. the resumed session finishes the budget and reports the result.
+//
+// Every expensive call takes a context; the program uses a global deadline
+// the way a request handler would.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"crowdval"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A synthetic crowd stands in for the live platform: 40 objects, 12
+	// workers (some of them spammers), 2 labels.
+	crowd, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: 40, NumWorkers: 12, NumLabels: 2,
+		Mix:            crowdval.WorkerMix{Normal: 0.7, RandomSpammer: 0.3},
+		NormalAccuracy: 0.8,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (1) Only the first 30 objects and 9 workers have answered when the
+	// session starts; the rest arrives later.
+	const earlyObjects, earlyWorkers = 30, 9
+	early, err := crowdval.NewAnswerSet(earlyObjects, earlyWorkers, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var late []crowdval.Answer
+	for o := 0; o < crowd.Answers.NumObjects(); o++ {
+		for _, wa := range crowd.Answers.ObjectView(o) {
+			if o < earlyObjects && wa.Worker < earlyWorkers {
+				if err := early.SetAnswer(o, wa.Worker, wa.Label); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				late = append(late, crowdval.Answer{Object: o, Worker: wa.Worker, Label: wa.Label})
+			}
+		}
+	}
+
+	session, err := crowdval.NewSession(early,
+		crowdval.WithStrategy(crowdval.StrategyHybrid),
+		crowdval.WithBudget(12),
+		crowdval.WithCandidateLimit(6),
+		crowdval.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session started: %d answers, uncertainty %.3f\n",
+		early.AnswerCount(), session.Uncertainty())
+
+	// (2) The crowd keeps answering: ingest the late answers in two waves.
+	// The sparse model grows to 40 objects and 12 workers on demand; the
+	// running aggregation is warm-started, not rebuilt.
+	half := len(late) / 2
+	for i, wave := range [][]crowdval.Answer{late[:half], late[half:]} {
+		if err := session.AddAnswers(ctx, wave); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested wave %d (%d answers): %d objects, uncertainty %.3f\n",
+			i+1, len(wave), len(session.Result()), session.Uncertainty())
+	}
+
+	// (3) The expert works in pages: three guided single validations first,
+	// then a batch of four objects submitted at once — detection and
+	// re-aggregation run once for the whole batch.
+	for i := 0; i < 3; i++ {
+		object, err := session.NextObjectContext(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := session.SubmitValidationContext(ctx, object, crowd.Truth[object]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pick, err := session.NextObjectContext(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := []crowdval.ValidationInput{{Object: pick, Label: crowd.Truth[pick]}}
+	for o := 0; len(batch) < 4; o++ {
+		if o != pick && !session.Validation().Validated(o) {
+			batch = append(batch, crowdval.ValidationInput{Object: o, Label: crowd.Truth[o]})
+		}
+	}
+	infos, err := session.SubmitValidations(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validated a batch of %d; uncertainty %.3f, faulty workers %d\n",
+		len(infos), session.Uncertainty(), infos[len(infos)-1].FaultyWorkers)
+
+	// (4) Park the session. The snapshot is a self-contained byte slice —
+	// store it anywhere; a fresh process resumes it bit-for-bit.
+	blob, err := session.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parked session: snapshot is %d bytes\n", len(blob))
+
+	resumed, err := crowdval.ResumeSession(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (5) Finish the budget on the resumed session.
+	for {
+		object, err := resumed.NextObjectContext(ctx)
+		if errors.Is(err, crowdval.ErrBudgetExhausted) || errors.Is(err, crowdval.ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := resumed.SubmitValidationContext(ctx, object, crowd.Truth[object])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("validation %2d: object %2d -> label %d | uncertainty %.3f\n",
+			resumed.EffortSpent(), info.Object, info.Label, info.Uncertainty)
+	}
+
+	precision := crowdval.Precision(resumed.Result(), crowd.Truth)
+	fmt.Printf("finished: %d validations, precision %.3f, %d quarantined workers\n",
+		resumed.EffortSpent(), precision, len(resumed.QuarantinedWorkers()))
+}

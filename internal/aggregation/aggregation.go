@@ -18,8 +18,10 @@
 package aggregation
 
 import (
+	"context"
 	"fmt"
 
+	"crowdval/internal/cverr"
 	"crowdval/internal/model"
 	"crowdval/internal/par"
 )
@@ -43,6 +45,47 @@ type Result struct {
 // start; prev may be nil.
 type Aggregator interface {
 	Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error)
+}
+
+// ContextAggregator is implemented by aggregators whose work can be cancelled
+// through a context. All aggregators of this package implement it; the plain
+// Aggregate method is the thin context-free wrapper kept for compatibility.
+type ContextAggregator interface {
+	Aggregator
+	// AggregateContext is Aggregate with cancellation: it returns ctx.Err()
+	// (wrapping context.Canceled or context.DeadlineExceeded) as soon as the
+	// context is done, without having mutated answers, validation or prev.
+	AggregateContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error)
+}
+
+// Do runs an aggregator under a context: context-aware aggregators get the
+// context threaded through their E-/M-step shards, plain aggregators run
+// uncancelled. It is the single entry point the validation engine and the
+// guidance scorers use.
+func Do(ctx context.Context, agg Aggregator, answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	if ca, ok := agg.(ContextAggregator); ok {
+		return ca.AggregateContext(ctx, answers, validation, prev)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return agg.Aggregate(answers, validation, prev)
+}
+
+// checkInputs validates the (answers, validation) pair every aggregator
+// receives and returns the validation to use (an empty one when nil).
+func checkInputs(answers *model.AnswerSet, validation *model.Validation) (*model.Validation, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("aggregation: %w", cverr.ErrNilAnswerSet)
+	}
+	if validation == nil {
+		return model.NewValidation(answers.NumObjects()), nil
+	}
+	if validation.NumObjects() != answers.NumObjects() {
+		return nil, fmt.Errorf("%w: validation covers %d objects, answer set has %d",
+			cverr.ErrDimensionMismatch, validation.NumObjects(), answers.NumObjects())
+	}
+	return validation, nil
 }
 
 // Sharded is implemented by aggregators that can produce a copy of
@@ -72,29 +115,31 @@ type MajorityVoting struct {
 }
 
 // Aggregate implements the Aggregator interface.
-func (mv *MajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
-	if answers == nil {
-		return nil, fmt.Errorf("aggregation: nil answer set")
-	}
-	if validation == nil {
-		validation = model.NewValidation(answers.NumObjects())
-	}
-	if validation.NumObjects() != answers.NumObjects() {
-		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
-			validation.NumObjects(), answers.NumObjects())
+func (mv *MajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	return mv.AggregateContext(context.Background(), answers, validation, prev)
+}
+
+// AggregateContext implements the ContextAggregator interface.
+func (mv *MajorityVoting) AggregateContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	validation, err := checkInputs(answers, validation)
+	if err != nil {
+		return nil, err
 	}
 	m := answers.NumLabels()
 	probSet := &model.ProbabilisticAnswerSet{
 		Answers:    answers,
 		Validation: validation.Clone(),
-		Assignment: majorityVoteAssignment(answers, validation, mv.Parallelism),
 		Confusions: make([]*model.ConfusionMatrix, answers.NumWorkers()),
+	}
+	probSet.Assignment, err = majorityVoteAssignment(ctx, answers, validation, mv.Parallelism)
+	if err != nil {
+		return nil, err
 	}
 
 	// Estimate confusion matrices against the majority-vote labels. Workers
 	// are independent; each shard fills disjoint slots of the slice.
 	mvLabels := probSet.Instantiate()
-	par.For(answers.NumWorkers(), mv.Parallelism, func(lo, hi int) {
+	err = par.ForCtx(ctx, answers.NumWorkers(), mv.Parallelism, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
 			c := model.NewConfusionMatrix(m)
 			for _, oa := range answers.WorkerView(w) {
@@ -112,6 +157,9 @@ func (mv *MajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.
 			probSet.Confusions[w] = c
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	return &Result{ProbSet: probSet, Iterations: 1, Converged: true}, nil
 }
@@ -128,11 +176,12 @@ func (mv *MajorityVoting) SerialVariant() Aggregator {
 // cold starts use it directly so they do not pay for the confusion-matrix
 // estimation they would discard. Rows are independent, so the object range
 // is sharded; each shard writes only its own rows, keeping results
-// deterministic.
-func majorityVoteAssignment(answers *model.AnswerSet, validation *model.Validation, parallelism int) *model.AssignmentMatrix {
+// deterministic. On cancellation the partially written matrix is discarded
+// and ctx.Err() returned.
+func majorityVoteAssignment(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, parallelism int) (*model.AssignmentMatrix, error) {
 	n, m := answers.NumObjects(), answers.NumLabels()
 	u := model.NewAssignmentMatrix(n, m)
-	par.For(n, parallelism, func(lo, hi int) {
+	err := par.ForCtx(ctx, n, parallelism, func(lo, hi int) {
 		counts := make([]int, m)
 		for o := lo; o < hi; o++ {
 			if l := validation.Get(o); l != model.NoLabel {
@@ -159,7 +208,10 @@ func majorityVoteAssignment(answers *model.AnswerSet, validation *model.Validati
 			}
 		}
 	})
-	return u
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
 }
 
 // CombineExpertAsWorker returns a copy of the answer set extended with one
@@ -168,7 +220,7 @@ func majorityVoteAssignment(answers *model.AnswerSet, validation *model.Validati
 // as an ordinary crowd answer rather than as ground truth.
 func CombineExpertAsWorker(answers *model.AnswerSet, validation *model.Validation) (*model.AnswerSet, error) {
 	if answers == nil {
-		return nil, fmt.Errorf("aggregation: nil answer set")
+		return nil, fmt.Errorf("aggregation: %w", cverr.ErrNilAnswerSet)
 	}
 	combined, err := model.NewAnswerSet(answers.NumObjects(), answers.NumWorkers()+1, answers.NumLabels())
 	if err != nil {

@@ -1,6 +1,7 @@
 package aggregation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -97,18 +98,20 @@ type BatchEM struct {
 }
 
 // Aggregate implements the Aggregator interface.
-func (b *BatchEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
-	if answers == nil {
-		return nil, fmt.Errorf("aggregation: nil answer set")
+func (b *BatchEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	return b.AggregateContext(context.Background(), answers, validation, prev)
+}
+
+// AggregateContext implements the ContextAggregator interface.
+func (b *BatchEM) AggregateContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	validation, err := checkInputs(answers, validation)
+	if err != nil {
+		return nil, err
 	}
-	if validation == nil || b.IgnoreValidation {
+	if b.IgnoreValidation {
 		validation = model.NewValidation(answers.NumObjects())
 	}
-	if validation.NumObjects() != answers.NumObjects() {
-		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
-			validation.NumObjects(), answers.NumObjects())
-	}
-	assignment, err := b.initialAssignment(answers, validation)
+	assignment, err := b.initialAssignment(ctx, answers, validation)
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +126,12 @@ func (b *BatchEM) Aggregate(answers *model.AnswerSet, validation *model.Validati
 			confusions[w] = model.NewDiagonalConfusionMatrix(answers.NumLabels(), uniformInitAccuracy)
 		}
 	} else {
-		confusions = initialConfusions(answers, assignment, b.Config.smoothing(), b.Config.Parallelism)
+		confusions, err = initialConfusions(ctx, answers, assignment, b.Config.smoothing(), b.Config.Parallelism)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return runEM(answers, validation, assignment, confusions, b.Config)
+	return runEM(ctx, answers, validation, assignment, confusions, b.Config)
 }
 
 // SerialVariant implements Sharded. The copy drops a caller-supplied
@@ -139,12 +145,16 @@ func (b *BatchEM) SerialVariant() Aggregator {
 	return &serial
 }
 
-func (b *BatchEM) initialAssignment(answers *model.AnswerSet, validation *model.Validation) (*model.AssignmentMatrix, error) {
+func (b *BatchEM) initialAssignment(ctx context.Context, answers *model.AnswerSet, validation *model.Validation) (*model.AssignmentMatrix, error) {
 	n, m := answers.NumObjects(), answers.NumLabels()
 	var u *model.AssignmentMatrix
 	switch b.Init {
 	case InitMajorityVote:
-		u = majorityVoteAssignment(answers, validation, b.Config.Parallelism)
+		var err error
+		u, err = majorityVoteAssignment(ctx, answers, validation, b.Config.Parallelism)
+		if err != nil {
+			return nil, err
+		}
 	case InitUniform:
 		// NewAssignmentMatrix is already uniform.
 		u = model.NewAssignmentMatrix(n, m)
@@ -187,15 +197,14 @@ func (ie *IncrementalEM) SerialVariant() Aggregator {
 
 // Aggregate implements the Aggregator interface.
 func (ie *IncrementalEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
-	if answers == nil {
-		return nil, fmt.Errorf("aggregation: nil answer set")
-	}
-	if validation == nil {
-		validation = model.NewValidation(answers.NumObjects())
-	}
-	if validation.NumObjects() != answers.NumObjects() {
-		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
-			validation.NumObjects(), answers.NumObjects())
+	return ie.AggregateContext(context.Background(), answers, validation, prev)
+}
+
+// AggregateContext implements the ContextAggregator interface.
+func (ie *IncrementalEM) AggregateContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	validation, err := checkInputs(answers, validation)
+	if err != nil {
+		return nil, err
 	}
 
 	var assignment *model.AssignmentMatrix
@@ -210,11 +219,17 @@ func (ie *IncrementalEM) Aggregate(answers *model.AnswerSet, validation *model.V
 			confusions[w] = c.Clone()
 		}
 	} else {
-		assignment = majorityVoteAssignment(answers, validation, ie.Config.Parallelism)
-		confusions = initialConfusions(answers, assignment, ie.Config.smoothing(), ie.Config.Parallelism)
+		assignment, err = majorityVoteAssignment(ctx, answers, validation, ie.Config.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		confusions, err = initialConfusions(ctx, answers, assignment, ie.Config.smoothing(), ie.Config.Parallelism)
+		if err != nil {
+			return nil, err
+		}
 	}
 	pinValidated(assignment, validation)
-	return runEM(answers, validation, assignment, confusions, ie.Config)
+	return runEM(ctx, answers, validation, assignment, confusions, ie.Config)
 }
 
 // pinValidated forces the rows of validated objects to the expert's label.
@@ -229,10 +244,12 @@ func pinValidated(u *model.AssignmentMatrix, validation *model.Validation) {
 // initialConfusions estimates per-worker confusion matrices from an
 // assignment matrix (soft counts), used to bootstrap the EM iterations.
 // Workers are independent, so the estimation is sharded like the M-step.
-func initialConfusions(answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64, parallelism int) []*model.ConfusionMatrix {
+func initialConfusions(ctx context.Context, answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64, parallelism int) ([]*model.ConfusionMatrix, error) {
 	confusions := make([]*model.ConfusionMatrix, answers.NumWorkers())
-	mStepInto(answers, u, smoothing, parallelism, confusions)
-	return confusions
+	if err := mStepInto(ctx, answers, u, smoothing, parallelism, confusions); err != nil {
+		return nil, err
+	}
+	return confusions, nil
 }
 
 // runEM alternates E- and M-steps (Eq. 1–5) until the assignment matrix stops
@@ -240,7 +257,12 @@ func initialConfusions(answers *model.AnswerSet, u *model.AssignmentMatrix, smoo
 // through its sparse adjacency views, so one iteration costs
 // O(#answers · m), not O(n·k·m), and both are sharded across
 // cfg.Parallelism goroutines with bitwise-deterministic results.
-func runEM(answers *model.AnswerSet, validation *model.Validation, assignment *model.AssignmentMatrix,
+//
+// The context is threaded through every shard: a long aggregation is
+// abandoned as soon as ctx is cancelled, returning ctx.Err(). All EM state
+// lives in buffers owned by this call (the caller handed in clones), so a
+// cancelled run leaves no partially updated state behind.
+func runEM(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, assignment *model.AssignmentMatrix,
 	confusions []*model.ConfusionMatrix, cfg EMConfig) (*Result, error) {
 
 	maxIter := cfg.maxIterations()
@@ -259,8 +281,13 @@ func runEM(answers *model.AnswerSet, validation *model.Validation, assignment *m
 	logConf := make([]float64, len(confusions)*m*m)
 	for iter := 0; iter < maxIter; iter++ {
 		iterations++
-		diff := eStep(answers, validation, current, next, confusions, logConf, parallelism)
-		mStepInto(answers, next, smoothing, parallelism, confusions)
+		diff, err := eStep(ctx, answers, validation, current, next, confusions, logConf, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		if err := mStepInto(ctx, answers, next, smoothing, parallelism, confusions); err != nil {
+			return nil, err
+		}
 		current, next = next, current
 		if diff < tol {
 			converged = true
@@ -286,8 +313,8 @@ func runEM(answers *model.AnswerSet, validation *model.Validation, assignment *m
 // own rows and reports a local maximum, and the shard maxima are folded with
 // max — an exact, order-independent reduction, so any parallelism yields
 // identical bits.
-func eStep(answers *model.AnswerSet, validation *model.Validation,
-	current, next *model.AssignmentMatrix, confusions []*model.ConfusionMatrix, logConf []float64, parallelism int) float64 {
+func eStep(ctx context.Context, answers *model.AnswerSet, validation *model.Validation,
+	current, next *model.AssignmentMatrix, confusions []*model.ConfusionMatrix, logConf []float64, parallelism int) (float64, error) {
 
 	n, m := current.NumObjects(), current.NumLabels()
 	priors := current.Priors()
@@ -304,7 +331,7 @@ func eStep(answers *model.AnswerSet, validation *model.Validation,
 	// exactly the values the inner loop would compute, so the accumulation
 	// below is bitwise unchanged.
 	mm := m * m
-	par.For(len(confusions), parallelism, func(lo, hi int) {
+	if err := par.ForCtx(ctx, len(confusions), parallelism, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
 			f := confusions[w]
 			for l := 0; l < m; l++ {
@@ -317,11 +344,13 @@ func eStep(answers *model.AnswerSet, validation *model.Validation,
 				}
 			}
 		}
-	})
+	}); err != nil {
+		return 0, err
+	}
 
 	shards := par.Shards(parallelism, n)
 	shardDiff := make([]float64, shards)
-	par.ForN(n, shards, func(shard, lo, hi int) {
+	err := par.ForNCtx(ctx, n, shards, func(shard, lo, hi int) {
 		localDiff := 0.0
 		for o := lo; o < hi; o++ {
 			row := next.RowSlice(o)
@@ -361,13 +390,16 @@ func eStep(answers *model.AnswerSet, validation *model.Validation,
 		}
 		shardDiff[shard] = localDiff
 	})
+	if err != nil {
+		return 0, err
+	}
 	diff := 0.0
 	for _, d := range shardDiff {
 		if d > diff {
 			diff = d
 		}
 	}
-	return diff
+	return diff, nil
 }
 
 // mStepInto re-estimates the worker confusion matrices from the assignment
@@ -376,9 +408,9 @@ func eStep(answers *model.AnswerSet, validation *model.Validation,
 // Each worker's matrix depends only on that worker's adjacency list, so the
 // worker range is sharded; every shard writes disjoint slots of the result
 // slice, keeping parallel runs bitwise identical to serial ones.
-func mStepInto(answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64, parallelism int, confusions []*model.ConfusionMatrix) {
+func mStepInto(ctx context.Context, answers *model.AnswerSet, u *model.AssignmentMatrix, smoothing float64, parallelism int, confusions []*model.ConfusionMatrix) error {
 	m := u.NumLabels()
-	par.For(len(confusions), parallelism, func(lo, hi int) {
+	return par.ForCtx(ctx, len(confusions), parallelism, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
 			c := confusions[w]
 			if c == nil {

@@ -1,8 +1,10 @@
 package aggregation
 
 import (
+	"context"
 	"fmt"
 
+	"crowdval/internal/cverr"
 	"crowdval/internal/model"
 )
 
@@ -52,14 +54,19 @@ func (o *OnlineEM) smoothing() float64 {
 // Start initializes the online aggregator from an initial (possibly empty)
 // answer set using a batch pass.
 func (o *OnlineEM) Start(answers *model.AnswerSet, validation *model.Validation) (*model.ProbabilisticAnswerSet, error) {
+	return o.StartContext(context.Background(), answers, validation)
+}
+
+// StartContext is Start with cancellation of the initial batch pass.
+func (o *OnlineEM) StartContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation) (*model.ProbabilisticAnswerSet, error) {
 	if answers == nil {
-		return nil, fmt.Errorf("aggregation: nil answer set")
+		return nil, fmt.Errorf("aggregation: %w", cverr.ErrNilAnswerSet)
 	}
 	if validation == nil {
 		validation = model.NewValidation(answers.NumObjects())
 	}
 	iem := &IncrementalEM{Config: EMConfig{Smoothing: o.smoothing()}}
-	res, err := iem.Aggregate(answers, validation, nil)
+	res, err := iem.AggregateContext(ctx, answers, validation, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +153,13 @@ func (o *OnlineEM) ObserveValidation(object int, label model.Label) error {
 
 // Aggregate implements the Aggregator interface by running Start; it allows
 // OnlineEM to be dropped into places that expect a batch aggregator.
-func (o *OnlineEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
-	probSet, err := o.Start(answers, validation)
+func (o *OnlineEM) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	return o.AggregateContext(context.Background(), answers, validation, prev)
+}
+
+// AggregateContext implements the ContextAggregator interface.
+func (o *OnlineEM) AggregateContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	probSet, err := o.StartContext(ctx, answers, validation)
 	if err != nil {
 		return nil, err
 	}

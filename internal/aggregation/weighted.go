@@ -1,7 +1,7 @@
 package aggregation
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"crowdval/internal/model"
@@ -39,22 +39,21 @@ func (wmv *WeightedMajorityVoting) smoothing() float64 {
 }
 
 // Aggregate implements the Aggregator interface.
-func (wmv *WeightedMajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
-	if answers == nil {
-		return nil, fmt.Errorf("aggregation: nil answer set")
-	}
-	if validation == nil {
-		validation = model.NewValidation(answers.NumObjects())
-	}
-	if validation.NumObjects() != answers.NumObjects() {
-		return nil, fmt.Errorf("aggregation: validation covers %d objects, answer set has %d",
-			validation.NumObjects(), answers.NumObjects())
+func (wmv *WeightedMajorityVoting) Aggregate(answers *model.AnswerSet, validation *model.Validation, prev *model.ProbabilisticAnswerSet) (*Result, error) {
+	return wmv.AggregateContext(context.Background(), answers, validation, prev)
+}
+
+// AggregateContext implements the ContextAggregator interface.
+func (wmv *WeightedMajorityVoting) AggregateContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, _ *model.ProbabilisticAnswerSet) (*Result, error) {
+	validation, err := checkInputs(answers, validation)
+	if err != nil {
+		return nil, err
 	}
 
 	// Reference labels for accuracy estimation: expert validations where
 	// present, majority-vote labels elsewhere.
 	mv := &MajorityVoting{Parallelism: wmv.Parallelism}
-	mvRes, err := mv.Aggregate(answers, validation, nil)
+	mvRes, err := mv.AggregateContext(ctx, answers, validation, nil)
 	if err != nil {
 		return nil, err
 	}

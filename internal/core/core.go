@@ -10,10 +10,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"crowdval/internal/aggregation"
+	"crowdval/internal/cverr"
 	"crowdval/internal/guidance"
 	"crowdval/internal/model"
 	"crowdval/internal/spamdetect"
@@ -164,8 +166,30 @@ type Engine struct {
 // NewEngine prepares a validation engine for the given answer set and runs
 // the initial aggregation (iteration 0).
 func NewEngine(answers *model.AnswerSet, cfg Config) (*Engine, error) {
+	return NewEngineContext(context.Background(), answers, cfg)
+}
+
+// NewEngineContext is NewEngine with cancellation of the initial aggregation.
+func NewEngineContext(ctx context.Context, answers *model.AnswerSet, cfg Config) (*Engine, error) {
+	e, err := newEngineShell(answers, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial aggregation: %w", err)
+	}
+	e.probSet = res.ProbSet
+	e.assignment = res.ProbSet.Instantiate()
+	return e, nil
+}
+
+// newEngineShell wires up an engine — components, quarantine, bookkeeping —
+// without running the initial aggregation. NewEngine aggregates afterwards;
+// RestoreEngine installs a snapshotted probabilistic state instead.
+func newEngineShell(answers *model.AnswerSet, cfg Config) (*Engine, error) {
 	if answers == nil {
-		return nil, fmt.Errorf("core: nil answer set")
+		return nil, fmt.Errorf("core: %w", cverr.ErrNilAnswerSet)
 	}
 	e := &Engine{
 		cfg:      cfg,
@@ -212,15 +236,109 @@ func NewEngine(answers *model.AnswerSet, cfg Config) (*Engine, error) {
 	}
 	e.quarantine = spamdetect.NewQuarantine()
 	e.confirmedValidations = make(map[int]model.Label)
-
-	res, err := e.aggregator.Aggregate(e.working, e.validation, nil)
-	if err != nil {
-		return nil, fmt.Errorf("core: initial aggregation: %w", err)
-	}
-	e.probSet = res.ProbSet
-	e.assignment = res.ProbSet.Instantiate()
 	return e, nil
 }
+
+// RestoredState is the dynamic part of an engine captured by a session
+// snapshot: everything NewEngine cannot rebuild from the answer set and the
+// configuration alone.
+type RestoredState struct {
+	// Validation holds the expert validations collected so far.
+	Validation *model.Validation
+	// Quarantined lists the workers whose answers were masked at snapshot
+	// time; their answers are re-masked out of the working answer set.
+	Quarantined []int
+	// Assignment and Confusions are the probabilistic state of the last
+	// aggregation, restored bit-for-bit.
+	Assignment *model.AssignmentMatrix
+	Confusions []*model.ConfusionMatrix
+	// Iteration and EffortSpent restore the bookkeeping counters.
+	Iteration   int
+	EffortSpent int
+	// LastWorkerDriven restores whether the most recent selection used the
+	// worker-driven branch (relevant when a snapshot was taken between
+	// SelectNext and Integrate).
+	LastWorkerDriven bool
+	// ConfirmedValidations restores the labels the expert re-confirmed after
+	// the confirmation check flagged them.
+	ConfirmedValidations map[int]model.Label
+	// History restores the per-iteration records.
+	History []IterationRecord
+}
+
+// RestoreEngine rebuilds an engine from a snapshot: the original answer set,
+// the dynamic state, and a configuration equivalent to the one the engine was
+// created with. No aggregation runs — the restored probabilistic state is
+// installed as-is, so a resumed engine continues bit-for-bit where the
+// snapshotted one stopped.
+func RestoreEngine(answers *model.AnswerSet, st *RestoredState, cfg Config) (*Engine, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("core: %w", cverr.ErrNilAnswerSet)
+	}
+	if st == nil || st.Validation == nil || st.Assignment == nil {
+		return nil, fmt.Errorf("core: %w: missing restored state", cverr.ErrBadSnapshot)
+	}
+	if st.Validation.NumObjects() != answers.NumObjects() ||
+		st.Assignment.NumObjects() != answers.NumObjects() ||
+		st.Assignment.NumLabels() != answers.NumLabels() ||
+		len(st.Confusions) != answers.NumWorkers() {
+		return nil, fmt.Errorf("core: %w: restored state does not match the answer set dimensions",
+			cverr.ErrBadSnapshot)
+	}
+	e, err := newEngineShell(answers, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.validation = st.Validation.Clone()
+	for _, w := range st.Quarantined {
+		if w < 0 || w >= answers.NumWorkers() {
+			return nil, fmt.Errorf("core: %w: quarantined worker %d out of range", cverr.ErrBadSnapshot, w)
+		}
+		e.quarantine.Mask(e.working, w)
+	}
+	confusions := make([]*model.ConfusionMatrix, len(st.Confusions))
+	for w, c := range st.Confusions {
+		if c == nil {
+			return nil, fmt.Errorf("core: %w: missing confusion matrix for worker %d", cverr.ErrBadSnapshot, w)
+		}
+		confusions[w] = c.Clone()
+	}
+	e.probSet = &model.ProbabilisticAnswerSet{
+		Answers:    e.working,
+		Validation: e.validation.Clone(),
+		Assignment: st.Assignment.Clone(),
+		Confusions: confusions,
+	}
+	e.assignment = e.probSet.Instantiate()
+	e.iteration = st.Iteration
+	e.effortSpent = st.EffortSpent
+	e.lastWorkerDriven = st.LastWorkerDriven
+	for o, l := range st.ConfirmedValidations {
+		e.confirmedValidations[o] = l
+	}
+	e.history = append(e.history, st.History...)
+	return e, nil
+}
+
+// OriginalAnswers returns the pristine answer set the engine was built over
+// (including any answers added later through AddAnswers, but never masked by
+// the quarantine). Callers must not mutate it; session snapshots serialize it
+// together with the quarantined worker list to reconstruct the working set.
+func (e *Engine) OriginalAnswers() *model.AnswerSet { return e.original }
+
+// ConfirmedValidations returns a copy of the validations the expert
+// explicitly re-confirmed after the confirmation check flagged them.
+func (e *Engine) ConfirmedValidations() map[int]model.Label {
+	out := make(map[int]model.Label, len(e.confirmedValidations))
+	for o, l := range e.confirmedValidations {
+		out[o] = l
+	}
+	return out
+}
+
+// LastWorkerDriven reports whether the most recent SelectNext call used the
+// worker-driven branch.
+func (e *Engine) LastWorkerDriven() bool { return e.lastWorkerDriven }
 
 // budget returns the effective effort budget.
 func (e *Engine) budget() int {
@@ -273,8 +391,9 @@ func (e *Engine) Done() bool {
 }
 
 // guidanceContext assembles the strategy context for the current state.
-func (e *Engine) guidanceContext() *guidance.Context {
+func (e *Engine) guidanceContext(ctx context.Context) *guidance.Context {
 	return &guidance.Context{
+		Ctx:            ctx,
 		Answers:        e.working,
 		ProbSet:        e.probSet,
 		Aggregator:     e.scoringAggregator,
@@ -290,10 +409,29 @@ func (e *Engine) guidanceContext() *guidance.Context {
 // back through Integrate. Interactive applications use SelectNext/Integrate
 // directly; batch runs use Step or Run, which combine them with an Expert.
 func (e *Engine) SelectNext() (int, error) {
-	if len(e.validation.UnvalidatedObjects()) == 0 {
-		return -1, fmt.Errorf("core: all objects are already validated")
+	return e.SelectNextContext(context.Background())
+}
+
+// SelectNextContext is SelectNext with cancellation of the candidate scoring.
+// It fails with ErrSessionDone when every object is validated or the goal is
+// reached, and with ErrBudgetExhausted when the effort budget is spent.
+func (e *Engine) SelectNextContext(ctx context.Context) (int, error) {
+	if e.cfg.Goal != nil && e.cfg.Goal(e) {
+		return -1, fmt.Errorf("core: goal reached: %w", cverr.ErrSessionDone)
 	}
-	object, err := e.strategy.Select(e.guidanceContext())
+	if len(e.validation.UnvalidatedObjects()) == 0 {
+		return -1, fmt.Errorf("core: all objects are already validated: %w", cverr.ErrSessionDone)
+	}
+	if e.effortSpent >= e.budget() {
+		return -1, fmt.Errorf("core: %w: spent %d of %d", cverr.ErrBudgetExhausted, e.effortSpent, e.budget())
+	}
+	// Bail before the strategy runs: an already-cancelled context must not
+	// consume state (in particular not the hybrid roulette draw), so retrying
+	// after cancellation stays deterministic.
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
+	object, err := e.strategy.Select(e.guidanceContext(ctx))
 	if err != nil {
 		return -1, fmt.Errorf("core: selection failed: %w", err)
 	}
@@ -312,11 +450,29 @@ func (e *Engine) SelectNext() (int, error) {
 // conclude/filter steps that refresh the probabilistic answer set and the
 // deterministic assignment.
 func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, error) {
+	return e.IntegrateContext(context.Background(), object, label)
+}
+
+// IntegrateContext is Integrate with cancellation. All mutations are rolled
+// back when the detection, confirmation check or aggregation fails or is
+// cancelled, so a context.Canceled return leaves the engine exactly as it was
+// before the call and the validation can be resubmitted.
+func (e *Engine) IntegrateContext(ctx context.Context, object int, label model.Label) (IterationRecord, error) {
 	if object < 0 || object >= e.original.NumObjects() {
-		return IterationRecord{}, fmt.Errorf("core: object %d out of range", object)
+		return IterationRecord{}, fmt.Errorf("%w: object %d (session has %d objects)",
+			cverr.ErrOutOfRange, object, e.original.NumObjects())
 	}
 	if !label.Valid(e.original.NumLabels()) {
-		return IterationRecord{}, fmt.Errorf("core: invalid label %d for object %d", label, object)
+		return IterationRecord{}, fmt.Errorf("%w: label %d for object %d (task has %d labels)",
+			cverr.ErrInvalidLabel, label, object, e.original.NumLabels())
+	}
+	if e.validation.Validated(object) {
+		return IterationRecord{}, fmt.Errorf("%w: object %d (use ReviseValidation to change it)",
+			cverr.ErrAlreadyValidated, object)
+	}
+	if e.effortSpent >= e.budget() {
+		return IterationRecord{}, fmt.Errorf("core: %w: spent %d of %d",
+			cverr.ErrBudgetExhausted, e.effortSpent, e.budget())
 	}
 	record := IterationRecord{
 		Iteration:        e.iteration + 1,
@@ -324,22 +480,36 @@ func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, erro
 		Label:            label,
 		WorkerDrivenUsed: e.lastWorkerDriven,
 	}
-	e.effortSpent++
 
 	// Error rate ε_i = 1 − U_{i-1}(o, l).
 	record.ErrorRate = 1 - e.probSet.Assignment.Prob(object, label)
 
 	// (3) Handle spammers. The detection always runs (it feeds r_i); the
 	// quarantine is only applied when the worker-driven branch was used and
-	// faulty-worker handling is enabled.
+	// faulty-worker handling is enabled. Until the final aggregation
+	// succeeds, every mutation is tracked so a failure restores the
+	// pre-call state.
 	e.validation.Set(object, label)
-	detection, err := e.detector.Detect(e.working, e.validation, e.probSet.Assignment.Priors())
+	var masked, restored []int
+	prevWeight := 0.0
+	if e.hybrid != nil {
+		prevWeight = e.hybrid.Weight()
+	}
+	rollback := func() {
+		if e.hybrid != nil {
+			e.hybrid.SetWeight(prevWeight)
+		}
+		e.quarantine.Undo(e.working, masked, restored)
+		e.validation.Set(object, model.NoLabel)
+	}
+	detection, err := e.detector.DetectContext(ctx, e.working, e.validation, e.probSet.Assignment.Priors())
 	if err != nil {
+		rollback()
 		return IterationRecord{}, fmt.Errorf("core: spammer detection: %w", err)
 	}
 	record.FaultyWorkers = len(detection.FaultyWorkers())
 	if e.cfg.HandleFaultyWorkers && record.WorkerDrivenUsed {
-		masked, restored := e.quarantine.Apply(e.working, detection)
+		masked, restored = e.quarantine.Apply(e.working, detection)
 		record.MaskedWorkers = masked
 		record.RestoredWorkers = restored
 	}
@@ -354,8 +524,9 @@ func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, erro
 	// without this, a correct validation that merely disagrees with a noisy
 	// crowd would be re-elicited on every check.
 	if e.cfg.Confirmation != nil && record.Iteration%e.cfg.Confirmation.EffectivePeriod() == 0 {
-		suspects, err := e.cfg.Confirmation.Check(e.working, e.validation)
+		suspects, err := e.cfg.Confirmation.CheckContext(ctx, e.working, e.validation)
 		if err != nil {
+			rollback()
 			return IterationRecord{}, fmt.Errorf("core: confirmation check: %w", err)
 		}
 		for _, s := range suspects {
@@ -367,8 +538,9 @@ func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, erro
 	}
 
 	// (4) Integrate the validation: re-aggregate and re-instantiate.
-	res, err := e.aggregator.Aggregate(e.working, e.validation, e.probSet)
+	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
 	if err != nil {
+		rollback()
 		return IterationRecord{}, fmt.Errorf("core: aggregation: %w", err)
 	}
 	e.probSet = res.ProbSet
@@ -376,6 +548,7 @@ func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, erro
 	record.EMIterations = res.Iterations
 	record.Uncertainty = aggregation.Uncertainty(e.probSet)
 
+	e.effortSpent++
 	e.iteration++
 	e.history = append(e.history, record)
 	return record, nil
@@ -386,19 +559,29 @@ func (e *Engine) Integrate(object int, label model.Label) (IterationRecord, erro
 // one additional unit of expert effort. The revised object is appended to the
 // latest history record.
 func (e *Engine) ReviseValidation(object int, label model.Label) error {
+	return e.ReviseValidationContext(context.Background(), object, label)
+}
+
+// ReviseValidationContext is ReviseValidation with cancellation; a cancelled
+// aggregation restores the previous validation and leaves the engine state
+// untouched.
+func (e *Engine) ReviseValidationContext(ctx context.Context, object int, label model.Label) error {
 	if !e.validation.Validated(object) {
-		return fmt.Errorf("core: object %d has no validation to revise", object)
+		return fmt.Errorf("%w: object %d has no validation to revise", cverr.ErrNotValidated, object)
 	}
 	if !label.Valid(e.original.NumLabels()) {
-		return fmt.Errorf("core: invalid label %d for object %d", label, object)
+		return fmt.Errorf("%w: label %d for object %d (task has %d labels)",
+			cverr.ErrInvalidLabel, label, object, e.original.NumLabels())
 	}
-	e.effortSpent++
+	prev := e.validation.Get(object)
 	e.validation.Set(object, label)
-	e.confirmedValidations[object] = label
-	res, err := e.aggregator.Aggregate(e.working, e.validation, e.probSet)
+	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
 	if err != nil {
+		e.validation.Set(object, prev)
 		return fmt.Errorf("core: aggregation: %w", err)
 	}
+	e.effortSpent++
+	e.confirmedValidations[object] = label
 	e.probSet = res.ProbSet
 	e.assignment = res.ProbSet.Instantiate()
 	if len(e.history) > 0 {
@@ -408,15 +591,278 @@ func (e *Engine) ReviseValidation(object int, label model.Label) error {
 	return nil
 }
 
+// ValidationInput is one element of a validation batch: the expert asserts
+// that label is the correct answer for object.
+type ValidationInput struct {
+	Object int
+	Label  model.Label
+}
+
+// IntegrateBatch records a whole batch of expert validations and runs the
+// expensive steps of Algorithm 1 — faulty-worker detection and the i-EM
+// re-aggregation — once for the entire batch instead of once per validation.
+// It is the integration path for batch expert UIs, where a validator submits
+// a page of answers at a time.
+//
+// Semantics relative to len(inputs) sequential Integrate calls: every
+// validation is recorded, effort grows by len(inputs), and per-input error
+// rates are measured against the probabilistic answer set from before the
+// batch. The detection runs once after all validations are applied, the
+// hybrid weight is updated once with the batch-mean error rate, no quarantine
+// reconciliation happens (batch input is expert-pushed, not selected by the
+// worker-driven branch), and the confirmation check runs at most once when
+// the batch crosses a period boundary. The final probabilistic answer set is
+// the i-EM fixed point over the same evidence a sequential session would
+// hold, so results agree up to EM convergence tolerance.
+//
+// The batch is transactional: it fails as a whole (duplicate or already
+// validated objects, budget overflow, cancelled context) and a failure rolls
+// every mutation back.
+func (e *Engine) IntegrateBatch(ctx context.Context, inputs []ValidationInput) ([]IterationRecord, error) {
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	seen := make(map[int]bool, len(inputs))
+	for _, in := range inputs {
+		if in.Object < 0 || in.Object >= e.original.NumObjects() {
+			return nil, fmt.Errorf("%w: object %d (session has %d objects)",
+				cverr.ErrOutOfRange, in.Object, e.original.NumObjects())
+		}
+		if !in.Label.Valid(e.original.NumLabels()) {
+			return nil, fmt.Errorf("%w: label %d for object %d (task has %d labels)",
+				cverr.ErrInvalidLabel, in.Label, in.Object, e.original.NumLabels())
+		}
+		if e.validation.Validated(in.Object) || seen[in.Object] {
+			return nil, fmt.Errorf("%w: object %d (use ReviseValidation to change it)",
+				cverr.ErrAlreadyValidated, in.Object)
+		}
+		seen[in.Object] = true
+	}
+	if e.effortSpent+len(inputs) > e.budget() {
+		return nil, fmt.Errorf("core: %w: batch of %d exceeds budget %d with %d spent",
+			cverr.ErrBudgetExhausted, len(inputs), e.budget(), e.effortSpent)
+	}
+
+	records := make([]IterationRecord, len(inputs))
+	meanError := 0.0
+	for i, in := range inputs {
+		records[i] = IterationRecord{
+			Iteration: e.iteration + i + 1,
+			Object:    in.Object,
+			Label:     in.Label,
+			ErrorRate: 1 - e.probSet.Assignment.Prob(in.Object, in.Label),
+		}
+		meanError += records[i].ErrorRate
+		e.validation.Set(in.Object, in.Label)
+	}
+	meanError /= float64(len(inputs))
+	prevWeight := 0.0
+	if e.hybrid != nil {
+		prevWeight = e.hybrid.Weight()
+	}
+	rollback := func() {
+		if e.hybrid != nil {
+			e.hybrid.SetWeight(prevWeight)
+		}
+		for _, in := range inputs {
+			e.validation.Set(in.Object, model.NoLabel)
+		}
+	}
+
+	detection, err := e.detector.DetectContext(ctx, e.working, e.validation, e.probSet.Assignment.Priors())
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("core: spammer detection: %w", err)
+	}
+	faulty := len(detection.FaultyWorkers())
+	if e.hybrid != nil {
+		weight := e.hybrid.UpdateWeight(meanError, detection.FaultyRatio(), e.validation.Ratio())
+		for i := range records {
+			records[i].HybridWeight = weight
+		}
+	}
+
+	if e.cfg.Confirmation != nil {
+		period := e.cfg.Confirmation.EffectivePeriod()
+		if (e.iteration+len(inputs))/period > e.iteration/period {
+			suspects, err := e.cfg.Confirmation.CheckContext(ctx, e.working, e.validation)
+			if err != nil {
+				rollback()
+				return nil, fmt.Errorf("core: confirmation check: %w", err)
+			}
+			last := &records[len(records)-1]
+			for _, s := range suspects {
+				if confirmed, ok := e.confirmedValidations[s.Object]; ok && confirmed == e.validation.Get(s.Object) {
+					continue
+				}
+				last.ConfirmationSuspects = append(last.ConfirmationSuspects, s)
+			}
+		}
+	}
+
+	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("core: aggregation: %w", err)
+	}
+	e.probSet = res.ProbSet
+	e.assignment = res.ProbSet.Instantiate()
+	uncertainty := aggregation.Uncertainty(e.probSet)
+	for i := range records {
+		records[i].FaultyWorkers = faulty
+		records[i].EMIterations = res.Iterations
+		records[i].Uncertainty = uncertainty
+	}
+	e.iteration += len(inputs)
+	e.effortSpent += len(inputs)
+	e.history = append(e.history, records...)
+	return records, nil
+}
+
+// AddAnswers folds newly arrived crowd answers into the running session —
+// the pay-as-you-go ingestion path for streaming crowds. Answers may target
+// existing objects and workers or previously unseen ones; the sparse model,
+// the validation function and the probabilistic state grow on demand
+// (AnswerSet.Grow), new objects bootstrap from their vote frequencies, new
+// workers from soft-count confusion matrices, and everything is folded in by
+// warm-starting the i-EM from the previous probabilistic answer set instead
+// of rebuilding the session.
+//
+// Answers of currently quarantined workers are stashed with the quarantine
+// and surface if the worker is later cleared. The label alphabet is fixed;
+// labels outside it fail with ErrInvalidLabel before anything is mutated.
+// A cancelled context aborts the re-aggregation: the answers remain ingested
+// and the probabilistic state stays consistent (grown, warm), so a later
+// Integrate or AddAnswers call picks them up.
+func (e *Engine) AddAnswers(ctx context.Context, newAnswers []model.Answer) error {
+	if len(newAnswers) == 0 {
+		return nil
+	}
+	m := e.original.NumLabels()
+	oldN, oldK := e.original.NumObjects(), e.original.NumWorkers()
+	newN, newK := oldN, oldK
+	for _, ans := range newAnswers {
+		if ans.Object < 0 || ans.Worker < 0 {
+			return fmt.Errorf("%w: answer for object %d by worker %d", cverr.ErrOutOfRange, ans.Object, ans.Worker)
+		}
+		if !ans.Label.Valid(m) {
+			return fmt.Errorf("%w: label %d for object %d (task has %d labels)",
+				cverr.ErrInvalidLabel, ans.Label, ans.Object, m)
+		}
+		if ans.Object+1 > newN {
+			newN = ans.Object + 1
+		}
+		if ans.Worker+1 > newK {
+			newK = ans.Worker + 1
+		}
+	}
+	if newN > oldN || newK > oldK {
+		if err := e.original.Grow(newN, newK); err != nil {
+			return err
+		}
+		if err := e.working.Grow(newN, newK); err != nil {
+			return err
+		}
+		if err := e.validation.Grow(newN); err != nil {
+			return err
+		}
+	}
+
+	// Grow the warm-start state to the new dimensions: existing rows and
+	// matrices carry over bit-for-bit.
+	assignment := e.probSet.Assignment
+	if newN > oldN {
+		grown := model.NewAssignmentMatrix(newN, m)
+		for o := 0; o < oldN; o++ {
+			grown.SetRow(o, assignment.RowSlice(o))
+		}
+		assignment = grown
+	}
+	confusions := e.probSet.Confusions
+	if newK > oldK {
+		confusions = append(append([]*model.ConfusionMatrix(nil), confusions...),
+			make([]*model.ConfusionMatrix, newK-oldK)...)
+	}
+
+	// Ingest. Indices and labels were validated above and the dimensions
+	// grown, so the inserts cannot fail.
+	for _, ans := range newAnswers {
+		if err := e.original.SetAnswer(ans.Object, ans.Worker, ans.Label); err != nil {
+			return err
+		}
+		if !e.quarantine.Stash(ans.Worker, model.ObjectAnswer{Object: ans.Object, Label: ans.Label}) {
+			if err := e.working.SetAnswer(ans.Object, ans.Worker, ans.Label); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Bootstrap the state of new objects (vote frequencies, mirroring the
+	// majority-vote cold start) and new workers (soft-count confusions,
+	// mirroring the M-step).
+	for o := oldN; o < newN; o++ {
+		row := make([]float64, m)
+		total := 0
+		for _, wa := range e.working.ObjectView(o) {
+			row[wa.Label]++
+			total++
+		}
+		if total == 0 {
+			for l := range row {
+				row[l] = 1 / float64(m)
+			}
+		} else {
+			for l := range row {
+				row[l] /= float64(total)
+			}
+		}
+		assignment.SetRow(o, row)
+	}
+	for w := oldK; w < newK; w++ {
+		c := model.NewConfusionMatrix(m)
+		for _, oa := range e.working.WorkerView(w) {
+			for l := 0; l < m; l++ {
+				c.Add(model.Label(l), oa.Label, assignment.Prob(oa.Object, model.Label(l)))
+			}
+		}
+		c.Smooth(aggregation.DefaultSmoothing)
+		confusions[w] = c
+	}
+
+	// Install the grown warm state before aggregating so the engine stays
+	// consistent even if the aggregation below is cancelled.
+	e.probSet = &model.ProbabilisticAnswerSet{
+		Answers:    e.working,
+		Validation: e.validation.Clone(),
+		Assignment: assignment,
+		Confusions: confusions,
+	}
+	e.assignment = e.probSet.Instantiate()
+
+	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	if err != nil {
+		return fmt.Errorf("core: aggregation: %w", err)
+	}
+	e.probSet = res.ProbSet
+	e.assignment = res.ProbSet.Instantiate()
+	return nil
+}
+
 // Step executes one full iteration of Algorithm 1 against an Expert: select
 // an object, elicit expert input, integrate it, and — when the confirmation
 // check flags suspect validations — immediately re-elicit those from the
 // expert. It returns the record of the iteration.
 func (e *Engine) Step(expert Expert) (IterationRecord, error) {
+	return e.StepContext(context.Background(), expert)
+}
+
+// StepContext is Step with cancellation of the selection, integration and
+// re-elicitation work.
+func (e *Engine) StepContext(ctx context.Context, expert Expert) (IterationRecord, error) {
 	if expert == nil {
-		return IterationRecord{}, fmt.Errorf("core: nil expert")
+		return IterationRecord{}, fmt.Errorf("core: %w", cverr.ErrNilExpert)
 	}
-	object, err := e.SelectNext()
+	object, err := e.SelectNextContext(ctx)
 	if err != nil {
 		return IterationRecord{}, err
 	}
@@ -425,9 +871,10 @@ func (e *Engine) Step(expert Expert) (IterationRecord, error) {
 		return IterationRecord{}, fmt.Errorf("core: expert validation of object %d: %w", object, err)
 	}
 	if !label.Valid(e.original.NumLabels()) {
-		return IterationRecord{}, fmt.Errorf("core: expert returned invalid label %d for object %d", label, object)
+		return IterationRecord{}, fmt.Errorf("core: expert returned %w: label %d for object %d",
+			cverr.ErrInvalidLabel, label, object)
 	}
-	record, err := e.Integrate(object, label)
+	record, err := e.IntegrateContext(ctx, object, label)
 	if err != nil {
 		return IterationRecord{}, err
 	}
@@ -437,9 +884,10 @@ func (e *Engine) Step(expert Expert) (IterationRecord, error) {
 			return IterationRecord{}, fmt.Errorf("core: revalidation of object %d: %w", s.Object, err)
 		}
 		if !revised.Valid(e.original.NumLabels()) {
-			return IterationRecord{}, fmt.Errorf("core: expert returned invalid label %d for object %d", revised, s.Object)
+			return IterationRecord{}, fmt.Errorf("core: expert returned %w: label %d for object %d",
+				cverr.ErrInvalidLabel, revised, s.Object)
 		}
-		if err := e.ReviseValidation(s.Object, revised); err != nil {
+		if err := e.ReviseValidationContext(ctx, s.Object, revised); err != nil {
 			return IterationRecord{}, err
 		}
 		record.RevisedObjects = append(record.RevisedObjects, s.Object)
@@ -472,8 +920,18 @@ type Summary struct {
 // is invoked after every iteration (e.g. to record precision against a held
 // ground truth); returning false from the callback stops the run early.
 func (e *Engine) Run(expert Expert, onStep func(IterationRecord) bool) (*Summary, error) {
+	return e.RunContext(context.Background(), expert, onStep)
+}
+
+// RunContext is Run with cancellation: the loop stops with ctx.Err() between
+// iterations and the iteration in flight rolls back cleanly, so a cancelled
+// run leaves the engine resumable.
+func (e *Engine) RunContext(ctx context.Context, expert Expert, onStep func(IterationRecord) bool) (*Summary, error) {
 	for !e.Done() {
-		record, err := e.Step(expert)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		record, err := e.StepContext(ctx, expert)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,11 @@
 package guidance
 
 import (
+	"context"
 	"fmt"
 
 	"crowdval/internal/aggregation"
+	"crowdval/internal/cverr"
 	"crowdval/internal/model"
 )
 
@@ -54,14 +56,23 @@ type SuspectValidation struct {
 // the validations that disagree with the aggregation of the remaining
 // evidence. The answer set and validation are not modified.
 func (c *ConfirmationCheck) Check(answers *model.AnswerSet, validation *model.Validation) ([]SuspectValidation, error) {
-	if answers == nil || validation == nil {
-		return nil, fmt.Errorf("guidance: nil answers or validation")
+	return c.CheckContext(context.Background(), answers, validation)
+}
+
+// CheckContext is Check with cancellation: the per-object re-aggregations
+// observe ctx and the scan aborts with ctx.Err() once it is done.
+func (c *ConfirmationCheck) CheckContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation) ([]SuspectValidation, error) {
+	if answers == nil {
+		return nil, fmt.Errorf("guidance: %w", cverr.ErrNilAnswerSet)
+	}
+	if validation == nil {
+		return nil, fmt.Errorf("guidance: %w", cverr.ErrNilValidation)
 	}
 	agg := c.aggregator()
 	var suspects []SuspectValidation
 	for _, o := range validation.ValidatedObjects() {
 		withheld := validation.CloneWithout(o)
-		res, err := agg.Aggregate(answers, withheld, nil)
+		res, err := aggregation.Do(ctx, agg, answers, withheld, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -81,14 +92,22 @@ func (c *ConfirmationCheck) Check(answers *model.AnswerSet, validation *model.Va
 // reports whether its validation is suspect. Objects without a validation are
 // never suspect.
 func (c *ConfirmationCheck) CheckObject(answers *model.AnswerSet, validation *model.Validation, object int) (bool, error) {
-	if answers == nil || validation == nil {
-		return false, fmt.Errorf("guidance: nil answers or validation")
+	return c.CheckObjectContext(context.Background(), answers, validation, object)
+}
+
+// CheckObjectContext is CheckObject with cancellation.
+func (c *ConfirmationCheck) CheckObjectContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, object int) (bool, error) {
+	if answers == nil {
+		return false, fmt.Errorf("guidance: %w", cverr.ErrNilAnswerSet)
+	}
+	if validation == nil {
+		return false, fmt.Errorf("guidance: %w", cverr.ErrNilValidation)
 	}
 	if !validation.Validated(object) {
 		return false, nil
 	}
 	withheld := validation.CloneWithout(object)
-	res, err := c.aggregator().Aggregate(answers, withheld, nil)
+	res, err := aggregation.Do(ctx, c.aggregator(), answers, withheld, nil)
 	if err != nil {
 		return false, err
 	}

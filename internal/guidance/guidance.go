@@ -7,13 +7,14 @@
 package guidance
 
 import (
-	"fmt"
+	stdctx "context"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 
 	"crowdval/internal/aggregation"
+	"crowdval/internal/cverr"
 	"crowdval/internal/model"
 	"crowdval/internal/spamdetect"
 )
@@ -21,6 +22,14 @@ import (
 // Context carries everything a selection strategy may need to score candidate
 // objects for the next expert validation.
 type Context struct {
+	// Ctx optionally carries a cancellation context for the scoring work.
+	// Candidate scoring re-aggregates the answers once per (candidate, label)
+	// pair, which on large answer sets dominates the latency of a validation
+	// step; a cancelled Ctx aborts the scoring with Ctx.Err(). Nil means
+	// "never cancel". Context is a per-call parameter object — it is built
+	// fresh for every Select call — so carrying the context here keeps the
+	// Strategy interface free of a second parameter.
+	Ctx stdctx.Context
 	// Answers is the (possibly quarantined) answer set.
 	Answers *model.AnswerSet
 	// ProbSet is the current probabilistic answer set.
@@ -48,6 +57,14 @@ func (c *Context) candidates() []int {
 		return c.Candidates
 	}
 	return c.ProbSet.Validation.UnvalidatedObjects()
+}
+
+// ctx returns the cancellation context, defaulting to context.Background.
+func (c *Context) ctx() stdctx.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return stdctx.Background()
 }
 
 // aggregator and detector default to serial instances: strategies call them
@@ -79,8 +96,9 @@ func (c *Context) parallelism() int {
 }
 
 // ErrNoCandidates is returned when a strategy is asked to select an object
-// but no candidate is available.
-var ErrNoCandidates = fmt.Errorf("guidance: no candidate objects to select from")
+// but no candidate is available. It aliases the shared sentinel so
+// errors.Is matches across layers.
+var ErrNoCandidates = cverr.ErrNoCandidates
 
 // Strategy selects the next object for which expert feedback should be
 // sought (step "select" of the validation process).
@@ -133,7 +151,9 @@ func (b *Baseline) Select(ctx *Context) (int, error) {
 
 // scoreCandidates evaluates score(o) for every candidate, optionally in
 // parallel, and returns the candidate with the maximal score. Ties are broken
-// toward the smallest object index so selections stay deterministic.
+// toward the smallest object index so selections stay deterministic. A
+// cancelled ctx.Ctx aborts the scan between candidates and returns the
+// context's error.
 func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64, error)) (int, error) {
 	type scored struct {
 		object int
@@ -141,6 +161,7 @@ func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64,
 		err    error
 	}
 	results := make([]scored, len(candidates))
+	cancel := ctx.ctx()
 
 	if ctx.Parallel && len(candidates) > 1 {
 		workers := ctx.parallelism()
@@ -154,6 +175,10 @@ func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64,
 			go func() {
 				defer wg.Done()
 				for idx := range jobs {
+					if err := cancel.Err(); err != nil {
+						results[idx] = scored{object: candidates[idx], err: err}
+						continue
+					}
 					v, err := score(candidates[idx])
 					results[idx] = scored{object: candidates[idx], value: v, err: err}
 				}
@@ -166,9 +191,15 @@ func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64,
 		wg.Wait()
 	} else {
 		for idx, o := range candidates {
+			if err := cancel.Err(); err != nil {
+				return -1, err
+			}
 			v, err := score(o)
 			results[idx] = scored{object: o, value: v, err: err}
 		}
+	}
+	if err := cancel.Err(); err != nil {
+		return -1, err
 	}
 
 	best, bestValue := -1, 0.0

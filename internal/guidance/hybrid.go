@@ -33,6 +33,9 @@ func (h *Hybrid) Name() string { return "hybrid" }
 // Weight returns the current z_i value.
 func (h *Hybrid) Weight() float64 { return h.weight }
 
+// SetWeight restores a previously observed z_i value (session resume).
+func (h *Hybrid) SetWeight(w float64) { h.weight = clamp01(w) }
+
 // LastChoiceWorkerDriven reports whether the most recent Select call used the
 // worker-driven branch. Algorithm 1 only quarantines detected spammers when
 // that branch was taken (line 12).

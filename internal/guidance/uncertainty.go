@@ -63,7 +63,7 @@ func ConditionalUncertainty(ctx *Context, object int) (float64, error) {
 		}
 		hypothetical := ctx.ProbSet.Validation.Clone()
 		hypothetical.Set(object, model.Label(l))
-		res, err := agg.Aggregate(ctx.Answers, hypothetical, ctx.ProbSet)
+		res, err := aggregation.Do(ctx.ctx(), agg, ctx.Answers, hypothetical, ctx.ProbSet)
 		if err != nil {
 			return 0, err
 		}

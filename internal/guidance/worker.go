@@ -44,7 +44,7 @@ func ExpectedDetectedFaultyWorkers(ctx *Context, object int, priors []float64) (
 		}
 		hypothetical := ctx.ProbSet.Validation.Clone()
 		hypothetical.Set(object, model.Label(l))
-		count, err := detector.CountFaulty(ctx.Answers, hypothetical, priors)
+		count, err := detector.CountFaultyContext(ctx.ctx(), ctx.Answers, hypothetical, priors)
 		if err != nil {
 			return 0, err
 		}

@@ -1,9 +1,10 @@
 package model
 
 import (
-	"errors"
 	"fmt"
 	"sort"
+
+	"crowdval/internal/cverr"
 )
 
 // AnswerSet is the quadruple N = <O, W, L, M>: n objects, k workers, m labels
@@ -41,8 +42,8 @@ type AnswerSet struct {
 // entries of the answer matrix start as NoLabel.
 func NewAnswerSet(numObjects, numWorkers, numLabels int) (*AnswerSet, error) {
 	if numObjects <= 0 || numWorkers <= 0 || numLabels <= 0 {
-		return nil, fmt.Errorf("model: invalid answer set dimensions %d×%d with %d labels",
-			numObjects, numWorkers, numLabels)
+		return nil, fmt.Errorf("%w: invalid answer set dimensions %d×%d with %d labels",
+			ErrDimensionMismatch, numObjects, numWorkers, numLabels)
 	}
 	return &AnswerSet{
 		numObjects: numObjects,
@@ -72,9 +73,19 @@ func (a *AnswerSet) NumWorkers() int { return a.numWorkers }
 // NumLabels returns m, the number of labels.
 func (a *AnswerSet) NumLabels() int { return a.numLabels }
 
-// ErrOutOfRange is returned when an object, worker or label index is outside
-// the answer set's dimensions.
-var ErrOutOfRange = errors.New("model: index out of range")
+// Sentinel errors of the data model, aliased from the shared cverr package so
+// errors.Is matches across layers (the root crowdval package re-exports the
+// same values).
+var (
+	// ErrOutOfRange is returned when an object, worker or label index is
+	// outside the answer set's dimensions.
+	ErrOutOfRange = cverr.ErrOutOfRange
+	// ErrInvalidLabel is returned when a label is not valid for the task.
+	ErrInvalidLabel = cverr.ErrInvalidLabel
+	// ErrDimensionMismatch is returned when dimensions are non-positive,
+	// would shrink, or disagree between components.
+	ErrDimensionMismatch = cverr.ErrDimensionMismatch
+)
 
 // objectPos returns the position of worker in byObject[object] or, if absent,
 // the position where it would be inserted, plus whether it was found.
@@ -100,7 +111,7 @@ func (a *AnswerSet) SetAnswer(object, worker int, label Label) error {
 			ErrOutOfRange, object, worker, a.numObjects, a.numWorkers)
 	}
 	if label != NoLabel && !label.Valid(a.numLabels) {
-		return fmt.Errorf("%w: label %d (task has %d labels)", ErrOutOfRange, label, a.numLabels)
+		return fmt.Errorf("%w: label %d (task has %d labels)", ErrInvalidLabel, label, a.numLabels)
 	}
 	oi, oFound := a.objectPos(object, worker)
 	if label == NoLabel {
@@ -287,6 +298,43 @@ func (a *AnswerSet) RestoreWorker(worker int, answers []ObjectAnswer) {
 type ObjectAnswer struct {
 	Object int
 	Label  Label
+}
+
+// Answer is one fully qualified crowd answer: worker answered object with
+// label. It is the unit of live answer ingestion (Session.AddAnswers).
+type Answer struct {
+	Object int
+	Worker int
+	Label  Label
+}
+
+// Grow extends the answer set to cover at least numObjects objects and
+// numWorkers workers, keeping every recorded answer. New rows and columns
+// start empty. Growing is what makes live ingestion of answers for
+// previously unseen objects or workers possible without rebuilding; the
+// label alphabet is fixed at construction and cannot grow. Shrinking is not
+// supported: dimensions smaller than the current ones return
+// ErrDimensionMismatch.
+func (a *AnswerSet) Grow(numObjects, numWorkers int) error {
+	if numObjects < a.numObjects || numWorkers < a.numWorkers {
+		return fmt.Errorf("%w: cannot shrink answer set from %d×%d to %d×%d",
+			ErrDimensionMismatch, a.numObjects, a.numWorkers, numObjects, numWorkers)
+	}
+	if numObjects > a.numObjects {
+		a.byObject = append(a.byObject, make([][]WorkerAnswer, numObjects-a.numObjects)...)
+		if a.ObjectNames != nil {
+			a.ObjectNames = append(a.ObjectNames, make([]string, numObjects-a.numObjects)...)
+		}
+		a.numObjects = numObjects
+	}
+	if numWorkers > a.numWorkers {
+		a.byWorker = append(a.byWorker, make([][]ObjectAnswer, numWorkers-a.numWorkers)...)
+		if a.WorkerNames != nil {
+			a.WorkerNames = append(a.WorkerNames, make([]string, numWorkers-a.numWorkers)...)
+		}
+		a.numWorkers = numWorkers
+	}
+	return nil
 }
 
 // String returns a compact description of the answer set.

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAnswerSetGrow(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 3)
+	if err := a.SetAnswer(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	a.ObjectNames = []string{"o0", "o1"}
+	a.WorkerNames = []string{"w0", "w1"}
+
+	if err := a.Grow(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumObjects() != 4 || a.NumWorkers() != 3 || a.NumLabels() != 3 {
+		t.Fatalf("dims after grow = %d/%d/%d", a.NumObjects(), a.NumWorkers(), a.NumLabels())
+	}
+	if a.Answer(0, 1) != 2 {
+		t.Fatal("existing answer lost by Grow")
+	}
+	if a.AnswerCount() != 1 {
+		t.Fatalf("answer count = %d", a.AnswerCount())
+	}
+	if len(a.ObjectNames) != 4 || len(a.WorkerNames) != 3 {
+		t.Fatalf("names not grown: %v / %v", a.ObjectNames, a.WorkerNames)
+	}
+	// New slots are usable.
+	if err := a.SetAnswer(3, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Answer(3, 2) != 0 {
+		t.Fatal("answer in grown region not stored")
+	}
+	// Growing to the current size is a no-op.
+	if err := a.Grow(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking fails with the typed error.
+	if err := a.Grow(3, 3); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("shrink objects: %v", err)
+	}
+	if err := a.Grow(4, 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("shrink workers: %v", err)
+	}
+}
+
+func TestValidationGrow(t *testing.T) {
+	v := NewValidation(2)
+	v.Set(1, 0)
+	if err := v.Grow(5); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumObjects() != 5 {
+		t.Fatalf("objects after grow = %d", v.NumObjects())
+	}
+	if v.Get(1) != 0 {
+		t.Fatal("existing validation lost")
+	}
+	for _, o := range []int{0, 2, 3, 4} {
+		if v.Validated(o) {
+			t.Fatalf("object %d unexpectedly validated", o)
+		}
+	}
+	if err := v.Grow(1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("shrink: %v", err)
+	}
+}
+
+func TestSetAnswerTypedErrors(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 2)
+	if err := a.SetAnswer(5, 0, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("object out of range: %v", err)
+	}
+	if err := a.SetAnswer(0, 0, 7); !errors.Is(err, ErrInvalidLabel) {
+		t.Fatalf("invalid label: %v", err)
+	}
+	if _, err := NewAnswerSet(0, 1, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("bad dims: %v", err)
+	}
+}

@@ -1,5 +1,7 @@
 package model
 
+import "fmt"
+
 // Validation is the expert answer-validation function e: O → L ∪ {⊥}.
 // It records, per object, the label the validating expert asserted to be
 // correct, or NoLabel if the object has not been validated yet.
@@ -83,6 +85,19 @@ func (v *Validation) Ratio() float64 {
 		return 0
 	}
 	return float64(v.Count()) / float64(len(v.labels))
+}
+
+// Grow extends the validation function to cover at least numObjects objects;
+// new objects start unvalidated. Shrinking returns ErrDimensionMismatch.
+func (v *Validation) Grow(numObjects int) error {
+	if numObjects < len(v.labels) {
+		return fmt.Errorf("%w: cannot shrink validation from %d to %d objects",
+			ErrDimensionMismatch, len(v.labels), numObjects)
+	}
+	for len(v.labels) < numObjects {
+		v.labels = append(v.labels, NoLabel)
+	}
+	return nil
 }
 
 // Clone returns a deep copy of the validation function.

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -48,11 +49,32 @@ func For(n, shards int, fn func(lo, hi int)) {
 // convergence maximum — into its own slot of a caller-owned slice. shards
 // must already be normalized with Shards.
 func ForN(n, shards int, fn func(shard, lo, hi int)) {
+	_ = ForNCtx(context.Background(), n, shards, fn)
+}
+
+// ForCtx is the context-aware variant of For: chunks observe ctx and skip
+// their work once the context is cancelled, and the call reports ctx.Err().
+// A nil error means every chunk ran to completion; on cancellation the
+// caller must discard any partially written output.
+func ForCtx(ctx context.Context, n, shards int, fn func(lo, hi int)) error {
+	return ForNCtx(ctx, n, Shards(shards, n), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForNCtx is the context-aware variant of ForN. Each chunk checks the context
+// once before starting; a chunk that observes a cancelled context does not
+// invoke fn. The call always waits for every started chunk, so fn is never
+// running after ForNCtx returns. It returns ctx.Err() — nil when all chunks
+// completed, context.Canceled/DeadlineExceeded when the run was cut short (in
+// which case the caller must treat its output buffers as garbage).
+func ForNCtx(ctx context.Context, n, shards int, fn func(shard, lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if shards <= 1 {
 		if n > 0 {
 			fn(0, 0, n)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	wg.Add(shards)
@@ -68,8 +90,12 @@ func ForN(n, shards int, fn func(shard, lo, hi int)) {
 		}
 		go func(s, lo, hi int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			fn(s, lo, hi)
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,0 +1,67 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCtxCompletesWithLiveContext(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForCtx(context.Background(), 100, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+}
+
+func TestForCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForCtx(ctx, 100, 4, func(lo, hi int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("chunk ran despite cancelled context")
+	}
+}
+
+func TestForNCtxSerialPathChecksContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForNCtx(ctx, 10, 1, func(shard, lo, hi int) {
+		t.Fatal("serial chunk ran despite cancelled context")
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForNCtxAlwaysWaitsForStartedChunks(t *testing.T) {
+	// Cancel while chunks may be in flight: ForNCtx must still return only
+	// after every started chunk finished (no fn running afterwards).
+	ctx, cancel := context.WithCancel(context.Background())
+	var running atomic.Int32
+	err := ForNCtx(ctx, 1000, 8, func(shard, lo, hi int) {
+		running.Add(1)
+		if shard == 0 {
+			cancel()
+		}
+		running.Add(-1)
+	})
+	if running.Load() != 0 {
+		t.Fatal("a chunk was still running after ForNCtx returned")
+	}
+	// err may be nil or Canceled depending on timing; both are valid, but a
+	// cancelled context observed by the final check must be reported.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

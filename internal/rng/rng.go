@@ -1,0 +1,46 @@
+// Package rng provides a small deterministic random-number source whose state
+// can be observed and restored. The stochastic components of a validation
+// session (the hybrid roulette wheel, the random guidance strategy) draw from
+// it, which is what makes session snapshots bit-for-bit resumable: the
+// snapshot records the single uint64 of source state, and a resumed session
+// continues the exact pseudo-random sequence the original would have produced.
+package rng
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood ("Fast
+// splittable pseudorandom number generators", OOPSLA 2014). It implements
+// math/rand.Source64 and exposes its full state as a single uint64.
+//
+// SplitMix64 passes through math/rand.New unchanged: Float64, Intn and friends
+// derive their values purely from successive Uint64/Int63 calls, so restoring
+// the state restores the whole stream.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New creates a source seeded deterministically from seed.
+func New(seed int64) *SplitMix64 {
+	s := &SplitMix64{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source to the stream identified by seed.
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State returns the current generator state.
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// SetState restores a state previously obtained from State.
+func (s *SplitMix64) SetState(state uint64) { s.state = state }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"crowdval/internal/cverr"
 	"crowdval/internal/model"
 )
 
@@ -18,10 +19,10 @@ type OracleExpert struct {
 // ValidateObject implements the core.Expert contract.
 func (e *OracleExpert) ValidateObject(object int) (model.Label, error) {
 	if object < 0 || object >= len(e.Truth) {
-		return model.NoLabel, fmt.Errorf("simulation: object %d outside the ground truth (%d objects)", object, len(e.Truth))
+		return model.NoLabel, fmt.Errorf("%w: object %d outside the ground truth (%d objects)", cverr.ErrNoGroundTruth, object, len(e.Truth))
 	}
 	if e.Truth[object] == model.NoLabel {
-		return model.NoLabel, fmt.Errorf("simulation: no ground truth for object %d", object)
+		return model.NoLabel, fmt.Errorf("%w: object %d", cverr.ErrNoGroundTruth, object)
 	}
 	return e.Truth[object], nil
 }
@@ -60,7 +61,7 @@ func NewErroneousExpert(truth model.DeterministicAssignment, numLabels int, mist
 // ValidateObject implements the core.Expert contract.
 func (e *ErroneousExpert) ValidateObject(object int) (model.Label, error) {
 	if object < 0 || object >= len(e.Truth) || e.Truth[object] == model.NoLabel {
-		return model.NoLabel, fmt.Errorf("simulation: no ground truth for object %d", object)
+		return model.NoLabel, fmt.Errorf("%w: object %d", cverr.ErrNoGroundTruth, object)
 	}
 	truth := e.Truth[object]
 	if e.asked[object] {

@@ -1,0 +1,471 @@
+// Package snapshot implements the versioned binary encoding of a validation
+// session. A snapshot captures everything a serving tier needs to park a
+// session and resume it in another process: the session options, the sparse
+// crowd answers, the expert validations, the quarantined workers, the full
+// probabilistic state (assignment matrix and per-worker confusion matrices),
+// the engine bookkeeping and the state of the stochastic components.
+//
+// The encoding is deliberately exact: float64 values are stored as their IEEE
+// 754 bit patterns, so a resumed session reproduces the original session
+// bit-for-bit — identical guidance selections, aggregation results and step
+// summaries. The format is little-endian, length-prefixed and versioned; a
+// decoder rejects snapshots from unknown versions with ErrSnapshotVersion and
+// anything structurally damaged with ErrBadSnapshot.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"crowdval/internal/cverr"
+)
+
+// Magic identifies a crowdval session snapshot ("CVSN").
+const Magic = 0x4356534e
+
+// Version is the current encoding version.
+const Version = 1
+
+// State is the serializable form of a validation session. It mirrors the
+// session options and the engine's dynamic state with plain integers, floats
+// and strings, keeping the codec independent of the model and core packages.
+type State struct {
+	// Session options.
+	Strategy           string
+	Budget             int64
+	CandidateLimit     int64
+	Parallel           bool
+	Parallelism        int64
+	ConfirmationPeriod int64
+	SpammerThreshold   float64
+	SloppyThreshold    float64
+	UncertaintyGoal    float64
+	Seed               int64
+
+	// Stochastic state.
+	RNGState         uint64
+	HybridWeight     float64
+	LastWorkerDriven bool
+
+	// Crowd answers (the pristine, unquarantined matrix), sparse.
+	NumObjects    int64
+	NumWorkers    int64
+	NumLabels     int64
+	AnswerObjects []int64
+	AnswerWorkers []int64
+	AnswerLabels  []int64
+	ObjectNames   []string
+	WorkerNames   []string
+	LabelNames    []string
+
+	// Expert state.
+	Validation       []int64 // per-object expert label, -1 = unvalidated
+	Quarantined      []int64
+	ConfirmedObjects []int64
+	ConfirmedLabels  []int64
+
+	// Probabilistic state.
+	Assignment []float64 // NumObjects × NumLabels, row-major
+	Confusions []float64 // NumWorkers × NumLabels × NumLabels, row-major
+
+	// Engine bookkeeping.
+	Iteration   int64
+	EffortSpent int64
+	History     []HistoryRecord
+}
+
+// HistoryRecord is the serializable form of one core.IterationRecord.
+type HistoryRecord struct {
+	Iteration        int64
+	Object           int64
+	Label            int64
+	WorkerDrivenUsed bool
+	ErrorRate        float64
+	HybridWeight     float64
+	Uncertainty      float64
+	FaultyWorkers    int64
+	EMIterations     int64
+	Masked           []int64
+	Restored         []int64
+	Revised          []int64
+	SuspectObjects   []int64
+	SuspectExpert    []int64
+	SuspectCrowd     []int64
+}
+
+// Encode serializes the state.
+func Encode(s *State) []byte {
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+
+	w.str(s.Strategy)
+	w.i64(s.Budget)
+	w.i64(s.CandidateLimit)
+	w.bool(s.Parallel)
+	w.i64(s.Parallelism)
+	w.i64(s.ConfirmationPeriod)
+	w.f64(s.SpammerThreshold)
+	w.f64(s.SloppyThreshold)
+	w.f64(s.UncertaintyGoal)
+	w.i64(s.Seed)
+
+	w.u64(s.RNGState)
+	w.f64(s.HybridWeight)
+	w.bool(s.LastWorkerDriven)
+
+	w.i64(s.NumObjects)
+	w.i64(s.NumWorkers)
+	w.i64(s.NumLabels)
+	w.i64s(s.AnswerObjects)
+	w.i64s(s.AnswerWorkers)
+	w.i64s(s.AnswerLabels)
+	w.strs(s.ObjectNames)
+	w.strs(s.WorkerNames)
+	w.strs(s.LabelNames)
+
+	w.i64s(s.Validation)
+	w.i64s(s.Quarantined)
+	w.i64s(s.ConfirmedObjects)
+	w.i64s(s.ConfirmedLabels)
+
+	w.f64s(s.Assignment)
+	w.f64s(s.Confusions)
+
+	w.i64(s.Iteration)
+	w.i64(s.EffortSpent)
+	w.u64(uint64(len(s.History)))
+	for i := range s.History {
+		h := &s.History[i]
+		w.i64(h.Iteration)
+		w.i64(h.Object)
+		w.i64(h.Label)
+		w.bool(h.WorkerDrivenUsed)
+		w.f64(h.ErrorRate)
+		w.f64(h.HybridWeight)
+		w.f64(h.Uncertainty)
+		w.i64(h.FaultyWorkers)
+		w.i64(h.EMIterations)
+		w.i64s(h.Masked)
+		w.i64s(h.Restored)
+		w.i64s(h.Revised)
+		w.i64s(h.SuspectObjects)
+		w.i64s(h.SuspectExpert)
+		w.i64s(h.SuspectCrowd)
+	}
+	return w.buf
+}
+
+// Decode deserializes a snapshot produced by Encode. It fails with
+// ErrBadSnapshot on structural damage and ErrSnapshotVersion on an unknown
+// encoding version.
+func Decode(data []byte) (*State, error) {
+	r := &reader{buf: data}
+	if magic, err := r.u32(); err != nil || magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic", cverr.ErrBadSnapshot)
+	}
+	version, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: got version %d, support version %d",
+			cverr.ErrSnapshotVersion, version, Version)
+	}
+
+	s := &State{}
+	steps := []func() error{
+		func() (err error) { s.Strategy, err = r.str(); return },
+		func() (err error) { s.Budget, err = r.i64(); return },
+		func() (err error) { s.CandidateLimit, err = r.i64(); return },
+		func() (err error) { s.Parallel, err = r.bool(); return },
+		func() (err error) { s.Parallelism, err = r.i64(); return },
+		func() (err error) { s.ConfirmationPeriod, err = r.i64(); return },
+		func() (err error) { s.SpammerThreshold, err = r.f64(); return },
+		func() (err error) { s.SloppyThreshold, err = r.f64(); return },
+		func() (err error) { s.UncertaintyGoal, err = r.f64(); return },
+		func() (err error) { s.Seed, err = r.i64(); return },
+		func() (err error) { s.RNGState, err = r.u64(); return },
+		func() (err error) { s.HybridWeight, err = r.f64(); return },
+		func() (err error) { s.LastWorkerDriven, err = r.bool(); return },
+		func() (err error) { s.NumObjects, err = r.i64(); return },
+		func() (err error) { s.NumWorkers, err = r.i64(); return },
+		func() (err error) { s.NumLabels, err = r.i64(); return },
+		func() (err error) { s.AnswerObjects, err = r.i64s(); return },
+		func() (err error) { s.AnswerWorkers, err = r.i64s(); return },
+		func() (err error) { s.AnswerLabels, err = r.i64s(); return },
+		func() (err error) { s.ObjectNames, err = r.strs(); return },
+		func() (err error) { s.WorkerNames, err = r.strs(); return },
+		func() (err error) { s.LabelNames, err = r.strs(); return },
+		func() (err error) { s.Validation, err = r.i64s(); return },
+		func() (err error) { s.Quarantined, err = r.i64s(); return },
+		func() (err error) { s.ConfirmedObjects, err = r.i64s(); return },
+		func() (err error) { s.ConfirmedLabels, err = r.i64s(); return },
+		func() (err error) { s.Assignment, err = r.f64s(); return },
+		func() (err error) { s.Confusions, err = r.f64s(); return },
+		func() (err error) { s.Iteration, err = r.i64(); return },
+		func() (err error) { s.EffortSpent, err = r.i64(); return },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Five i64 fields, three f64 fields, one bool and six slice length
+	// prefixes: the minimal encoding of one history record. Bounding the
+	// declared count by remaining/minHistoryRecordSize keeps the allocation
+	// below the payload size even for corrupted or hostile length fields.
+	const minHistoryRecordSize = 5*8 + 3*8 + 1 + 6*8
+	historyLen, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if historyLen > uint64(len(r.buf)-r.pos)/minHistoryRecordSize {
+		return nil, fmt.Errorf("%w: history length %d exceeds remaining payload", cverr.ErrBadSnapshot, historyLen)
+	}
+	s.History = make([]HistoryRecord, historyLen)
+	for i := range s.History {
+		if err := r.historyRecord(&s.History[i]); err != nil {
+			return nil, err
+		}
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", cverr.ErrBadSnapshot, len(r.buf)-r.pos)
+	}
+	return s, nil
+}
+
+// writer appends little-endian, length-prefixed primitives to a buffer.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) i64s(vs []int64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.i64(v)
+	}
+}
+
+func (w *writer) f64s(vs []float64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+func (w *writer) strs(vs []string) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.str(v)
+	}
+}
+
+// reader consumes what writer produced, with bounds checks that turn
+// truncation or corruption into ErrBadSnapshot instead of panics or huge
+// allocations.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+// historyRecord decodes one HistoryRecord with straight-line reads — no
+// per-record closure allocations, since resume is a hot path for a serving
+// tier cycling through many parked sessions.
+func (r *reader) historyRecord(h *HistoryRecord) error {
+	var err error
+	if h.Iteration, err = r.i64(); err != nil {
+		return err
+	}
+	if h.Object, err = r.i64(); err != nil {
+		return err
+	}
+	if h.Label, err = r.i64(); err != nil {
+		return err
+	}
+	if h.WorkerDrivenUsed, err = r.bool(); err != nil {
+		return err
+	}
+	if h.ErrorRate, err = r.f64(); err != nil {
+		return err
+	}
+	if h.HybridWeight, err = r.f64(); err != nil {
+		return err
+	}
+	if h.Uncertainty, err = r.f64(); err != nil {
+		return err
+	}
+	if h.FaultyWorkers, err = r.i64(); err != nil {
+		return err
+	}
+	if h.EMIterations, err = r.i64(); err != nil {
+		return err
+	}
+	if h.Masked, err = r.i64s(); err != nil {
+		return err
+	}
+	if h.Restored, err = r.i64s(); err != nil {
+		return err
+	}
+	if h.Revised, err = r.i64s(); err != nil {
+		return err
+	}
+	if h.SuspectObjects, err = r.i64s(); err != nil {
+		return err
+	}
+	if h.SuspectExpert, err = r.i64s(); err != nil {
+		return err
+	}
+	h.SuspectCrowd, err = r.i64s()
+	return err
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, fmt.Errorf("%w: truncated at byte %d", cverr.ErrBadSnapshot, r.pos)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *reader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) bool() (bool, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return false, err
+	}
+	return b[0] != 0, nil
+}
+
+// length reads a collection length and sanity-checks it against the number of
+// bytes that remain, given each element occupies at least elemSize bytes.
+func (r *reader) length(elemSize int) (int, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.buf)-r.pos)/uint64(elemSize) {
+		return 0, fmt.Errorf("%w: length %d exceeds remaining payload", cverr.ErrBadSnapshot, v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) i64s() ([]int64, error) {
+	n, err := r.length(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		if out[i], err = r.i64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *reader) f64s() ([]float64, error) {
+	n, err := r.length(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *reader) strs() ([]string, error) {
+	n, err := r.length(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package snapshot
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"crowdval/internal/cverr"
+)
+
+func sampleState() *State {
+	return &State{
+		Strategy:           "hybrid",
+		Budget:             25,
+		CandidateLimit:     8,
+		Parallel:           true,
+		Parallelism:        4,
+		ConfirmationPeriod: 5,
+		SpammerThreshold:   0.2,
+		SloppyThreshold:    0.8,
+		UncertaintyGoal:    1.5,
+		Seed:               -7,
+		RNGState:           0xdeadbeefcafef00d,
+		HybridWeight:       0.371,
+		LastWorkerDriven:   true,
+		NumObjects:         3,
+		NumWorkers:         2,
+		NumLabels:          2,
+		AnswerObjects:      []int64{0, 0, 1, 2},
+		AnswerWorkers:      []int64{0, 1, 0, 1},
+		AnswerLabels:       []int64{0, 1, 1, 0},
+		ObjectNames:        []string{"a", "b", "c"},
+		LabelNames:         []string{"yes", "no"},
+		Validation:         []int64{-1, 1, -1},
+		Quarantined:        []int64{1},
+		ConfirmedObjects:   []int64{1},
+		ConfirmedLabels:    []int64{1},
+		Assignment:         []float64{0.25, 0.75, 0, 1, 0.5, 0.5},
+		Confusions:         []float64{0.9, 0.1, 0.2, 0.8, 0.5, 0.5, 0.5, 0.5},
+		Iteration:          2,
+		EffortSpent:        3,
+		History: []HistoryRecord{
+			{
+				Iteration: 1, Object: 1, Label: 1, WorkerDrivenUsed: true,
+				ErrorRate: 0.125, HybridWeight: 0.3, Uncertainty: 1.75,
+				FaultyWorkers: 1, EMIterations: 4,
+				Masked: []int64{1}, Revised: []int64{0},
+				SuspectObjects: []int64{0}, SuspectExpert: []int64{1}, SuspectCrowd: []int64{0},
+			},
+			{Iteration: 2, Object: 0, Label: 0},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleState()
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestRoundTripPreservesFloatBits(t *testing.T) {
+	s := sampleState()
+	// Values that lose precision in decimal encodings survive a binary one.
+	s.Assignment = []float64{1.0 / 3, math.Nextafter(0.5, 1), 5e-324, 0.1 + 0.2, 1, 0}
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Assignment {
+		if math.Float64bits(got.Assignment[i]) != math.Float64bits(v) {
+			t.Fatalf("assignment[%d]: bits differ: %x != %x", i, math.Float64bits(got.Assignment[i]), math.Float64bits(v))
+		}
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	data := Encode(sampleState())
+
+	if _, err := Decode(nil); !errors.Is(err, cverr.ErrBadSnapshot) {
+		t.Fatalf("nil input: %v", err)
+	}
+	if _, err := Decode([]byte("not a snapshot")); !errors.Is(err, cverr.ErrBadSnapshot) {
+		t.Fatalf("garbage input: %v", err)
+	}
+	if _, err := Decode(data[:len(data)/2]); !errors.Is(err, cverr.ErrBadSnapshot) {
+		t.Fatalf("truncated input: %v", err)
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0)); !errors.Is(err, cverr.ErrBadSnapshot) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+
+	// Future version is rejected with the dedicated sentinel.
+	bad := append([]byte(nil), data...)
+	bad[4], bad[5] = 0xff, 0xff
+	if _, err := Decode(bad); !errors.Is(err, cverr.ErrSnapshotVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+}
+
+func TestDecodeRejectsHugeLengths(t *testing.T) {
+	// A corrupted length prefix must not cause a giant allocation; flipping
+	// the first answer-array length to a huge value must error out.
+	s := sampleState()
+	data := Encode(s)
+	// Find the encoded length of AnswerObjects (4 elements) and corrupt it.
+	// The layout is deterministic, so locate it by encoding a tweaked state.
+	s2 := sampleState()
+	s2.AnswerObjects = []int64{99, 0, 1, 2}
+	data2 := Encode(s2)
+	idx := -1
+	for i := range data {
+		if data[i] != data2[i] {
+			// The first differing byte is the low byte of AnswerObjects[0]
+			// (0 vs 99, little-endian); the array's length prefix is the 8
+			// bytes before it.
+			idx = i - 8
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("could not locate answer array")
+	}
+	corrupt := append([]byte(nil), data...)
+	for j := 0; j < 8; j++ {
+		corrupt[idx+j] = 0xff
+	}
+	if _, err := Decode(corrupt); !errors.Is(err, cverr.ErrBadSnapshot) {
+		t.Fatalf("huge length: %v", err)
+	}
+}

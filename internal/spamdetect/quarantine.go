@@ -73,6 +73,52 @@ func (q *Quarantine) Apply(answers *model.AnswerSet, detection Detection) (maske
 	return masked, restored
 }
 
+// Mask quarantines one worker directly: the worker's remaining answers are
+// removed from the answer set and stashed. It is used when reconstructing a
+// quarantine from a session snapshot; the periodic detection-driven
+// reconciliation goes through Apply. Masking an already masked worker is a
+// no-op.
+func (q *Quarantine) Mask(answers *model.AnswerSet, worker int) {
+	if _, already := q.masked[worker]; already {
+		return
+	}
+	removed := answers.MaskWorker(worker)
+	if removed == nil {
+		removed = []model.ObjectAnswer{}
+	}
+	q.masked[worker] = removed
+}
+
+// Stash adds a newly ingested answer of an already quarantined worker to the
+// worker's stash, so the answer surfaces if the worker is later cleared. It
+// reports whether the worker is quarantined; a false return means the caller
+// must insert the answer into the working answer set instead.
+func (q *Quarantine) Stash(worker int, answer model.ObjectAnswer) bool {
+	stash, ok := q.masked[worker]
+	if !ok {
+		return false
+	}
+	q.masked[worker] = append(stash, answer)
+	return true
+}
+
+// Undo reverts one Apply call given the masked/restored lists it returned:
+// newly masked workers get their answers back, restored workers are masked
+// again. It is used to roll back an iteration that failed after the
+// quarantine was reconciled (e.g. a cancelled aggregation), keeping the
+// session state consistent.
+func (q *Quarantine) Undo(answers *model.AnswerSet, masked, restored []int) {
+	for _, w := range masked {
+		if stash, ok := q.masked[w]; ok {
+			answers.RestoreWorker(w, stash)
+			delete(q.masked, w)
+		}
+	}
+	for _, w := range restored {
+		q.Mask(answers, w)
+	}
+}
+
 // RestoreAll puts every quarantined answer back into the answer set and
 // empties the quarantine.
 func (q *Quarantine) RestoreAll(answers *model.AnswerSet) {

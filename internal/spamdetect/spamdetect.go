@@ -1,9 +1,11 @@
 package spamdetect
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"crowdval/internal/cverr"
 	"crowdval/internal/linalg"
 	"crowdval/internal/model"
 	"crowdval/internal/par"
@@ -176,12 +178,21 @@ func SpammerScore(c *model.ConfusionMatrix) (float64, error) {
 // validations. priors are the label priors used to weight the error rate; a
 // nil slice weights labels uniformly.
 func (d *Detector) Detect(answers *model.AnswerSet, validation *model.Validation, priors []float64) (Detection, error) {
-	if answers == nil || validation == nil {
-		return Detection{}, fmt.Errorf("spamdetect: nil answers or validation")
+	return d.DetectContext(context.Background(), answers, validation, priors)
+}
+
+// DetectContext is Detect with cancellation: the sharded per-worker
+// assessment observes ctx and the call returns ctx.Err() once it is done.
+func (d *Detector) DetectContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, priors []float64) (Detection, error) {
+	if answers == nil {
+		return Detection{}, fmt.Errorf("spamdetect: %w", cverr.ErrNilAnswerSet)
+	}
+	if validation == nil {
+		return Detection{}, fmt.Errorf("spamdetect: %w", cverr.ErrNilValidation)
 	}
 	if validation.NumObjects() != answers.NumObjects() {
-		return Detection{}, fmt.Errorf("spamdetect: validation covers %d objects, answer set has %d",
-			validation.NumObjects(), answers.NumObjects())
+		return Detection{}, fmt.Errorf("%w: validation covers %d objects, answer set has %d",
+			cverr.ErrDimensionMismatch, validation.NumObjects(), answers.NumObjects())
 	}
 	spamThr := d.spammerThreshold()
 	sloppyThr := d.sloppyThreshold()
@@ -196,7 +207,7 @@ func (d *Detector) Detect(answers *model.AnswerSet, validation *model.Validation
 	assessments := make([]WorkerAssessment, k)
 	shards := par.Shards(d.parallelism(), k)
 	shardErr := make([]error, shards)
-	par.ForN(k, shards, func(shard, lo, hi int) {
+	ctxErr := par.ForNCtx(ctx, k, shards, func(shard, lo, hi int) {
 		for w := lo; w < hi; w++ {
 			confusion, count := ValidationConfusion(answers, validation, w)
 			assessment := WorkerAssessment{
@@ -220,6 +231,9 @@ func (d *Detector) Detect(answers *model.AnswerSet, validation *model.Validation
 			assessments[w] = assessment
 		}
 	})
+	if ctxErr != nil {
+		return Detection{}, ctxErr
+	}
 	for _, err := range shardErr {
 		if err != nil {
 			return Detection{}, err
@@ -232,7 +246,12 @@ func (d *Detector) Detect(answers *model.AnswerSet, validation *model.Validation
 // workers detected under the given validation state. It backs the
 // R(W | o = l) quantity of the worker-driven guidance (Eq. 12).
 func (d *Detector) CountFaulty(answers *model.AnswerSet, validation *model.Validation, priors []float64) (int, error) {
-	det, err := d.Detect(answers, validation, priors)
+	return d.CountFaultyContext(context.Background(), answers, validation, priors)
+}
+
+// CountFaultyContext is CountFaulty with cancellation.
+func (d *Detector) CountFaultyContext(ctx context.Context, answers *model.AnswerSet, validation *model.Validation, priors []float64) (int, error) {
+	det, err := d.DetectContext(ctx, answers, validation, priors)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,83 @@
+// Command benchguard compares a fresh benchmark run against the committed
+// BENCHMARKS.md baseline and fails when the i-EM warm start regressed.
+//
+// Absolute ns/op numbers are machine-dependent, so the guard compares the
+// dimensionless warm/cold ratio instead: how much cheaper one pay-as-you-go
+// warm-start aggregation is than a cold start on the same machine and
+// dataset. That ratio is the property the warm start exists for; a change
+// that erodes it (e.g. accidentally discarding the previous probabilistic
+// state) is caught on any hardware.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime 3x . | tee bench.out
+//	go run ./scripts/benchguard -bench bench.out -baseline BENCHMARKS.md -max-regress 0.20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// The benchmark pair whose ratio is guarded.
+const (
+	coldBench = "BenchmarkAggregate/50000x500/sparse-parallel"
+	warmBench = "BenchmarkAggregateWarmStart/sparse-parallel"
+)
+
+func main() {
+	benchPath := flag.String("bench", "", "file with the fresh `go test -bench` output")
+	baselinePath := flag.String("baseline", "BENCHMARKS.md", "committed baseline file")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximal tolerated relative regression of the warm/cold ratio")
+	flag.Parse()
+	if *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
+		os.Exit(2)
+	}
+
+	currentRatio, err := ratioFromFile(*benchPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: fresh run:", err)
+		os.Exit(2)
+	}
+	baselineRatio, err := ratioFromFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: baseline:", err)
+		os.Exit(2)
+	}
+
+	limit := baselineRatio * (1 + *maxRegress)
+	fmt.Printf("benchguard: warm/cold ratio: fresh %.5f, baseline %.5f, limit %.5f\n",
+		currentRatio, baselineRatio, limit)
+	if currentRatio > limit {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: FAIL: warm-start aggregation regressed: warm/cold ratio %.5f exceeds %.5f (baseline %.5f +%.0f%%)\n",
+			currentRatio, limit, baselineRatio, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+func ratioFromFile(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	results, err := parseBench(string(data))
+	if err != nil {
+		return 0, err
+	}
+	cold, ok := results[coldBench]
+	if !ok {
+		return 0, fmt.Errorf("%s: no result for %s", path, coldBench)
+	}
+	warm, ok := results[warmBench]
+	if !ok {
+		return 0, fmt.Errorf("%s: no result for %s", path, warmBench)
+	}
+	if cold <= 0 {
+		return 0, fmt.Errorf("%s: non-positive cold-start time %v", path, cold)
+	}
+	return warm / cold, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts ns/op values from `go test -bench` output (or from
+// BENCHMARKS.md, which embeds verbatim benchmark lines). Keys are benchmark
+// names with the trailing -GOMAXPROCS suffix stripped, so "Benchmark/x-8"
+// and the suffix-less baseline lines address the same entry. When a name
+// appears multiple times the fastest run wins, mirroring benchstat's
+// robustness against warm-up noise.
+func parseBench(output string) (map[string]float64, error) {
+	results := make(map[string]float64)
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" && i > 0 {
+				nsIdx = i
+				break
+			}
+		}
+		if nsIdx < 0 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparsable ns/op in %q: %v", line, err)
+		}
+		name := stripProcs(fields[0])
+		if old, ok := results[name]; !ok || ns < old {
+			results[name] = ns
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark results found")
+	}
+	return results, nil
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test appends to
+// benchmark names ("Benchmark/x-8" → "Benchmark/x"). Only a purely numeric
+// suffix after the last dash of the last path segment is stripped, so names
+// like "sparse-parallel" survive.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,12 +1,14 @@
 package crowdval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"crowdval/internal/core"
+	"crowdval/internal/cverr"
 	"crowdval/internal/guidance"
-	"crowdval/internal/model"
+	"crowdval/internal/rng"
 	"crowdval/internal/spamdetect"
 )
 
@@ -30,7 +32,9 @@ const (
 	StrategyRandom StrategyName = "random"
 )
 
-// sessionConfig collects the options of a Session.
+// sessionConfig collects the options of a Session and of the one-shot facade
+// functions (Aggregate, MajorityVote, AssessWorkers, CheckValidations), which
+// share the same option type.
 type sessionConfig struct {
 	strategy           StrategyName
 	budget             int
@@ -42,9 +46,20 @@ type sessionConfig struct {
 	sloppyThreshold    float64
 	uncertaintyGoal    float64
 	seed               int64
+	ctx                context.Context
 }
 
-// Option configures a Session.
+func defaultSessionConfig() sessionConfig {
+	return sessionConfig{strategy: StrategyHybrid, seed: 1, ctx: context.Background()}
+}
+
+func (c *sessionConfig) apply(opts []Option) {
+	for _, opt := range opts {
+		opt(c)
+	}
+}
+
+// Option configures a Session or one of the one-shot facade functions.
 type Option func(*sessionConfig)
 
 // WithStrategy selects the guidance strategy (default: hybrid).
@@ -61,13 +76,29 @@ func WithCandidateLimit(n int) Option { return func(c *sessionConfig) { c.candid
 // WithParallelScoring enables concurrent candidate scoring.
 func WithParallelScoring() Option { return func(c *sessionConfig) { c.parallel = true } }
 
-// WithParallelism caps the number of goroutines the session's parallel
-// stages use: the sharded E-/M-steps of the i-EM aggregation, the sharded
-// faulty-worker assessment, and (when WithParallelScoring is set) the
-// candidate scoring. The default (0) uses GOMAXPROCS; 1 forces the serial
-// paths. Aggregation and detection results are bitwise identical for every
-// setting, so this is purely a resource knob.
+// WithParallelism caps the number of goroutines the parallel stages use: the
+// sharded E-/M-steps of the i-EM aggregation, the sharded faulty-worker
+// assessment, and (when WithParallelScoring is set) the candidate scoring.
+// The default (0) uses GOMAXPROCS; 1 forces the serial paths. Aggregation and
+// detection results are bitwise identical for every setting, so this is
+// purely a resource knob. It applies to sessions and to the one-shot facade
+// functions alike.
 func WithParallelism(n int) Option { return func(c *sessionConfig) { c.parallelism = n } }
+
+// WithContext attaches a cancellation context to a one-shot facade call
+// (Aggregate, MajorityVote, AssessWorkers, CheckValidations) or to
+// NewSession, whose initial cold aggregation is its dominant cost: the
+// sharded aggregation and detection work observes the context and the call
+// returns its error once cancelled. Everything else a session does takes a
+// context per call instead — see NextObjectContext, SubmitValidationContext,
+// SubmitValidations, AddAnswers.
+func WithContext(ctx context.Context) Option {
+	return func(c *sessionConfig) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
 
 // WithConfirmationCheck enables the periodic check for erroneous expert input
 // every period validations.
@@ -76,7 +107,8 @@ func WithConfirmationCheck(period int) Option {
 }
 
 // WithDetectionThresholds overrides the spammer score threshold τs and the
-// sloppy-worker error-rate threshold τp.
+// sloppy-worker error-rate threshold τp. It applies to sessions and to
+// AssessWorkers.
 func WithDetectionThresholds(spammer, sloppy float64) Option {
 	return func(c *sessionConfig) { c.spammerThreshold = spammer; c.sloppyThreshold = sloppy }
 }
@@ -114,22 +146,39 @@ type StepInfo struct {
 
 // Session is an interactive guided-validation session: it tells the caller
 // which object the expert should look at next and integrates the expert's
-// answers pay-as-you-go.
+// answers pay-as-you-go. A session is long-lived and updatable — new crowd
+// answers stream in through AddAnswers, expert input arrives one validation
+// at a time (SubmitValidation) or in batches (SubmitValidations) — and
+// serializable: Snapshot captures the full state and ResumeSession restores
+// it bit-for-bit, in the same process or another one.
 type Session struct {
 	engine *core.Engine
 	cfg    sessionConfig
+	// src seeds every stochastic component; its single uint64 of state makes
+	// snapshots bit-for-bit resumable.
+	src *rng.SplitMix64
+	// hybrid is non-nil when the hybrid strategy drives the session; its
+	// weight is part of the snapshot state.
+	hybrid *guidance.Hybrid
 }
 
 // NewSession prepares a guided validation session over the given answers.
 func NewSession(answers *AnswerSet, opts ...Option) (*Session, error) {
+	cfg := defaultSessionConfig()
+	cfg.apply(opts)
+	return newSession(answers, cfg, nil)
+}
+
+// newSession wires a session from an explicit configuration. When restored
+// is non-nil the engine resumes from that state instead of running the
+// initial aggregation.
+func newSession(answers *AnswerSet, cfg sessionConfig, restored *core.RestoredState) (*Session, error) {
 	if answers == nil {
-		return nil, fmt.Errorf("crowdval: nil answer set")
+		return nil, fmt.Errorf("crowdval: %w", cverr.ErrNilAnswerSet)
 	}
-	cfg := sessionConfig{strategy: StrategyHybrid, seed: 1}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	strategy, err := buildSessionStrategy(cfg)
+	src := rng.New(cfg.seed)
+	rnd := rand.New(src)
+	strategy, hybrid, err := buildSessionStrategy(cfg, rnd)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +198,7 @@ func NewSession(answers *AnswerSet, opts ...Option) (*Session, error) {
 		Parallel:            cfg.parallel,
 		MaxParallelism:      cfg.parallelism,
 		HandleFaultyWorkers: true,
-		Rand:                rand.New(rand.NewSource(cfg.seed)),
+		Rand:                rnd,
 	}
 	if cfg.confirmationPeriod > 0 {
 		engineCfg.Confirmation = &guidance.ConfirmationCheck{Period: cfg.confirmationPeriod}
@@ -157,44 +206,124 @@ func NewSession(answers *AnswerSet, opts ...Option) (*Session, error) {
 	if cfg.uncertaintyGoal > 0 {
 		engineCfg.Goal = core.UncertaintyBelow(cfg.uncertaintyGoal)
 	}
-	engine, err := core.NewEngine(answers, engineCfg)
+	var engine *core.Engine
+	if restored != nil {
+		engine, err = core.RestoreEngine(answers, restored, engineCfg)
+	} else {
+		// The initial cold aggregation is the most expensive step of session
+		// creation; WithContext makes it cancellable.
+		engine, err = core.NewEngineContext(cfg.ctx, answers, engineCfg)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Session{engine: engine, cfg: cfg}, nil
+	// The creation context has served its purpose; do not retain it for the
+	// session's lifetime — a long-lived session must not pin request-scoped
+	// values or deadline timers. Every later operation takes its own context.
+	cfg.ctx = context.Background()
+	return &Session{engine: engine, cfg: cfg, src: src, hybrid: hybrid}, nil
 }
 
-func buildSessionStrategy(cfg sessionConfig) (guidance.Strategy, error) {
+// orBackground defends the public context-taking entry points against nil:
+// the package treats a nil context as "never cancel", matching WithContext's
+// nil tolerance, instead of panicking deep inside the shard dispatch.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// buildSessionStrategy constructs the guidance strategy; every stochastic
+// strategy draws from rnd, the session's single snapshot-able source.
+func buildSessionStrategy(cfg sessionConfig, rnd *rand.Rand) (guidance.Strategy, *guidance.Hybrid, error) {
 	switch cfg.strategy {
 	case StrategyHybrid, "":
-		return &guidance.Hybrid{
+		h := &guidance.Hybrid{
 			Uncertainty: &guidance.UncertaintyDriven{CandidateLimit: cfg.candidateLimit},
 			Worker:      &guidance.WorkerDriven{CandidateLimit: cfg.candidateLimit},
-			Rand:        rand.New(rand.NewSource(cfg.seed)),
-		}, nil
+			Rand:        rnd,
+		}
+		return h, h, nil
 	case StrategyUncertainty:
-		return &guidance.UncertaintyDriven{CandidateLimit: cfg.candidateLimit}, nil
+		return &guidance.UncertaintyDriven{CandidateLimit: cfg.candidateLimit}, nil, nil
 	case StrategyWorker:
-		return &guidance.WorkerDriven{CandidateLimit: cfg.candidateLimit}, nil
+		return &guidance.WorkerDriven{CandidateLimit: cfg.candidateLimit}, nil, nil
 	case StrategyBaseline:
-		return &guidance.Baseline{}, nil
+		return &guidance.Baseline{}, nil, nil
 	case StrategyRandom:
-		return &guidance.Random{Rand: rand.New(rand.NewSource(cfg.seed))}, nil
+		return &guidance.Random{Rand: rnd}, nil, nil
 	default:
-		return nil, fmt.Errorf("crowdval: unknown strategy %q", cfg.strategy)
+		return nil, nil, fmt.Errorf("%w: %q", cverr.ErrUnknownStrategy, cfg.strategy)
 	}
 }
 
 // NextObject returns the object the expert should validate next.
-func (s *Session) NextObject() (int, error) { return s.engine.SelectNext() }
+func (s *Session) NextObject() (int, error) {
+	return s.NextObjectContext(context.Background())
+}
+
+// NextObjectContext is NextObject with cancellation: the candidate scoring —
+// the expensive part of a validation step on large answer sets — observes the
+// context and the call returns its error once cancelled. It fails with
+// ErrSessionDone when the session can make no further progress and with
+// ErrBudgetExhausted when the expert budget is spent.
+func (s *Session) NextObjectContext(ctx context.Context) (int, error) {
+	return s.engine.SelectNextContext(orBackground(ctx))
+}
 
 // SubmitValidation integrates the expert's label for an object and returns a
 // summary of its consequences.
 func (s *Session) SubmitValidation(object int, label Label) (StepInfo, error) {
-	record, err := s.engine.Integrate(object, label)
+	return s.SubmitValidationContext(context.Background(), object, label)
+}
+
+// SubmitValidationContext is SubmitValidation with cancellation. A cancelled
+// context rolls the submission back completely — the session state is exactly
+// what it was before the call and the validation can be resubmitted.
+func (s *Session) SubmitValidationContext(ctx context.Context, object int, label Label) (StepInfo, error) {
+	record, err := s.engine.IntegrateContext(orBackground(ctx), object, label)
 	if err != nil {
 		return StepInfo{}, err
 	}
+	return s.stepInfo(record), nil
+}
+
+// SubmitValidations integrates a whole batch of expert validations,
+// re-running the faulty-worker detection and the i-EM aggregation once for
+// the batch instead of once per validation — the integration path for batch
+// expert UIs. It returns one StepInfo per input, in input order; error rates
+// are measured against the state before the batch, while uncertainty and
+// worker counts reflect the state after it. The batch fails (and rolls back)
+// as a whole: duplicate or already-validated objects, labels out of range, a
+// batch larger than the remaining budget, or a cancelled context.
+func (s *Session) SubmitValidations(ctx context.Context, inputs []ValidationInput) ([]StepInfo, error) {
+	records, err := s.engine.IntegrateBatch(orBackground(ctx), inputs)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]StepInfo, len(records))
+	for i, record := range records {
+		infos[i] = s.stepInfo(record)
+	}
+	return infos, nil
+}
+
+// AddAnswers folds newly arrived crowd answers into the running session via
+// the i-EM warm start, without rebuilding anything — the ingestion path for
+// live crowds that keep answering while the expert validates. Answers may
+// reference objects and workers the session has never seen: the sparse model
+// grows on demand and the new rows bootstrap from the new evidence. The label
+// alphabet is fixed at session creation.
+//
+// A cancelled context aborts the re-aggregation with the context's error; the
+// answers remain ingested in a consistent warm state and are folded in by the
+// next successful AddAnswers or SubmitValidation call.
+func (s *Session) AddAnswers(ctx context.Context, answers []Answer) error {
+	return s.engine.AddAnswers(orBackground(ctx), answers)
+}
+
+func (s *Session) stepInfo(record core.IterationRecord) StepInfo {
 	info := StepInfo{
 		Object:             record.Object,
 		Label:              record.Label,
@@ -206,14 +335,19 @@ func (s *Session) SubmitValidation(object int, label Label) (StepInfo, error) {
 	for _, suspect := range record.ConfirmationSuspects {
 		info.SuspectValidations = append(info.SuspectValidations, suspect.Object)
 	}
-	return info, nil
+	return info
 }
 
 // Revise replaces an earlier validation (e.g. after it was reported in
 // StepInfo.SuspectValidations). The revision counts as additional expert
 // effort.
 func (s *Session) Revise(object int, label Label) error {
-	return s.engine.ReviseValidation(object, label)
+	return s.ReviseContext(context.Background(), object, label)
+}
+
+// ReviseContext is Revise with cancellation.
+func (s *Session) ReviseContext(ctx context.Context, object int, label Label) error {
+	return s.engine.ReviseValidationContext(orBackground(ctx), object, label)
 }
 
 // Done reports whether the session should stop: goal reached, budget
@@ -248,13 +382,20 @@ func (s *Session) QuarantinedWorkers() []int { return s.engine.QuarantinedWorker
 // as the expert — useful for simulations and tests. It returns the number of
 // validations performed.
 func (s *Session) RunWithOracle(truth DeterministicAssignment) (int, error) {
-	expert := core.ExpertFunc(func(object int) (model.Label, error) {
+	return s.RunWithOracleContext(context.Background(), truth)
+}
+
+// RunWithOracleContext is RunWithOracle with cancellation: the run stops with
+// the context's error between iterations, and the iteration in flight rolls
+// back cleanly, so a cancelled run leaves the session resumable.
+func (s *Session) RunWithOracleContext(ctx context.Context, truth DeterministicAssignment) (int, error) {
+	expert := core.ExpertFunc(func(object int) (Label, error) {
 		if object < 0 || object >= len(truth) || truth[object] == NoLabel {
-			return NoLabel, fmt.Errorf("crowdval: no ground truth for object %d", object)
+			return NoLabel, fmt.Errorf("%w: object %d", cverr.ErrNoGroundTruth, object)
 		}
 		return truth[object], nil
 	})
-	summary, err := s.engine.Run(expert, nil)
+	summary, err := s.engine.RunContext(orBackground(ctx), expert, nil)
 	if err != nil {
 		return 0, err
 	}
