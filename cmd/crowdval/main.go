@@ -1,15 +1,18 @@
 // Command crowdval is the command-line interface of the answer-validation
 // library. It generates synthetic crowdsourcing datasets, runs guided
 // validation sessions against a stored ground truth, audits the worker
-// community, and reports dataset statistics.
+// community, reports dataset statistics, and serves many concurrent
+// validation sessions over HTTP.
 //
 // Usage:
 //
 //	crowdval generate -out data.json -objects 100 -workers 25 -labels 2
 //	crowdval generate -out data.json -profile bb
 //	crowdval validate -in data.json -out validated.json -budget 20 -strategy hybrid
+//	crowdval validate -in data.json -resume session.cvsn -snapshot-out session.cvsn
 //	crowdval workers  -in validated.json
 //	crowdval stats    -in data.json
+//	crowdval serve    -addr 127.0.0.1:8080 -memory-budget 268435456
 //	crowdval profiles
 package main
 
@@ -18,11 +21,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"crowdval"
 	"crowdval/internal/dataset"
 	"crowdval/internal/metrics"
+	"crowdval/internal/server"
 	"crowdval/internal/simulation"
 )
 
@@ -52,17 +60,19 @@ func run(args []string, out io.Writer) error {
 		return cmdWorkers(args[1:], out)
 	case "stats":
 		return cmdStats(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
 	case "profiles":
 		return cmdProfiles(out)
 	case "help", "-h", "--help":
 		return usageError()
 	default:
-		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, profiles)", args[0])
+		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, profiles)", args[0])
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|profiles> [flags]")
+	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|profiles> [flags]")
 }
 
 func cmdGenerate(args []string, out io.Writer) error {
@@ -131,6 +141,8 @@ func cmdValidate(args []string, out io.Writer) error {
 		seed        = fs.Int64("seed", 1, "random seed")
 		parallelism = fs.Int("parallelism", 0, "goroutines for sharded aggregation/detection/scoring (0 = GOMAXPROCS, 1 = serial; results are identical for every setting)")
 		timeout     = fs.Duration("timeout", 0, "abort the whole validation run after this duration (0 = no limit)")
+		resumePath  = fs.String("resume", "", "resume the session from this snapshot file instead of starting fresh (options come from the snapshot; -budget and -parallelism may override)")
+		snapOut     = fs.String("snapshot-out", "", "write the session snapshot to this file when the run ends (resume later with -resume)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,24 +163,48 @@ func cmdValidate(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := []crowdval.Option{
-		crowdval.WithStrategy(crowdval.StrategyName(*strategy)),
-		crowdval.WithCandidateLimit(*limit),
-		crowdval.WithSeed(*seed),
-		crowdval.WithParallelism(*parallelism),
-		// Covers the initial cold aggregation inside NewSession too, so the
-		// deadline bounds the whole run, not just the validation loop.
-		crowdval.WithContext(ctx),
-	}
-	if *budget > 0 {
-		opts = append(opts, crowdval.WithBudget(*budget))
-	}
-	if *period > 0 {
-		opts = append(opts, crowdval.WithConfirmationCheck(*period))
-	}
-	session, err := crowdval.NewSession(file.Dataset.Answers, opts...)
-	if err != nil {
-		return err
+	var session *crowdval.Session
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			return fmt.Errorf("validate: %w", err)
+		}
+		// The snapshot carries the session options; the flags may override the
+		// process-local parallelism knob (bitwise neutral) and the budget
+		// (to grant a resumed session more expert effort).
+		resumeOpts := []crowdval.Option{crowdval.WithParallelism(*parallelism)}
+		if *budget > 0 {
+			resumeOpts = append(resumeOpts, crowdval.WithBudget(*budget))
+		}
+		session, err = crowdval.ResumeSessionFrom(f, resumeOpts...)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("validate: resuming %s: %w", *resumePath, err)
+		}
+		if session.NumObjects() != len(file.Dataset.Truth) {
+			return fmt.Errorf("validate: %w: snapshot covers %d objects, dataset has %d",
+				crowdval.ErrDimensionMismatch, session.NumObjects(), len(file.Dataset.Truth))
+		}
+	} else {
+		opts := []crowdval.Option{
+			crowdval.WithStrategy(crowdval.StrategyName(*strategy)),
+			crowdval.WithCandidateLimit(*limit),
+			crowdval.WithSeed(*seed),
+			crowdval.WithParallelism(*parallelism),
+			// Covers the initial cold aggregation inside NewSession too, so the
+			// deadline bounds the whole run, not just the validation loop.
+			crowdval.WithContext(ctx),
+		}
+		if *budget > 0 {
+			opts = append(opts, crowdval.WithBudget(*budget))
+		}
+		if *period > 0 {
+			opts = append(opts, crowdval.WithConfirmationCheck(*period))
+		}
+		session, err = crowdval.NewSession(file.Dataset.Answers, opts...)
+		if err != nil {
+			return err
+		}
 	}
 	initialPrecision := metrics.Precision(session.Result(), file.Dataset.Truth)
 	fmt.Fprintf(out, "initial precision (no expert input): %.3f\n", initialPrecision)
@@ -198,7 +234,59 @@ func cmdValidate(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote validated dataset to %s\n", *outPath)
 	}
+	if *snapOut != "" {
+		f, err := os.Create(*snapOut)
+		if err != nil {
+			return fmt.Errorf("validate: %w", err)
+		}
+		if err := session.SnapshotTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("validate: writing snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("validate: writing snapshot: %w", err)
+		}
+		fmt.Fprintf(out, "wrote session snapshot to %s\n", *snapOut)
+	}
 	return nil
+}
+
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address of the HTTP serving layer")
+		budget  = fs.Int64("memory-budget", 0, "estimated bytes of resident session state before cold sessions are parked to disk (0 = unlimited)")
+		parkDir = fs.String("park-dir", "", "directory for parked session snapshots (default: a fresh temporary directory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir := *parkDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "crowdval-park-")
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		dir = tmp
+	}
+	manager, err := server.NewManager(server.ManagerConfig{MemoryBudget: *budget, ParkDir: dir})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.New(manager)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "serving crowdval sessions on http://%s (park dir %s)\n", *addr, dir)
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return err
+	}
 }
 
 func cmdWorkers(args []string, out io.Writer) error {

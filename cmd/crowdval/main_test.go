@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -124,6 +125,109 @@ func TestCLITimeoutReportsTypedError(t *testing.T) {
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("timeout error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCLIResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.json")
+	snapPath := filepath.Join(dir, "session.cvsn")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-out", dataPath, "-objects", "25", "-workers", "10", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Straight run to budget 10: the reference log.
+	out.Reset()
+	if err := run([]string{"validate", "-in", dataPath, "-budget", "10"}, &out); err != nil {
+		t.Fatalf("reference validate: %v", err)
+	}
+	reference := out.String()
+
+	// Same run split in two: stop at 5, snapshot, resume with budget 10.
+	out.Reset()
+	if err := run([]string{"validate", "-in", dataPath, "-budget", "5", "-snapshot-out", snapPath}, &out); err != nil {
+		t.Fatalf("first half: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote session snapshot to "+snapPath) {
+		t.Fatalf("snapshot not reported: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"validate", "-in", dataPath, "-resume", snapPath, "-budget", "10"}, &out); err != nil {
+		t.Fatalf("resumed half: %v", err)
+	}
+	resumed := out.String()
+	if !strings.Contains(resumed, "finished: 10 validations") {
+		t.Fatalf("resumed run did not reach the budget: %s", resumed)
+	}
+	// The resumed run's validation steps 6..10 must be exactly the reference
+	// run's — the snapshot continues the hybrid session bit for bit.
+	for _, line := range strings.Split(reference, "\n") {
+		if strings.Contains(line, "validation   6") || strings.Contains(line, "validation   8") ||
+			strings.Contains(line, "validation  10") {
+			if !strings.Contains(resumed, line) {
+				t.Fatalf("resumed run diverged from the straight run: missing %q in:\n%s", line, resumed)
+			}
+		}
+	}
+}
+
+// TestCLIResumeMalformedSnapshotTypedError pins the contract the exit path
+// relies on: a malformed snapshot passed to -resume surfaces an error whose
+// ErrorName is the stable sentinel identifier, which main prints to stderr
+// before exiting non-zero.
+func TestCLIResumeMalformedSnapshotTypedError(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.json")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-out", dataPath, "-objects", "10", "-workers", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	badPath := filepath.Join(dir, "bad.cvsn")
+	if err := os.WriteFile(badPath, []byte("definitely not a session snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"validate", "-in", dataPath, "-resume", badPath}, &out)
+	if err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+	if !errors.Is(err, crowdval.ErrBadSnapshot) {
+		t.Fatalf("error = %v, want ErrBadSnapshot", err)
+	}
+	if name := crowdval.ErrorName(err); name != "ErrBadSnapshot" {
+		t.Fatalf("ErrorName = %q, want ErrBadSnapshot", name)
+	}
+
+	// A truncated but genuine snapshot is equally typed.
+	snapPath := filepath.Join(dir, "session.cvsn")
+	if err := run([]string{"validate", "-in", dataPath, "-budget", "2", "-snapshot-out", snapPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"validate", "-in", dataPath, "-resume", snapPath}, &out)
+	if name := crowdval.ErrorName(err); name != "ErrBadSnapshot" {
+		t.Fatalf("truncated snapshot: ErrorName = %q (err %v), want ErrBadSnapshot", name, err)
+	}
+
+	// A snapshot from a different dataset is a typed dimension mismatch.
+	otherData := filepath.Join(dir, "other.json")
+	otherSnap := filepath.Join(dir, "other.cvsn")
+	if err := run([]string{"generate", "-out", otherData, "-objects", "6", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"validate", "-in", otherData, "-budget", "1", "-snapshot-out", otherSnap}, &out); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"validate", "-in", dataPath, "-resume", otherSnap}, &out)
+	if name := crowdval.ErrorName(err); name != "ErrDimensionMismatch" {
+		t.Fatalf("mismatched snapshot: ErrorName = %q (err %v), want ErrDimensionMismatch", name, err)
 	}
 }
 

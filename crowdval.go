@@ -41,6 +41,12 @@
 // context-aware variants (NextObjectContext, SubmitValidationContext, ...)
 // whose cancellation rolls back cleanly.
 //
+// The crowdval serve command wraps all of this into a multi-tenant HTTP
+// serving layer: many named sessions behind a JSON API, with serialized
+// per-session writers and LRU eviction that parks cold sessions to disk via
+// the snapshot codec and resumes them transparently on the next touch. See
+// the README's "Running the server" section.
+//
 // # Errors
 //
 // The public API reports failures through typed sentinel errors

@@ -26,6 +26,7 @@ import (
 //     ErrAlreadyValidated, ErrNotValidated, ErrUnknownStrategy,
 //     ErrNoCandidates, ErrNilExpert, ErrNoGroundTruth.
 //   - Snapshots: ErrBadSnapshot, ErrSnapshotVersion.
+//   - Serving tier: ErrSessionNotFound, ErrSessionExists.
 //
 // Context cancellation is reported with the standard context.Canceled and
 // context.DeadlineExceeded errors (possibly wrapped); match those with
@@ -75,6 +76,13 @@ var (
 	// ErrSnapshotVersion reports a snapshot from an unsupported encoding
 	// version.
 	ErrSnapshotVersion = cverr.ErrSnapshotVersion
+
+	// ErrSessionNotFound reports a session name a serving tier does not
+	// manage (see internal/server and the crowdval serve command).
+	ErrSessionNotFound = cverr.ErrSessionNotFound
+	// ErrSessionExists reports a session created under a name that is
+	// already taken.
+	ErrSessionExists = cverr.ErrSessionExists
 )
 
 // ErrorName returns the exported identifier of the sentinel err wraps (e.g.

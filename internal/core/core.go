@@ -156,6 +156,11 @@ type Engine struct {
 	iteration   int
 	effortSpent int
 	history     []IterationRecord
+	// emIterations accumulates the EM iterations of every aggregation this
+	// engine ran (initial, per-validation, batch, ingestion, revision). It is
+	// a serving-tier statistic, not part of the snapshot state: a restored
+	// engine starts counting from zero again.
+	emIterations int
 
 	// confirmedValidations records, per object, the label the expert has
 	// explicitly re-confirmed after the confirmation check flagged it. Such
@@ -181,6 +186,7 @@ func NewEngineContext(ctx context.Context, answers *model.AnswerSet, cfg Config)
 	}
 	e.probSet = res.ProbSet
 	e.assignment = res.ProbSet.Instantiate()
+	e.emIterations += res.Iterations
 	return e, nil
 }
 
@@ -375,6 +381,13 @@ func (e *Engine) Uncertainty() float64 { return aggregation.Uncertainty(e.probSe
 // History returns the per-iteration records collected so far.
 func (e *Engine) History() []IterationRecord { return e.history }
 
+// TotalEMIterations returns the cumulative number of EM iterations of every
+// aggregation this engine instance ran (initial aggregation, per-validation
+// and batch integrations, ingestions, revisions). It is a resource-usage
+// statistic for serving tiers; it is not serialized, so a restored engine
+// counts from zero.
+func (e *Engine) TotalEMIterations() int { return e.emIterations }
+
 // QuarantinedWorkers returns the indices of currently quarantined workers.
 func (e *Engine) QuarantinedWorkers() []int { return e.quarantine.MaskedWorkers() }
 
@@ -545,6 +558,7 @@ func (e *Engine) IntegrateContext(ctx context.Context, object int, label model.L
 	}
 	e.probSet = res.ProbSet
 	e.assignment = res.ProbSet.Instantiate()
+	e.emIterations += res.Iterations
 	record.EMIterations = res.Iterations
 	record.Uncertainty = aggregation.Uncertainty(e.probSet)
 
@@ -584,6 +598,7 @@ func (e *Engine) ReviseValidationContext(ctx context.Context, object int, label 
 	e.confirmedValidations[object] = label
 	e.probSet = res.ProbSet
 	e.assignment = res.ProbSet.Instantiate()
+	e.emIterations += res.Iterations
 	if len(e.history) > 0 {
 		last := &e.history[len(e.history)-1]
 		last.RevisedObjects = append(last.RevisedObjects, object)
@@ -707,6 +722,7 @@ func (e *Engine) IntegrateBatch(ctx context.Context, inputs []ValidationInput) (
 	}
 	e.probSet = res.ProbSet
 	e.assignment = res.ProbSet.Instantiate()
+	e.emIterations += res.Iterations
 	uncertainty := aggregation.Uncertainty(e.probSet)
 	for i := range records {
 		records[i].FaultyWorkers = faulty
@@ -845,6 +861,7 @@ func (e *Engine) AddAnswers(ctx context.Context, newAnswers []model.Answer) erro
 	}
 	e.probSet = res.ProbSet
 	e.assignment = res.ProbSet.Instantiate()
+	e.emIterations += res.Iterations
 	return nil
 }
 

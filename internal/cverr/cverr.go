@@ -102,3 +102,13 @@ var (
 	// an unsupported (newer or unknown) encoding version.
 	ErrSnapshotVersion = reg("ErrSnapshotVersion", "crowdval: unsupported snapshot version")
 )
+
+// Serving-tier errors.
+var (
+	// ErrSessionNotFound is returned when a serving tier is asked about a
+	// session name it does not manage.
+	ErrSessionNotFound = reg("ErrSessionNotFound", "crowdval: session not found")
+	// ErrSessionExists is returned when a session is created under a name
+	// that is already taken.
+	ErrSessionExists = reg("ErrSessionExists", "crowdval: session already exists")
+)

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"crowdval"
+	"crowdval/internal/cverr"
+)
+
+// CreateSessionRequest is the body of POST /v1/sessions. Answers are given
+// either as a dense objects × workers matrix of labels (-1 = no answer) or as
+// a sparse answer list plus explicit dimensions.
+type CreateSessionRequest struct {
+	Name string `json:"name"`
+	// Matrix is the dense form; NumLabels optionally fixes the label
+	// alphabet (0 = infer from the largest label present).
+	Matrix [][]int `json:"matrix,omitempty"`
+	// Sparse form: dimensions plus an answer list.
+	Objects   int           `json:"objects,omitempty"`
+	Workers   int           `json:"workers,omitempty"`
+	NumLabels int           `json:"numLabels,omitempty"`
+	Answers   []AnswerJSON  `json:"answers,omitempty"`
+	Options   SessionConfig `json:"options"`
+}
+
+// AnswerJSON is one crowd answer on the wire.
+type AnswerJSON struct {
+	Object int `json:"object"`
+	Worker int `json:"worker"`
+	Label  int `json:"label"`
+}
+
+// SessionConfig mirrors the crowdval session options that make sense over
+// the wire.
+type SessionConfig struct {
+	Strategy           string  `json:"strategy,omitempty"`
+	Budget             int     `json:"budget,omitempty"`
+	CandidateLimit     int     `json:"candidateLimit,omitempty"`
+	Seed               int64   `json:"seed,omitempty"`
+	Parallelism        int     `json:"parallelism,omitempty"`
+	ParallelScoring    bool    `json:"parallelScoring,omitempty"`
+	ConfirmationPeriod int     `json:"confirmationPeriod,omitempty"`
+	SpammerThreshold   float64 `json:"spammerThreshold,omitempty"`
+	SloppyThreshold    float64 `json:"sloppyThreshold,omitempty"`
+	UncertaintyGoal    float64 `json:"uncertaintyGoal,omitempty"`
+}
+
+func (c SessionConfig) options() []crowdval.Option {
+	var opts []crowdval.Option
+	if c.Strategy != "" {
+		opts = append(opts, crowdval.WithStrategy(crowdval.StrategyName(c.Strategy)))
+	}
+	if c.Budget > 0 {
+		opts = append(opts, crowdval.WithBudget(c.Budget))
+	}
+	if c.CandidateLimit > 0 {
+		opts = append(opts, crowdval.WithCandidateLimit(c.CandidateLimit))
+	}
+	if c.Seed != 0 {
+		opts = append(opts, crowdval.WithSeed(c.Seed))
+	}
+	if c.Parallelism != 0 {
+		opts = append(opts, crowdval.WithParallelism(c.Parallelism))
+	}
+	if c.ParallelScoring {
+		opts = append(opts, crowdval.WithParallelScoring())
+	}
+	if c.ConfirmationPeriod > 0 {
+		opts = append(opts, crowdval.WithConfirmationCheck(c.ConfirmationPeriod))
+	}
+	if c.SpammerThreshold != 0 || c.SloppyThreshold != 0 {
+		opts = append(opts, crowdval.WithDetectionThresholds(c.SpammerThreshold, c.SloppyThreshold))
+	}
+	if c.UncertaintyGoal > 0 {
+		opts = append(opts, crowdval.WithUncertaintyGoal(c.UncertaintyGoal))
+	}
+	return opts
+}
+
+// answerSet builds the AnswerSet described by the request.
+func (req *CreateSessionRequest) answerSet() (*crowdval.AnswerSet, error) {
+	if len(req.Matrix) > 0 {
+		return crowdval.NewAnswerSetFromMatrix(req.Matrix, req.NumLabels)
+	}
+	answers, err := crowdval.NewAnswerSet(req.Objects, req.Workers, req.NumLabels)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range req.Answers {
+		if err := answers.SetAnswer(a.Object, a.Worker, crowdval.Label(a.Label)); err != nil {
+			return nil, err
+		}
+	}
+	return answers, nil
+}
+
+// SessionSummary is the response of session creation and listing detail.
+type SessionSummary struct {
+	Name    string `json:"name"`
+	Objects int    `json:"objects"`
+	Workers int    `json:"workers"`
+	Labels  int    `json:"labels"`
+	Answers int    `json:"answers"`
+}
+
+// IngestRequest is the body of POST /v1/sessions/{name}/answers.
+type IngestRequest struct {
+	Answers []AnswerJSON `json:"answers"`
+}
+
+// IngestResponse reports the outcome of an ingestion.
+type IngestResponse struct {
+	Ingested    int `json:"ingested"`
+	AnswerCount int `json:"answerCount"`
+}
+
+// ValidationJSON is one expert validation on the wire.
+type ValidationJSON struct {
+	Object int `json:"object"`
+	Label  int `json:"label"`
+}
+
+// SubmitRequest is the body of POST /v1/sessions/{name}/validations. A
+// single-element list integrates like Session.SubmitValidation; a longer one
+// uses the transactional batch path (Session.SubmitValidations).
+type SubmitRequest struct {
+	Validations []ValidationJSON `json:"validations"`
+}
+
+// StepInfoJSON mirrors crowdval.StepInfo.
+type StepInfoJSON struct {
+	Object             int     `json:"object"`
+	Label              int     `json:"label"`
+	ErrorRate          float64 `json:"errorRate"`
+	Uncertainty        float64 `json:"uncertainty"`
+	FaultyWorkers      int     `json:"faultyWorkers"`
+	QuarantinedWorkers []int   `json:"quarantinedWorkers,omitempty"`
+	SuspectValidations []int   `json:"suspectValidations,omitempty"`
+}
+
+func stepInfoJSON(info crowdval.StepInfo) StepInfoJSON {
+	return StepInfoJSON{
+		Object:             info.Object,
+		Label:              int(info.Label),
+		ErrorRate:          info.ErrorRate,
+		Uncertainty:        info.Uncertainty,
+		FaultyWorkers:      info.FaultyWorkers,
+		QuarantinedWorkers: info.QuarantinedWorkers,
+		SuspectValidations: info.SuspectValidations,
+	}
+}
+
+// SubmitResponse echoes one StepInfo per submitted validation, in input
+// order.
+type SubmitResponse struct {
+	Steps []StepInfoJSON `json:"steps"`
+}
+
+// NextResponse is the body of GET /v1/sessions/{name}/next.
+type NextResponse struct {
+	Object int `json:"object"`
+}
+
+// ResultResponse is the body of GET /v1/sessions/{name}/result: the current
+// best estimates of the session.
+type ResultResponse struct {
+	// Labels is the current best label per object (expert validations where
+	// present, most probable label elsewhere).
+	Labels []int `json:"labels"`
+	// Validated lists the objects the expert has validated so far.
+	Validated []int `json:"validated,omitempty"`
+	// Probabilities is the per-object label distribution, included when the
+	// request asked for it with ?probabilities=1.
+	Probabilities [][]float64 `json:"probabilities,omitempty"`
+
+	Uncertainty        float64 `json:"uncertainty"`
+	EffortSpent        int     `json:"effortSpent"`
+	EffortRatio        float64 `json:"effortRatio"`
+	Done               bool    `json:"done"`
+	QuarantinedWorkers []int   `json:"quarantinedWorkers,omitempty"`
+	Objects            int     `json:"objects"`
+	Workers            int     `json:"workers"`
+	NumLabels          int     `json:"numLabels"`
+	AnswerCount        int     `json:"answerCount"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response. Code is the
+// stable sentinel name from crowdval.ErrorName (empty for errors outside the
+// taxonomy, e.g. malformed JSON).
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// statusFor maps an error to its HTTP status: 404 for unknown sessions, 409
+// for state conflicts (duplicate names or validations, exhausted budgets,
+// finished sessions), 400 for malformed input, 504/503 for deadline and
+// cancellation, 500 otherwise.
+func statusFor(err error) int {
+	var badReq *badRequestError
+	switch {
+	case errors.As(err, &badReq):
+		return http.StatusBadRequest
+	case errors.Is(err, cverr.ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, cverr.ErrSessionExists),
+		errors.Is(err, cverr.ErrAlreadyValidated),
+		errors.Is(err, cverr.ErrBudgetExhausted),
+		errors.Is(err, cverr.ErrSessionDone):
+		return http.StatusConflict
+	case errors.Is(err, cverr.ErrOutOfRange),
+		errors.Is(err, cverr.ErrInvalidLabel),
+		errors.Is(err, cverr.ErrDimensionMismatch),
+		errors.Is(err, cverr.ErrRaggedMatrix),
+		errors.Is(err, cverr.ErrUnknownStrategy),
+		errors.Is(err, cverr.ErrNotValidated),
+		errors.Is(err, cverr.ErrNilAnswerSet),
+		errors.Is(err, cverr.ErrBadSnapshot),
+		errors.Is(err, cverr.ErrSnapshotVersion):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	body := ErrorResponse{Error: err.Error(), Code: cverr.Name(err)}
+	writeJSON(w, statusFor(err), body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// The body was just built from in-memory state; an encoding failure here
+	// means the connection broke, which the client observes on its own.
+	_ = enc.Encode(body)
+}
+
+func decodeJSON(r *http.Request, maxBytes int64, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}

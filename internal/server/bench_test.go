@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"crowdval"
+)
+
+// BenchmarkServerConcurrentIngest measures the serving-path ingestion
+// throughput on the headline workload: sessions over 50 000 objects × 500
+// workers at ~1% density (the BENCHMARKS.md shape), receiving batches of 100
+// new crowd answers through the HTTP API. Each ingest runs the warm-started
+// i-EM fold-in, so this benchmarks the full serve → manager → session →
+// aggregation stack, with concurrent clients spread over four sessions.
+func BenchmarkServerConcurrentIngest(b *testing.B) {
+	const (
+		numSessions = 4
+		objects     = 50000
+		workers     = 500
+		batchSize   = 100
+	)
+	d, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: objects, NumWorkers: workers, NumLabels: 2,
+		AnswersPerObject: 5, // ≈1% density
+		NormalAccuracy:   0.7,
+		Mix:              crowdval.WorkerMix{Normal: 0.75, RandomSpammer: 0.25},
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	manager, err := NewManager(ManagerConfig{ParkDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(New(manager))
+	defer srv.Close()
+
+	for i := 0; i < numSessions; i++ {
+		// Each session ingests into its answer set in place, so every one
+		// gets its own copy of the base answers.
+		if err := manager.Create(context.Background(), fmt.Sprintf("bench-%d", i), d.Answers.Clone(),
+			crowdval.WithStrategy(crowdval.StrategyBaseline), crowdval.WithSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Pre-build distinct ingest bodies so request construction is not what
+	// is measured; answers are uniformly random (overwrites are fine).
+	rng := rand.New(rand.NewSource(7))
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		req := IngestRequest{Answers: make([]AnswerJSON, batchSize)}
+		for j := range req.Answers {
+			req.Answers[j] = AnswerJSON{
+				Object: rng.Intn(objects),
+				Worker: rng.Intn(workers),
+				Label:  rng.Intn(2),
+			}
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := srv.Client()
+		for pb.Next() {
+			i := next.Add(1)
+			session := fmt.Sprintf("bench-%d", i%numSessions)
+			body := bodies[i%int64(len(bodies))]
+			resp, err := client.Post(srv.URL+"/v1/sessions/"+session+"/answers",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("ingest status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	stats := manager.Stats()
+	b.ReportMetric(float64(stats.IngestedAnswers)/b.Elapsed().Seconds(), "answers/sec")
+}

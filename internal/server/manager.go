@@ -1,0 +1,606 @@
+// Package server is the multi-tenant serving layer of the crowdval library:
+// a SessionManager that keeps many named validation sessions resident,
+// serializes the writers of each session while allowing concurrent readers,
+// parks cold sessions to disk under a configurable memory budget using the
+// snapshot codec, and transparently resumes them on the next touch — the
+// architecture that lets one process serve far more long-lived validation
+// campaigns than fit in memory, because the i-EM warm start makes a resumed
+// session exactly as cheap to update as one that never left. An HTTP facade
+// (Server) exposes the manager as a JSON API.
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"crowdval"
+	"crowdval/internal/cverr"
+)
+
+// ManagerConfig parameterizes a SessionManager.
+type ManagerConfig struct {
+	// MemoryBudget caps the estimated bytes of resident session state. When
+	// the total exceeds the budget, least-recently-used sessions are parked
+	// to disk until it fits (the session in active use is never parked).
+	// Zero or negative means unlimited: nothing is ever parked automatically.
+	MemoryBudget int64
+	// ParkDir is the directory parked session snapshots are written to. It
+	// is created if missing.
+	ParkDir string
+}
+
+// Manager owns a set of named, long-lived validation sessions. All methods
+// are safe for concurrent use: operations on distinct sessions run in
+// parallel, operations on one session are serialized through a per-session
+// RWMutex (single writer, many readers), and the LRU/accounting state is
+// guarded separately so slow session work never blocks bookkeeping of other
+// sessions.
+type Manager struct {
+	budget int64
+	dir    string
+
+	// mu guards the session table, the LRU list and the accounting fields
+	// below. It is never held while session work runs.
+	mu       sync.Mutex
+	sessions map[string]*entry
+	lru      *list.List // of *entry; front = most recently used
+	resident int64      // estimated bytes of resident session state
+	parked   int64      // number of parked sessions
+
+	// Cumulative counters, guarded by mu.
+	ingested    int64
+	validations int64
+	selections  int64
+	evictions   int64
+	resumes     int64
+	emIters     int64
+}
+
+// entry is the manager's handle for one named session.
+//
+// Locking: sess, deleted, isParked and emSeen are guarded by the entry's own
+// mu; bytes, parking and elem are guarded by the manager's mu. The only
+// place both are held is the accounting step after an operation, which takes
+// them in the fixed order entry.mu → manager.mu.
+type entry struct {
+	name string
+
+	mu       sync.RWMutex
+	sess     *crowdval.Session // nil while parked (or while creation is in flight)
+	deleted  bool
+	isParked bool
+	// emSeen is the session's TotalEMIterations already folded into the
+	// manager's cumulative counter; a resumed session restarts at zero.
+	emSeen int
+
+	bytes   int64 // last accounted MemoryEstimate; 0 while parked
+	parking bool  // selected as an eviction victim, park in flight
+	// parkedAccounted mirrors isParked under the manager's mu, so listings
+	// and stats never have to touch an entry lock (which an in-flight EM
+	// re-aggregation may hold for a long time).
+	parkedAccounted bool
+	elem            *list.Element
+}
+
+// NewManager prepares a session manager, creating the park directory if
+// needed.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.ParkDir == "" {
+		return nil, fmt.Errorf("server: ManagerConfig.ParkDir is required")
+	}
+	if err := os.MkdirAll(cfg.ParkDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating park directory: %w", err)
+	}
+	return &Manager{
+		budget:   cfg.MemoryBudget,
+		dir:      cfg.ParkDir,
+		sessions: make(map[string]*entry),
+		lru:      list.New(),
+	}, nil
+}
+
+// ValidateSessionName reports whether a name is acceptable: 1–128 characters
+// from [A-Za-z0-9._-], starting with a letter or digit. The restriction keeps
+// names directly usable as park file names and URL path segments. Failures
+// are client errors (the HTTP layer maps them to 400).
+func ValidateSessionName(name string) error {
+	if len(name) == 0 || len(name) > 128 {
+		return &badRequestError{msg: "server: session name must have 1-128 characters"}
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return &badRequestError{msg: fmt.Sprintf("server: session name %q may only contain letters, digits, '.', '_' and '-', starting with a letter or digit", name)}
+		}
+	}
+	return nil
+}
+
+func (m *Manager) parkPath(name string) string {
+	return filepath.Join(m.dir, name+".cvsn")
+}
+
+// Create builds a new session under the given name. The context bounds the
+// initial cold aggregation, the dominant cost of session creation.
+func (m *Manager) Create(ctx context.Context, name string, answers *crowdval.AnswerSet, opts ...crowdval.Option) error {
+	return m.install(name, func() (*crowdval.Session, error) {
+		return crowdval.NewSession(answers, append(append([]crowdval.Option(nil), opts...), crowdval.WithContext(ctx))...)
+	})
+}
+
+// CreateFromSnapshot installs a session resumed from an encoded snapshot
+// stream under the given name — the explicit resume path, e.g. for migrating
+// a session from another process.
+func (m *Manager) CreateFromSnapshot(ctx context.Context, name string, r io.Reader, opts ...crowdval.Option) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.install(name, func() (*crowdval.Session, error) {
+		return crowdval.ResumeSessionFrom(r, opts...)
+	})
+}
+
+// install reserves the name with a placeholder entry, builds the session
+// outside every lock except the entry's own, and either publishes it or rolls
+// the reservation back. Concurrent operations on the same name block on the
+// entry lock until the creation settles.
+func (m *Manager) install(name string, build func() (*crowdval.Session, error)) error {
+	if err := ValidateSessionName(name); err != nil {
+		return err
+	}
+	e := &entry{name: name}
+	e.mu.Lock()
+	m.mu.Lock()
+	if _, exists := m.sessions[name]; exists {
+		m.mu.Unlock()
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", cverr.ErrSessionExists, name)
+	}
+	m.sessions[name] = e
+	e.elem = m.lru.PushFront(e)
+	m.mu.Unlock()
+
+	sess, err := build()
+	if err != nil {
+		e.deleted = true
+		e.mu.Unlock()
+		m.mu.Lock()
+		delete(m.sessions, name)
+		m.lru.Remove(e.elem)
+		m.mu.Unlock()
+		return err
+	}
+	e.sess = sess
+	victims := m.settle(e)
+	e.mu.Unlock()
+	m.parkAll(victims)
+	return nil
+}
+
+// Delete removes a session and its park file, if any. In-flight operations
+// on the session finish first; the name stays reserved (creations of the
+// same name fail with ErrSessionExists) until the deletion completes, so the
+// park file is always removed while this entry still owns it — a same-name
+// session created afterwards can never lose its own park file to a stale
+// Delete.
+func (m *Manager) Delete(name string) error {
+	m.mu.Lock()
+	e, ok := m.sessions[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", cverr.ErrSessionNotFound, name)
+	}
+	m.mu.Unlock()
+
+	e.mu.Lock()
+	if e.deleted {
+		// A concurrent Delete won the race for this entry.
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", cverr.ErrSessionNotFound, name)
+	}
+	wasParked := e.isParked
+	e.deleted = true
+	e.sess = nil
+	e.isParked = false
+	_ = os.Remove(m.parkPath(name))
+	e.mu.Unlock()
+
+	m.mu.Lock()
+	if cur, ok := m.sessions[name]; ok && cur == e {
+		delete(m.sessions, name)
+		m.lru.Remove(e.elem)
+	}
+	m.resident -= e.bytes
+	e.bytes = 0
+	e.parkedAccounted = false
+	if wasParked {
+		m.parked--
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// lookup finds the entry for a name and marks it most recently used.
+func (m *Manager) lookup(name string) (*entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", cverr.ErrSessionNotFound, name)
+	}
+	m.lru.MoveToFront(e.elem)
+	return e, nil
+}
+
+// update runs fn with exclusive access to the named session, transparently
+// resuming it from its park file when it is parked. Afterwards the session's
+// memory estimate is re-accounted and, when the budget is exceeded, cold
+// sessions are parked (never the one just used).
+func (m *Manager) update(ctx context.Context, name string, fn func(*crowdval.Session) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e, err := m.lookup(name)
+	if err != nil {
+		return err
+	}
+	return m.exclusive(e, name, fn)
+}
+
+// exclusive is the shared write path behind update and view's parked-session
+// fallback: lock the entry, resume it if parked, run fn, re-account and park
+// budget victims.
+func (m *Manager) exclusive(e *entry, name string, fn func(*crowdval.Session) error) error {
+	e.mu.Lock()
+	if e.deleted {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", cverr.ErrSessionNotFound, name)
+	}
+	if e.sess == nil {
+		if err := m.unpark(e); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+	}
+	opErr := fn(e.sess)
+	victims := m.settle(e)
+	e.mu.Unlock()
+	m.parkAll(victims)
+	return opErr
+}
+
+// view runs fn with shared access to the named session: concurrent view calls
+// on the same resident session proceed in parallel, and only a parked session
+// falls back to the exclusive path so it can be resumed (after which it stays
+// resident for subsequent reads).
+func (m *Manager) view(ctx context.Context, name string, fn func(*crowdval.Session) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e, err := m.lookup(name)
+	if err != nil {
+		return err
+	}
+	e.mu.RLock()
+	if e.deleted {
+		e.mu.RUnlock()
+		return fmt.Errorf("%w: %q", cverr.ErrSessionNotFound, name)
+	}
+	if e.sess != nil {
+		defer e.mu.RUnlock()
+		return fn(e.sess)
+	}
+	e.mu.RUnlock()
+	return m.exclusive(e, name, fn)
+}
+
+// unpark resumes a parked session from its park file. The caller holds the
+// entry's write lock.
+func (m *Manager) unpark(e *entry) error {
+	path := m.parkPath(e.name)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("server: unparking session %q: %w", e.name, err)
+	}
+	sess, err := crowdval.ResumeSessionFrom(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("server: unparking session %q: %w", e.name, err)
+	}
+	_ = os.Remove(path)
+	e.sess = sess
+	e.isParked = false
+	e.emSeen = 0
+	m.mu.Lock()
+	e.bytes = sess.MemoryEstimate()
+	m.resident += e.bytes
+	e.parkedAccounted = false
+	m.parked--
+	m.resumes++
+	m.mu.Unlock()
+	return nil
+}
+
+// settle re-accounts a session after an operation — memory estimate and EM
+// iteration delta — and selects eviction victims if the budget is exceeded.
+// The caller holds the entry's write lock and must park the returned victims
+// after releasing it (parking locks other entries; doing it while holding
+// this one could deadlock two settles picking each other's entry).
+func (m *Manager) settle(e *entry) []*entry {
+	cur := e.sess.TotalEMIterations()
+	size := e.sess.MemoryEstimate()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.emIters += int64(cur - e.emSeen)
+	e.emSeen = cur
+	m.resident += size - e.bytes
+	e.bytes = size
+	if m.budget <= 0 {
+		return nil
+	}
+	var victims []*entry
+	over := m.resident - m.budget
+	for el := m.lru.Back(); el != nil && over > 0; el = el.Prev() {
+		v := el.Value.(*entry)
+		if v == e || v.parking || v.bytes == 0 {
+			continue
+		}
+		v.parking = true
+		over -= v.bytes
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+func (m *Manager) parkAll(victims []*entry) {
+	for _, v := range victims {
+		m.park(v)
+	}
+}
+
+// park snapshots a victim to disk and drops it from memory. A session that
+// was deleted, already parked, or cannot be snapshotted stays as it is.
+func (m *Manager) park(v *entry) {
+	v.mu.Lock()
+	if v.deleted || v.sess == nil {
+		v.mu.Unlock()
+		m.mu.Lock()
+		v.parking = false
+		m.mu.Unlock()
+		return
+	}
+	err := m.writeParkFile(v)
+	if err == nil {
+		v.sess = nil
+		v.isParked = true
+	}
+	v.mu.Unlock()
+
+	m.mu.Lock()
+	v.parking = false
+	if err == nil {
+		m.resident -= v.bytes
+		v.bytes = 0
+		v.parkedAccounted = true
+		m.parked++
+		m.evictions++
+	}
+	m.mu.Unlock()
+}
+
+// writeParkFile writes the session snapshot atomically: stream to a
+// temporary file, fsync-free rename into place. The caller holds the entry's
+// write lock.
+func (m *Manager) writeParkFile(v *entry) error {
+	path := m.parkPath(v.name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := v.sess.SnapshotTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// AddAnswers folds new crowd answers into the named session (see
+// Session.AddAnswers) and returns the session's total answer count.
+func (m *Manager) AddAnswers(ctx context.Context, name string, answers []crowdval.Answer) (int, error) {
+	var total int
+	err := m.update(ctx, name, func(s *crowdval.Session) error {
+		if err := s.AddAnswers(ctx, answers); err != nil {
+			return err
+		}
+		total = s.AnswerCount()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.ingested += int64(len(answers))
+	m.mu.Unlock()
+	return total, nil
+}
+
+// NextObject returns the object the expert should validate next. It is a
+// writer operation: guidance selection advances the session's pseudo-random
+// stream.
+func (m *Manager) NextObject(ctx context.Context, name string) (int, error) {
+	var object int
+	err := m.update(ctx, name, func(s *crowdval.Session) error {
+		var err error
+		object, err = s.NextObjectContext(ctx)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.selections++
+	m.mu.Unlock()
+	return object, nil
+}
+
+// Submit integrates one expert validation.
+func (m *Manager) Submit(ctx context.Context, name string, object int, label crowdval.Label) (crowdval.StepInfo, error) {
+	var info crowdval.StepInfo
+	err := m.update(ctx, name, func(s *crowdval.Session) error {
+		var err error
+		info, err = s.SubmitValidationContext(ctx, object, label)
+		return err
+	})
+	if err != nil {
+		return crowdval.StepInfo{}, err
+	}
+	m.mu.Lock()
+	m.validations++
+	m.mu.Unlock()
+	return info, nil
+}
+
+// SubmitBatch integrates a whole batch of expert validations transactionally
+// (see Session.SubmitValidations).
+func (m *Manager) SubmitBatch(ctx context.Context, name string, inputs []crowdval.ValidationInput) ([]crowdval.StepInfo, error) {
+	var infos []crowdval.StepInfo
+	err := m.update(ctx, name, func(s *crowdval.Session) error {
+		var err error
+		infos, err = s.SubmitValidations(ctx, inputs)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.validations += int64(len(inputs))
+	m.mu.Unlock()
+	return infos, nil
+}
+
+// Snapshot returns the session's encoded snapshot. A parked session is
+// served straight from its park file without being resumed — explicitly
+// snapshotting cold sessions (e.g. for backup or migration) costs one file
+// read, not a resume/re-park cycle. The bytes are materialized under the
+// session lock and returned, so callers can stream them to arbitrarily slow
+// destinations without stalling the session's writers.
+func (m *Manager) Snapshot(ctx context.Context, name string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := m.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	if e.deleted {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", cverr.ErrSessionNotFound, name)
+	}
+	if e.sess != nil {
+		defer e.mu.RUnlock()
+		return e.sess.Snapshot()
+	}
+	if e.isParked {
+		defer e.mu.RUnlock()
+		data, err := os.ReadFile(m.parkPath(e.name))
+		if err != nil {
+			return nil, fmt.Errorf("server: reading park file of %q: %w", name, err)
+		}
+		return data, nil
+	}
+	e.mu.RUnlock()
+	// Mid-creation placeholder: fall back to the shared view path, which
+	// waits for the creation to settle.
+	var data []byte
+	err = m.view(ctx, name, func(s *crowdval.Session) error {
+		data, err = s.Snapshot()
+		return err
+	})
+	return data, err
+}
+
+// View runs fn with shared (read) access to the named session, resuming it
+// transparently when parked. fn must not mutate the session; writer
+// operations go through the typed methods above.
+func (m *Manager) View(ctx context.Context, name string, fn func(*crowdval.Session) error) error {
+	return m.view(ctx, name, fn)
+}
+
+// SessionInfo describes one managed session for listings.
+type SessionInfo struct {
+	Name   string `json:"name"`
+	Parked bool   `json:"parked"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// Sessions lists the managed sessions in most-recently-used order. It reads
+// only manager-guarded state, so a listing never waits behind an in-flight
+// session operation.
+func (m *Manager) Sessions() []SessionInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	infos := make([]SessionInfo, 0, m.lru.Len())
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		infos = append(infos, SessionInfo{Name: e.name, Parked: e.parkedAccounted, Bytes: e.bytes})
+	}
+	return infos
+}
+
+// Stats is the manager's aggregate state for the metrics endpoint.
+type Stats struct {
+	// Sessions is the total number of managed sessions; Resident of them are
+	// in memory and Parked on disk.
+	Sessions int64 `json:"sessions"`
+	Resident int64 `json:"resident"`
+	Parked   int64 `json:"parked"`
+	// ResidentBytes is the estimated memory of resident session state;
+	// MemoryBudget is the configured cap (0 = unlimited).
+	ResidentBytes int64 `json:"residentBytes"`
+	MemoryBudget  int64 `json:"memoryBudget"`
+	// Cumulative operation counters.
+	IngestedAnswers      int64 `json:"ingestedAnswers"`
+	SubmittedValidations int64 `json:"submittedValidations"`
+	Selections           int64 `json:"selections"`
+	Evictions            int64 `json:"evictions"`
+	Resumes              int64 `json:"resumes"`
+	EMIterations         int64 `json:"emIterations"`
+}
+
+// Stats returns a consistent snapshot of the manager's aggregate state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Sessions:             int64(len(m.sessions)),
+		Resident:             int64(len(m.sessions)) - m.parked,
+		Parked:               m.parked,
+		ResidentBytes:        m.resident,
+		MemoryBudget:         m.budget,
+		IngestedAnswers:      m.ingested,
+		SubmittedValidations: m.validations,
+		Selections:           m.selections,
+		Evictions:            m.evictions,
+		Resumes:              m.resumes,
+		EMIterations:         m.emIters,
+	}
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"crowdval"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (dense matrices and ingestion
+// batches are the large ones).
+const DefaultMaxBodyBytes = 64 << 20
+
+// Server is the HTTP facade over a Manager. It speaks JSON and serves:
+//
+//	POST   /v1/sessions                      create a session
+//	GET    /v1/sessions                      list sessions
+//	POST   /v1/sessions/{name}/resume        create a session from a snapshot body
+//	GET    /v1/sessions/{name}/snapshot      download the session snapshot
+//	POST   /v1/sessions/{name}/answers       ingest crowd answers (AddAnswers)
+//	GET    /v1/sessions/{name}/next          next-object guidance
+//	POST   /v1/sessions/{name}/validations   submit one validation or a batch
+//	GET    /v1/sessions/{name}/result        current estimates (?probabilities=1)
+//	DELETE /v1/sessions/{name}               delete a session
+//	GET    /v1/metrics                       manager statistics
+//
+// Every handler honors the request context: a client that disconnects or a
+// ?timeout= that expires cancels the in-flight session operation, which rolls
+// back exactly as the library guarantees (the session stays consistent and
+// the operation can be retried). Errors carry the sentinel name from the
+// crowdval error taxonomy in the "code" field.
+type Server struct {
+	manager *Manager
+	mux     *http.ServeMux
+	// MaxBodyBytes caps request body sizes; DefaultMaxBodyBytes when zero.
+	MaxBodyBytes int64
+}
+
+// New builds the HTTP facade for a manager.
+func New(m *Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/resume", s.handleResume)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/answers", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/next", s.handleNext)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/validations", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) maxBody() int64 {
+	if s.MaxBodyBytes > 0 {
+		return s.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// requestContext derives the operation context: the request's own context
+// (cancelled when the client goes away) optionally bounded by a ?timeout=
+// duration.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return nil, nil, &badRequestError{msg: "invalid timeout " + raw}
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// badRequestError marks client errors that carry no library sentinel (e.g.
+// malformed JSON or query parameters).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	var req CreateSessionRequest
+	if err := decodeJSON(r, s.maxBody(), &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	answers, err := req.answerSet()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.manager.Create(ctx, req.Name, answers, req.Options.options()...); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SessionSummary{
+		Name:    req.Name,
+		Objects: answers.NumObjects(),
+		Workers: answers.NumWorkers(),
+		Labels:  answers.NumLabels(),
+		Answers: answers.AnswerCount(),
+	})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(nil, r.Body, s.maxBody())
+	if err := s.manager.CreateFromSnapshot(ctx, name, body); err != nil {
+		writeError(w, err)
+		return
+	}
+	var summary SessionSummary
+	err = s.manager.View(ctx, name, func(sess *crowdval.Session) error {
+		summary = SessionSummary{
+			Name:    name,
+			Objects: sess.NumObjects(),
+			Workers: sess.NumWorkers(),
+			Labels:  sess.NumLabels(),
+			Answers: sess.AnswerCount(),
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, summary)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	// The manager materializes the bytes (from the resident session or, for a
+	// parked one, straight from its park file — no resume) before anything is
+	// written, so failures still produce a JSON error response and a slow
+	// download cannot stall the session's writers.
+	data, err := s.manager.Snapshot(ctx, r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	var req IngestRequest
+	if err := decodeJSON(r, s.maxBody(), &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	answers := make([]crowdval.Answer, len(req.Answers))
+	for i, a := range req.Answers {
+		answers[i] = crowdval.Answer{Object: a.Object, Worker: a.Worker, Label: crowdval.Label(a.Label)}
+	}
+	total, err := s.manager.AddAnswers(ctx, r.PathValue("name"), answers)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(answers), AnswerCount: total})
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	object, err := s.manager.NextObject(ctx, r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NextResponse{Object: object})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	var req SubmitRequest
+	if err := decodeJSON(r, s.maxBody(), &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Validations) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "no validations in request"})
+		return
+	}
+	name := r.PathValue("name")
+	var infos []crowdval.StepInfo
+	if len(req.Validations) == 1 {
+		v := req.Validations[0]
+		info, err := s.manager.Submit(ctx, name, v.Object, crowdval.Label(v.Label))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		infos = []crowdval.StepInfo{info}
+	} else {
+		inputs := make([]crowdval.ValidationInput, len(req.Validations))
+		for i, v := range req.Validations {
+			inputs[i] = crowdval.ValidationInput{Object: v.Object, Label: crowdval.Label(v.Label)}
+		}
+		var err error
+		infos, err = s.manager.SubmitBatch(ctx, name, inputs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	resp := SubmitResponse{Steps: make([]StepInfoJSON, len(infos))}
+	for i, info := range infos {
+		resp.Steps[i] = stepInfoJSON(info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	withProbs := r.URL.Query().Get("probabilities") == "1"
+	var resp ResultResponse
+	err = s.manager.View(ctx, r.PathValue("name"), func(sess *crowdval.Session) error {
+		assignment := sess.Result()
+		resp.Labels = make([]int, len(assignment))
+		for o, l := range assignment {
+			resp.Labels[o] = int(l)
+		}
+		validation := sess.Validation()
+		for o := 0; o < sess.NumObjects(); o++ {
+			if validation.Validated(o) {
+				resp.Validated = append(resp.Validated, o)
+			}
+		}
+		if withProbs {
+			probSet := sess.ProbabilisticResult()
+			resp.Probabilities = make([][]float64, sess.NumObjects())
+			for o := range resp.Probabilities {
+				resp.Probabilities[o] = probSet.Assignment.Row(o)
+			}
+		}
+		resp.Uncertainty = sess.Uncertainty()
+		resp.EffortSpent = sess.EffortSpent()
+		resp.EffortRatio = sess.EffortRatio()
+		resp.Done = sess.Done()
+		resp.QuarantinedWorkers = sess.QuarantinedWorkers()
+		resp.Objects = sess.NumObjects()
+		resp.Workers = sess.NumWorkers()
+		resp.NumLabels = sess.NumLabels()
+		resp.AnswerCount = sess.AnswerCount()
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.manager.Delete(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Sessions())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Stats())
+}

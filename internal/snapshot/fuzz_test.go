@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/iotest"
+
+	"crowdval/internal/cverr"
+)
+
+// typedCodecError asserts the decoder's entire error surface: every rejection
+// wraps exactly one of the two snapshot sentinels, never an untyped error and
+// never a panic (the fuzz driver catches panics on its own).
+func typedCodecError(t *testing.T, err error) {
+	t.Helper()
+	if !errors.Is(err, cverr.ErrBadSnapshot) && !errors.Is(err, cverr.ErrSnapshotVersion) {
+		t.Fatalf("decode rejected input with an untyped error: %v", err)
+	}
+}
+
+// fuzzSeeds returns a small spread of valid encodings: the full sample state,
+// a minimal state, and one with empty collections — distinct shapes for the
+// mutator to start from. The same seeds are checked into
+// testdata/fuzz/FuzzDecode.
+func fuzzSeeds() [][]byte {
+	minimal := &State{NumObjects: 1, NumWorkers: 1, NumLabels: 2,
+		Validation: []int64{-1}, Assignment: []float64{0.5, 0.5},
+		Confusions: []float64{0.5, 0.5, 0.5, 0.5}}
+	noNames := sampleState()
+	noNames.ObjectNames, noNames.WorkerNames, noNames.LabelNames = nil, nil, nil
+	noNames.History = nil
+	return [][]byte{
+		Encode(sampleState()),
+		Encode(minimal),
+		Encode(noNames),
+	}
+}
+
+// FuzzDecode feeds mutated snapshots to the byte-slice decoder. The contract:
+// never panic; on rejection return an error wrapping ErrBadSnapshot or
+// ErrSnapshotVersion; on acceptance the decoded state must re-encode to a
+// stable fixed point (encode→decode→encode reproduces the bytes — the
+// encoding is canonical up to non-canonical bool bytes in the input), and the
+// streaming decoder must agree with the slice decoder on both the verdict and
+// the decoded state.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		streamState, streamErr := DecodeFrom(bytes.NewReader(data))
+		if err != nil {
+			typedCodecError(t, err)
+			if streamErr == nil {
+				t.Fatal("stream decoder accepted input the slice decoder rejected")
+			}
+			typedCodecError(t, streamErr)
+			return
+		}
+		if streamErr != nil {
+			t.Fatalf("stream decoder rejected input the slice decoder accepted: %v", streamErr)
+		}
+
+		// Fixed point: one re-encoding canonicalizes, after which the round
+		// trip must be exact. (Encode(s) may differ from data only where the
+		// input used non-canonical bytes for booleans.)
+		canonical := Encode(s)
+		s2, err := Decode(canonical)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !bytes.Equal(Encode(s2), canonical) {
+			t.Fatal("encode→decode→encode is not a fixed point")
+		}
+		// The stream decoder produced the same state, compared through the
+		// canonical encoding (reflect.DeepEqual would stumble over NaNs).
+		if !bytes.Equal(Encode(streamState), canonical) {
+			t.Fatal("stream decoder state differs from slice decoder state")
+		}
+	})
+}
+
+// FuzzDecodeFrom stresses the streaming decoder's incremental reads: the same
+// input is decoded from a one-byte-at-a-time reader, which exercises every
+// partial-read path in the primitives, and must behave exactly like the
+// slice decoder.
+func FuzzDecodeFrom(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sliceState, sliceErr := Decode(data)
+		s, err := DecodeFrom(iotest.OneByteReader(bytes.NewReader(data)))
+		if (err == nil) != (sliceErr == nil) {
+			t.Fatalf("one-byte stream verdict %v, slice verdict %v", err, sliceErr)
+		}
+		if err != nil {
+			typedCodecError(t, err)
+			return
+		}
+		if !bytes.Equal(Encode(s), Encode(sliceState)) {
+			t.Fatal("one-byte stream decoded a different state")
+		}
+	})
+}

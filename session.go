@@ -378,6 +378,58 @@ func (s *Session) Validation() *Validation { return s.engine.Validation() }
 // from the aggregation because they are suspected to be faulty.
 func (s *Session) QuarantinedWorkers() []int { return s.engine.QuarantinedWorkers() }
 
+// NumObjects returns the number of objects the session currently covers; it
+// grows when AddAnswers ingests answers for previously unseen objects.
+func (s *Session) NumObjects() int { return s.engine.OriginalAnswers().NumObjects() }
+
+// NumWorkers returns the number of workers the session currently covers; it
+// grows when AddAnswers ingests answers from previously unseen workers.
+func (s *Session) NumWorkers() int { return s.engine.OriginalAnswers().NumWorkers() }
+
+// NumLabels returns the size of the label alphabet, fixed at creation.
+func (s *Session) NumLabels() int { return s.engine.OriginalAnswers().NumLabels() }
+
+// AnswerCount returns the total number of crowd answers the session holds,
+// including answers ingested through AddAnswers.
+func (s *Session) AnswerCount() int { return s.engine.OriginalAnswers().AnswerCount() }
+
+// TotalEMIterations returns the cumulative number of EM iterations across
+// every aggregation this session instance ran (initial cold start,
+// validations, batches, ingestions, revisions). Serving tiers report it as a
+// resource-usage statistic; it is not part of the snapshot state, so a
+// resumed session counts from zero.
+func (s *Session) TotalEMIterations() int { return s.engine.TotalEMIterations() }
+
+// MemoryEstimate approximates the resident memory of the session state in
+// bytes: the sparse answer matrix (held twice — the pristine original and the
+// quarantine-masked working copy), the probabilistic state (assignment rows
+// and per-worker confusion matrices), the validation function and the
+// per-iteration history. Serving tiers use it to decide when to park cold
+// sessions under a memory budget; it is an estimate for accounting, not an
+// exact heap measurement.
+func (s *Session) MemoryEstimate() int64 {
+	answers := s.engine.OriginalAnswers()
+	n := int64(answers.NumObjects())
+	k := int64(answers.NumWorkers())
+	m := int64(answers.NumLabels())
+	count := int64(answers.AnswerCount())
+	const answerEntry = 16 // one adjacency entry: two ints
+	var bytes int64
+	// Answers appear in two adjacency lists (by object and by worker) and in
+	// two answer sets (original and working).
+	bytes += count * answerEntry * 2 * 2
+	// Assignment matrix (n×m float64) is held in the probabilistic state and
+	// mirrored by the instantiated deterministic assignment (n labels).
+	bytes += n*m*8 + n*8
+	// Per-worker m×m confusion matrices.
+	bytes += k * m * m * 8
+	// Validation function: one label per object.
+	bytes += n * 8
+	// History records: the fixed fields dominate (slices are usually empty).
+	bytes += int64(len(s.engine.History())) * 128
+	return bytes
+}
+
 // RunWithOracle drives the session to completion using a ground-truth oracle
 // as the expert — useful for simulations and tests. It returns the number of
 // validations performed.

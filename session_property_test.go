@@ -1,0 +1,201 @@
+package crowdval
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crowdval/internal/rng"
+)
+
+// TestInterleavingParityFullHistories is the property-style extension of the
+// pairwise parity tests: whole random histories of AddAnswers,
+// SubmitValidation, SubmitValidations and guided selection, with
+// Snapshot+ResumeSession round trips injected at random points, must end
+// bit-for-bit identical — snapshot bytes and all — to the same history run
+// straight through on a session that never round-tripped. The schedules are
+// driven by a seeded internal/rng source, so failures reproduce exactly.
+func TestInterleavingParityFullHistories(t *testing.T) {
+	const (
+		schedules  = 4
+		opsPerRun  = 12
+		objects    = 30
+		workers    = 9
+		baseObj    = 24 // answers beyond these dims arrive via AddAnswers,
+		baseWork   = 7  // exercising on-demand growth of the model
+		labelCount = 2
+	)
+
+	for seed := int64(1); seed <= schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			d, err := GenerateCrowd(CrowdConfig{
+				NumObjects: objects, NumWorkers: workers, NumLabels: labelCount,
+				Mix:            WorkerMix{Normal: 0.6, RandomSpammer: 0.2, UniformSpammer: 0.2},
+				NormalAccuracy: 0.85,
+				Seed:           seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Base answers vs. a pool to ingest live (including answers for
+			// objects and workers outside the base dimensions).
+			base, err := NewAnswerSet(baseObj, baseWork, labelCount)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pool []Answer
+			for o := 0; o < objects; o++ {
+				for _, wa := range d.Answers.ObjectView(o) {
+					inBase := o < baseObj && wa.Worker < baseWork && (o+wa.Worker)%3 != 0
+					if inBase {
+						if err := base.SetAnswer(o, wa.Worker, wa.Label); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						pool = append(pool, Answer{Object: o, Worker: wa.Worker, Label: wa.Label})
+					}
+				}
+			}
+
+			opts := []Option{
+				WithStrategy(StrategyHybrid),
+				WithCandidateLimit(4),
+				WithSeed(seed * 17),
+				WithBudget(objects),
+			}
+			// Two sessions over identical copies of the base answers (sessions
+			// ingest into their answer set in place, so they must not share).
+			roundTripped, err := NewSession(base.Clone(), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			control, err := NewSession(base.Clone(), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			schedule := rand.New(rng.New(seed * 1001))
+			ctx := context.Background()
+			poolPos := 0
+			roundTrips := 0
+
+			lowestUnvalidated := func(s *Session, limit int) []int {
+				validation := s.Validation()
+				var picks []int
+				for o := 0; o < s.NumObjects() && len(picks) < limit; o++ {
+					if !validation.Validated(o) {
+						picks = append(picks, o)
+					}
+				}
+				return picks
+			}
+
+			for op := 0; op < opsPerRun; op++ {
+				switch schedule.Intn(3) {
+				case 0: // ingest a random-sized chunk from the pool
+					k := 1 + schedule.Intn(6)
+					if poolPos+k > len(pool) {
+						k = len(pool) - poolPos
+					}
+					if k <= 0 {
+						continue
+					}
+					chunk := pool[poolPos : poolPos+k]
+					poolPos += k
+					if err := roundTripped.AddAnswers(ctx, chunk); err != nil {
+						t.Fatalf("op %d: AddAnswers (round-tripped): %v", op, err)
+					}
+					if err := control.AddAnswers(ctx, chunk); err != nil {
+						t.Fatalf("op %d: AddAnswers (control): %v", op, err)
+					}
+				case 1: // guided single validation
+					a, errA := roundTripped.NextObject()
+					b, errB := control.NextObject()
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: NextObject verdicts diverged: %v vs %v", op, errA, errB)
+					}
+					if errA != nil {
+						continue // budget or goal hit identically on both
+					}
+					if a != b {
+						t.Fatalf("op %d: guided selection diverged: %d vs %d", op, a, b)
+					}
+					infoA, errA := roundTripped.SubmitValidation(a, d.Truth[a])
+					infoB, errB := control.SubmitValidation(b, d.Truth[b])
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: SubmitValidation verdicts diverged: %v vs %v", op, errA, errB)
+					}
+					if !reflect.DeepEqual(infoA, infoB) {
+						t.Fatalf("op %d: StepInfo diverged:\n got  %+v\n want %+v", op, infoA, infoB)
+					}
+				case 2: // transactional batch of up to two validations
+					picks := lowestUnvalidated(control, 1+schedule.Intn(2))
+					if len(picks) == 0 {
+						continue
+					}
+					inputs := make([]ValidationInput, len(picks))
+					for i, o := range picks {
+						inputs[i] = ValidationInput{Object: o, Label: d.Truth[o]}
+					}
+					infosA, errA := roundTripped.SubmitValidations(ctx, inputs)
+					infosB, errB := control.SubmitValidations(ctx, inputs)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: batch verdicts diverged: %v vs %v", op, errA, errB)
+					}
+					if !reflect.DeepEqual(infosA, infosB) {
+						t.Fatalf("op %d: batch StepInfos diverged", op)
+					}
+				}
+
+				// Park and resume the round-tripped session at random points.
+				if schedule.Intn(3) == 0 {
+					data, err := roundTripped.Snapshot()
+					if err != nil {
+						t.Fatalf("op %d: Snapshot: %v", op, err)
+					}
+					roundTripped, err = ResumeSession(data)
+					if err != nil {
+						t.Fatalf("op %d: ResumeSession: %v", op, err)
+					}
+					roundTrips++
+				}
+			}
+			if roundTrips == 0 {
+				// Always end through at least one round trip so every schedule
+				// actually exercises the property under test.
+				data, err := roundTripped.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				roundTripped, err = ResumeSession(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// The full histories must agree bit for bit: identical snapshots
+			// cover the answers, validations, probabilistic state (float bit
+			// patterns), quarantine, history records and RNG state at once.
+			finalA, err := roundTripped.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			finalB, err := control.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(finalA, finalB) {
+				t.Fatalf("seed %d: snapshot of the round-tripped history (%d bytes) differs from the straight run (%d bytes)",
+					seed, len(finalA), len(finalB))
+			}
+			if roundTripped.Uncertainty() != control.Uncertainty() {
+				t.Fatal("uncertainty not bit-for-bit identical")
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package crowdval
 
 import (
 	"fmt"
+	"io"
 
 	"crowdval/internal/core"
 	"crowdval/internal/cverr"
@@ -28,6 +29,19 @@ type ValidationInput = core.ValidationInput
 // sessions in a store and resume each one on whichever process the next
 // expert interaction lands.
 func (s *Session) Snapshot() ([]byte, error) {
+	return snapshot.Encode(s.snapshotState()), nil
+}
+
+// SnapshotTo streams the snapshot to w without materializing the encoded
+// bytes in memory first — the parking path for serving tiers that write cold
+// sessions straight to disk. The encoding is identical to Snapshot.
+func (s *Session) SnapshotTo(w io.Writer) error {
+	return snapshot.EncodeTo(w, s.snapshotState())
+}
+
+// snapshotState captures the full session state in the codec's serializable
+// form.
+func (s *Session) snapshotState() *snapshot.State {
 	engine := s.engine
 	answers := engine.OriginalAnswers()
 	n, k, m := answers.NumObjects(), answers.NumWorkers(), answers.NumLabels()
@@ -99,7 +113,7 @@ func (s *Session) Snapshot() ([]byte, error) {
 	for _, rec := range engine.History() {
 		st.History = append(st.History, encodeHistory(rec))
 	}
-	return snapshot.Encode(st), nil
+	return st
 }
 
 // ResumeSession restores a session from a Snapshot. The restored session is
@@ -117,6 +131,21 @@ func ResumeSession(data []byte, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resumeFromState(st, opts)
+}
+
+// ResumeSessionFrom is ResumeSession reading the snapshot incrementally from
+// a sequential stream — the resume path for serving tiers that park cold
+// sessions on disk. It accepts the same option overrides as ResumeSession.
+func ResumeSessionFrom(r io.Reader, opts ...Option) (*Session, error) {
+	st, err := snapshot.DecodeFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return resumeFromState(st, opts)
+}
+
+func resumeFromState(st *snapshot.State, opts []Option) (*Session, error) {
 	n, k, m := int(st.NumObjects), int(st.NumWorkers), int(st.NumLabels)
 	answers, err := model.NewAnswerSet(n, k, m)
 	if err != nil {
