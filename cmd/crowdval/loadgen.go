@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdval"
+	"crowdval/internal/server"
+	"crowdval/internal/simulation"
+)
+
+// cmdLoadgen drives a crowdval server with concurrent ingest traffic: a
+// configurable number of client goroutines POST batches of synthetic crowd
+// answers to a configurable number of sessions, either back to back (closed
+// loop) or with Poisson arrivals, and the command reports end-to-end
+// throughput plus the server's own metrics (including how many requests the
+// ingest coalescing merged). With no -addr it spins up an in-process server
+// over a fresh synthetic dataset, so a single command measures the serving
+// stack on any machine; with -addr it targets a running `crowdval serve`.
+func cmdLoadgen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "target server address (empty = start an in-process server)")
+		sessions = fs.Int("sessions", 4, "number of sessions to create and spread traffic over")
+		clients  = fs.Int("clients", 8, "concurrent client goroutines")
+		requests = fs.Int("requests", 25, "ingest requests per client")
+		batch    = fs.Int("batch", 100, "answers per ingest request")
+		objects  = fs.Int("objects", 2000, "objects of the synthetic base dataset")
+		workers  = fs.Int("workers", 100, "workers of the synthetic base dataset")
+		labels   = fs.Int("labels", 2, "labels of the synthetic base dataset")
+		perObj   = fs.Int("answers-per-object", 5, "initial crowd answers per object")
+		delta    = fs.Bool("delta", false, "create the sessions with the delta-incremental ingest path enabled")
+		arrival  = fs.String("arrival", "closed", "arrival pattern: closed (back-to-back) or poisson")
+		rate     = fs.Float64("rate", 20, "mean requests/sec per client for -arrival poisson")
+		seed     = fs.Int64("seed", 1, "random seed for the dataset and the request streams")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessions < 1 || *clients < 1 || *requests < 1 || *batch < 1 {
+		return fmt.Errorf("loadgen: -sessions, -clients, -requests and -batch must be positive")
+	}
+	if *arrival != "closed" && *arrival != "poisson" {
+		return fmt.Errorf("loadgen: unknown arrival pattern %q (closed, poisson)", *arrival)
+	}
+
+	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
+		NumObjects:       *objects,
+		NumWorkers:       *workers,
+		NumLabels:        *labels,
+		AnswersPerObject: *perObj,
+		NormalAccuracy:   0.7,
+		Mix:              simulation.WorkerMix{Normal: 0.75, RandomSpammer: 0.25},
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	baseURL := "http://" + *addr
+	if *addr == "" {
+		parkDir, err := os.MkdirTemp("", "crowdval-loadgen-")
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		defer os.RemoveAll(parkDir)
+		manager, err := server.NewManager(server.ManagerConfig{ParkDir: parkDir})
+		if err != nil {
+			return err
+		}
+		srv := httptest.NewServer(server.New(manager))
+		defer srv.Close()
+		baseURL = srv.URL
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	fmt.Fprintf(out, "creating %d sessions over %d×%d @ %d answers/object (delta=%v)\n",
+		*sessions, *objects, *workers, *perObj, *delta)
+	baseAnswers := make([]server.AnswerJSON, 0, d.Answers.AnswerCount())
+	for o := 0; o < d.Answers.NumObjects(); o++ {
+		for _, wa := range d.Answers.ObjectAnswers(o) {
+			baseAnswers = append(baseAnswers, server.AnswerJSON{Object: o, Worker: wa.Worker, Label: int(wa.Label)})
+		}
+	}
+	names := make([]string, *sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("loadgen-%d", i)
+		req := server.CreateSessionRequest{
+			Name:    names[i],
+			Objects: *objects, Workers: *workers, NumLabels: *labels,
+			Answers: baseAnswers,
+			Options: server.SessionConfig{Strategy: string(crowdval.StrategyBaseline), Seed: *seed + int64(i), Delta: *delta},
+		}
+		if err := postJSON(client, baseURL+"/v1/sessions", req, http.StatusCreated); err != nil {
+			return fmt.Errorf("loadgen: creating session %s: %w", names[i], err)
+		}
+	}
+
+	var sent, failed atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + 1000*int64(c)))
+			session := names[c%len(names)]
+			for r := 0; r < *requests; r++ {
+				if *arrival == "poisson" && *rate > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+				}
+				req := server.IngestRequest{Answers: make([]server.AnswerJSON, *batch)}
+				for j := range req.Answers {
+					req.Answers[j] = server.AnswerJSON{
+						Object: rng.Intn(*objects),
+						Worker: rng.Intn(*workers),
+						Label:  rng.Intn(*labels),
+					}
+				}
+				if err := postJSON(client, baseURL+"/v1/sessions/"+session+"/answers", req, http.StatusOK); err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				sent.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var stats server.Stats
+	if err := getJSON(client, baseURL+"/v1/metrics", &stats); err != nil {
+		return fmt.Errorf("loadgen: fetching metrics: %w", err)
+	}
+	ok := sent.Load()
+	fmt.Fprintf(out, "loadgen: %d clients × %d requests × %d answers (%s arrivals) in %v\n",
+		*clients, *requests, *batch, *arrival, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  requests:   %d ok, %d failed (%.1f req/sec)\n",
+		ok, failed.Load(), float64(ok)/elapsed.Seconds())
+	fmt.Fprintf(out, "  answers:    %.0f answers/sec end to end\n",
+		float64(ok)*float64(*batch)/elapsed.Seconds())
+	fmt.Fprintf(out, "  server:     %d answers ingested in %d batches, %d requests coalesced, %d EM iterations\n",
+		stats.IngestedAnswers, stats.IngestBatches, stats.CoalescedIngests, stats.EMIterations)
+	// A non-zero exit on failed requests is what makes the CI smoke run a
+	// real gate on the CLI → HTTP → ingest path.
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", n, n+ok, *firstErr.Load())
+	}
+	return nil
+}
+
+// postJSON posts a JSON body and checks the response status, draining the
+// response body so connections are reused.
+func postJSON(client *http.Client, url string, body any, wantStatus int) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	return nil
+}
+
+// getJSON fetches a JSON document.
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCLILoadgenInProcess smoke-tests the loadgen subcommand against its own
+// in-process server: every request must succeed and the report must include
+// the throughput and the server-side coalescing counters.
+func TestCLILoadgenInProcess(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"loadgen",
+		"-sessions", "2", "-clients", "3", "-requests", "3", "-batch", "10",
+		"-objects", "120", "-workers", "15", "-answers-per-object", "4",
+		"-delta", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "9 ok, 0 failed") {
+		t.Fatalf("loadgen requests did not all succeed:\n%s", text)
+	}
+	if !strings.Contains(text, "answers/sec end to end") || !strings.Contains(text, "requests coalesced") {
+		t.Fatalf("loadgen report incomplete:\n%s", text)
+	}
+	if !strings.Contains(text, "90 answers ingested") {
+		t.Fatalf("server did not ingest every answer:\n%s", text)
+	}
+}
+
+// TestCLILoadgenPoissonArrivals covers the Poisson arrival pattern.
+func TestCLILoadgenPoissonArrivals(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"loadgen",
+		"-sessions", "1", "-clients", "2", "-requests", "2", "-batch", "5",
+		"-objects", "60", "-workers", "10",
+		"-arrival", "poisson", "-rate", "200", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatalf("loadgen poisson: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "4 ok, 0 failed") {
+		t.Fatalf("poisson loadgen failed requests:\n%s", out.String())
+	}
+}
+
+// TestCLILoadgenRejectsBadFlags covers the argument validation.
+func TestCLILoadgenRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"loadgen", "-clients", "0"}, &out); err == nil {
+		t.Fatal("loadgen accepted -clients 0")
+	}
+	if err := run([]string{"loadgen", "-arrival", "warp"}, &out); err == nil {
+		t.Fatal("loadgen accepted an unknown arrival pattern")
+	}
+}

@@ -13,6 +13,7 @@
 //	crowdval workers  -in validated.json
 //	crowdval stats    -in data.json
 //	crowdval serve    -addr 127.0.0.1:8080 -memory-budget 268435456
+//	crowdval loadgen  -sessions 4 -clients 8 -batch 100 -delta
 //	crowdval profiles
 package main
 
@@ -62,17 +63,19 @@ func run(args []string, out io.Writer) error {
 		return cmdStats(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "loadgen":
+		return cmdLoadgen(args[1:], out)
 	case "profiles":
 		return cmdProfiles(out)
 	case "help", "-h", "--help":
 		return usageError()
 	default:
-		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, profiles)", args[0])
+		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, loadgen, profiles)", args[0])
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|profiles> [flags]")
+	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|loadgen|profiles> [flags]")
 }
 
 func cmdGenerate(args []string, out io.Writer) error {

@@ -37,3 +37,47 @@ func TestCostFacade(t *testing.T) {
 		t.Fatal("no feasible allocation found")
 	}
 }
+
+// TestCostFacadeEdges exercises the degenerate budget shapes through the
+// re-exported facade types, pinning that the aliases carry the internal
+// package's semantics: zero budgets, budgets exhausted by the crowd answers,
+// and budgets smaller than one expert validation all yield zero validations
+// rather than errors or negative counts.
+func TestCostFacadeEdges(t *testing.T) {
+	model := CostModel{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}
+	cases := []struct {
+		name   string
+		budget float64
+		want   int
+	}{
+		{"zero budget", 0, 0},
+		{"budget exhausted by crowd answers", 300, 0},
+		{"budget smaller than one validation", 300 + 24, 0},
+		{"budget for exactly two validations", 300 + 50, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := model.ValidationsForBudget(tc.budget); got != tc.want {
+				t.Fatalf("ValidationsForBudget(%v) = %d, want %d", tc.budget, got, tc.want)
+			}
+		})
+	}
+
+	// A zero-rho CostBudget allocates nothing on either side.
+	zero := CostBudget{Rho: 0, Theta: 25, NumObjects: 100}
+	alloc, err := zero.Allocate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.ExpertValidations != 0 || alloc.AnswersPerObject != 0 || alloc.TotalBudget != 0 {
+		t.Fatalf("zero budget allocated %+v", alloc)
+	}
+
+	// Every allocation is filtered out when even the crowd time misses the
+	// deadline.
+	infeasible := FeasibleAllocations([]BudgetAllocation{{ExpertValidations: 0}},
+		CompletionTime{CrowdTime: 5, TimePerValidation: 1}, 1)
+	if len(infeasible) != 0 {
+		t.Fatalf("allocations survived an impossible deadline: %+v", infeasible)
+	}
+}

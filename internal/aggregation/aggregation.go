@@ -32,8 +32,14 @@ type Result struct {
 	// ProbSet is the resulting probabilistic answer set.
 	ProbSet *model.ProbabilisticAnswerSet
 	// Iterations is the number of EM iterations that were executed
-	// (1 for non-iterative aggregators such as majority voting).
+	// (1 for non-iterative aggregators such as majority voting). For the
+	// delta-incremental path it counts the full-sweep settle iterations only;
+	// the frontier-restricted iterations are reported separately.
 	Iterations int
+	// DeltaIterations is the number of frontier-restricted iterations the
+	// delta-incremental path ran before the full-sweep settle phase (0 when
+	// the delta phase was skipped or the aggregator has no delta path).
+	DeltaIterations int
 	// Converged reports whether the iterative aggregation reached its
 	// convergence tolerance before hitting the iteration cap.
 	Converged bool

@@ -186,6 +186,12 @@ func (b *BatchEM) initialAssignment(ctx context.Context, answers *model.AnswerSe
 // majority-vote initialization.
 type IncrementalEM struct {
 	Config EMConfig
+	// Delta configures the delta-incremental path (AggregateDeltaContext),
+	// which recomputes posteriors only for a dirty object frontier and
+	// confusion rows only for touched workers before a full-sweep settle
+	// phase re-establishes the global fixed point. The plain
+	// Aggregate/AggregateContext entry points ignore it.
+	Delta DeltaConfig
 }
 
 // SerialVariant implements Sharded.
@@ -330,19 +336,9 @@ func eStep(ctx context.Context, answers *model.AnswerSet, validation *model.Vali
 	// iteration instead of one math.Log per (answer, label). The table holds
 	// exactly the values the inner loop would compute, so the accumulation
 	// below is bitwise unchanged.
-	mm := m * m
 	if err := par.ForCtx(ctx, len(confusions), parallelism, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
-			f := confusions[w]
-			for l := 0; l < m; l++ {
-				for l2 := 0; l2 < m; l2++ {
-					p := f.At(model.Label(l), model.Label(l2))
-					if p <= 0 {
-						p = 1e-12
-					}
-					logConf[w*mm+l*m+l2] = math.Log(p)
-				}
-			}
+			fillLogConf(logConf, confusions, w, m)
 		}
 	}); err != nil {
 		return 0, err
@@ -354,34 +350,7 @@ func eStep(ctx context.Context, answers *model.AnswerSet, validation *model.Vali
 		localDiff := 0.0
 		for o := lo; o < hi; o++ {
 			row := next.RowSlice(o)
-			if l := validation.Get(o); l != model.NoLabel {
-				next.SetCertain(o, l)
-			} else {
-				for l := 0; l < m; l++ {
-					row[l] = logPriors[l]
-				}
-				for _, wa := range answers.ObjectView(o) {
-					lf := logConf[wa.Worker*mm+int(wa.Label) : wa.Worker*mm+mm]
-					for l := 0; l < m; l++ {
-						row[l] += lf[l*m]
-					}
-				}
-				// log-sum-exp normalization.
-				maxLog := row[0]
-				for l := 1; l < m; l++ {
-					if row[l] > maxLog {
-						maxLog = row[l]
-					}
-				}
-				sum := 0.0
-				for l := 0; l < m; l++ {
-					row[l] = math.Exp(row[l] - maxLog)
-					sum += row[l]
-				}
-				for l := 0; l < m; l++ {
-					row[l] /= sum
-				}
-			}
+			posteriorRowInto(row, answers, validation, o, m, logPriors, logConf)
 			for l := 0; l < m; l++ {
 				if d := math.Abs(row[l] - current.Prob(o, model.Label(l))); d > localDiff {
 					localDiff = d
@@ -402,6 +371,64 @@ func eStep(ctx context.Context, answers *model.AnswerSet, validation *model.Vali
 	return diff, nil
 }
 
+// fillLogConf writes the log-confusion block of one worker into logConf
+// (layout w·m² + l·m + l2), flooring hard zeros at 1e-12. It is shared by
+// the full E-step and the delta phase (runDeltaEM), so the two compute
+// bit-identical table entries by construction.
+func fillLogConf(logConf []float64, confusions []*model.ConfusionMatrix, w, m int) {
+	f := confusions[w]
+	mm := m * m
+	for l := 0; l < m; l++ {
+		for l2 := 0; l2 < m; l2++ {
+			p := f.At(model.Label(l), model.Label(l2))
+			if p <= 0 {
+				p = 1e-12
+			}
+			logConf[w*mm+l*m+l2] = math.Log(p)
+		}
+	}
+}
+
+// posteriorRowInto computes one object's E-step posterior into row: the
+// point mass of the expert's label for validated objects (Eq. 4), otherwise
+// the log-space accumulation of priors and per-answer confusion columns
+// with log-sum-exp normalization (Eq. 1). Shared by eStep and the delta
+// phase (runDeltaEM), so a frontier row update is the full E-step's row
+// update by construction.
+func posteriorRowInto(row []float64, answers *model.AnswerSet, validation *model.Validation, o, m int, logPriors, logConf []float64) {
+	if l := validation.Get(o); l != model.NoLabel {
+		for i := range row {
+			row[i] = 0
+		}
+		row[l] = 1
+		return
+	}
+	mm := m * m
+	for l := 0; l < m; l++ {
+		row[l] = logPriors[l]
+	}
+	for _, wa := range answers.ObjectView(o) {
+		lf := logConf[wa.Worker*mm+int(wa.Label) : wa.Worker*mm+mm]
+		for l := 0; l < m; l++ {
+			row[l] += lf[l*m]
+		}
+	}
+	maxLog := row[0]
+	for l := 1; l < m; l++ {
+		if row[l] > maxLog {
+			maxLog = row[l]
+		}
+	}
+	sum := 0.0
+	for l := 0; l < m; l++ {
+		row[l] = math.Exp(row[l] - maxLog)
+		sum += row[l]
+	}
+	for l := 0; l < m; l++ {
+		row[l] /= sum
+	}
+}
+
 // mStepInto re-estimates the worker confusion matrices from the assignment
 // probabilities (Eq. 5) with additive smoothing, overwriting confusions in
 // place (nil slots are allocated, existing matrices are reset and reused).
@@ -416,15 +443,23 @@ func mStepInto(ctx context.Context, answers *model.AnswerSet, u *model.Assignmen
 			if c == nil {
 				c = model.NewConfusionMatrix(m)
 				confusions[w] = c
-			} else {
-				c.Reset()
 			}
-			for _, oa := range answers.WorkerView(w) {
-				for l := 0; l < m; l++ {
-					c.Add(model.Label(l), oa.Label, u.Prob(oa.Object, model.Label(l)))
-				}
-			}
-			c.Smooth(smoothing)
+			reestimateConfusion(c, answers, u, w, smoothing)
 		}
 	})
+}
+
+// reestimateConfusion recomputes one worker's confusion matrix in place from
+// the assignment probabilities (Eq. 5) with additive smoothing. Shared by
+// the full M-step and the delta phase (runDeltaEM), so a frontier confusion
+// update is the full M-step's update by construction.
+func reestimateConfusion(c *model.ConfusionMatrix, answers *model.AnswerSet, u *model.AssignmentMatrix, w int, smoothing float64) {
+	m := u.NumLabels()
+	c.Reset()
+	for _, oa := range answers.WorkerView(w) {
+		for l := 0; l < m; l++ {
+			c.Add(model.Label(l), oa.Label, u.Prob(oa.Object, model.Label(l)))
+		}
+	}
+	c.Smooth(smoothing)
 }

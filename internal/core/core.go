@@ -84,6 +84,16 @@ type Config struct {
 	// (< 1: GOMAXPROCS). Aggregation and detection results are identical
 	// for every setting.
 	MaxParallelism int
+	// Delta enables the delta-incremental aggregation path: the engine
+	// tracks the dirty object/worker frontier of every mutation (ingested
+	// answers, validations, quarantine changes, growth) and hands it to a
+	// delta-capable aggregator, which refines only the frontier before a
+	// full-sweep settle phase re-establishes the global fixed point. Results
+	// are fixed points of the full EM within the configured tolerance, so
+	// they agree with full recomputes up to that tolerance (not bit-for-bit).
+	// It applies to the default i-EM aggregator and to any cfg.Aggregator
+	// implementing aggregation.DeltaAggregator; other aggregators ignore it.
+	Delta aggregation.DeltaConfig
 	// Rand drives stochastic components (hybrid roulette wheel). Nil uses a
 	// fixed seed so runs are reproducible.
 	Rand *rand.Rand
@@ -161,6 +171,10 @@ type Engine struct {
 	// a serving-tier statistic, not part of the snapshot state: a restored
 	// engine starts counting from zero again.
 	emIterations int
+	// deltaIterations accumulates the frontier-restricted iterations of the
+	// delta-incremental path; like emIterations it is a statistic, not
+	// snapshot state. A session that never used the delta path reports zero.
+	deltaIterations int
 
 	// confirmedValidations records, per object, the label the expert has
 	// explicitly re-confirmed after the confirmation check flagged it. Such
@@ -205,7 +219,16 @@ func newEngineShell(answers *model.AnswerSet, cfg Config) (*Engine, error) {
 	e.validation = model.NewValidation(answers.NumObjects())
 	e.aggregator = cfg.Aggregator
 	if e.aggregator == nil {
-		e.aggregator = &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: cfg.MaxParallelism}}
+		e.aggregator = &aggregation.IncrementalEM{
+			Config: aggregation.EMConfig{Parallelism: cfg.MaxParallelism},
+			Delta:  cfg.Delta,
+		}
+	}
+	if cfg.Delta.Enabled {
+		// The working answer set records the dirty frontier; every mutation
+		// path (ingest, quarantine, growth) flows through it, and explicit
+		// validation changes are marked at their call sites.
+		e.working.TrackDirty()
 	}
 	e.detector = cfg.Detector
 	if e.detector == nil {
@@ -316,6 +339,10 @@ func RestoreEngine(answers *model.AnswerSet, st *RestoredState, cfg Config) (*En
 		Confusions: confusions,
 	}
 	e.assignment = e.probSet.Instantiate()
+	// Reconstructing the quarantine masks marked the frontier dirty, but the
+	// restored probabilistic state already is the fixed point over exactly
+	// this working set; the next aggregation starts from a clean frontier.
+	e.working.ClearDirty()
 	e.iteration = st.Iteration
 	e.effortSpent = st.EffortSpent
 	e.lastWorkerDriven = st.LastWorkerDriven
@@ -388,6 +415,12 @@ func (e *Engine) History() []IterationRecord { return e.history }
 // counts from zero.
 func (e *Engine) TotalEMIterations() int { return e.emIterations }
 
+// TotalDeltaIterations returns the cumulative number of frontier-restricted
+// iterations the delta-incremental aggregation path ran. Zero when the delta
+// path is disabled or never kicked in; like TotalEMIterations it is a
+// statistic, not snapshot state.
+func (e *Engine) TotalDeltaIterations() int { return e.deltaIterations }
+
 // QuarantinedWorkers returns the indices of currently quarantined workers.
 func (e *Engine) QuarantinedWorkers() []int { return e.quarantine.MaskedWorkers() }
 
@@ -414,6 +447,34 @@ func (e *Engine) guidanceContext(ctx context.Context) *guidance.Context {
 		Parallel:       e.cfg.Parallel,
 		MaxParallelism: e.cfg.MaxParallelism,
 	}
+}
+
+// aggregate runs the conclude step over the current evidence. With the delta
+// path enabled and a delta-capable aggregator, it hands the dirty frontier
+// accumulated since the last successful aggregation to the aggregator and
+// clears it on success; a failed or cancelled aggregation keeps the frontier,
+// so the next call folds the same mutations in. Without the delta path it is
+// aggregation.Do with the same clearing discipline (a full sweep covers every
+// mutation by construction).
+func (e *Engine) aggregate(ctx context.Context) (*aggregation.Result, error) {
+	if e.cfg.Delta.Enabled && e.working.DirtyTracking() {
+		if da, ok := e.aggregator.(aggregation.DeltaAggregator); ok {
+			delta := &aggregation.Delta{Objects: e.working.DirtyObjects(), Workers: e.working.DirtyWorkers()}
+			res, err := da.AggregateDeltaContext(ctx, e.working, e.validation, e.probSet, delta)
+			if err != nil {
+				return nil, err
+			}
+			e.working.ClearDirty()
+			e.deltaIterations += res.DeltaIterations
+			return res, nil
+		}
+	}
+	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	if err != nil {
+		return nil, err
+	}
+	e.working.ClearDirty()
+	return res, nil
 }
 
 // SelectNext runs the guidance strategy and returns the object the expert
@@ -551,7 +612,8 @@ func (e *Engine) IntegrateContext(ctx context.Context, object int, label model.L
 	}
 
 	// (4) Integrate the validation: re-aggregate and re-instantiate.
-	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	e.working.MarkObjectDirty(object)
+	res, err := e.aggregate(ctx)
 	if err != nil {
 		rollback()
 		return IterationRecord{}, fmt.Errorf("core: aggregation: %w", err)
@@ -589,7 +651,8 @@ func (e *Engine) ReviseValidationContext(ctx context.Context, object int, label 
 	}
 	prev := e.validation.Get(object)
 	e.validation.Set(object, label)
-	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	e.working.MarkObjectDirty(object)
+	res, err := e.aggregate(ctx)
 	if err != nil {
 		e.validation.Set(object, prev)
 		return fmt.Errorf("core: aggregation: %w", err)
@@ -669,6 +732,7 @@ func (e *Engine) IntegrateBatch(ctx context.Context, inputs []ValidationInput) (
 		}
 		meanError += records[i].ErrorRate
 		e.validation.Set(in.Object, in.Label)
+		e.working.MarkObjectDirty(in.Object)
 	}
 	meanError /= float64(len(inputs))
 	prevWeight := 0.0
@@ -715,7 +779,7 @@ func (e *Engine) IntegrateBatch(ctx context.Context, inputs []ValidationInput) (
 		}
 	}
 
-	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	res, err := e.aggregate(ctx)
 	if err != nil {
 		rollback()
 		return nil, fmt.Errorf("core: aggregation: %w", err)
@@ -855,7 +919,7 @@ func (e *Engine) AddAnswers(ctx context.Context, newAnswers []model.Answer) erro
 	}
 	e.assignment = e.probSet.Instantiate()
 
-	res, err := aggregation.Do(ctx, e.aggregator, e.working, e.validation, e.probSet)
+	res, err := e.aggregate(ctx)
 	if err != nil {
 		return fmt.Errorf("core: aggregation: %w", err)
 	}

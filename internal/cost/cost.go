@@ -172,8 +172,14 @@ func (c CompletionTime) MaxValidationsWithin(limit float64) int {
 
 // FeasibleAllocations filters the given allocations to those whose expert
 // validations satisfy the completion-time limit, mirroring the region to the
-// right of point B in Figure 14.
+// right of point B in Figure 14. When even the crowd phase alone misses the
+// deadline no allocation is feasible — MaxValidationsWithin returns 0 both
+// for that case and for "crowd fits but no validation does", so the crowd
+// time is checked separately.
 func FeasibleAllocations(allocations []Allocation, timeModel CompletionTime, timeLimit float64) []Allocation {
+	if timeModel.Total(0) > timeLimit {
+		return nil
+	}
 	maxValidations := timeModel.MaxValidationsWithin(timeLimit)
 	var out []Allocation
 	for _, a := range allocations {

@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValidationsForBudgetEdges pins the degenerate budget shapes: nothing
+// to spend, everything eaten by the initial crowd answers, and a remainder
+// too small to buy even one expert validation.
+func TestValidationsForBudgetEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		model Model
+		total float64
+		want  int
+	}{
+		{"zero budget", Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}, 0, 0},
+		{"negative budget", Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}, -50, 0},
+		{"exhausted by crowd answers", Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}, 300, 0},
+		{"smaller than one validation", Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}, 300 + 24.99, 0},
+		{"exactly one validation", Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}, 300 + 25, 1},
+		{"no initial answers", Model{Theta: 10, NumObjects: 50}, 35, 3},
+		{"default theta applies", Model{NumObjects: 10}, 12.5, 1},
+		{"fractional validations floor", Model{Theta: 10, NumObjects: 1}, 99, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.model.ValidationsForBudget(tc.total); got != tc.want {
+				t.Fatalf("ValidationsForBudget(%v) = %d, want %d", tc.total, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAllocateEdges pins how Budget.Allocate splits degenerate budgets.
+func TestAllocateEdges(t *testing.T) {
+	cases := []struct {
+		name            string
+		budget          Budget
+		share           float64
+		wantErr         bool
+		wantValidations int
+		wantAnswers     float64
+	}{
+		{"zero budget (rho 0)", Budget{Rho: 0, Theta: 25, NumObjects: 100}, 0.5, false, 0, 0},
+		{"all to expert but below one validation", Budget{Rho: 0.01, Theta: 25, NumObjects: 10}, 0, false, 0, 0},
+		{"expert share smaller than one validation", Budget{Rho: 0.4, Theta: 25, NumObjects: 100}, 0.99, false, 0, 9.9},
+		{"share below zero", Budget{Rho: 0.4, Theta: 25, NumObjects: 100}, -0.01, true, 0, 0},
+		{"share above one", Budget{Rho: 0.4, Theta: 25, NumObjects: 100}, 1.01, true, 0, 0},
+		{"no objects", Budget{Rho: 0.4, Theta: 25, NumObjects: 0}, 0.5, true, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alloc, err := tc.budget.Allocate(tc.share)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Allocate(%v) accepted, got %+v", tc.share, alloc)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Allocate(%v): %v", tc.share, err)
+			}
+			if alloc.ExpertValidations != tc.wantValidations {
+				t.Fatalf("ExpertValidations = %d, want %d", alloc.ExpertValidations, tc.wantValidations)
+			}
+			if math.Abs(alloc.AnswersPerObject-tc.wantAnswers) > 1e-12 {
+				t.Fatalf("AnswersPerObject = %v, want %v", alloc.AnswersPerObject, tc.wantAnswers)
+			}
+		})
+	}
+}
+
+// TestCompletionTimeEdges pins the deadline math at its boundaries.
+func TestCompletionTimeEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		model CompletionTime
+		limit float64
+		want  int
+	}{
+		{"crowd time alone exceeds the limit", CompletionTime{CrowdTime: 11, TimePerValidation: 1}, 10, 0},
+		{"limit exactly the crowd time", CompletionTime{CrowdTime: 10, TimePerValidation: 1}, 10, 0},
+		{"free validations, feasible crowd", CompletionTime{CrowdTime: 5}, 10, math.MaxInt32},
+		{"free validations, infeasible crowd", CompletionTime{CrowdTime: 15}, 10, 0},
+		{"zero limit, zero crowd", CompletionTime{TimePerValidation: 2}, 0, 0},
+		{"ordinary case floors", CompletionTime{CrowdTime: 1, TimePerValidation: 2}, 10, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.model.MaxValidationsWithin(tc.limit); got != tc.want {
+				t.Fatalf("MaxValidationsWithin(%v) = %d, want %d", tc.limit, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFeasibleAllocationsEdges: empty input and a zero time limit.
+func TestFeasibleAllocationsEdges(t *testing.T) {
+	timeModel := CompletionTime{TimePerValidation: 1}
+	if got := FeasibleAllocations(nil, timeModel, 10); got != nil {
+		t.Fatalf("FeasibleAllocations(nil) = %v", got)
+	}
+	allocations := []Allocation{
+		{CrowdShare: 1, ExpertValidations: 0},
+		{CrowdShare: 0.5, ExpertValidations: 5},
+	}
+	got := FeasibleAllocations(allocations, timeModel, 0)
+	if len(got) != 1 || got[0].ExpertValidations != 0 {
+		t.Fatalf("zero time limit kept %+v", got)
+	}
+}
+
+// TestEVWOCostsAtZero: the cost curves' left endpoints.
+func TestEVWOCostsAtZero(t *testing.T) {
+	m := Model{Theta: 25, NumObjects: 100, InitialAnswersPerObject: 3}
+	if got := m.EVTotalCost(0); got != 300 {
+		t.Fatalf("EVTotalCost(0) = %v, want the pure crowd cost 300", got)
+	}
+	if got := m.EVCostPerObject(0); got != 3 {
+		t.Fatalf("EVCostPerObject(0) = %v, want phi0", got)
+	}
+	if got := m.WOTotalCost(0); got != 0 {
+		t.Fatalf("WOTotalCost(0) = %v", got)
+	}
+	if got := m.WOCostPerObject(7); got != 7 {
+		t.Fatalf("WOCostPerObject = %v", got)
+	}
+}

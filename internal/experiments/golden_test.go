@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+// goldenExperiments pins a representative slice of the paper-shaped outputs:
+// a guidance effort-vs-accuracy table, the two cost-model curves, and the
+// spammer-detection sweep. The runs are fully seeded, so the tables are
+// byte-stable; any refactor of the aggregation, guidance or cost layers that
+// bends these curves — a changed EM trajectory, a different selection order,
+// a broken budget split — fails here instead of silently shifting the
+// figures the repository claims to reproduce.
+var goldenExperiments = []string{
+	"figure9",  // spammer detection precision/recall vs threshold
+	"figure12", // cost trade-off: expert validation vs buying more answers
+	"figure13", // budget allocation between crowd and expert
+	"figure17", // guidance effort-vs-accuracy across label counts
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".json")
+}
+
+func TestGoldenExperimentTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiment runs are not short-mode material")
+	}
+	for _, id := range goldenExperiments {
+		t.Run(id, func(t *testing.T) {
+			exp, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Runs: 1 keeps the suite fast; the golden files pin this exact
+			// configuration, so determinism does not depend on the default
+			// repetition counts.
+			table, err := exp.Run(Options{Seed: 1, Runs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(table, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := goldenPath(id)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestGolden -update`): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("%s drifted from its golden table.\nIf the change is intentional, regenerate with -update and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+					id, firstDiffContext(string(got), string(want)), firstDiffContext(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// firstDiffContext returns a window of a around the first byte where a and b
+// differ, keeping failure output readable for multi-kilobyte tables.
+func firstDiffContext(a, b string) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}
+
+// TestGoldenFilesPresent guards against the suite silently passing because
+// every golden file vanished (e.g. a bad testdata move): at least the pinned
+// experiment list must have files.
+func TestGoldenFilesPresent(t *testing.T) {
+	if *updateGolden {
+		t.Skip("files are being rewritten")
+	}
+	for _, id := range goldenExperiments {
+		if _, err := os.Stat(goldenPath(id)); err != nil {
+			t.Errorf("golden file for %s missing: %v", id, err)
+		}
+	}
+}

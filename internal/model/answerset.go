@@ -36,6 +36,10 @@ type AnswerSet struct {
 	ObjectNames []string
 	WorkerNames []string
 	LabelNames  []string
+
+	// Dirty-frontier tracking (see dirty.go). nil maps = tracking disabled.
+	dirtyObjects map[int]struct{}
+	dirtyWorkers map[int]struct{}
 }
 
 // NewAnswerSet creates an empty answer set for the given dimensions. All
@@ -120,6 +124,7 @@ func (a *AnswerSet) SetAnswer(object, worker int, label Label) error {
 			wi, _ := a.workerPos(worker, object)
 			a.byWorker[worker] = append(a.byWorker[worker][:wi], a.byWorker[worker][wi+1:]...)
 			a.count--
+			a.markAnswerDirty(object, worker)
 		}
 		return nil
 	}
@@ -127,6 +132,7 @@ func (a *AnswerSet) SetAnswer(object, worker int, label Label) error {
 		a.byObject[object][oi].Label = label
 		wi, _ := a.workerPos(worker, object)
 		a.byWorker[worker][wi].Label = label
+		a.markAnswerDirty(object, worker)
 		return nil
 	}
 	a.byObject[object] = append(a.byObject[object], WorkerAnswer{})
@@ -137,6 +143,7 @@ func (a *AnswerSet) SetAnswer(object, worker int, label Label) error {
 	copy(a.byWorker[worker][wi+1:], a.byWorker[worker][wi:])
 	a.byWorker[worker][wi] = ObjectAnswer{Object: object, Label: label}
 	a.count++
+	a.markAnswerDirty(object, worker)
 	return nil
 }
 
@@ -258,6 +265,15 @@ func (a *AnswerSet) Clone() *AnswerSet {
 	c.ObjectNames = append([]string(nil), a.ObjectNames...)
 	c.WorkerNames = append([]string(nil), a.WorkerNames...)
 	c.LabelNames = append([]string(nil), a.LabelNames...)
+	if a.dirtyObjects != nil {
+		c.TrackDirty()
+		for o := range a.dirtyObjects {
+			c.dirtyObjects[o] = struct{}{}
+		}
+		for w := range a.dirtyWorkers {
+			c.dirtyWorkers[w] = struct{}{}
+		}
+	}
 	return c
 }
 
@@ -276,7 +292,9 @@ func (a *AnswerSet) MaskWorker(worker int) []ObjectAnswer {
 		if i, found := a.objectPos(oa.Object, worker); found {
 			a.byObject[oa.Object] = append(a.byObject[oa.Object][:i], a.byObject[oa.Object][i+1:]...)
 		}
+		a.markAnswerDirty(oa.Object, worker)
 	}
+	a.MarkWorkerDirty(worker)
 	a.count -= len(removed)
 	return removed
 }
@@ -325,14 +343,22 @@ func (a *AnswerSet) Grow(numObjects, numWorkers int) error {
 		if a.ObjectNames != nil {
 			a.ObjectNames = append(a.ObjectNames, make([]string, numObjects-a.numObjects)...)
 		}
+		oldObjects := a.numObjects
 		a.numObjects = numObjects
+		for o := oldObjects; o < numObjects; o++ {
+			a.MarkObjectDirty(o)
+		}
 	}
 	if numWorkers > a.numWorkers {
 		a.byWorker = append(a.byWorker, make([][]ObjectAnswer, numWorkers-a.numWorkers)...)
 		if a.WorkerNames != nil {
 			a.WorkerNames = append(a.WorkerNames, make([]string, numWorkers-a.numWorkers)...)
 		}
+		oldWorkers := a.numWorkers
 		a.numWorkers = numWorkers
+		for w := oldWorkers; w < numWorkers; w++ {
+			a.MarkWorkerDirty(w)
+		}
 	}
 	return nil
 }

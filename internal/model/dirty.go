@@ -1,0 +1,99 @@
+package model
+
+import "sort"
+
+// Dirty-frontier tracking for the delta-incremental aggregation path. When
+// tracking is enabled, the answer set records which objects and workers have
+// been touched by mutations since the last ClearDirty: SetAnswer marks the
+// answer's object and worker, Grow marks the newly added rows and columns,
+// MaskWorker marks the quarantined worker and every object it had answered
+// (RestoreWorker flows through SetAnswer). A delta-capable aggregator then
+// recomputes posteriors only for the dirty objects and confusion rows only
+// for the touched workers, so the cost of folding in a small batch of new
+// evidence scales with the batch, not with the corpus.
+//
+// Tracking is opt-in because the bookkeeping costs one map insert per
+// mutation, which bulk dataset construction does not want to pay. It is not
+// serialized with snapshots: a restored session starts with a clean frontier,
+// which is correct because the restored probabilistic state is already the
+// aggregation fixed point the snapshot captured.
+
+// TrackDirty enables dirty-frontier tracking. The frontier starts clean;
+// enabling tracking twice is a no-op.
+func (a *AnswerSet) TrackDirty() {
+	if a.dirtyObjects == nil {
+		a.dirtyObjects = make(map[int]struct{})
+		a.dirtyWorkers = make(map[int]struct{})
+	}
+}
+
+// DirtyTracking reports whether dirty-frontier tracking is enabled.
+func (a *AnswerSet) DirtyTracking() bool { return a.dirtyObjects != nil }
+
+// MarkObjectDirty adds an object to the dirty frontier. Out-of-range indices
+// and calls without tracking enabled are ignored. Callers use it for
+// mutations the answer set cannot see itself, e.g. an expert validation that
+// changes an object's pinned posterior.
+func (a *AnswerSet) MarkObjectDirty(object int) {
+	if a.dirtyObjects == nil || object < 0 || object >= a.numObjects {
+		return
+	}
+	a.dirtyObjects[object] = struct{}{}
+}
+
+// MarkWorkerDirty adds a worker to the dirty frontier. Out-of-range indices
+// and calls without tracking enabled are ignored.
+func (a *AnswerSet) MarkWorkerDirty(worker int) {
+	if a.dirtyWorkers == nil || worker < 0 || worker >= a.numWorkers {
+		return
+	}
+	a.dirtyWorkers[worker] = struct{}{}
+}
+
+// markAnswerDirty records one (object, worker) mutation.
+func (a *AnswerSet) markAnswerDirty(object, worker int) {
+	if a.dirtyObjects == nil {
+		return
+	}
+	a.dirtyObjects[object] = struct{}{}
+	a.dirtyWorkers[worker] = struct{}{}
+}
+
+// DirtyObjects returns the dirty objects in ascending order. The slice is a
+// fresh copy; it is nil when tracking is disabled or the frontier is clean.
+func (a *AnswerSet) DirtyObjects() []int {
+	return sortedKeys(a.dirtyObjects)
+}
+
+// DirtyWorkers returns the dirty workers in ascending order. The slice is a
+// fresh copy; it is nil when tracking is disabled or the frontier is clean.
+func (a *AnswerSet) DirtyWorkers() []int {
+	return sortedKeys(a.dirtyWorkers)
+}
+
+// DirtyCounts returns the sizes of the object and worker frontiers.
+func (a *AnswerSet) DirtyCounts() (objects, workers int) {
+	return len(a.dirtyObjects), len(a.dirtyWorkers)
+}
+
+// ClearDirty empties the dirty frontier (typically after a successful
+// aggregation folded it in). Tracking stays enabled.
+func (a *AnswerSet) ClearDirty() {
+	if a.dirtyObjects == nil {
+		return
+	}
+	clear(a.dirtyObjects)
+	clear(a.dirtyWorkers)
+}
+
+func sortedKeys(set map[int]struct{}) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDirtyTrackingDisabledByDefault(t *testing.T) {
+	a := MustNewAnswerSet(3, 2, 2)
+	if a.DirtyTracking() {
+		t.Fatal("tracking enabled on a fresh answer set")
+	}
+	if err := a.SetAnswer(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DirtyObjects(); got != nil {
+		t.Fatalf("DirtyObjects without tracking = %v, want nil", got)
+	}
+	// Marking without tracking is a no-op, not a panic.
+	a.MarkObjectDirty(0)
+	a.MarkWorkerDirty(0)
+	if o, w := a.DirtyCounts(); o != 0 || w != 0 {
+		t.Fatalf("DirtyCounts without tracking = %d, %d", o, w)
+	}
+}
+
+func TestDirtyTrackingSetAnswer(t *testing.T) {
+	a := MustNewAnswerSet(4, 3, 2)
+	a.TrackDirty()
+	if !a.DirtyTracking() {
+		t.Fatal("TrackDirty did not enable tracking")
+	}
+	if err := a.SetAnswer(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetAnswer(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.DirtyObjects(), []int{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyObjects = %v, want %v", got, want)
+	}
+	if got, want := a.DirtyWorkers(), []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyWorkers = %v, want %v", got, want)
+	}
+
+	a.ClearDirty()
+	if o, w := a.DirtyCounts(); o != 0 || w != 0 {
+		t.Fatalf("DirtyCounts after ClearDirty = %d, %d", o, w)
+	}
+	if !a.DirtyTracking() {
+		t.Fatal("ClearDirty disabled tracking")
+	}
+
+	// Overwrite and removal both mark; a removal of an absent answer does not.
+	if err := a.SetAnswer(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.DirtyObjects(), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyObjects after overwrite = %v, want %v", got, want)
+	}
+	a.ClearDirty()
+	if err := a.SetAnswer(3, 0, NoLabel); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := a.DirtyCounts(); o != 0 {
+		t.Fatalf("no-op removal marked objects dirty: %v", a.DirtyObjects())
+	}
+	if err := a.SetAnswer(2, 1, NoLabel); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.DirtyObjects(), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyObjects after removal = %v, want %v", got, want)
+	}
+}
+
+func TestDirtyTrackingGrow(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 2)
+	a.TrackDirty()
+	if err := a.Grow(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.DirtyObjects(), []int{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyObjects after Grow = %v, want %v", got, want)
+	}
+	if got, want := a.DirtyWorkers(), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyWorkers after Grow = %v, want %v", got, want)
+	}
+}
+
+func TestDirtyTrackingMaskAndRestore(t *testing.T) {
+	a := MustNewAnswerSet(3, 2, 2)
+	for o := 0; o < 3; o++ {
+		if err := a.SetAnswer(o, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.TrackDirty()
+
+	removed := a.MaskWorker(1)
+	if len(removed) != 3 {
+		t.Fatalf("MaskWorker removed %d answers, want 3", len(removed))
+	}
+	if got, want := a.DirtyObjects(), []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyObjects after mask = %v, want %v", got, want)
+	}
+	if got, want := a.DirtyWorkers(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyWorkers after mask = %v, want %v", got, want)
+	}
+
+	a.ClearDirty()
+	a.RestoreWorker(1, removed)
+	if got, want := a.DirtyObjects(), []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyObjects after restore = %v, want %v", got, want)
+	}
+}
+
+func TestDirtyTrackingCloneCopiesFrontier(t *testing.T) {
+	a := MustNewAnswerSet(3, 2, 2)
+	a.TrackDirty()
+	if err := a.SetAnswer(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	if !c.DirtyTracking() {
+		t.Fatal("clone lost dirty tracking")
+	}
+	if got, want := c.DirtyObjects(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone DirtyObjects = %v, want %v", got, want)
+	}
+	// The frontiers are independent.
+	c.ClearDirty()
+	if got, want := a.DirtyObjects(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("clearing the clone touched the original: %v, want %v", got, want)
+	}
+}
+
+func TestDirtyMarkBoundsChecked(t *testing.T) {
+	a := MustNewAnswerSet(2, 2, 2)
+	a.TrackDirty()
+	a.MarkObjectDirty(-1)
+	a.MarkObjectDirty(2)
+	a.MarkWorkerDirty(-1)
+	a.MarkWorkerDirty(2)
+	if o, w := a.DirtyCounts(); o != 0 || w != 0 {
+		t.Fatalf("out-of-range marks recorded: %d objects, %d workers", o, w)
+	}
+}

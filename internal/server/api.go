@@ -47,6 +47,14 @@ type SessionConfig struct {
 	SpammerThreshold   float64 `json:"spammerThreshold,omitempty"`
 	SloppyThreshold    float64 `json:"sloppyThreshold,omitempty"`
 	UncertaintyGoal    float64 `json:"uncertaintyGoal,omitempty"`
+	// Delta enables the delta-incremental ingest path (WithDeltaIngest):
+	// re-aggregations refine only the dirty frontier before a full-sweep
+	// settle phase, trading bit-for-bit replay equivalence for an
+	// order-of-magnitude ingest speedup at a documented tolerance.
+	Delta bool `json:"delta,omitempty"`
+	// DeltaMaxDirtyFraction overrides the frontier-size fallback threshold
+	// (WithDeltaMaxDirtyFraction); 0 keeps the default.
+	DeltaMaxDirtyFraction float64 `json:"deltaMaxDirtyFraction,omitempty"`
 }
 
 func (c SessionConfig) options() []crowdval.Option {
@@ -77,6 +85,12 @@ func (c SessionConfig) options() []crowdval.Option {
 	}
 	if c.UncertaintyGoal > 0 {
 		opts = append(opts, crowdval.WithUncertaintyGoal(c.UncertaintyGoal))
+	}
+	if c.Delta {
+		opts = append(opts, crowdval.WithDeltaIngest())
+	}
+	if c.DeltaMaxDirtyFraction > 0 {
+		opts = append(opts, crowdval.WithDeltaMaxDirtyFraction(c.DeltaMaxDirtyFraction))
 	}
 	return opts
 }

@@ -21,6 +21,21 @@ import (
 // i-EM fold-in, so this benchmarks the full serve → manager → session →
 // aggregation stack, with concurrent clients spread over four sessions.
 func BenchmarkServerConcurrentIngest(b *testing.B) {
+	benchmarkIngest(b)
+}
+
+// BenchmarkDeltaIngest is BenchmarkServerConcurrentIngest with the
+// delta-incremental path enabled on every session: identical workload,
+// identical request stream, but each 100-answer batch re-aggregates only its
+// dirty frontier before the full-sweep settle phase (plus server-side
+// coalescing merging batches that pile up behind a slow aggregation). The
+// answers/sec ratio between the two benchmarks is the delta path's headline
+// number tracked in BENCHMARKS.md.
+func BenchmarkDeltaIngest(b *testing.B) {
+	benchmarkIngest(b, crowdval.WithDeltaIngest())
+}
+
+func benchmarkIngest(b *testing.B, extraOpts ...crowdval.Option) {
 	const (
 		numSessions = 4
 		objects     = 50000
@@ -47,8 +62,10 @@ func BenchmarkServerConcurrentIngest(b *testing.B) {
 	for i := 0; i < numSessions; i++ {
 		// Each session ingests into its answer set in place, so every one
 		// gets its own copy of the base answers.
-		if err := manager.Create(context.Background(), fmt.Sprintf("bench-%d", i), d.Answers.Clone(),
-			crowdval.WithStrategy(crowdval.StrategyBaseline), crowdval.WithSeed(int64(i))); err != nil {
+		opts := append([]crowdval.Option{
+			crowdval.WithStrategy(crowdval.StrategyBaseline), crowdval.WithSeed(int64(i)),
+		}, extraOpts...)
+		if err := manager.Create(context.Background(), fmt.Sprintf("bench-%d", i), d.Answers.Clone(), opts...); err != nil {
 			b.Fatal(err)
 		}
 	}

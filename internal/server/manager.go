@@ -53,12 +53,14 @@ type Manager struct {
 	parked   int64      // number of parked sessions
 
 	// Cumulative counters, guarded by mu.
-	ingested    int64
-	validations int64
-	selections  int64
-	evictions   int64
-	resumes     int64
-	emIters     int64
+	ingested      int64
+	ingestBatches int64 // AddAnswers calls actually executed against sessions
+	coalesced     int64 // ingest requests merged into another request's batch
+	validations   int64
+	selections    int64
+	evictions     int64
+	resumes       int64
+	emIters       int64
 }
 
 // entry is the manager's handle for one named session.
@@ -85,6 +87,26 @@ type entry struct {
 	// re-aggregation may hold for a long time).
 	parkedAccounted bool
 	elem            *list.Element
+
+	// ingestMu guards ingestQueue: tickets of ingest requests waiting to be
+	// applied. It is a leaf lock, never held while taking mu or the
+	// manager's mu.
+	ingestMu    sync.Mutex
+	ingestQueue []*ingestTicket
+}
+
+// ingestTicket is one queued ingest request. Whichever requester first wins
+// the session's write lock drains the whole queue in one merged AddAnswers
+// call and resolves every drained ticket through its channel.
+type ingestTicket struct {
+	answers []crowdval.Answer
+	done    chan ingestOutcome
+}
+
+// ingestOutcome is the per-ticket result of a (possibly coalesced) ingest.
+type ingestOutcome struct {
+	total int // session answer count after the batch that carried this ticket
+	err   error
 }
 
 // NewManager prepares a session manager, creating the park directory if
@@ -424,22 +446,155 @@ func (m *Manager) writeParkFile(v *entry) error {
 
 // AddAnswers folds new crowd answers into the named session (see
 // Session.AddAnswers) and returns the session's total answer count.
+//
+// Concurrent AddAnswers calls for the same session queue tickets, and
+// whichever request first acquires the session's write lock drains the
+// whole queue. For sessions on the delta-incremental path
+// (WithDeltaIngest) the drained tickets are merged into one batch — a
+// single delta re-aggregation instead of one per request — so requests that
+// piled up behind a slow aggregation ride along for free; that is what
+// keeps small-batch ingest throughput from collapsing under concurrency.
+// Full-path sessions are drained one ticket at a time in arrival order,
+// preserving the documented bit-for-bit equivalence with a serial replay of
+// the individual requests. Work done on behalf of other requests (merged
+// batches, foreign tickets) deliberately ignores the drainer's own request
+// cancellation; a request whose answers were merged observes the merged
+// batch's outcome.
 func (m *Manager) AddAnswers(ctx context.Context, name string, answers []crowdval.Answer) (int, error) {
-	var total int
-	err := m.update(ctx, name, func(s *crowdval.Session) error {
-		if err := s.AddAnswers(ctx, answers); err != nil {
-			return err
-		}
-		total = s.AnswerCount()
-		return nil
-	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	e, err := m.lookup(name)
 	if err != nil {
 		return 0, err
 	}
+	t := &ingestTicket{answers: answers, done: make(chan ingestOutcome, 1)}
+	e.ingestMu.Lock()
+	e.ingestQueue = append(e.ingestQueue, t)
+	e.ingestMu.Unlock()
+
+	if err := m.exclusive(e, name, func(s *crowdval.Session) error {
+		m.drainIngest(ctx, t, e, s)
+		return nil
+	}); err != nil {
+		// The session vanished (deleted) or could not be resumed — no drain
+		// ran on this path. Fail only our own ticket (if an earlier drainer
+		// has not already resolved it): other queued tickets belong to
+		// requests whose own exclusive() attempt may still succeed, e.g.
+		// after a transient unpark failure.
+		m.failOwnIngest(e, t, err)
+	}
+
+	// Guaranteed to be resolved by now: either a drainer (possibly this
+	// call) consumed the ticket under the write lock, or the failure path
+	// above flushed the queue.
+	out := <-t.done
+	if out.err != nil {
+		return 0, out.err
+	}
+	return out.total, nil
+}
+
+// drainIngest applies every queued ingest ticket of the entry — merged into
+// one batch for delta sessions, one at a time in arrival order for
+// full-path sessions — and resolves the tickets. It runs under the entry's
+// write lock; the queue take is atomic, so no ticket is ever drained twice.
+// own is the drainer's ticket: only that ticket's work may run under the
+// drainer's cancellable ctx, everything done on behalf of other requests
+// runs cancellation-free (a drained queue can hold foreign tickets even
+// when it has length one — the drainer's own may have been drained by an
+// earlier lock holder).
+func (m *Manager) drainIngest(ctx context.Context, own *ingestTicket, e *entry, s *crowdval.Session) {
+	e.ingestMu.Lock()
+	tickets := e.ingestQueue
+	e.ingestQueue = nil
+	e.ingestMu.Unlock()
+	if len(tickets) == 0 {
+		return
+	}
+	ticketCtx := func(t *ingestTicket) context.Context {
+		if t == own {
+			return ctx
+		}
+		return context.WithoutCancel(ctx)
+	}
+
+	// Coalescing changes the aggregation trajectory (one warm EM over the
+	// union instead of one per batch), which is only on the table for
+	// sessions that opted out of bit-for-bit replay equivalence via the
+	// delta path. Full-path sessions drain sequentially.
+	if len(tickets) == 1 || !s.DeltaIngestEnabled() {
+		for _, t := range tickets {
+			err := s.AddAnswers(ticketCtx(t), t.answers)
+			m.accountIngest(1, 0, ingestedOnSuccess(err, len(t.answers)))
+			t.done <- ingestOutcome{total: s.AnswerCount(), err: err}
+		}
+		return
+	}
+
+	// Merged batch. It is applied under a cancellation-free context: the
+	// work belongs to every merged client, not just the drainer, so one
+	// client disconnecting must not abort the others' ingest mid-flight.
+	merged := 0
+	for _, t := range tickets {
+		merged += len(t.answers)
+	}
+	batch := make([]crowdval.Answer, 0, merged)
+	for _, t := range tickets {
+		batch = append(batch, t.answers...)
+	}
+	err := s.AddAnswers(context.WithoutCancel(ctx), batch)
+	if err == nil {
+		total := s.AnswerCount()
+		m.accountIngest(1, int64(len(tickets)-1), int64(merged))
+		for _, t := range tickets {
+			t.done <- ingestOutcome{total: total}
+		}
+		return
+	}
+	// Session.AddAnswers validates every answer before mutating anything, so
+	// a merged failure means some request carried an invalid answer and the
+	// session is untouched. Re-apply per ticket: the error lands on the
+	// request that caused it and the valid requests still go through.
+	for _, t := range tickets {
+		terr := s.AddAnswers(context.WithoutCancel(ctx), t.answers)
+		m.accountIngest(1, 0, ingestedOnSuccess(terr, len(t.answers)))
+		t.done <- ingestOutcome{total: s.AnswerCount(), err: terr}
+	}
+}
+
+// failOwnIngest removes the caller's own ticket from the queue and resolves
+// it with err. A ticket no longer queued was already resolved by a drainer,
+// whose outcome stands; tickets of other requests are left queued for their
+// owners' own lock attempts.
+func (m *Manager) failOwnIngest(e *entry, own *ingestTicket, err error) {
+	e.ingestMu.Lock()
+	for i, t := range e.ingestQueue {
+		if t == own {
+			e.ingestQueue = append(e.ingestQueue[:i], e.ingestQueue[i+1:]...)
+			e.ingestMu.Unlock()
+			own.done <- ingestOutcome{err: err}
+			return
+		}
+	}
+	e.ingestMu.Unlock()
+}
+
+// accountIngest updates the ingest counters: batches actually executed,
+// requests that rode along in someone else's batch, answers ingested.
+func (m *Manager) accountIngest(batches, coalesced, answers int64) {
 	m.mu.Lock()
-	m.ingested += int64(len(answers))
+	m.ingestBatches += batches
+	m.coalesced += coalesced
+	m.ingested += answers
 	m.mu.Unlock()
-	return total, nil
+}
+
+func ingestedOnSuccess(err error, n int) int64 {
+	if err != nil {
+		return 0
+	}
+	return int64(n)
 }
 
 // NextObject returns the object the expert should validate next. It is a
@@ -577,8 +732,14 @@ type Stats struct {
 	// MemoryBudget is the configured cap (0 = unlimited).
 	ResidentBytes int64 `json:"residentBytes"`
 	MemoryBudget  int64 `json:"memoryBudget"`
-	// Cumulative operation counters.
+	// Cumulative operation counters. IngestBatches counts the AddAnswers
+	// calls actually executed against sessions; CoalescedIngests counts the
+	// ingest requests that were merged into another request's batch, so
+	// requests = IngestBatches + CoalescedIngests (modulo per-ticket
+	// fallbacks after a rejected merge).
 	IngestedAnswers      int64 `json:"ingestedAnswers"`
+	IngestBatches        int64 `json:"ingestBatches"`
+	CoalescedIngests     int64 `json:"coalescedIngests"`
 	SubmittedValidations int64 `json:"submittedValidations"`
 	Selections           int64 `json:"selections"`
 	Evictions            int64 `json:"evictions"`
@@ -597,6 +758,8 @@ func (m *Manager) Stats() Stats {
 		ResidentBytes:        m.resident,
 		MemoryBudget:         m.budget,
 		IngestedAnswers:      m.ingested,
+		IngestBatches:        m.ingestBatches,
+		CoalescedIngests:     m.coalesced,
 		SubmittedValidations: m.validations,
 		Selections:           m.selections,
 		Evictions:            m.evictions,

@@ -27,8 +27,10 @@ import (
 // Magic identifies a crowdval session snapshot ("CVSN").
 const Magic = 0x4356534e
 
-// Version is the current encoding version.
-const Version = 1
+// Version is the current encoding version. Version 2 appends the
+// delta-ingest configuration after the history records; version-1 snapshots
+// are still decoded (their delta fields read as zero, i.e. delta disabled).
+const Version = 2
 
 // State is the serializable form of a validation session. It mirrors the
 // session options and the engine's dynamic state with plain integers, floats
@@ -76,6 +78,11 @@ type State struct {
 	Iteration   int64
 	EffortSpent int64
 	History     []HistoryRecord
+
+	// Delta-ingest configuration (encoding version 2; zero for version-1
+	// snapshots, i.e. the delta path disabled).
+	DeltaEnabled          bool
+	DeltaMaxDirtyFraction float64
 }
 
 // HistoryRecord is the serializable form of one core.IterationRecord.
@@ -182,6 +189,10 @@ func (w *writer) encode(s *State) {
 		w.i64s(h.SuspectExpert)
 		w.i64s(h.SuspectCrowd)
 	}
+
+	// Version-2 tail.
+	w.bool(s.DeltaEnabled)
+	w.f64(s.DeltaMaxDirtyFraction)
 }
 
 // Decode deserializes a snapshot produced by Encode. It fails with
@@ -227,8 +238,8 @@ func (r *reader) decode() (*State, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != Version {
-		return nil, fmt.Errorf("%w: got version %d, support version %d",
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("%w: got version %d, support versions 1-%d",
 			cverr.ErrSnapshotVersion, version, Version)
 	}
 
@@ -292,6 +303,15 @@ func (r *reader) decode() (*State, error) {
 				return nil, err
 			}
 			s.History = append(s.History, h)
+		}
+	}
+
+	if version >= 2 {
+		if s.DeltaEnabled, err = r.bool(); err != nil {
+			return nil, err
+		}
+		if s.DeltaMaxDirtyFraction, err = r.f64(); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil

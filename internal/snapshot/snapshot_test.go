@@ -53,6 +53,42 @@ func sampleState() *State {
 	}
 }
 
+func TestRoundTripDeltaFields(t *testing.T) {
+	want := sampleState()
+	want.DeltaEnabled = true
+	want.DeltaMaxDirtyFraction = 0.125
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0.125 {
+		t.Fatalf("delta fields lost in round trip: %+v", got)
+	}
+}
+
+// TestDecodeVersion1Compat: a version-1 snapshot (no delta tail) still
+// decodes, with the delta configuration reading as disabled.
+func TestDecodeVersion1Compat(t *testing.T) {
+	want := sampleState()
+	data := Encode(want)
+	// Strip the version-2 tail (1 bool byte + 8 float bytes) and rewrite the
+	// version field to 1; everything before the tail is the v1 encoding.
+	v1 := append([]byte(nil), data[:len(data)-9]...)
+	v1[4], v1[5] = 1, 0 // little-endian uint16 version
+	got, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0 {
+		t.Fatalf("version-1 snapshot decoded non-zero delta fields: %+v", got)
+	}
+	got.DeltaEnabled = want.DeltaEnabled
+	got.DeltaMaxDirtyFraction = want.DeltaMaxDirtyFraction
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("version-1 decode mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	want := sampleState()
 	got, err := Decode(Encode(want))

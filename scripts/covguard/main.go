@@ -1,0 +1,85 @@
+// Command covguard enforces per-package test-coverage floors on `go test
+// -cover ./...` output, the coverage sibling of benchguard: the floors are a
+// ratchet against silent erosion, set safely below the levels the suite
+// already reaches so they fail on real regressions (a package losing its
+// tests, a big untested subsystem landing) rather than on noise.
+//
+// Usage:
+//
+//	go test -cover ./... | tee cover.out
+//	go run ./scripts/covguard -in cover.out -min 40 -floors "crowdval=75,crowdval/internal/model=90"
+//
+// Packages without test files are skipped; a package disappearing from the
+// output entirely (e.g. its tests were deleted) trips the floor listed for
+// it in -floors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	inPath := flag.String("in", "", "file with `go test -cover ./...` output")
+	minPct := flag.Float64("min", 40, "default per-package coverage floor (percent)")
+	floorsRaw := flag.String("floors", "", "comma-separated per-package overrides: pkg=pct,...")
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "covguard: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covguard:", err)
+		os.Exit(2)
+	}
+	results, err := parseCoverage(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covguard:", err)
+		os.Exit(2)
+	}
+	floors, err := parseFloors(*floorsRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covguard:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	packages := make([]string, 0, len(results))
+	for pkg := range results {
+		packages = append(packages, pkg)
+	}
+	sort.Strings(packages)
+	for _, pkg := range packages {
+		floor := *minPct
+		if f, ok := floors[pkg]; ok {
+			floor = f
+		}
+		pct := results[pkg]
+		status := "ok  "
+		if pct < floor {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < floor %.1f%%", pkg, pct, floor))
+		}
+		fmt.Printf("covguard: %s %-40s %6.1f%% (floor %.1f%%)\n", status, pkg, pct, floor)
+	}
+	// A package with an explicit floor must be present: silently dropping
+	// its tests (or the whole package from the test run) is exactly the
+	// regression the guard exists for.
+	for pkg := range floors {
+		if _, ok := results[pkg]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: no coverage result (floor %.1f%%)", pkg, floors[pkg]))
+		}
+	}
+	sort.Strings(failures)
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "covguard: FAIL:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("covguard: OK")
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseCoverage extracts per-package statement coverage from `go test -cover
+// ./...` output. Tested packages report lines like
+//
+//	ok  	crowdval/internal/model	0.027s	coverage: 95.2% of statements
+//	ok  	crowdval	(cached)	coverage: 83.3% of statements
+//
+// while main packages without test files emit a coverage line without the
+// "ok" verdict (or a "?   pkg [no test files]" line without -cover); those
+// are skipped — a floor on untestable example binaries would only teach
+// people to add vacuous tests.
+func parseCoverage(out string) (map[string]float64, error) {
+	results := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "ok" {
+			continue
+		}
+		pct, ok := coveragePercent(fields)
+		if !ok {
+			continue
+		}
+		results[fields[1]] = pct
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no coverage results found (expected `go test -cover ./...` output)")
+	}
+	return results, nil
+}
+
+// coveragePercent finds the "coverage: NN.N% of statements" clause.
+func coveragePercent(fields []string) (float64, bool) {
+	for i, f := range fields {
+		if f != "coverage:" || i+1 >= len(fields) {
+			continue
+		}
+		raw := strings.TrimSuffix(fields[i+1], "%")
+		pct, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, false
+		}
+		return pct, true
+	}
+	return 0, false
+}
+
+// parseFloors parses the -floors override list: "pkg=pct,pkg=pct".
+func parseFloors(raw string) (map[string]float64, error) {
+	floors := make(map[string]float64)
+	if raw == "" {
+		return floors, nil
+	}
+	for _, entry := range strings.Split(raw, ",") {
+		pkg, pctRaw, found := strings.Cut(strings.TrimSpace(entry), "=")
+		if !found || pkg == "" {
+			return nil, fmt.Errorf("malformed floor entry %q (want pkg=pct)", entry)
+		}
+		pct, err := strconv.ParseFloat(pctRaw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed floor entry %q: %v", entry, err)
+		}
+		floors[pkg] = pct
+	}
+	return floors, nil
+}

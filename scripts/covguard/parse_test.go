@@ -1,0 +1,67 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+const sampleOutput = `	crowdval/cmd/experiments		coverage: 0.0% of statements
+	crowdval/examples/quickstart		coverage: 0.0% of statements
+ok  	crowdval	0.494s	coverage: 83.3% of statements
+ok  	crowdval/internal/model	(cached)	coverage: 95.2% of statements
+ok  	crowdval/internal/cverr	0.002s	coverage: 100.0% of statements
+?   	crowdval/examples/server	[no test files]
+some unrelated line
+`
+
+func TestParseCoverage(t *testing.T) {
+	got, err := parseCoverage(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"crowdval":                83.3,
+		"crowdval/internal/model": 95.2,
+		"crowdval/internal/cverr": 100.0,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseCoverage = %v, want %v", got, want)
+	}
+}
+
+func TestParseCoverageSkipsUntestedMains(t *testing.T) {
+	got, err := parseCoverage(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"crowdval/cmd/experiments", "crowdval/examples/quickstart", "crowdval/examples/server"} {
+		if _, ok := got[pkg]; ok {
+			t.Fatalf("untested main package %s was not skipped", pkg)
+		}
+	}
+}
+
+func TestParseCoverageRejectsEmpty(t *testing.T) {
+	if _, err := parseCoverage("FAIL\tcrowdval [build failed]\n"); err == nil {
+		t.Fatal("accepted output without coverage results")
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	got, err := parseFloors("crowdval=75, crowdval/internal/model=90.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"crowdval": 75, "crowdval/internal/model": 90.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseFloors = %v, want %v", got, want)
+	}
+	if f, err := parseFloors(""); err != nil || len(f) != 0 {
+		t.Fatalf("empty floors = %v, %v", f, err)
+	}
+	for _, bad := range []string{"crowdval", "=50", "crowdval=abc"} {
+		if _, err := parseFloors(bad); err == nil {
+			t.Fatalf("parseFloors accepted %q", bad)
+		}
+	}
+}

@@ -47,26 +47,28 @@ func (s *Session) snapshotState() *snapshot.State {
 	n, k, m := answers.NumObjects(), answers.NumWorkers(), answers.NumLabels()
 
 	st := &snapshot.State{
-		Strategy:           string(s.cfg.strategy),
-		Budget:             int64(s.cfg.budget),
-		CandidateLimit:     int64(s.cfg.candidateLimit),
-		Parallel:           s.cfg.parallel,
-		Parallelism:        int64(s.cfg.parallelism),
-		ConfirmationPeriod: int64(s.cfg.confirmationPeriod),
-		SpammerThreshold:   s.cfg.spammerThreshold,
-		SloppyThreshold:    s.cfg.sloppyThreshold,
-		UncertaintyGoal:    s.cfg.uncertaintyGoal,
-		Seed:               s.cfg.seed,
-		RNGState:           s.src.State(),
-		LastWorkerDriven:   engine.LastWorkerDriven(),
-		NumObjects:         int64(n),
-		NumWorkers:         int64(k),
-		NumLabels:          int64(m),
-		ObjectNames:        answers.ObjectNames,
-		WorkerNames:        answers.WorkerNames,
-		LabelNames:         answers.LabelNames,
-		Iteration:          int64(engine.Iteration()),
-		EffortSpent:        int64(engine.EffortSpent()),
+		Strategy:              string(s.cfg.strategy),
+		Budget:                int64(s.cfg.budget),
+		CandidateLimit:        int64(s.cfg.candidateLimit),
+		Parallel:              s.cfg.parallel,
+		Parallelism:           int64(s.cfg.parallelism),
+		ConfirmationPeriod:    int64(s.cfg.confirmationPeriod),
+		SpammerThreshold:      s.cfg.spammerThreshold,
+		SloppyThreshold:       s.cfg.sloppyThreshold,
+		UncertaintyGoal:       s.cfg.uncertaintyGoal,
+		Seed:                  s.cfg.seed,
+		DeltaEnabled:          s.cfg.deltaEnabled,
+		DeltaMaxDirtyFraction: s.cfg.deltaMaxDirtyFraction,
+		RNGState:              s.src.State(),
+		LastWorkerDriven:      engine.LastWorkerDriven(),
+		NumObjects:            int64(n),
+		NumWorkers:            int64(k),
+		NumLabels:             int64(m),
+		ObjectNames:           answers.ObjectNames,
+		WorkerNames:           answers.WorkerNames,
+		LabelNames:            answers.LabelNames,
+		Iteration:             int64(engine.Iteration()),
+		EffortSpent:           int64(engine.EffortSpent()),
 	}
 	if s.hybrid != nil {
 		st.HybridWeight = s.hybrid.Weight()
@@ -230,6 +232,8 @@ func resumeFromState(st *snapshot.State, opts []Option) (*Session, error) {
 	cfg.sloppyThreshold = st.SloppyThreshold
 	cfg.uncertaintyGoal = st.UncertaintyGoal
 	cfg.seed = st.Seed
+	cfg.deltaEnabled = st.DeltaEnabled
+	cfg.deltaMaxDirtyFraction = st.DeltaMaxDirtyFraction
 	cfg.apply(opts)
 
 	session, err := newSession(answers, cfg, restored)
