@@ -279,6 +279,71 @@ func BenchmarkAggregateWarmStart(b *testing.B) {
 	})
 }
 
+// benchmarkNextObject compares the two guidance scorers on one crowd shape
+// over an identical candidate set (the 64 highest-entropy unvalidated
+// objects, ~1% of objects expert-validated like BenchmarkAggregate):
+//
+//   - exact-full-em — the frozen reference: one full warm-started EM
+//     re-aggregation per (candidate, label) hypothesis (Eq. 8 literally).
+//   - delta — the delta-accelerated scorer: one frontier-restricted
+//     hypothetical E/M/E pass per hypothesis against pooled scratch buffers
+//     (aggregation.ScoreIndex/HypoScratch).
+//
+// Selection runs serially (Parallelism 1) so the ratio isolates the
+// algorithmic win, matching the BENCHMARKS.md single-core methodology.
+func benchmarkNextObject(b *testing.B, objects, workers, perObject int) {
+	d := benchmarkSparseCrowd(b, objects, workers, perObject)
+	validation := model.NewValidation(objects)
+	for o := 0; o < objects/100; o++ {
+		validation.Set(o*97%objects, d.Truth[o*97%objects])
+	}
+	iem := &aggregation.IncrementalEM{Config: aggregation.EMConfig{Parallelism: 1}}
+	res, err := iem.Aggregate(d.Answers, validation, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const candidateLimit = 64
+	strategy := &guidance.UncertaintyDriven{CandidateLimit: candidateLimit}
+	newCtx := func(delta bool) *guidance.Context {
+		return &guidance.Context{
+			Answers:    d.Answers,
+			ProbSet:    res.ProbSet,
+			Aggregator: iem,
+			DeltaScore: delta,
+		}
+	}
+
+	b.Run("exact-full-em", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh context per iteration rebuilds the per-aggregation
+			// index, like a serving step after a state change would.
+			if _, err := strategy.Select(newCtx(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := strategy.Select(newCtx(true)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNextObject is the headline guidance-scoring benchmark: one
+// uncertainty-driven NextObject selection, exact full-EM reference vs the
+// delta-accelerated scorer, on the BENCHMARKS.md crowd shapes. The delta/
+// exact ns/op ratio is guarded by scripts/benchguard (-pairs next).
+func BenchmarkNextObject(b *testing.B) {
+	b.Run("2500x100", func(b *testing.B) { benchmarkNextObject(b, 2500, 100, 8) })
+	b.Run("50000x500", func(b *testing.B) { benchmarkNextObject(b, 50000, 500, 5) })
+}
+
 func BenchmarkJacobiSVD4x4(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	m := linalg.NewMatrix(4, 4)

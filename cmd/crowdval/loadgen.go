@@ -40,6 +40,10 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		labels   = fs.Int("labels", 2, "labels of the synthetic base dataset")
 		perObj   = fs.Int("answers-per-object", 5, "initial crowd answers per object")
 		delta    = fs.Bool("delta", false, "create the sessions with the delta-incremental ingest path enabled")
+		deltaSc  = fs.Bool("delta-scoring", false, "create the sessions with delta-accelerated guidance scoring enabled")
+		mix      = fs.String("mix", "ingest", "workload mix: ingest (pure ingestion) or next (alternate ingest and next-object requests)")
+		strategy = fs.String("strategy", string(crowdval.StrategyBaseline), "guidance strategy of the created sessions")
+		nextK    = fs.Int("next-k", 5, "ranking size of the next-object requests of -mix next")
 		arrival  = fs.String("arrival", "closed", "arrival pattern: closed (back-to-back) or poisson")
 		rate     = fs.Float64("rate", 20, "mean requests/sec per client for -arrival poisson")
 		seed     = fs.Int64("seed", 1, "random seed for the dataset and the request streams")
@@ -47,11 +51,14 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *sessions < 1 || *clients < 1 || *requests < 1 || *batch < 1 {
-		return fmt.Errorf("loadgen: -sessions, -clients, -requests and -batch must be positive")
+	if *sessions < 1 || *clients < 1 || *requests < 1 || *batch < 1 || *nextK < 1 {
+		return fmt.Errorf("loadgen: -sessions, -clients, -requests, -batch and -next-k must be positive")
 	}
 	if *arrival != "closed" && *arrival != "poisson" {
 		return fmt.Errorf("loadgen: unknown arrival pattern %q (closed, poisson)", *arrival)
+	}
+	if *mix != "ingest" && *mix != "next" {
+		return fmt.Errorf("loadgen: unknown mix %q (ingest, next)", *mix)
 	}
 
 	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
@@ -99,14 +106,17 @@ func cmdLoadgen(args []string, out io.Writer) error {
 			Name:    names[i],
 			Objects: *objects, Workers: *workers, NumLabels: *labels,
 			Answers: baseAnswers,
-			Options: server.SessionConfig{Strategy: string(crowdval.StrategyBaseline), Seed: *seed + int64(i), Delta: *delta},
+			Options: server.SessionConfig{
+				Strategy: *strategy, Seed: *seed + int64(i),
+				Delta: *delta, DeltaScoring: *deltaSc,
+			},
 		}
 		if err := postJSON(client, baseURL+"/v1/sessions", req, http.StatusCreated); err != nil {
 			return fmt.Errorf("loadgen: creating session %s: %w", names[i], err)
 		}
 	}
 
-	var sent, failed atomic.Int64
+	var sent, nextSent, failed atomic.Int64
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -119,6 +129,20 @@ func cmdLoadgen(args []string, out io.Writer) error {
 			for r := 0; r < *requests; r++ {
 				if *arrival == "poisson" && *rate > 0 {
 					time.Sleep(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+				}
+				// The mixed workload alternates ingest and next-object
+				// requests, exercising writers and read-locked guidance
+				// scoring against the same sessions concurrently.
+				if *mix == "next" && r%2 == 1 {
+					var next server.NextResponse
+					url := fmt.Sprintf("%s/v1/sessions/%s/next?k=%d", baseURL, session, *nextK)
+					if err := getJSON(client, url, &next); err != nil {
+						failed.Add(1)
+						firstErr.CompareAndSwap(nil, &err)
+						continue
+					}
+					nextSent.Add(1)
+					continue
 				}
 				req := server.IngestRequest{Answers: make([]server.AnswerJSON, *batch)}
 				for j := range req.Answers {
@@ -145,18 +169,23 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		return fmt.Errorf("loadgen: fetching metrics: %w", err)
 	}
 	ok := sent.Load()
-	fmt.Fprintf(out, "loadgen: %d clients × %d requests × %d answers (%s arrivals) in %v\n",
-		*clients, *requests, *batch, *arrival, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(out, "  requests:   %d ok, %d failed (%.1f req/sec)\n",
-		ok, failed.Load(), float64(ok)/elapsed.Seconds())
+	nextOK := nextSent.Load()
+	fmt.Fprintf(out, "loadgen: %d clients × %d requests × %d answers (%s arrivals, %s mix) in %v\n",
+		*clients, *requests, *batch, *arrival, *mix, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  requests:   %d ingest ok, %d next ok, %d failed (%.1f req/sec)\n",
+		ok, nextOK, failed.Load(), float64(ok+nextOK)/elapsed.Seconds())
 	fmt.Fprintf(out, "  answers:    %.0f answers/sec end to end\n",
 		float64(ok)*float64(*batch)/elapsed.Seconds())
-	fmt.Fprintf(out, "  server:     %d answers ingested in %d batches, %d requests coalesced, %d EM iterations\n",
-		stats.IngestedAnswers, stats.IngestBatches, stats.CoalescedIngests, stats.EMIterations)
+	if *mix == "next" {
+		fmt.Fprintf(out, "  selections: %.1f next/sec end to end (k=%d)\n",
+			float64(nextOK)/elapsed.Seconds(), *nextK)
+	}
+	fmt.Fprintf(out, "  server:     %d answers ingested in %d batches, %d requests coalesced, %d selections, %d EM iterations\n",
+		stats.IngestedAnswers, stats.IngestBatches, stats.CoalescedIngests, stats.Selections, stats.EMIterations)
 	// A non-zero exit on failed requests is what makes the CI smoke run a
-	// real gate on the CLI → HTTP → ingest path.
+	// real gate on the CLI → HTTP → ingest/next path.
 	if n := failed.Load(); n > 0 {
-		return fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", n, n+ok, *firstErr.Load())
+		return fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", n, n+ok+nextOK, *firstErr.Load())
 	}
 	return nil
 }

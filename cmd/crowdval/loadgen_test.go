@@ -19,7 +19,7 @@ func TestCLILoadgenInProcess(t *testing.T) {
 		t.Fatalf("loadgen: %v\n%s", err, out.String())
 	}
 	text := out.String()
-	if !strings.Contains(text, "9 ok, 0 failed") {
+	if !strings.Contains(text, "9 ingest ok, 0 next ok, 0 failed") {
 		t.Fatalf("loadgen requests did not all succeed:\n%s", text)
 	}
 	if !strings.Contains(text, "answers/sec end to end") || !strings.Contains(text, "requests coalesced") {
@@ -40,8 +40,34 @@ func TestCLILoadgenPoissonArrivals(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loadgen poisson: %v\n%s", err, out.String())
 	}
-	if !strings.Contains(out.String(), "4 ok, 0 failed") {
+	if !strings.Contains(out.String(), "4 ingest ok, 0 next ok, 0 failed") {
 		t.Fatalf("poisson loadgen failed requests:\n%s", out.String())
+	}
+}
+
+// TestCLILoadgenMixedNextWorkload covers the mixed ingest+next workload:
+// every other request per client is a GET /next?k= against a delta-scored
+// uncertainty session, served under the read lock while ingests keep
+// writing.
+func TestCLILoadgenMixedNextWorkload(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"loadgen",
+		"-sessions", "2", "-clients", "2", "-requests", "4", "-batch", "5",
+		"-objects", "80", "-workers", "12", "-answers-per-object", "4",
+		"-delta", "-delta-scoring", "-mix", "next", "-strategy", "uncertainty",
+		"-next-k", "3", "-seed", "9"}, &out)
+	if err != nil {
+		t.Fatalf("loadgen mixed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "4 ingest ok, 4 next ok, 0 failed") {
+		t.Fatalf("mixed loadgen requests did not all succeed:\n%s", text)
+	}
+	if !strings.Contains(text, "next/sec end to end (k=3)") {
+		t.Fatalf("mixed loadgen report lacks selection throughput:\n%s", text)
+	}
+	if !strings.Contains(text, "4 selections") {
+		t.Fatalf("server did not count the selections:\n%s", text)
 	}
 }
 
@@ -53,5 +79,11 @@ func TestCLILoadgenRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"loadgen", "-arrival", "warp"}, &out); err == nil {
 		t.Fatal("loadgen accepted an unknown arrival pattern")
+	}
+	if err := run([]string{"loadgen", "-mix", "chaos"}, &out); err == nil {
+		t.Fatal("loadgen accepted an unknown mix")
+	}
+	if err := run([]string{"loadgen", "-next-k", "0"}, &out); err == nil {
+		t.Fatal("loadgen accepted -next-k 0")
 	}
 }

@@ -94,6 +94,21 @@ func checkInputs(answers *model.AnswerSet, validation *model.Validation) (*model
 	return validation, nil
 }
 
+// EMConfigOf extracts the EM parameters of one of the EM aggregators —
+// callers that mirror aggregation behavior (the hypothetical guidance
+// scorer's M-step smoothing) resolve the configuration through this one
+// helper. Non-EM aggregators yield the zero configuration, i.e. the
+// defaults.
+func EMConfigOf(agg Aggregator) EMConfig {
+	switch a := agg.(type) {
+	case *IncrementalEM:
+		return a.Config
+	case *BatchEM:
+		return a.Config
+	}
+	return EMConfig{}
+}
+
 // Sharded is implemented by aggregators that can produce a copy of
 // themselves with internal sharding disabled. Callers that invoke an
 // aggregator from many goroutines at once — the validation engine's parallel

@@ -376,15 +376,22 @@ func eStep(ctx context.Context, answers *model.AnswerSet, validation *model.Vali
 // the full E-step and the delta phase (runDeltaEM), so the two compute
 // bit-identical table entries by construction.
 func fillLogConf(logConf []float64, confusions []*model.ConfusionMatrix, w, m int) {
-	f := confusions[w]
 	mm := m * m
+	fillLogConfBlock(logConf[w*mm:(w+1)*mm], confusions[w], m)
+}
+
+// fillLogConfBlock writes one worker's m² log-confusion block (layout
+// l·m + l2) into dst, flooring hard zeros at 1e-12. Shared by the full
+// E-step's table build and the hypothetical scorer's staged blocks
+// (HypoScratch), so both compute bit-identical entries.
+func fillLogConfBlock(dst []float64, f *model.ConfusionMatrix, m int) {
 	for l := 0; l < m; l++ {
 		for l2 := 0; l2 < m; l2++ {
 			p := f.At(model.Label(l), model.Label(l2))
 			if p <= 0 {
 				p = 1e-12
 			}
-			logConf[w*mm+l*m+l2] = math.Log(p)
+			dst[l*m+l2] = math.Log(p)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"crowdval/internal/aggregation"
 	"crowdval/internal/cverr"
@@ -94,6 +95,15 @@ type Config struct {
 	// It applies to the default i-EM aggregator and to any cfg.Aggregator
 	// implementing aggregation.DeltaAggregator; other aggregators ignore it.
 	Delta aggregation.DeltaConfig
+	// DeltaScoring routes guidance candidate scoring through the
+	// delta-accelerated hypothetical scorers (guidance.Context.DeltaScore):
+	// a hypothetical validation of object o dirties only o plus its
+	// answering workers, so one candidate costs a frontier-restricted EM
+	// pass instead of a full warm EM re-aggregation. Selections agree with
+	// the exact full-EM scorer up to a documented information-gain tolerance
+	// (the worker-driven scorer is exact); like Delta it is opt-in because
+	// selections are no longer bit-identical to the reference scorer.
+	DeltaScoring bool
 	// Rand drives stochastic components (hybrid roulette wheel). Nil uses a
 	// fixed seed so runs are reproducible.
 	Rand *rand.Rand
@@ -163,6 +173,22 @@ type Engine struct {
 	// the worker-driven branch.
 	lastWorkerDriven bool
 
+	// selMu guards the mutable selection state — the hybrid roulette draw
+	// (and any other strategy-owned pseudo-random state), lastWorkerDriven
+	// and the lazily built scoreIndex — so selections may run concurrently
+	// with each other and with read-only state access (a serving tier calls
+	// SelectNext under its read lock). The expensive candidate scoring runs
+	// outside the lock; only the draw and the index build are serialized.
+	// Selections must still not run concurrently with mutations (Integrate,
+	// AddAnswers, ...): that exclusion is the caller's, e.g. a single-writer
+	// RWMutex in the serving tier.
+	selMu sync.Mutex
+	// scoreIndex is the per-aggregation guidance scoring index (per-object
+	// entropies, hypothetical-scoring tables), built lazily on the first
+	// selection after an aggregation and invalidated whenever the
+	// probabilistic state changes.
+	scoreIndex *aggregation.ScoreIndex
+
 	iteration   int
 	effortSpent int
 	history     []IterationRecord
@@ -198,10 +224,18 @@ func NewEngineContext(ctx context.Context, answers *model.AnswerSet, cfg Config)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial aggregation: %w", err)
 	}
-	e.probSet = res.ProbSet
-	e.assignment = res.ProbSet.Instantiate()
+	e.setProbSet(res.ProbSet)
 	e.emIterations += res.Iterations
 	return e, nil
+}
+
+// setProbSet installs a new probabilistic state: it re-instantiates the
+// deterministic assignment and invalidates the guidance scoring index, which
+// is only valid for the aggregation it was built from.
+func (e *Engine) setProbSet(p *model.ProbabilisticAnswerSet) {
+	e.probSet = p
+	e.assignment = p.Instantiate()
+	e.scoreIndex = nil
 }
 
 // newEngineShell wires up an engine — components, quarantine, bookkeeping —
@@ -332,13 +366,12 @@ func RestoreEngine(answers *model.AnswerSet, st *RestoredState, cfg Config) (*En
 		}
 		confusions[w] = c.Clone()
 	}
-	e.probSet = &model.ProbabilisticAnswerSet{
+	e.setProbSet(&model.ProbabilisticAnswerSet{
 		Answers:    e.working,
 		Validation: e.validation.Clone(),
 		Assignment: st.Assignment.Clone(),
 		Confusions: confusions,
-	}
-	e.assignment = e.probSet.Instantiate()
+	})
 	// Reconstructing the quarantine masks marked the frontier dirty, but the
 	// restored probabilistic state already is the fixed point over exactly
 	// this working set; the next aggregation starts from a clean frontier.
@@ -446,7 +479,32 @@ func (e *Engine) guidanceContext(ctx context.Context) *guidance.Context {
 		Detector:       e.scoringDetector,
 		Parallel:       e.cfg.Parallel,
 		MaxParallelism: e.cfg.MaxParallelism,
+		DeltaScore:     e.cfg.DeltaScoring,
 	}
+}
+
+// ensureScoreIndex returns the guidance scoring index for the current
+// probabilistic state, building it (and, for delta scoring, its hypothetical
+// tables) on the first selection after an aggregation. Callers hold selMu.
+func (e *Engine) ensureScoreIndex() *aggregation.ScoreIndex {
+	if e.scoreIndex == nil {
+		ix := aggregation.NewScoreIndex(e.working, e.probSet, aggregation.EMConfigOf(e.scoringAggregator))
+		if e.cfg.DeltaScoring {
+			ix.EnsureHypoTables()
+		}
+		e.scoreIndex = ix
+	}
+	return e.scoreIndex
+}
+
+// WithSelectionLock runs fn while holding the selection mutex. Snapshotters
+// use it to read the strategy state (pseudo-random stream, hybrid weight,
+// last branch) consistently while selections may be in flight on other
+// goroutines; fn must not call back into selection.
+func (e *Engine) WithSelectionLock(fn func()) {
+	e.selMu.Lock()
+	defer e.selMu.Unlock()
+	fn()
 }
 
 // aggregate runs the conclude step over the current evidence. With the delta
@@ -490,31 +548,115 @@ func (e *Engine) SelectNext() (int, error) {
 // It fails with ErrSessionDone when every object is validated or the goal is
 // reached, and with ErrBudgetExhausted when the effort budget is spent.
 func (e *Engine) SelectNextContext(ctx context.Context) (int, error) {
+	ranked, err := e.selectRanked(ctx, 1)
+	if err != nil {
+		return -1, err
+	}
+	return ranked[0].Object, nil
+}
+
+// SelectNextK returns the top k candidate objects for the next expert
+// validation, ranked by the strategy's score (see SelectNextKContext).
+func (e *Engine) SelectNextK(k int) ([]guidance.ScoredObject, error) {
+	return e.SelectNextKContext(context.Background(), k)
+}
+
+// SelectNextKContext is the batched form of SelectNextContext: one scoring
+// pass ranks the top k candidates (fewer when fewer remain unvalidated),
+// ordered by score descending with ties broken toward the smaller object
+// index. SelectNextKContext(ctx, 1) selects exactly the object
+// SelectNextContext would, and consumes the same pseudo-random state (one
+// hybrid roulette draw per call), so mixed single/batched selections keep
+// snapshots and resumed sessions aligned. The effort preconditions are those
+// of SelectNextContext — the budget bounds validations, not suggestions, so a
+// ranking may be longer than the remaining budget.
+func (e *Engine) SelectNextKContext(ctx context.Context, k int) ([]guidance.ScoredObject, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d (must be at least 1)", cverr.ErrOutOfRange, k)
+	}
+	return e.selectRanked(ctx, k)
+}
+
+// selectRanked is the shared selection path: preconditions and the stateful
+// strategy-branch decision run under the selection lock, the expensive
+// read-only candidate scoring outside it, so a serving tier can run
+// selections under its read lock concurrently with other selections and
+// views.
+func (e *Engine) selectRanked(ctx context.Context, k int) ([]guidance.ScoredObject, error) {
+	exec, gctx, release, err := e.beginSelection(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var ranked []guidance.ScoredObject
+	if ks, ok := exec.(guidance.KSelector); ok {
+		ranked, err = ks.SelectK(gctx, k)
+	} else {
+		// A caller-supplied strategy without batched selection still serves
+		// k = 1 semantics: the single selected object, unranked.
+		var object int
+		object, err = exec.Select(gctx)
+		if err == nil {
+			ranked = []guidance.ScoredObject{{Object: object}}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: selection failed: %w", err)
+	}
+	if len(ranked) == 0 {
+		// Defensive: a caller-supplied KSelector may legitimately return an
+		// empty ranking when its own filtering leaves no candidate.
+		return nil, fmt.Errorf("core: selection failed: %w", cverr.ErrNoCandidates)
+	}
+	return ranked, nil
+}
+
+// beginSelection performs the serialized prologue of one selection under the
+// selection lock: the effort/goal preconditions, the stateful strategy-branch
+// decision (hybrid roulette draw, lastWorkerDriven bookkeeping) and the
+// scoring-index build. For the stateless scoring strategies it releases the
+// lock before returning, so the expensive scoring runs unlocked; stateful or
+// unknown strategies (Random, custom implementations) keep the lock for the
+// whole selection and the returned release function drops it afterwards.
+func (e *Engine) beginSelection(ctx context.Context) (guidance.Strategy, *guidance.Context, func(), error) {
+	e.selMu.Lock()
 	if e.cfg.Goal != nil && e.cfg.Goal(e) {
-		return -1, fmt.Errorf("core: goal reached: %w", cverr.ErrSessionDone)
+		e.selMu.Unlock()
+		return nil, nil, nil, fmt.Errorf("core: goal reached: %w", cverr.ErrSessionDone)
 	}
 	if len(e.validation.UnvalidatedObjects()) == 0 {
-		return -1, fmt.Errorf("core: all objects are already validated: %w", cverr.ErrSessionDone)
+		e.selMu.Unlock()
+		return nil, nil, nil, fmt.Errorf("core: all objects are already validated: %w", cverr.ErrSessionDone)
 	}
 	if e.effortSpent >= e.budget() {
-		return -1, fmt.Errorf("core: %w: spent %d of %d", cverr.ErrBudgetExhausted, e.effortSpent, e.budget())
+		e.selMu.Unlock()
+		return nil, nil, nil, fmt.Errorf("core: %w: spent %d of %d", cverr.ErrBudgetExhausted, e.effortSpent, e.budget())
 	}
 	// Bail before the strategy runs: an already-cancelled context must not
 	// consume state (in particular not the hybrid roulette draw), so retrying
 	// after cancellation stays deterministic.
 	if err := ctx.Err(); err != nil {
-		return -1, err
+		e.selMu.Unlock()
+		return nil, nil, nil, err
 	}
-	object, err := e.strategy.Select(e.guidanceContext(ctx))
-	if err != nil {
-		return -1, fmt.Errorf("core: selection failed: %w", err)
-	}
+	exec := e.strategy
 	if e.hybrid != nil {
+		exec = e.hybrid.ChooseBranch()
 		e.lastWorkerDriven = e.hybrid.LastChoiceWorkerDriven()
 	} else {
 		e.lastWorkerDriven = e.workerDriven
 	}
-	return object, nil
+	gctx := e.guidanceContext(ctx)
+	switch exec.(type) {
+	case *guidance.UncertaintyDriven, *guidance.WorkerDriven, *guidance.Baseline:
+		// Stateless scorers: share the per-aggregation index and score
+		// outside the lock.
+		gctx.Index = e.ensureScoreIndex()
+		e.selMu.Unlock()
+		return exec, gctx, func() {}, nil
+	default:
+		return exec, gctx, e.selMu.Unlock, nil
+	}
 }
 
 // Integrate records the expert's validation of an object and performs the
@@ -618,8 +760,7 @@ func (e *Engine) IntegrateContext(ctx context.Context, object int, label model.L
 		rollback()
 		return IterationRecord{}, fmt.Errorf("core: aggregation: %w", err)
 	}
-	e.probSet = res.ProbSet
-	e.assignment = res.ProbSet.Instantiate()
+	e.setProbSet(res.ProbSet)
 	e.emIterations += res.Iterations
 	record.EMIterations = res.Iterations
 	record.Uncertainty = aggregation.Uncertainty(e.probSet)
@@ -659,8 +800,7 @@ func (e *Engine) ReviseValidationContext(ctx context.Context, object int, label 
 	}
 	e.effortSpent++
 	e.confirmedValidations[object] = label
-	e.probSet = res.ProbSet
-	e.assignment = res.ProbSet.Instantiate()
+	e.setProbSet(res.ProbSet)
 	e.emIterations += res.Iterations
 	if len(e.history) > 0 {
 		last := &e.history[len(e.history)-1]
@@ -784,8 +924,7 @@ func (e *Engine) IntegrateBatch(ctx context.Context, inputs []ValidationInput) (
 		rollback()
 		return nil, fmt.Errorf("core: aggregation: %w", err)
 	}
-	e.probSet = res.ProbSet
-	e.assignment = res.ProbSet.Instantiate()
+	e.setProbSet(res.ProbSet)
 	e.emIterations += res.Iterations
 	uncertainty := aggregation.Uncertainty(e.probSet)
 	for i := range records {
@@ -911,20 +1050,18 @@ func (e *Engine) AddAnswers(ctx context.Context, newAnswers []model.Answer) erro
 
 	// Install the grown warm state before aggregating so the engine stays
 	// consistent even if the aggregation below is cancelled.
-	e.probSet = &model.ProbabilisticAnswerSet{
+	e.setProbSet(&model.ProbabilisticAnswerSet{
 		Answers:    e.working,
 		Validation: e.validation.Clone(),
 		Assignment: assignment,
 		Confusions: confusions,
-	}
-	e.assignment = e.probSet.Instantiate()
+	})
 
 	res, err := e.aggregate(ctx)
 	if err != nil {
 		return fmt.Errorf("core: aggregation: %w", err)
 	}
-	e.probSet = res.ProbSet
-	e.assignment = res.ProbSet.Instantiate()
+	e.setProbSet(res.ProbSet)
 	e.emIterations += res.Iterations
 	return nil
 }

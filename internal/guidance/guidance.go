@@ -10,12 +10,11 @@ import (
 	stdctx "context"
 	"math/rand"
 	"runtime"
-	"sort"
-	"sync"
 
 	"crowdval/internal/aggregation"
 	"crowdval/internal/cverr"
 	"crowdval/internal/model"
+	"crowdval/internal/par"
 	"crowdval/internal/spamdetect"
 )
 
@@ -50,6 +49,21 @@ type Context struct {
 	// MaxParallelism caps the number of scoring goroutines; values < 1 use
 	// GOMAXPROCS.
 	MaxParallelism int
+	// Index optionally carries the per-aggregation scoring index (per-object
+	// entropies, hypothetical-scoring tables). The validation engine builds
+	// it once per aggregation and reuses it across Select calls; when nil,
+	// scoring strategies build one on the fly for this call.
+	Index *aggregation.ScoreIndex
+	// DeltaScore routes candidate scoring through the delta-accelerated
+	// hypothetical scorers: the uncertainty-driven strategy estimates each
+	// hypothesis with one frontier-restricted EM pass (ScoreIndex/HypoScratch)
+	// instead of a full warm EM re-aggregation, and the worker-driven
+	// strategy reassesses only the candidate's answering workers against a
+	// baseline detection instead of re-detecting the whole community. The
+	// worker-driven path is exact; the uncertainty path approximates the
+	// full-EM reference within the documented information-gain tolerance
+	// (see the parity tests).
+	DeltaScore bool
 }
 
 func (c *Context) candidates() []int {
@@ -95,6 +109,25 @@ func (c *Context) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// index returns the per-aggregation scoring index, building (and memoizing)
+// one when the caller did not supply it. The call must happen before scoring
+// fans out: the index is shared read-only by all scoring goroutines.
+func (c *Context) index() *aggregation.ScoreIndex {
+	if c.Index == nil {
+		c.Index = aggregation.NewScoreIndex(c.Answers, c.ProbSet, c.emConfig())
+	}
+	if c.DeltaScore {
+		c.Index.EnsureHypoTables()
+	}
+	return c.Index
+}
+
+// emConfig extracts the EM parameters the hypothetical scorer mirrors from
+// the context's aggregator, when it is one of the EM aggregators.
+func (c *Context) emConfig() aggregation.EMConfig {
+	return aggregation.EMConfigOf(c.Aggregator)
+}
+
 // ErrNoCandidates is returned when a strategy is asked to select an object
 // but no candidate is available. It aliases the shared sentinel so
 // errors.Is matches across layers.
@@ -107,6 +140,26 @@ type Strategy interface {
 	Name() string
 	// Select returns the index of the chosen object.
 	Select(ctx *Context) (int, error)
+}
+
+// ScoredObject is one ranked candidate of a batched selection: the object and
+// the strategy's score for it (information gain for the uncertainty-driven
+// strategy, expected detected faulty workers for the worker-driven one,
+// entropy for the baseline, 0 for strategies without a meaningful score).
+type ScoredObject struct {
+	Object int     `json:"object"`
+	Score  float64 `json:"score"`
+}
+
+// KSelector is implemented by strategies that can return a ranked top-k batch
+// of candidates in one scoring pass. The ranking is deterministic — ordered
+// by score descending, ties broken toward the smaller object index — and its
+// first element is exactly the object Select would return. All strategies of
+// this package implement it.
+type KSelector interface {
+	Strategy
+	// SelectK returns up to k ranked candidates (fewer when fewer exist).
+	SelectK(ctx *Context, k int) ([]ScoredObject, error)
 }
 
 // Random selects a candidate uniformly at random. It models the unguided
@@ -131,6 +184,35 @@ func (r *Random) Select(ctx *Context) (int, error) {
 	return candidates[rng.Intn(len(candidates))], nil
 }
 
+// SelectK implements KSelector: k distinct uniform draws (a partial
+// Fisher–Yates shuffle). SelectK(ctx, 1) consumes exactly one draw, like
+// Select, so mixing the two keeps the pseudo-random stream aligned. Scores
+// are zero — random selection has no ranking signal.
+func (r *Random) SelectK(ctx *Context, k int) ([]ScoredObject, error) {
+	candidates := ctx.candidates()
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	rng := r.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	if k < 1 {
+		k = 1
+	}
+	pool := append([]int(nil), candidates...)
+	out := make([]ScoredObject, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		out[i] = ScoredObject{Object: pool[i]}
+	}
+	return out, nil
+}
+
 // Baseline selects the candidate with the highest entropy, i.e. the most
 // "problematic" object. This is the baseline guidance method of §6.6
 // (Appendix C).
@@ -149,66 +231,89 @@ func (b *Baseline) Select(ctx *Context) (int, error) {
 	return o, nil
 }
 
+// SelectK implements KSelector: the k candidates with the highest entropy,
+// scored by that entropy. Entropies come from the per-aggregation index (or
+// are computed once when the context carries none).
+func (b *Baseline) SelectK(ctx *Context, k int) ([]ScoredObject, error) {
+	candidates := ctx.candidates()
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	ix := ctx.index()
+	scores := make([]float64, len(candidates))
+	for i, o := range candidates {
+		scores[i] = ix.ObjectEntropy(o)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return topKByScore(candidates, scores, k), nil
+}
+
+// scorerFunc scores one candidate object. A scorer is used by exactly one
+// goroutine, so implementations may keep per-goroutine scratch state.
+type scorerFunc func(o int) (float64, error)
+
+// scoreAll evaluates every candidate's score, optionally sharded across
+// scoring goroutines through internal/par (the same dispatch the E/M-steps
+// use, so cancellation and worker-cap semantics match the rest of the
+// codebase). newScorer runs once per shard so each goroutine owns its scratch
+// buffers. A cancelled ctx.Ctx aborts the scan between candidates and returns
+// the context's error; results are identical for every parallelism degree
+// because candidates are scored independently into disjoint slots.
+func scoreAll(ctx *Context, candidates []int, newScorer func() scorerFunc) ([]float64, error) {
+	scores := make([]float64, len(candidates))
+	cancel := ctx.ctx()
+	shards := 1
+	if ctx.Parallel && len(candidates) > 1 {
+		shards = par.Shards(ctx.parallelism(), len(candidates))
+	}
+	shardErr := make([]error, shards)
+	err := par.ForNCtx(cancel, len(candidates), shards, func(shard, lo, hi int) {
+		score := newScorer()
+		for idx := lo; idx < hi; idx++ {
+			if err := cancel.Err(); err != nil {
+				shardErr[shard] = err
+				return
+			}
+			v, err := score(candidates[idx])
+			if err != nil {
+				shardErr[shard] = err
+				return
+			}
+			scores[idx] = v
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, err := range shardErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scores, nil
+}
+
 // scoreCandidates evaluates score(o) for every candidate, optionally in
 // parallel, and returns the candidate with the maximal score. Ties are broken
 // toward the smallest object index so selections stay deterministic. A
 // cancelled ctx.Ctx aborts the scan between candidates and returns the
 // context's error.
-func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64, error)) (int, error) {
-	type scored struct {
-		object int
-		value  float64
-		err    error
-	}
-	results := make([]scored, len(candidates))
-	cancel := ctx.ctx()
+func scoreCandidates(ctx *Context, candidates []int, score scorerFunc) (int, error) {
+	return scoreBest(ctx, candidates, func() scorerFunc { return score })
+}
 
-	if ctx.Parallel && len(candidates) > 1 {
-		workers := ctx.parallelism()
-		if workers > len(candidates) {
-			workers = len(candidates)
-		}
-		var wg sync.WaitGroup
-		jobs := make(chan int)
-		wg.Add(workers)
-		for i := 0; i < workers; i++ {
-			go func() {
-				defer wg.Done()
-				for idx := range jobs {
-					if err := cancel.Err(); err != nil {
-						results[idx] = scored{object: candidates[idx], err: err}
-						continue
-					}
-					v, err := score(candidates[idx])
-					results[idx] = scored{object: candidates[idx], value: v, err: err}
-				}
-			}()
-		}
-		for idx := range candidates {
-			jobs <- idx
-		}
-		close(jobs)
-		wg.Wait()
-	} else {
-		for idx, o := range candidates {
-			if err := cancel.Err(); err != nil {
-				return -1, err
-			}
-			v, err := score(o)
-			results[idx] = scored{object: o, value: v, err: err}
-		}
-	}
-	if err := cancel.Err(); err != nil {
+// scoreBest is scoreCandidates with a per-goroutine scorer factory.
+func scoreBest(ctx *Context, candidates []int, newScorer func() scorerFunc) (int, error) {
+	scores, err := scoreAll(ctx, candidates, newScorer)
+	if err != nil {
 		return -1, err
 	}
-
 	best, bestValue := -1, 0.0
-	for _, r := range results {
-		if r.err != nil {
-			return -1, r.err
-		}
-		if best == -1 || r.value > bestValue || (r.value == bestValue && r.object < best) {
-			best, bestValue = r.object, r.value
+	for idx, o := range candidates {
+		if best == -1 || scores[idx] > bestValue || (scores[idx] == bestValue && o < best) {
+			best, bestValue = o, scores[idx]
 		}
 	}
 	if best == -1 {
@@ -217,18 +322,117 @@ func scoreCandidates(ctx *Context, candidates []int, score func(o int) (float64,
 	return best, nil
 }
 
+// scoreTopK scores every candidate and returns the k best as a deterministic
+// ranking (score descending, ties toward the smaller object index).
+func scoreTopK(ctx *Context, candidates []int, newScorer func() scorerFunc, k int) ([]ScoredObject, error) {
+	scores, err := scoreAll(ctx, candidates, newScorer)
+	if err != nil {
+		return nil, err
+	}
+	ranked := topKByScore(candidates, scores, k)
+	if len(ranked) == 0 {
+		return nil, ErrNoCandidates
+	}
+	return ranked, nil
+}
+
+// topKByScore selects the k best (score descending, ties toward the smaller
+// object index) of parallel object/score slices by partial selection: a
+// bounded min-heap of the k best seen so far, O(c·log k) instead of a full
+// O(c·log c) sort. The returned ranking is fully ordered and deterministic —
+// the (score, object) comparator is a total order.
+func topKByScore(objects []int, scores []float64, k int) []ScoredObject {
+	if k > len(objects) {
+		k = len(objects)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// heap[0] is the worst kept element (min-heap under the ranking order).
+	heap := make([]ScoredObject, 0, k)
+	for idx, o := range objects {
+		cand := ScoredObject{Object: o, Score: scores[idx]}
+		if len(heap) < k {
+			heap = append(heap, cand)
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !ranksBelow(heap[i], heap[parent]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if ranksBelow(heap[0], cand) {
+			heap[0] = cand
+			siftDown(heap, 0)
+		}
+	}
+	// Drain the heap into descending rank order in place: repeatedly swap the
+	// worst remaining element to the back and restore the shrunk prefix.
+	for end := len(heap) - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftDown(heap[:end], 0)
+	}
+	return heap
+}
+
+// ranksBelow reports whether a ranks strictly below b in a ranking ordered
+// by score descending with ties toward the smaller object index. It is a
+// total order, which is what makes rankings deterministic.
+func ranksBelow(a, b ScoredObject) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Object > b.Object
+}
+
+// siftDown restores the min-heap property (under ranksBelow) of s at index i.
+func siftDown(s []ScoredObject, i int) {
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(s) && ranksBelow(s[left], s[smallest]) {
+			smallest = left
+		}
+		if right < len(s) && ranksBelow(s[right], s[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+}
+
 // topEntropyCandidates returns up to limit candidates with the highest object
 // entropy. limit <= 0 returns the candidates unchanged. Pre-filtering by
 // entropy keeps the expensive information-gain computation tractable on large
 // answer sets without changing which objects are interesting: objects with
-// near-zero entropy cannot yield a large gain.
-func topEntropyCandidates(u *model.AssignmentMatrix, candidates []int, limit int) []int {
+// near-zero entropy cannot yield a large gain. Entropies come from the
+// per-aggregation index when available and are otherwise computed once into a
+// slice — never inside a sort comparator — and the top slice is found by
+// partial selection instead of a full sort.
+func topEntropyCandidates(ix *aggregation.ScoreIndex, u *model.AssignmentMatrix, candidates []int, limit int) []int {
 	if limit <= 0 || len(candidates) <= limit {
 		return candidates
 	}
-	sorted := append([]int(nil), candidates...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return aggregation.ObjectEntropy(u, sorted[i]) > aggregation.ObjectEntropy(u, sorted[j])
-	})
-	return sorted[:limit]
+	scores := make([]float64, len(candidates))
+	if ix != nil {
+		for i, o := range candidates {
+			scores[i] = ix.ObjectEntropy(o)
+		}
+	} else {
+		for i, o := range candidates {
+			scores[i] = aggregation.ObjectEntropy(u, o)
+		}
+	}
+	top := topKByScore(candidates, scores, limit)
+	out := make([]int, len(top))
+	for i, s := range top {
+		out[i] = s.Object
+	}
+	return out
 }

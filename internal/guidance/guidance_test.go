@@ -392,14 +392,14 @@ func TestTopEntropyCandidates(t *testing.T) {
 	u.SetRow(2, []float64{0.7, 0.3})
 	u.SetRow(3, []float64{0.6, 0.4})
 	all := []int{0, 1, 2, 3}
-	top2 := topEntropyCandidates(u, all, 2)
+	top2 := topEntropyCandidates(nil, u, all, 2)
 	if len(top2) != 2 || top2[0] != 0 || top2[1] != 3 {
 		t.Fatalf("top2 = %v, want [0 3]", top2)
 	}
-	if got := topEntropyCandidates(u, all, 0); len(got) != 4 {
+	if got := topEntropyCandidates(nil, u, all, 0); len(got) != 4 {
 		t.Fatal("limit 0 should keep all candidates")
 	}
-	if got := topEntropyCandidates(u, all, 10); len(got) != 4 {
+	if got := topEntropyCandidates(nil, u, all, 10); len(got) != 4 {
 		t.Fatal("limit above length should keep all candidates")
 	}
 }

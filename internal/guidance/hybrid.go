@@ -62,27 +62,44 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-// Select implements Strategy: a roulette-wheel choice between the
-// worker-driven strategy (probability z_i) and the uncertainty-driven
-// strategy (probability 1 − z_i).
-func (h *Hybrid) Select(ctx *Context) (int, error) {
+// ChooseBranch performs the roulette-wheel draw of one selection — with
+// probability z_i the worker-driven strategy, otherwise the uncertainty-driven
+// one — consumes exactly one pseudo-random value, records the branch for
+// LastChoiceWorkerDriven, and returns the branch strategy. It exists as a
+// separate step so callers that serve selections concurrently (the validation
+// engine under a serving tier's read lock) can serialize only this stateful
+// draw and run the expensive, read-only candidate scoring outside the lock.
+func (h *Hybrid) ChooseBranch() KSelector {
 	rng := h.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 		h.Rand = rng
 	}
-	uncertainty := h.Uncertainty
-	if uncertainty == nil {
-		uncertainty = &UncertaintyDriven{}
-	}
-	worker := h.Worker
-	if worker == nil {
-		worker = &WorkerDriven{}
-	}
 	if rng.Float64() < h.weight {
 		h.lastWorkerDriven = true
-		return worker.Select(ctx)
+		if h.Worker != nil {
+			return h.Worker
+		}
+		return &WorkerDriven{}
 	}
 	h.lastWorkerDriven = false
-	return uncertainty.Select(ctx)
+	if h.Uncertainty != nil {
+		return h.Uncertainty
+	}
+	return &UncertaintyDriven{}
+}
+
+// Select implements Strategy: a roulette-wheel choice between the
+// worker-driven strategy (probability z_i) and the uncertainty-driven
+// strategy (probability 1 − z_i).
+func (h *Hybrid) Select(ctx *Context) (int, error) {
+	return h.ChooseBranch().Select(ctx)
+}
+
+// SelectK implements KSelector: one roulette-wheel draw chooses the branch,
+// which then ranks the top-k candidates. SelectK consumes exactly as much
+// pseudo-random state as Select, so mixed single/batched selections keep the
+// session's stream (and therefore snapshots) aligned.
+func (h *Hybrid) SelectK(ctx *Context, k int) ([]ScoredObject, error) {
+	return h.ChooseBranch().SelectK(ctx, k)
 }

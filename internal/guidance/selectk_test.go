@@ -1,0 +1,288 @@
+package guidance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdval/internal/aggregation"
+	"crowdval/internal/model"
+	"crowdval/internal/spamdetect"
+)
+
+// deltaContext builds a guidance context with delta-accelerated scoring.
+func deltaContext(t *testing.T, answers *model.AnswerSet, validation *model.Validation) *Context {
+	t.Helper()
+	ctx := buildContext(t, answers, validation)
+	ctx.DeltaScore = true
+	return ctx
+}
+
+func TestTopKByScore(t *testing.T) {
+	objects := []int{4, 1, 7, 2, 9}
+	scores := []float64{0.5, 0.9, 0.5, 0.1, 0.9}
+	top := topKByScore(objects, scores, 3)
+	// Ranking: score descending, ties toward the smaller object index.
+	want := []ScoredObject{{Object: 1, Score: 0.9}, {Object: 9, Score: 0.9}, {Object: 4, Score: 0.5}}
+	if len(top) != 3 {
+		t.Fatalf("top = %v, want 3 entries", top)
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top[%d] = %+v, want %+v", i, top[i], want[i])
+		}
+	}
+	if got := topKByScore(objects, scores, 99); len(got) != len(objects) {
+		t.Fatalf("k beyond length returned %d entries", len(got))
+	}
+	if got := topKByScore(objects, scores, 0); got != nil {
+		t.Fatalf("k = 0 returned %v", got)
+	}
+	full := topKByScore(objects, scores, len(objects))
+	for i := 1; i < len(full); i++ {
+		if full[i-1].Score < full[i].Score {
+			t.Fatalf("full ranking not sorted: %v", full)
+		}
+	}
+}
+
+// TestSelectKFirstMatchesSelect: for every strategy, SelectK(ctx, 1) picks
+// exactly the object Select picks, and SelectK rankings are deterministic
+// across serial and parallel scoring.
+func TestSelectKFirstMatchesSelect(t *testing.T) {
+	answers, _ := mixedCrowdAnswers(t, 14, 9)
+	strategies := []KSelector{
+		&UncertaintyDriven{},
+		&WorkerDriven{},
+		&Baseline{},
+	}
+	for _, deltaScore := range []bool{false, true} {
+		for _, s := range strategies {
+			ctx := buildContext(t, answers, nil)
+			ctx.DeltaScore = deltaScore
+			single, err := s.Select(ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			ranked, err := s.SelectK(buildCtxLike(t, answers, deltaScore, false), 1)
+			if err != nil {
+				t.Fatalf("%s SelectK: %v", s.Name(), err)
+			}
+			if len(ranked) != 1 || ranked[0].Object != single {
+				t.Fatalf("%s (delta=%v): Select = %d, SelectK(1) = %v", s.Name(), deltaScore, single, ranked)
+			}
+
+			serialK, err := s.SelectK(buildCtxLike(t, answers, deltaScore, false), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallelK, err := s.SelectK(buildCtxLike(t, answers, deltaScore, true), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serialK) != 5 || len(parallelK) != 5 {
+				t.Fatalf("%s: rankings have %d/%d entries, want 5", s.Name(), len(serialK), len(parallelK))
+			}
+			for i := range serialK {
+				if serialK[i] != parallelK[i] {
+					t.Fatalf("%s (delta=%v): serial ranking %v != parallel %v", s.Name(), deltaScore, serialK, parallelK)
+				}
+			}
+			for i := 1; i < len(serialK); i++ {
+				prev, cur := serialK[i-1], serialK[i]
+				if prev.Score < cur.Score || (prev.Score == cur.Score && prev.Object > cur.Object) {
+					t.Fatalf("%s: ranking order violated at %d: %v", s.Name(), i, serialK)
+				}
+			}
+		}
+	}
+}
+
+// buildCtxLike builds a fresh context over the same answers (the aggregation
+// is deterministic, so repeated builds are bit-identical).
+func buildCtxLike(t *testing.T, answers *model.AnswerSet, deltaScore, parallel bool) *Context {
+	t.Helper()
+	ctx := buildContext(t, answers, nil)
+	ctx.DeltaScore = deltaScore
+	ctx.Parallel = parallel
+	ctx.MaxParallelism = 4
+	return ctx
+}
+
+// TestWorkerDrivenDeltaScoresAreExact: the incremental worker-driven scorer
+// is not an approximation — per-candidate scores equal the full-recount
+// scorer bit for bit.
+func TestWorkerDrivenDeltaScoresAreExact(t *testing.T) {
+	answers, _ := mixedCrowdAnswers(t, 12, 5)
+	v := model.NewValidation(12)
+	v.Set(0, 0)
+	v.Set(1, 1)
+	exactCtx := buildContext(t, answers, v)
+	exactCtx.Detector = &spamdetect.Detector{MinValidatedAnswers: 2, SloppyThreshold: 0.7}
+	deltaCtx := buildContext(t, answers, v)
+	deltaCtx.Detector = exactCtx.Detector
+	deltaCtx.DeltaScore = true
+
+	w := &WorkerDriven{}
+	exact, err := w.SelectK(exactCtx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := w.SelectK(deltaCtx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != len(delta) {
+		t.Fatalf("rankings differ in length: %d vs %d", len(exact), len(delta))
+	}
+	for i := range exact {
+		if exact[i] != delta[i] {
+			t.Fatalf("ranking[%d]: exact %+v != delta %+v", i, exact[i], delta[i])
+		}
+	}
+}
+
+// TestUncertaintyDeltaSelectionParity gates delta-scored selection against
+// the exact full-EM reference at the documented tolerance: either the same
+// object is selected, or the delta pick's exact information gain is within
+// 5e-2 of the exact optimum.
+func TestUncertaintyDeltaSelectionParity(t *testing.T) {
+	const tolerance = 5e-2
+	for seed := int64(1); seed <= 4; seed++ {
+		answers, _ := mixedCrowdAnswers(t, 16, seed)
+		exactCtx := buildContext(t, answers, nil)
+		deltaCtx := deltaContext(t, answers, nil)
+		u := &UncertaintyDriven{}
+		exactPick, err := u.Select(exactCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaPick, err := u.Select(deltaCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exactPick == deltaPick {
+			continue
+		}
+		currentH := aggregation.Uncertainty(exactCtx.ProbSet)
+		igExact, err := InformationGain(exactCtx, exactPick, currentH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		igDelta, err := InformationGain(exactCtx, deltaPick, currentH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if igExact-igDelta > tolerance {
+			t.Fatalf("seed %d: delta selected %d (exact IG %v), exact selected %d (IG %v): gap exceeds %v",
+				seed, deltaPick, igDelta, exactPick, igExact, tolerance)
+		}
+	}
+}
+
+// TestHybridSelectKDrawParity: SelectK consumes exactly one roulette draw,
+// like Select, so two hybrids with identical seeds stay aligned across mixed
+// single/batched selections.
+func TestHybridSelectKDrawParity(t *testing.T) {
+	answers, _ := mixedCrowdAnswers(t, 10, 2)
+	mk := func() *Hybrid { return &Hybrid{Rand: rand.New(rand.NewSource(3))} }
+	h1, h2 := mk(), mk()
+	h1.UpdateWeight(0.6, 0.4, 0.5)
+	h2.UpdateWeight(0.6, 0.4, 0.5)
+	for step := 0; step < 6; step++ {
+		ctx1 := buildContext(t, answers, nil)
+		ctx2 := buildContext(t, answers, nil)
+		single, err := h1.Select(ctx1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranked, err := h2.SelectK(ctx2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ranked[0].Object != single {
+			t.Fatalf("step %d: Select = %d, SelectK[0] = %d", step, single, ranked[0].Object)
+		}
+		if h1.LastChoiceWorkerDriven() != h2.LastChoiceWorkerDriven() {
+			t.Fatalf("step %d: branch draws diverged", step)
+		}
+	}
+}
+
+// TestRandomSelectK: distinct objects, first element matches Select under the
+// same seed, k clamps to the candidate count.
+func TestRandomSelectK(t *testing.T) {
+	answers, _ := mixedCrowdAnswers(t, 8, 4)
+	ctx := buildContext(t, answers, nil)
+	r1 := &Random{Rand: rand.New(rand.NewSource(9))}
+	r2 := &Random{Rand: rand.New(rand.NewSource(9))}
+	single, err := r1.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := r2.SelectK(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 || ranked[0].Object != single {
+		t.Fatalf("SelectK = %v, want first element %d", ranked, single)
+	}
+	seen := map[int]bool{}
+	for _, s := range ranked {
+		if seen[s.Object] {
+			t.Fatalf("duplicate object in random ranking: %v", ranked)
+		}
+		seen[s.Object] = true
+	}
+	all, err := (&Random{}).SelectK(ctx, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 8 {
+		t.Fatalf("clamped ranking has %d entries, want 8", len(all))
+	}
+}
+
+// TestExactScorersReuseScratchValidation: the exact reference scorers must
+// not clone the validation per (candidate, label) — public entry points
+// still return identical values to the pre-scratch implementation.
+func TestExactScorersReuseScratchValidation(t *testing.T) {
+	answers, _ := mixedCrowdAnswers(t, 10, 6)
+	ctx := buildContext(t, answers, nil)
+	// Reference: literal clone-per-label implementation.
+	cloneConditional := func(object int) float64 {
+		agg := ctx.aggregator()
+		m := ctx.ProbSet.Assignment.NumLabels()
+		expected := 0.0
+		for l := 0; l < m; l++ {
+			p := ctx.ProbSet.Assignment.Prob(object, model.Label(l))
+			if p <= 0 {
+				continue
+			}
+			hypo := ctx.ProbSet.Validation.Clone()
+			hypo.Set(object, model.Label(l))
+			res, err := aggregation.Do(ctx.ctx(), agg, ctx.Answers, hypo, ctx.ProbSet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected += p * aggregation.Uncertainty(res.ProbSet)
+		}
+		return expected
+	}
+	for o := 0; o < 5; o++ {
+		got, err := ConditionalUncertainty(ctx, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := cloneConditional(o); got != want {
+			t.Fatalf("object %d: scratch conditional %v != clone-per-label %v", o, got, want)
+		}
+		// The scratch path must leave the shared validation untouched.
+		if ctx.ProbSet.Validation.Validated(o) {
+			t.Fatalf("object %d left validated after scoring", o)
+		}
+	}
+	if math.IsNaN(aggregation.Uncertainty(ctx.ProbSet)) {
+		t.Fatal("probabilistic state corrupted")
+	}
+}

@@ -2,10 +2,20 @@ package guidance
 
 import (
 	"crowdval/internal/model"
+	"crowdval/internal/spamdetect"
 )
 
 // WorkerDriven selects the object whose validation is expected to unmask the
 // most faulty workers (§5.3, Eq. 12–14).
+//
+// The exact reference scorer re-runs the full community detection per
+// (candidate, label) hypothesis. With Context.DeltaScore set, the scorer
+// detects the community once per selection and then reassesses, per
+// hypothesis, only the workers who answered the candidate — the only workers
+// whose validation-based confusion matrix the hypothetical validation can
+// change — so one candidate costs O(answers-on-o) worker assessments instead
+// of O(#workers). Unlike the uncertainty-driven delta scorer this is not an
+// approximation: the incremental counts equal the full recount bit for bit.
 type WorkerDriven struct {
 	// CandidateLimit restricts the scoring to the CandidateLimit candidates
 	// with the highest entropy. Zero or negative values evaluate every
@@ -18,22 +28,70 @@ func (w *WorkerDriven) Name() string { return "worker-driven" }
 
 // Select implements Strategy.
 func (w *WorkerDriven) Select(ctx *Context) (int, error) {
+	candidates, newScorer, err := w.prepare(ctx)
+	if err != nil {
+		return -1, err
+	}
+	return scoreBest(ctx, candidates, newScorer)
+}
+
+// SelectK implements KSelector: the top-k candidates ranked by the expected
+// number of detected faulty workers.
+func (w *WorkerDriven) SelectK(ctx *Context, k int) ([]ScoredObject, error) {
+	candidates, newScorer, err := w.prepare(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return scoreTopK(ctx, candidates, newScorer, k)
+}
+
+// prepare narrows the candidate set and builds the per-goroutine scorer
+// factory. The delta path runs the baseline community detection here, once,
+// before scoring fans out.
+func (w *WorkerDriven) prepare(ctx *Context) ([]int, func() scorerFunc, error) {
 	candidates := ctx.candidates()
 	if len(candidates) == 0 {
-		return -1, ErrNoCandidates
+		return nil, nil, ErrNoCandidates
 	}
-	candidates = topEntropyCandidates(ctx.ProbSet.Assignment, candidates, w.CandidateLimit)
+	candidates = topEntropyCandidates(ctx.Index, ctx.ProbSet.Assignment, candidates, w.CandidateLimit)
 	priors := ctx.ProbSet.Assignment.Priors()
-	return scoreCandidates(ctx, candidates, func(o int) (float64, error) {
-		return ExpectedDetectedFaultyWorkers(ctx, o, priors)
-	})
+	if ctx.DeltaScore {
+		detector := ctx.detector()
+		base, err := detector.DetectContext(ctx.ctx(), ctx.Answers, ctx.ProbSet.Validation, priors)
+		if err != nil {
+			return nil, nil, err
+		}
+		baseFaulty := len(base.FaultyWorkers())
+		return candidates, func() scorerFunc {
+			scratch := ctx.ProbSet.Validation.Clone()
+			return func(o int) (float64, error) {
+				return expectedFaultyIncremental(ctx, detector, o, priors, scratch, base.Assessments, baseFaulty)
+			}
+		}, nil
+	}
+	return candidates, func() scorerFunc {
+		// One scratch validation per scoring goroutine, set/unset per
+		// hypothesis — not one Clone per (candidate, label).
+		scratch := ctx.ProbSet.Validation.Clone()
+		return func(o int) (float64, error) {
+			return expectedDetectedFaulty(ctx, o, priors, scratch)
+		}
+	}, nil
 }
 
 // ExpectedDetectedFaultyWorkers computes R(W | o) = Σ_l U(o, l)·R(W | o = l)
-// (Eq. 13): the expected number of faulty workers that would be detected if
-// the expert validated object o, where the expectation is taken over the
-// current label distribution of o.
+// (Eq. 13) with the exact full-detection reference scorer: the expected
+// number of faulty workers that would be detected if the expert validated
+// object o, where the expectation is taken over the current label
+// distribution of o.
 func ExpectedDetectedFaultyWorkers(ctx *Context, object int, priors []float64) (float64, error) {
+	return expectedDetectedFaulty(ctx, object, priors, ctx.ProbSet.Validation.Clone())
+}
+
+// expectedDetectedFaulty is ExpectedDetectedFaultyWorkers against a
+// caller-owned scratch validation, mutated and restored per hypothesis. The
+// scratch must equal ctx.ProbSet.Validation on entry.
+func expectedDetectedFaulty(ctx *Context, object int, priors []float64, scratch *model.Validation) (float64, error) {
 	detector := ctx.detector()
 	m := ctx.ProbSet.Assignment.NumLabels()
 	expected := 0.0
@@ -42,12 +100,50 @@ func ExpectedDetectedFaultyWorkers(ctx *Context, object int, priors []float64) (
 		if p <= 0 {
 			continue
 		}
-		hypothetical := ctx.ProbSet.Validation.Clone()
-		hypothetical.Set(object, model.Label(l))
-		count, err := detector.CountFaultyContext(ctx.ctx(), ctx.Answers, hypothetical, priors)
+		scratch.Set(object, model.Label(l))
+		count, err := detector.CountFaultyContext(ctx.ctx(), ctx.Answers, scratch, priors)
+		scratch.Set(object, model.NoLabel)
 		if err != nil {
 			return 0, err
 		}
+		expected += p * float64(count)
+	}
+	return expected, nil
+}
+
+// expectedFaultyIncremental computes R(W | o) against a baseline detection:
+// per hypothesis only the candidate's answering workers are reassessed, and
+// the baseline faulty count is adjusted by their flag changes. A worker who
+// did not answer o has an identical validation-based confusion matrix under
+// the hypothesis, so its assessment cannot change — the incremental count
+// equals the full recount exactly.
+func expectedFaultyIncremental(ctx *Context, detector *spamdetect.Detector, object int, priors []float64,
+	scratch *model.Validation, base []spamdetect.WorkerAssessment, baseFaulty int) (float64, error) {
+
+	m := ctx.ProbSet.Assignment.NumLabels()
+	expected := 0.0
+	for l := 0; l < m; l++ {
+		p := ctx.ProbSet.Assignment.Prob(object, model.Label(l))
+		if p <= 0 {
+			continue
+		}
+		scratch.Set(object, model.Label(l))
+		count := baseFaulty
+		for _, wa := range ctx.Answers.ObjectView(object) {
+			assessment, err := detector.AssessWorker(ctx.Answers, scratch, wa.Worker, priors)
+			if err != nil {
+				scratch.Set(object, model.NoLabel)
+				return 0, err
+			}
+			if assessment.Faulty() != base[wa.Worker].Faulty() {
+				if assessment.Faulty() {
+					count++
+				} else {
+					count--
+				}
+			}
+		}
+		scratch.Set(object, model.NoLabel)
 		expected += p * float64(count)
 	}
 	return expected, nil

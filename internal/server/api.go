@@ -55,6 +55,12 @@ type SessionConfig struct {
 	// DeltaMaxDirtyFraction overrides the frontier-size fallback threshold
 	// (WithDeltaMaxDirtyFraction); 0 keeps the default.
 	DeltaMaxDirtyFraction float64 `json:"deltaMaxDirtyFraction,omitempty"`
+	// DeltaScoring enables delta-accelerated guidance scoring
+	// (WithDeltaScoring): next-object rankings are estimated with
+	// frontier-restricted hypothetical EM passes instead of a full warm EM
+	// per candidate hypothesis, trading a documented selection tolerance for
+	// orders of magnitude in latency.
+	DeltaScoring bool `json:"deltaScoring,omitempty"`
 }
 
 func (c SessionConfig) options() []crowdval.Option {
@@ -91,6 +97,9 @@ func (c SessionConfig) options() []crowdval.Option {
 	}
 	if c.DeltaMaxDirtyFraction > 0 {
 		opts = append(opts, crowdval.WithDeltaMaxDirtyFraction(c.DeltaMaxDirtyFraction))
+	}
+	if c.DeltaScoring {
+		opts = append(opts, crowdval.WithDeltaScoring())
 	}
 	return opts
 }
@@ -174,9 +183,18 @@ type SubmitResponse struct {
 	Steps []StepInfoJSON `json:"steps"`
 }
 
-// NextResponse is the body of GET /v1/sessions/{name}/next.
+// ScoredObjectJSON is one ranked candidate of a next-object ranking.
+type ScoredObjectJSON struct {
+	Object int     `json:"object"`
+	Score  float64 `json:"score"`
+}
+
+// NextResponse is the body of GET /v1/sessions/{name}/next: the selected
+// object plus the full ranking the strategy scored (?k= candidates, ranked
+// by score descending; Object always equals Ranking[0].Object).
 type NextResponse struct {
-	Object int `json:"object"`
+	Object  int                `json:"object"`
+	Ranking []ScoredObjectJSON `json:"ranking"`
 }
 
 // ResultResponse is the body of GET /v1/sessions/{name}/result: the current

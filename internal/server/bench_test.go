@@ -113,3 +113,68 @@ func benchmarkIngest(b *testing.B, extraOpts ...crowdval.Option) {
 	stats := manager.Stats()
 	b.ReportMetric(float64(stats.IngestedAnswers)/b.Elapsed().Seconds(), "answers/sec")
 }
+
+// BenchmarkServerNext measures guidance selection through the serving stack
+// on the headline 50 000 × 500 @ ~1% workload: concurrent clients GET
+// /next?k=5 against four delta-scored sessions (uncertainty strategy,
+// candidate limit 64 — the same candidate set BenchmarkNextObject scores).
+// Selections are served under the per-session read lock, so concurrent next
+// requests and result views proceed in parallel; the exact full-EM scorer on
+// this shape costs hundreds of warm-EM runs per request and is benchmarked
+// library-side as BenchmarkNextObject/50000x500/exact-full-em.
+func BenchmarkServerNext(b *testing.B) {
+	const (
+		numSessions = 4
+		objects     = 50000
+		workers     = 500
+	)
+	d, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: objects, NumWorkers: workers, NumLabels: 2,
+		AnswersPerObject: 5, // ≈1% density
+		NormalAccuracy:   0.7,
+		Mix:              crowdval.WorkerMix{Normal: 0.75, RandomSpammer: 0.25},
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	manager, err := NewManager(ManagerConfig{ParkDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(New(manager))
+	defer srv.Close()
+
+	for i := 0; i < numSessions; i++ {
+		opts := []crowdval.Option{
+			crowdval.WithStrategy(crowdval.StrategyUncertainty),
+			crowdval.WithCandidateLimit(64),
+			crowdval.WithDeltaScoring(),
+			crowdval.WithSeed(int64(i)),
+		}
+		if err := manager.Create(context.Background(), fmt.Sprintf("next-%d", i), d.Answers.Clone(), opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := srv.Client()
+		for pb.Next() {
+			i := next.Add(1)
+			session := fmt.Sprintf("next-%d", i%numSessions)
+			resp, err := client.Get(srv.URL + "/v1/sessions/" + session + "/next?k=5")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("next status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	stats := manager.Stats()
+	b.ReportMetric(float64(stats.Selections)/b.Elapsed().Seconds(), "selections/sec")
+}

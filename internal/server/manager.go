@@ -597,12 +597,15 @@ func ingestedOnSuccess(err error, n int) int64 {
 	return int64(n)
 }
 
-// NextObject returns the object the expert should validate next. It is a
-// writer operation: guidance selection advances the session's pseudo-random
-// stream.
+// NextObject returns the object the expert should validate next. Candidate
+// scoring is read-only session state access, so it is served under the
+// session's read lock: concurrent NextObject calls and result views proceed
+// in parallel instead of queueing behind the single-writer lock, and only
+// the strategy's tiny stateful prologue (the hybrid roulette draw) is
+// serialized inside the session itself.
 func (m *Manager) NextObject(ctx context.Context, name string) (int, error) {
 	var object int
-	err := m.update(ctx, name, func(s *crowdval.Session) error {
+	err := m.view(ctx, name, func(s *crowdval.Session) error {
 		var err error
 		object, err = s.NextObjectContext(ctx)
 		return err
@@ -614,6 +617,25 @@ func (m *Manager) NextObject(ctx context.Context, name string) (int, error) {
 	m.selections++
 	m.mu.Unlock()
 	return object, nil
+}
+
+// NextObjects returns the top k ranked candidates for the next expert
+// validation in one scoring pass (see Session.NextObjectsContext). Like
+// NextObject it is served under the session's read lock.
+func (m *Manager) NextObjects(ctx context.Context, name string, k int) ([]crowdval.ScoredObject, error) {
+	var ranked []crowdval.ScoredObject
+	err := m.view(ctx, name, func(s *crowdval.Session) error {
+		var err error
+		ranked, err = s.NextObjectsContext(ctx, k)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.selections++
+	m.mu.Unlock()
+	return ranked, nil
 }
 
 // Submit integrates one expert validation.

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"crowdval"
+)
+
+// TestNextEndpointRanking: ?k= returns a ranked batch whose head is the
+// plain next-object selection, scores descending, ties toward the smaller
+// object.
+func TestNextEndpointRanking(t *testing.T) {
+	c, _ := newTestServer(t, 0)
+	d := testCrowd(t, 30, 8, 1)
+	c.must("POST", "/v1/sessions", CreateSessionRequest{
+		Name:   "rank",
+		Matrix: matrixOf(d.Answers),
+		Options: SessionConfig{
+			Strategy: string(crowdval.StrategyUncertainty), Seed: 3, DeltaScoring: true,
+		},
+	}, nil)
+
+	var first NextResponse
+	c.must("GET", "/v1/sessions/rank/next?k=4", nil, &first)
+	if len(first.Ranking) != 4 {
+		t.Fatalf("ranking has %d entries, want 4: %+v", len(first.Ranking), first)
+	}
+	if first.Object != first.Ranking[0].Object {
+		t.Fatalf("object %d != ranking head %d", first.Object, first.Ranking[0].Object)
+	}
+	for i := 1; i < len(first.Ranking); i++ {
+		prev, cur := first.Ranking[i-1], first.Ranking[i]
+		if prev.Score < cur.Score || (prev.Score == cur.Score && prev.Object > cur.Object) {
+			t.Fatalf("ranking order violated: %+v", first.Ranking)
+		}
+	}
+
+	// Selection is read-only: the un-batched endpoint returns the same head,
+	// and the default k is 1.
+	var single NextResponse
+	c.must("GET", "/v1/sessions/rank/next", nil, &single)
+	if single.Object != first.Object || len(single.Ranking) != 1 {
+		t.Fatalf("default next = %+v, want object %d with a 1-entry ranking", single, first.Object)
+	}
+}
+
+// TestNextEndpointBadK: malformed or out-of-range k values are client errors.
+func TestNextEndpointBadK(t *testing.T) {
+	c, _ := newTestServer(t, 0)
+	d := testCrowd(t, 10, 5, 2)
+	c.must("POST", "/v1/sessions", CreateSessionRequest{
+		Name: "badk", Matrix: matrixOf(d.Answers), Options: createOptions(1),
+	}, nil)
+	for _, k := range []string{"0", "-3", "nope", "1001"} {
+		status, _ := c.do("GET", "/v1/sessions/badk/next?k="+k, nil, nil)
+		if status != http.StatusBadRequest {
+			t.Fatalf("k=%s: status %d, want 400", k, status)
+		}
+	}
+}
+
+// TestNextServedUnderReadLock: concurrent next requests and result views on
+// the same session proceed together (both are read-path operations now) and
+// stay race-free — the -race build is the actual assertion — while an
+// interleaved writer keeps mutating the session.
+func TestNextServedUnderReadLock(t *testing.T) {
+	c, _ := newTestServer(t, 0)
+	d := testCrowd(t, 40, 10, 3)
+	c.must("POST", "/v1/sessions", CreateSessionRequest{
+		Name:   "concurrent",
+		Matrix: matrixOf(d.Answers),
+		Options: SessionConfig{
+			Strategy: string(crowdval.StrategyHybrid), Seed: 5, DeltaScoring: true,
+		},
+	}, nil)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				switch g % 3 {
+				case 0: // next rankings
+					var next NextResponse
+					if status, errResp := c.do("GET", "/v1/sessions/concurrent/next?k=3", nil, &next); errResp != nil {
+						errs <- fmt.Sprintf("next: status %d: %+v", status, errResp)
+						return
+					}
+				case 1: // result views
+					var result ResultResponse
+					if status, errResp := c.do("GET", "/v1/sessions/concurrent/result", nil, &result); errResp != nil {
+						errs <- fmt.Sprintf("result: status %d: %+v", status, errResp)
+						return
+					}
+				case 2: // snapshots read the strategy state under the selection lock
+					c.snapshotBytes("concurrent")
+				}
+			}
+		}(g)
+	}
+	// One writer ingests concurrently; writers still serialize against the
+	// read-path operations through the session RWMutex.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			req := IngestRequest{Answers: []AnswerJSON{{Object: i % 40, Worker: i % 10, Label: i % 2}}}
+			if status, errResp := c.do("POST", "/v1/sessions/concurrent/answers", req, nil); errResp != nil {
+				errs <- fmt.Sprintf("ingest: status %d: %+v", status, errResp)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

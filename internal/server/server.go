@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,6 +14,11 @@ import (
 // batches are the large ones).
 const DefaultMaxBodyBytes = 64 << 20
 
+// MaxNextK caps the ?k= of the next-object endpoint: a ranking is scored in
+// one pass, but serializing tens of thousands of candidates per request is a
+// foot-gun for clients that meant "a page of suggestions".
+const MaxNextK = 1000
+
 // Server is the HTTP facade over a Manager. It speaks JSON and serves:
 //
 //	POST   /v1/sessions                      create a session
@@ -20,7 +26,7 @@ const DefaultMaxBodyBytes = 64 << 20
 //	POST   /v1/sessions/{name}/resume        create a session from a snapshot body
 //	GET    /v1/sessions/{name}/snapshot      download the session snapshot
 //	POST   /v1/sessions/{name}/answers       ingest crowd answers (AddAnswers)
-//	GET    /v1/sessions/{name}/next          next-object guidance
+//	GET    /v1/sessions/{name}/next          next-object guidance (?k= for a top-k ranking)
 //	POST   /v1/sessions/{name}/validations   submit one validation or a batch
 //	GET    /v1/sessions/{name}/result        current estimates (?probabilities=1)
 //	DELETE /v1/sessions/{name}               delete a session
@@ -202,12 +208,25 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	object, err := s.manager.NextObject(ctx, r.PathValue("name"))
+	k := 1
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 || k > MaxNextK {
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("invalid k %q (must be an integer in 1..%d)", raw, MaxNextK)})
+			return
+		}
+	}
+	ranked, err := s.manager.NextObjects(ctx, r.PathValue("name"), k)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, NextResponse{Object: object})
+	resp := NextResponse{Object: ranked[0].Object, Ranking: make([]ScoredObjectJSON, len(ranked))}
+	for i, c := range ranked {
+		resp.Ranking[i] = ScoredObjectJSON{Object: c.Object, Score: c.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -28,9 +28,10 @@ import (
 const Magic = 0x4356534e
 
 // Version is the current encoding version. Version 2 appends the
-// delta-ingest configuration after the history records; version-1 snapshots
-// are still decoded (their delta fields read as zero, i.e. delta disabled).
-const Version = 2
+// delta-ingest configuration after the history records, version 3 the
+// delta-scoring flag after that; snapshots of older versions are still
+// decoded (their missing fields read as zero, i.e. the paths disabled).
+const Version = 3
 
 // State is the serializable form of a validation session. It mirrors the
 // session options and the engine's dynamic state with plain integers, floats
@@ -83,6 +84,10 @@ type State struct {
 	// snapshots, i.e. the delta path disabled).
 	DeltaEnabled          bool
 	DeltaMaxDirtyFraction float64
+
+	// Delta-accelerated guidance scoring (encoding version 3; false for
+	// older snapshots, i.e. the exact full-EM scorer).
+	DeltaScoring bool
 }
 
 // HistoryRecord is the serializable form of one core.IterationRecord.
@@ -193,6 +198,9 @@ func (w *writer) encode(s *State) {
 	// Version-2 tail.
 	w.bool(s.DeltaEnabled)
 	w.f64(s.DeltaMaxDirtyFraction)
+
+	// Version-3 tail.
+	w.bool(s.DeltaScoring)
 }
 
 // Decode deserializes a snapshot produced by Encode. It fails with
@@ -311,6 +319,11 @@ func (r *reader) decode() (*State, error) {
 			return nil, err
 		}
 		if s.DeltaMaxDirtyFraction, err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	if version >= 3 {
+		if s.DeltaScoring, err = r.bool(); err != nil {
 			return nil, err
 		}
 	}

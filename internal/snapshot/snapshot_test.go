@@ -66,26 +66,50 @@ func TestRoundTripDeltaFields(t *testing.T) {
 	}
 }
 
-// TestDecodeVersion1Compat: a version-1 snapshot (no delta tail) still
+// TestDecodeVersion1Compat: a version-1 snapshot (no delta tails) still
 // decodes, with the delta configuration reading as disabled.
 func TestDecodeVersion1Compat(t *testing.T) {
 	want := sampleState()
 	data := Encode(want)
-	// Strip the version-2 tail (1 bool byte + 8 float bytes) and rewrite the
-	// version field to 1; everything before the tail is the v1 encoding.
-	v1 := append([]byte(nil), data[:len(data)-9]...)
+	// Strip the version-3 tail (1 bool byte) and the version-2 tail (1 bool
+	// byte + 8 float bytes), and rewrite the version field to 1; everything
+	// before the tails is the v1 encoding.
+	v1 := append([]byte(nil), data[:len(data)-10]...)
 	v1[4], v1[5] = 1, 0 // little-endian uint16 version
 	got, err := Decode(v1)
 	if err != nil {
 		t.Fatalf("version-1 snapshot rejected: %v", err)
 	}
-	if got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0 {
+	if got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0 || got.DeltaScoring {
 		t.Fatalf("version-1 snapshot decoded non-zero delta fields: %+v", got)
 	}
 	got.DeltaEnabled = want.DeltaEnabled
 	got.DeltaMaxDirtyFraction = want.DeltaMaxDirtyFraction
+	got.DeltaScoring = want.DeltaScoring
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("version-1 decode mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestDecodeVersion2Compat: a version-2 snapshot (delta-ingest tail, no
+// delta-scoring tail) still decodes, with delta scoring reading as disabled.
+func TestDecodeVersion2Compat(t *testing.T) {
+	want := sampleState()
+	want.DeltaEnabled = true
+	want.DeltaMaxDirtyFraction = 0.125
+	want.DeltaScoring = true
+	data := Encode(want)
+	v2 := append([]byte(nil), data[:len(data)-1]...)
+	v2[4], v2[5] = 2, 0 // little-endian uint16 version
+	got, err := Decode(v2)
+	if err != nil {
+		t.Fatalf("version-2 snapshot rejected: %v", err)
+	}
+	if got.DeltaScoring {
+		t.Fatal("version-2 snapshot decoded delta scoring as enabled")
+	}
+	if !got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0.125 {
+		t.Fatalf("version-2 delta-ingest fields lost: %+v", got)
 	}
 }
 

@@ -209,24 +209,10 @@ func (d *Detector) DetectContext(ctx context.Context, answers *model.AnswerSet, 
 	shardErr := make([]error, shards)
 	ctxErr := par.ForNCtx(ctx, k, shards, func(shard, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			confusion, count := ValidationConfusion(answers, validation, w)
-			assessment := WorkerAssessment{
-				Worker:           w,
-				ValidatedAnswers: count,
-				SpammerScore:     math.NaN(),
-				ErrorRate:        math.NaN(),
-			}
-			if count >= minAnswers {
-				score, err := SpammerScore(confusion)
-				if err != nil {
-					shardErr[shard] = err
-					return
-				}
-				errRate := confusion.ErrorRate(priors)
-				assessment.SpammerScore = score
-				assessment.ErrorRate = errRate
-				assessment.Spammer = score < spamThr
-				assessment.Sloppy = errRate > sloppyThr
+			assessment, err := assessWorker(answers, validation, w, priors, spamThr, sloppyThr, minAnswers)
+			if err != nil {
+				shardErr[shard] = err
+				return
 			}
 			assessments[w] = assessment
 		}
@@ -240,6 +226,53 @@ func (d *Detector) DetectContext(ctx context.Context, answers *model.AnswerSet, 
 		}
 	}
 	return Detection{Assessments: assessments}, nil
+}
+
+// assessWorker computes one worker's assessment against the validation state
+// with explicit thresholds — the shared body of the community detection shard
+// loop and the per-worker AssessWorker entry point.
+func assessWorker(answers *model.AnswerSet, validation *model.Validation, worker int, priors []float64,
+	spamThr, sloppyThr float64, minAnswers int) (WorkerAssessment, error) {
+
+	confusion, count := ValidationConfusion(answers, validation, worker)
+	assessment := WorkerAssessment{
+		Worker:           worker,
+		ValidatedAnswers: count,
+		SpammerScore:     math.NaN(),
+		ErrorRate:        math.NaN(),
+	}
+	if count >= minAnswers {
+		score, err := SpammerScore(confusion)
+		if err != nil {
+			return WorkerAssessment{}, err
+		}
+		errRate := confusion.ErrorRate(priors)
+		assessment.SpammerScore = score
+		assessment.ErrorRate = errRate
+		assessment.Spammer = score < spamThr
+		assessment.Sloppy = errRate > sloppyThr
+	}
+	return assessment, nil
+}
+
+// AssessWorker assesses a single worker against the current expert
+// validations, using the detector's thresholds — the building block of
+// incremental guidance scoring, where a hypothetical validation of object o
+// can only change the assessments of the workers who answered o. The result
+// equals the worker's slot of a full Detect run over the same state.
+func (d *Detector) AssessWorker(answers *model.AnswerSet, validation *model.Validation, worker int, priors []float64) (WorkerAssessment, error) {
+	if answers == nil {
+		return WorkerAssessment{}, fmt.Errorf("spamdetect: %w", cverr.ErrNilAnswerSet)
+	}
+	if validation == nil {
+		return WorkerAssessment{}, fmt.Errorf("spamdetect: %w", cverr.ErrNilValidation)
+	}
+	if worker < 0 || worker >= answers.NumWorkers() {
+		return WorkerAssessment{}, fmt.Errorf("%w: worker %d (answer set has %d workers)",
+			cverr.ErrOutOfRange, worker, answers.NumWorkers())
+	}
+	return assessWorker(answers, validation, worker, priors,
+		d.spammerThreshold(), d.sloppyThreshold(), d.minValidatedAnswers())
 }
 
 // CountFaulty is a convenience wrapper returning only the number of faulty

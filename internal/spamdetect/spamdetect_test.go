@@ -331,3 +331,41 @@ func TestQuarantineRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAssessWorkerMatchesDetect: the per-worker assessment entry point —
+// the building block of incremental guidance scoring — returns exactly the
+// worker's slot of a full Detect run, and validates its inputs.
+func TestAssessWorkerMatchesDetect(t *testing.T) {
+	a, v := paperWorkersAnswerSet(t)
+	det := &Detector{}
+	detection, err := det.Detect(a, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < a.NumWorkers(); w++ {
+		single, err := det.AssessWorker(a, v, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := detection.Assessments[w]
+		same := single.Worker == full.Worker &&
+			single.ValidatedAnswers == full.ValidatedAnswers &&
+			single.Spammer == full.Spammer && single.Sloppy == full.Sloppy &&
+			(single.SpammerScore == full.SpammerScore ||
+				(math.IsNaN(single.SpammerScore) && math.IsNaN(full.SpammerScore))) &&
+			(single.ErrorRate == full.ErrorRate ||
+				(math.IsNaN(single.ErrorRate) && math.IsNaN(full.ErrorRate)))
+		if !same {
+			t.Fatalf("worker %d: AssessWorker %+v != Detect slot %+v", w, single, full)
+		}
+	}
+	if _, err := det.AssessWorker(nil, v, 0, nil); err == nil {
+		t.Fatal("nil answer set accepted")
+	}
+	if _, err := det.AssessWorker(a, nil, 0, nil); err == nil {
+		t.Fatal("nil validation accepted")
+	}
+	if _, err := det.AssessWorker(a, v, a.NumWorkers(), nil); err == nil {
+		t.Fatal("out-of-range worker accepted")
+	}
+}

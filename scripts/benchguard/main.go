@@ -1,83 +1,133 @@
 // Command benchguard compares a fresh benchmark run against the committed
-// BENCHMARKS.md baseline and fails when the i-EM warm start regressed.
+// BENCHMARKS.md baseline and fails when a guarded hot-path ratio regressed.
 //
-// Absolute ns/op numbers are machine-dependent, so the guard compares the
-// dimensionless warm/cold ratio instead: how much cheaper one pay-as-you-go
-// warm-start aggregation is than a cold start on the same machine and
-// dataset. That ratio is the property the warm start exists for; a change
-// that erodes it (e.g. accidentally discarding the previous probabilistic
-// state) is caught on any hardware.
+// Absolute ns/op numbers are machine-dependent, so the guard compares
+// dimensionless ratios between benchmark pairs measured in the same run:
+//
+//   - warm: the i-EM warm-start/cold-start ratio — how much cheaper one
+//     pay-as-you-go warm aggregation is than a cold start. That ratio is the
+//     property the warm start exists for; a change that erodes it (e.g.
+//     accidentally discarding the previous probabilistic state) is caught on
+//     any hardware.
+//   - next: the delta-scored/exact-full-EM NextObject ratio — how much
+//     cheaper one delta-accelerated guidance selection is than the exact
+//     reference scorer on the same candidate set. A change that erodes it
+//     (e.g. the delta scorer silently falling back to full re-aggregations)
+//     is caught the same way.
 //
 // Usage:
 //
 //	go test -run '^$' -bench '...' -benchtime 3x . | tee bench.out
-//	go run ./scripts/benchguard -bench bench.out -baseline BENCHMARKS.md -max-regress 0.20
+//	go run ./scripts/benchguard -bench bench.out -baseline BENCHMARKS.md -pairs warm -max-regress 0.20
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
-// The benchmark pair whose ratio is guarded.
-const (
-	coldBench = "BenchmarkAggregate/50000x500/sparse-parallel"
-	warmBench = "BenchmarkAggregateWarmStart/sparse-parallel"
-)
+// ratioPair is one guarded benchmark ratio: num/den, compared between the
+// fresh run and the baseline.
+type ratioPair struct {
+	name string
+	num  string
+	den  string
+}
+
+// The guarded pairs, addressable through -pairs.
+var knownPairs = map[string]ratioPair{
+	"warm": {
+		name: "warm/cold aggregation",
+		num:  "BenchmarkAggregateWarmStart/sparse-parallel",
+		den:  "BenchmarkAggregate/50000x500/sparse-parallel",
+	},
+	"next": {
+		name: "delta/exact NextObject",
+		num:  "BenchmarkNextObject/50000x500/delta",
+		den:  "BenchmarkNextObject/50000x500/exact-full-em",
+	},
+}
 
 func main() {
 	benchPath := flag.String("bench", "", "file with the fresh `go test -bench` output")
 	baselinePath := flag.String("baseline", "BENCHMARKS.md", "committed baseline file")
-	maxRegress := flag.Float64("max-regress", 0.20, "maximal tolerated relative regression of the warm/cold ratio")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximal tolerated relative regression of each guarded ratio")
+	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next)")
 	flag.Parse()
 	if *benchPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
 		os.Exit(2)
 	}
 
-	currentRatio, err := ratioFromFile(*benchPath)
+	fresh, err := resultsFromFile(*benchPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard: fresh run:", err)
 		os.Exit(2)
 	}
-	baselineRatio, err := ratioFromFile(*baselinePath)
+	baseline, err := resultsFromFile(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard: baseline:", err)
 		os.Exit(2)
 	}
 
-	limit := baselineRatio * (1 + *maxRegress)
-	fmt.Printf("benchguard: warm/cold ratio: fresh %.5f, baseline %.5f, limit %.5f\n",
-		currentRatio, baselineRatio, limit)
-	if currentRatio > limit {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: FAIL: warm-start aggregation regressed: warm/cold ratio %.5f exceeds %.5f (baseline %.5f +%.0f%%)\n",
-			currentRatio, limit, baselineRatio, *maxRegress*100)
+	failed := false
+	for _, name := range strings.Split(*pairNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		pair, ok := knownPairs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next)\n", name)
+			os.Exit(2)
+		}
+		currentRatio, err := ratioOf(fresh, pair, *benchPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		baselineRatio, err := ratioOf(baseline, pair, *baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		limit := baselineRatio * (1 + *maxRegress)
+		fmt.Printf("benchguard: %s ratio: fresh %.5f, baseline %.5f, limit %.5f\n",
+			pair.name, currentRatio, baselineRatio, limit)
+		if currentRatio > limit {
+			fmt.Fprintf(os.Stderr,
+				"benchguard: FAIL: %s regressed: ratio %.5f exceeds %.5f (baseline %.5f +%.0f%%)\n",
+				pair.name, currentRatio, limit, baselineRatio, *maxRegress*100)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: OK")
 }
 
-func ratioFromFile(path string) (float64, error) {
+func resultsFromFile(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	results, err := parseBench(string(data))
-	if err != nil {
-		return 0, err
-	}
-	cold, ok := results[coldBench]
+	return parseBench(string(data))
+}
+
+func ratioOf(results map[string]float64, pair ratioPair, path string) (float64, error) {
+	den, ok := results[pair.den]
 	if !ok {
-		return 0, fmt.Errorf("%s: no result for %s", path, coldBench)
+		return 0, fmt.Errorf("%s: no result for %s", path, pair.den)
 	}
-	warm, ok := results[warmBench]
+	num, ok := results[pair.num]
 	if !ok {
-		return 0, fmt.Errorf("%s: no result for %s", path, warmBench)
+		return 0, fmt.Errorf("%s: no result for %s", path, pair.num)
 	}
-	if cold <= 0 {
-		return 0, fmt.Errorf("%s: non-positive cold-start time %v", path, cold)
+	if den <= 0 {
+		return 0, fmt.Errorf("%s: non-positive denominator time %v for %s", path, den, pair.den)
 	}
-	return warm / cold, nil
+	return num / den, nil
 }

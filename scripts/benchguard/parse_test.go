@@ -59,3 +59,26 @@ func TestStripProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestRatioOfPairs(t *testing.T) {
+	results := map[string]float64{
+		"BenchmarkNextObject/50000x500/exact-full-em": 5189034003,
+		"BenchmarkNextObject/50000x500/delta":         60750713,
+	}
+	ratio, err := ratioOf(results, knownPairs["next"], "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio >= 0.05 {
+		t.Fatalf("delta/exact ratio = %v, want small positive", ratio)
+	}
+	if _, err := ratioOf(map[string]float64{}, knownPairs["warm"], "test"); err == nil {
+		t.Fatal("missing benchmarks accepted")
+	}
+	if _, err := ratioOf(map[string]float64{
+		knownPairs["warm"].den: 0,
+		knownPairs["warm"].num: 1,
+	}, knownPairs["warm"], "test"); err == nil {
+		t.Fatal("non-positive denominator accepted")
+	}
+}

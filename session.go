@@ -51,6 +51,7 @@ type sessionConfig struct {
 
 	deltaEnabled          bool
 	deltaMaxDirtyFraction float64
+	deltaScoring          bool
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -150,6 +151,22 @@ func WithDeltaMaxDirtyFraction(fraction float64) Option {
 	return func(c *sessionConfig) { c.deltaMaxDirtyFraction = fraction }
 }
 
+// WithDeltaScoring enables delta-accelerated guidance scoring: NextObject and
+// NextObjects estimate each candidate's utility with a frontier-restricted
+// hypothetical EM pass — a hypothetical validation of object o dirties only o
+// plus its answering workers — instead of re-running a full warm EM per
+// (candidate, label) hypothesis. On the 50 000-object serving workload this
+// turns one guided selection from hundreds of warm-EM runs into milliseconds
+// (see BENCHMARKS.md, BenchmarkNextObject).
+//
+// The worker-driven scorer stays exact under this option; the
+// uncertainty-driven scorer approximates the full-EM reference, and
+// selections agree with it up to a documented information-gain tolerance
+// (see the parity suite) — but not bit-for-bit, which is why the path is
+// opt-in, mirroring WithDeltaIngest. The option is captured in snapshots: a
+// resumed session keeps its scoring mode.
+func WithDeltaScoring() Option { return func(c *sessionConfig) { c.deltaScoring = true } }
+
 // StepInfo summarizes the consequences of one submitted validation.
 type StepInfo struct {
 	// Object and Label echo the submitted validation.
@@ -230,6 +247,7 @@ func newSession(answers *AnswerSet, cfg sessionConfig, restored *core.RestoredSt
 			Enabled:          cfg.deltaEnabled,
 			MaxDirtyFraction: cfg.deltaMaxDirtyFraction,
 		},
+		DeltaScoring: cfg.deltaScoring,
 	}
 	if cfg.confirmationPeriod > 0 {
 		engineCfg.Confirmation = &guidance.ConfirmationCheck{Period: cfg.confirmationPeriod}
@@ -301,6 +319,36 @@ func (s *Session) NextObject() (int, error) {
 // ErrBudgetExhausted when the expert budget is spent.
 func (s *Session) NextObjectContext(ctx context.Context) (int, error) {
 	return s.engine.SelectNextContext(orBackground(ctx))
+}
+
+// ScoredObject is one ranked candidate of a batched NextObjects selection:
+// the object and the guidance strategy's score for it (information gain for
+// uncertainty-driven selection, expected detected faulty workers for
+// worker-driven, entropy for the baseline, 0 for random).
+type ScoredObject = guidance.ScoredObject
+
+// NextObjects returns the top k objects the expert should validate next, in
+// one scoring pass (see NextObjectsContext).
+func (s *Session) NextObjects(k int) ([]ScoredObject, error) {
+	return s.NextObjectsContext(context.Background(), k)
+}
+
+// NextObjectsContext is the batched form of NextObjectContext: the strategy
+// scores the candidates once and returns the k best (fewer when fewer remain
+// unvalidated), ranked by score descending with ties broken toward the
+// smaller object index — the API for expert UIs that present a page of
+// suggestions per round trip. NextObjectsContext(ctx, 1) selects exactly the
+// object NextObjectContext would and consumes the same pseudo-random state
+// (one hybrid roulette draw per call), so mixing single and batched
+// selections keeps snapshots and resumed sessions bit-for-bit aligned.
+//
+// Selection does not mutate the validation state: two consecutive calls
+// return the same ranking, and the budget bounds validations, not
+// suggestions. NextObject, NextObjects and Snapshot are safe to call
+// concurrently with each other (a serving tier serves them under its read
+// lock); they must not run concurrently with mutating calls.
+func (s *Session) NextObjectsContext(ctx context.Context, k int) ([]ScoredObject, error) {
+	return s.engine.SelectNextKContext(orBackground(ctx), k)
 }
 
 // SubmitValidation integrates the expert's label for an object and returns a

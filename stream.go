@@ -40,7 +40,10 @@ func (s *Session) SnapshotTo(w io.Writer) error {
 }
 
 // snapshotState captures the full session state in the codec's serializable
-// form.
+// form. The strategy state (pseudo-random stream, hybrid weight, last
+// branch) is read under the engine's selection lock so a snapshot taken
+// while selections are served concurrently (both run under a serving tier's
+// read lock) captures a consistent stream position.
 func (s *Session) snapshotState() *snapshot.State {
 	engine := s.engine
 	answers := engine.OriginalAnswers()
@@ -59,8 +62,7 @@ func (s *Session) snapshotState() *snapshot.State {
 		Seed:                  s.cfg.seed,
 		DeltaEnabled:          s.cfg.deltaEnabled,
 		DeltaMaxDirtyFraction: s.cfg.deltaMaxDirtyFraction,
-		RNGState:              s.src.State(),
-		LastWorkerDriven:      engine.LastWorkerDriven(),
+		DeltaScoring:          s.cfg.deltaScoring,
 		NumObjects:            int64(n),
 		NumWorkers:            int64(k),
 		NumLabels:             int64(m),
@@ -70,9 +72,13 @@ func (s *Session) snapshotState() *snapshot.State {
 		Iteration:             int64(engine.Iteration()),
 		EffortSpent:           int64(engine.EffortSpent()),
 	}
-	if s.hybrid != nil {
-		st.HybridWeight = s.hybrid.Weight()
-	}
+	engine.WithSelectionLock(func() {
+		st.RNGState = s.src.State()
+		st.LastWorkerDriven = engine.LastWorkerDriven()
+		if s.hybrid != nil {
+			st.HybridWeight = s.hybrid.Weight()
+		}
+	})
 
 	count := answers.AnswerCount()
 	st.AnswerObjects = make([]int64, 0, count)
@@ -234,6 +240,7 @@ func resumeFromState(st *snapshot.State, opts []Option) (*Session, error) {
 	cfg.seed = st.Seed
 	cfg.deltaEnabled = st.DeltaEnabled
 	cfg.deltaMaxDirtyFraction = st.DeltaMaxDirtyFraction
+	cfg.deltaScoring = st.DeltaScoring
 	cfg.apply(opts)
 
 	session, err := newSession(answers, cfg, restored)
