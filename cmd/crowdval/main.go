@@ -13,6 +13,8 @@
 //	crowdval workers  -in validated.json
 //	crowdval stats    -in data.json
 //	crowdval serve    -addr 127.0.0.1:8080 -memory-budget 268435456
+//	crowdval serve    -wal-dir ./wal -wal-sync always -checkpoint-every 256
+//	crowdval recover  -wal-dir ./wal
 //	crowdval loadgen  -sessions 4 -clients 8 -batch 100 -delta
 //	crowdval profiles
 package main
@@ -33,6 +35,7 @@ import (
 	"crowdval/internal/metrics"
 	"crowdval/internal/server"
 	"crowdval/internal/simulation"
+	"crowdval/internal/wal"
 )
 
 func main() {
@@ -63,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		return cmdStats(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "recover":
+		return cmdRecover(args[1:], out)
 	case "loadgen":
 		return cmdLoadgen(args[1:], out)
 	case "profiles":
@@ -70,12 +75,12 @@ func run(args []string, out io.Writer) error {
 	case "help", "-h", "--help":
 		return usageError()
 	default:
-		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, loadgen, profiles)", args[0])
+		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, recover, loadgen, profiles)", args[0])
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|loadgen|profiles> [flags]")
+	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|recover|loadgen|profiles> [flags]")
 }
 
 func cmdGenerate(args []string, out io.Writer) error {
@@ -257,9 +262,13 @@ func cmdValidate(args []string, out io.Writer) error {
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address of the HTTP serving layer")
-		budget  = fs.Int64("memory-budget", 0, "estimated bytes of resident session state before cold sessions are parked to disk (0 = unlimited)")
-		parkDir = fs.String("park-dir", "", "directory for parked session snapshots (default: a fresh temporary directory)")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address of the HTTP serving layer")
+		budget    = fs.Int64("memory-budget", 0, "estimated bytes of resident session state before cold sessions are parked to disk (0 = unlimited)")
+		parkDir   = fs.String("park-dir", "", "directory for parked session snapshots (default: a fresh temporary directory)")
+		walDir    = fs.String("wal-dir", "", "directory for per-session write-ahead logs; enables durability and boot-time crash recovery (empty = WAL off)")
+		walSync   = fs.String("wal-sync", "interval", "WAL fsync policy: always (every record), interval (every N records), off (kernel writeback only)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "records between snapshot checkpoints that truncate a session's log (0 = default, negative = never)")
+		maxQueued = fs.Int("max-queued-ingest", 0, "per-session bound on queued ingest requests before AddAnswers is shed with HTTP 429 (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -272,16 +281,39 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 		dir = tmp
 	}
-	manager, err := server.NewManager(server.ManagerConfig{MemoryBudget: *budget, ParkDir: dir})
+	cfg := server.ManagerConfig{
+		MemoryBudget:    *budget,
+		ParkDir:         dir,
+		CheckpointEvery: *ckptEvery,
+		MaxQueuedIngest: *maxQueued,
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		cfg = cfg.WithWAL(*walDir, policy)
+	}
+	manager, err := server.NewManager(cfg)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: *addr, Handler: server.New(manager)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *walDir != "" {
+		report, err := manager.Recover(ctx)
+		if err != nil {
+			return fmt.Errorf("serve: recovering sessions: %w", err)
+		}
+		printRecoveryReport(out, report)
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.New(manager)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(out, "serving crowdval sessions on http://%s (park dir %s)\n", *addr, dir)
+	if *walDir != "" {
+		fmt.Fprintf(out, "durability: WAL in %s, sync policy %s\n", *walDir, *walSync)
+	}
 	select {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -290,6 +322,80 @@ func cmdServe(args []string, out io.Writer) error {
 	case err := <-errc:
 		return err
 	}
+}
+
+// cmdRecover replays the write-ahead logs of a crashed server offline: every
+// session is rebuilt exactly as `serve -wal-dir` would at boot — newest
+// intact checkpoint plus log-tail replay — and each recovered session is
+// re-checkpointed with a rotated, torn-tail-free log. Running it is optional
+// (serve recovers on its own); it exists to inspect what a restart would
+// recover, and to repair logs without starting a server.
+func cmdRecover(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("recover", flag.ContinueOnError)
+	var (
+		walDir  = fs.String("wal-dir", "", "directory of the write-ahead logs to recover (required)")
+		parkDir = fs.String("park-dir", "", "directory for parked session snapshots during recovery (default: a fresh temporary directory)")
+		timeout = fs.Duration("timeout", 0, "abort recovery after this duration (0 = no limit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *walDir == "" {
+		return fmt.Errorf("recover: -wal-dir is required")
+	}
+	dir := *parkDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "crowdval-park-")
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		dir = tmp
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	manager, err := server.NewManager(server.ManagerConfig{ParkDir: dir}.WithWAL(*walDir, wal.SyncPolicy{Mode: wal.SyncAlways}))
+	if err != nil {
+		return err
+	}
+	report, err := manager.Recover(ctx)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	printRecoveryReport(out, report)
+	for _, r := range report {
+		if r.Err != nil {
+			return fmt.Errorf("recover: session %q: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+func printRecoveryReport(out io.Writer, report []server.RecoveredSession) {
+	if len(report) == 0 {
+		return
+	}
+	ok := 0
+	for _, r := range report {
+		if r.Err != nil {
+			fmt.Fprintf(out, "recovery: session %q FAILED: %v\n", r.Name, r.Err)
+			continue
+		}
+		ok++
+		detail := ""
+		if r.UsedFallback {
+			detail += ", fell back to previous checkpoint"
+		}
+		if r.TornTail {
+			detail += ", dropped torn tail"
+		}
+		fmt.Fprintf(out, "recovery: session %q: checkpoint LSN %d + %d replayed records -> LSN %d%s\n",
+			r.Name, r.CheckpointLSN, r.Replayed, r.LastLSN, detail)
+	}
+	fmt.Fprintf(out, "recovery: %d/%d sessions recovered\n", ok, len(report))
 }
 
 func cmdWorkers(args []string, out io.Writer) error {

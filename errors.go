@@ -26,7 +26,8 @@ import (
 //     ErrAlreadyValidated, ErrNotValidated, ErrUnknownStrategy,
 //     ErrNoCandidates, ErrNilExpert, ErrNoGroundTruth.
 //   - Snapshots: ErrBadSnapshot, ErrSnapshotVersion.
-//   - Serving tier: ErrSessionNotFound, ErrSessionExists.
+//   - Serving tier: ErrSessionNotFound, ErrSessionExists, ErrOverloaded.
+//   - Durability: ErrBadWAL.
 //
 // Context cancellation is reported with the standard context.Canceled and
 // context.DeadlineExceeded errors (possibly wrapped); match those with
@@ -83,6 +84,14 @@ var (
 	// ErrSessionExists reports a session created under a name that is
 	// already taken.
 	ErrSessionExists = cverr.ErrSessionExists
+	// ErrOverloaded reports an operation shed under serving-tier
+	// backpressure (HTTP 429); the operation was not applied and can be
+	// retried.
+	ErrOverloaded = cverr.ErrOverloaded
+
+	// ErrBadWAL reports a structurally damaged write-ahead log or checkpoint
+	// file (see internal/wal and the crowdval recover command).
+	ErrBadWAL = cverr.ErrBadWAL
 )
 
 // ErrorName returns the exported identifier of the sentinel err wraps (e.g.

@@ -111,4 +111,16 @@ var (
 	// ErrSessionExists is returned when a session is created under a name
 	// that is already taken.
 	ErrSessionExists = reg("ErrSessionExists", "crowdval: session already exists")
+	// ErrOverloaded is returned when a serving tier sheds an operation under
+	// backpressure (e.g. a session's ingest queue is at its configured
+	// bound). The operation was not applied and can be retried.
+	ErrOverloaded = reg("ErrOverloaded", "crowdval: server overloaded")
+)
+
+// Durability errors.
+var (
+	// ErrBadWAL is returned when a write-ahead log or checkpoint file is
+	// structurally damaged: bad magic or version, a torn or corrupt record,
+	// a checksum mismatch.
+	ErrBadWAL = reg("ErrBadWAL", "crowdval: malformed write-ahead log")
 )

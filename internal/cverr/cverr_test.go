@@ -71,6 +71,8 @@ func TestNameForEveryExportedSentinel(t *testing.T) {
 		"ErrSnapshotVersion":   ErrSnapshotVersion,
 		"ErrSessionNotFound":   ErrSessionNotFound,
 		"ErrSessionExists":     ErrSessionExists,
+		"ErrOverloaded":        ErrOverloaded,
+		"ErrBadWAL":            ErrBadWAL,
 	}
 	if len(cases) != len(named) {
 		t.Fatalf("test covers %d sentinels, registry has %d — keep them in sync", len(cases), len(named))

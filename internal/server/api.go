@@ -230,8 +230,8 @@ type ErrorResponse struct {
 
 // statusFor maps an error to its HTTP status: 404 for unknown sessions, 409
 // for state conflicts (duplicate names or validations, exhausted budgets,
-// finished sessions), 400 for malformed input, 504/503 for deadline and
-// cancellation, 500 otherwise.
+// finished sessions), 400 for malformed input, 429 for load shed under
+// backpressure, 504/503 for deadline and cancellation, 500 otherwise.
 func statusFor(err error) int {
 	var badReq *badRequestError
 	switch {
@@ -254,6 +254,8 @@ func statusFor(err error) int {
 		errors.Is(err, cverr.ErrBadSnapshot),
 		errors.Is(err, cverr.ErrSnapshotVersion):
 		return http.StatusBadRequest
+	case errors.Is(err, cverr.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"crowdval"
+	"crowdval/internal/wal"
+)
+
+// BenchmarkIngestWithWAL prices the durability tax on the manager's ingest
+// path: identical workload across a WAL-less manager and the three sync
+// policies, calling Manager.AddAnswers directly so the measured delta is log
+// framing + write + fsync, not HTTP/JSON. The `wal` benchguard pair tracks
+// sync-interval (the serve default) against nowal — the overhead of default
+// durability must stay within 25% of its recorded ratio.
+//
+// The shape is deliberately smaller than the headline workload: WAL cost is
+// per-record, not per-object, so a smaller crowd keeps the aggregation share
+// of each op low enough that log overhead is visible in the ratio.
+func BenchmarkIngestWithWAL(b *testing.B) {
+	variants := []struct {
+		name   string
+		wal    bool
+		policy wal.SyncPolicy
+	}{
+		{name: "nowal"},
+		{name: "sync-off", wal: true, policy: wal.SyncPolicy{Mode: wal.SyncOff}},
+		{name: "sync-interval", wal: true, policy: wal.SyncPolicy{Mode: wal.SyncInterval, Interval: wal.DefaultSyncInterval}},
+		{name: "sync-always", wal: true, policy: wal.SyncPolicy{Mode: wal.SyncAlways}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			benchmarkIngestWAL(b, v.wal, v.policy)
+		})
+	}
+}
+
+func benchmarkIngestWAL(b *testing.B, withWAL bool, policy wal.SyncPolicy) {
+	const (
+		objects   = 5000
+		workers   = 100
+		batchSize = 100
+	)
+	d, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: objects, NumWorkers: workers, NumLabels: 2,
+		AnswersPerObject: 5,
+		NormalAccuracy:   0.7,
+		Mix:              crowdval.WorkerMix{Normal: 0.75, RandomSpammer: 0.25},
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ManagerConfig{ParkDir: b.TempDir()}
+	if withWAL {
+		cfg = cfg.WithWAL(b.TempDir(), policy)
+	}
+	manager, err := NewManager(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const name = "bench-wal"
+	if err := manager.Create(context.Background(), name, d.Answers.Clone(),
+		crowdval.WithStrategy(crowdval.StrategyBaseline), crowdval.WithSeed(1),
+		crowdval.WithDeltaIngest()); err != nil {
+		b.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	batches := make([][]crowdval.Answer, 64)
+	for i := range batches {
+		batch := make([]crowdval.Answer, batchSize)
+		for j := range batch {
+			batch[j] = crowdval.Answer{
+				Object: rng.Intn(objects),
+				Worker: rng.Intn(workers),
+				Label:  crowdval.Label(rng.Intn(2)),
+			}
+		}
+		batches[i] = batch
+	}
+
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := manager.AddAnswers(ctx, name, batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := manager.Stats()
+	if withWAL && stats.WALRecords == 0 {
+		b.Fatal("WAL variant logged nothing")
+	}
+	b.ReportMetric(float64(stats.IngestedAnswers)/b.Elapsed().Seconds(), "answers/sec")
+}

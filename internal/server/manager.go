@@ -17,9 +17,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"crowdval"
 	"crowdval/internal/cverr"
+	"crowdval/internal/wal"
 )
 
 // ManagerConfig parameterizes a SessionManager.
@@ -32,7 +34,40 @@ type ManagerConfig struct {
 	// ParkDir is the directory parked session snapshots are written to. It
 	// is created if missing.
 	ParkDir string
+
+	// WALDir enables durability: every session mutation is appended to a
+	// per-session write-ahead log in this directory before it is applied,
+	// periodic snapshot checkpoints bound replay time, and Recover rebuilds
+	// the sessions after a crash. Empty disables the WAL (the pre-durability
+	// behavior: a crash loses everything since the last explicit snapshot).
+	WALDir string
+	// WALSync is the log's fsync policy (see wal.SyncPolicy): per-record,
+	// every-N-records, or never. The zero value is SyncOff.
+	WALSync wal.SyncPolicy
+	// CheckpointEvery is the number of logged records between snapshot
+	// checkpoints of a session (which also truncate its log down to the
+	// fallback generation). Zero means DefaultCheckpointEvery when the WAL
+	// is enabled; negative disables checkpointing.
+	CheckpointEvery int
+	// MaxQueuedIngest bounds the per-session ingest coalescing queue. An
+	// AddAnswers request that finds the queue at the bound is shed with
+	// ErrOverloaded (HTTP 429) instead of piling up behind a slow
+	// aggregation. Zero or negative means unbounded.
+	MaxQueuedIngest int
 }
+
+// WithWAL returns a copy of the config with the write-ahead log enabled in
+// dir under the given sync policy — the fluent spelling of setting WALDir
+// and WALSync directly.
+func (c ManagerConfig) WithWAL(dir string, policy wal.SyncPolicy) ManagerConfig {
+	c.WALDir = dir
+	c.WALSync = policy
+	return c
+}
+
+// DefaultCheckpointEvery is the records-between-checkpoints default when the
+// WAL is enabled and ManagerConfig.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 256
 
 // Manager owns a set of named, long-lived validation sessions. All methods
 // are safe for concurrent use: operations on distinct sessions run in
@@ -43,6 +78,15 @@ type ManagerConfig struct {
 type Manager struct {
 	budget int64
 	dir    string
+
+	// Durability configuration (immutable after NewManager).
+	walDir     string
+	walSync    wal.SyncPolicy
+	ckptEvery  int
+	maxIngestQ int
+	// walOpen wraps every opened log file; the crash-fault-injection tests
+	// install a writer that dies at a chosen byte offset. nil = identity.
+	walOpen func(name string, f *os.File) wal.File
 
 	// mu guards the session table, the LRU list and the accounting fields
 	// below. It is never held while session work runs.
@@ -61,6 +105,20 @@ type Manager struct {
 	evictions     int64
 	resumes       int64
 	emIters       int64
+	deltaIters    int64
+
+	// Durability counters. They are atomics, not mu-guarded fields: the WAL
+	// appends that update them run inside per-session critical sections, and
+	// a metrics scrape must never queue behind (or take a lock inside) an
+	// in-flight fsync.
+	walRecords      atomic.Int64
+	walBytes        atomic.Int64
+	walSyncs        atomic.Int64
+	checkpoints     atomic.Int64
+	checkpointFails atomic.Int64
+	recovered       atomic.Int64
+	replayed        atomic.Int64
+	shed            atomic.Int64
 }
 
 // entry is the manager's handle for one named session.
@@ -76,9 +134,16 @@ type entry struct {
 	sess     *crowdval.Session // nil while parked (or while creation is in flight)
 	deleted  bool
 	isParked bool
-	// emSeen is the session's TotalEMIterations already folded into the
-	// manager's cumulative counter; a resumed session restarts at zero.
-	emSeen int
+	// emSeen/deltaSeen are the session's TotalEMIterations and
+	// TotalDeltaIterations already folded into the manager's cumulative
+	// counters; a resumed session restarts at zero.
+	emSeen    int
+	deltaSeen int
+	// log is the session's write-ahead log state; nil when the manager runs
+	// without a WAL. It is guarded by mu like sess: every append runs inside
+	// the session's write critical section, which is what keeps log order
+	// identical to apply order.
+	log *sessionWAL
 
 	bytes   int64 // last accounted MemoryEstimate; 0 while parked
 	parking bool  // selected as an eviction victim, park in flight
@@ -109,8 +174,10 @@ type ingestOutcome struct {
 	err   error
 }
 
-// NewManager prepares a session manager, creating the park directory if
-// needed.
+// NewManager prepares a session manager, creating the park (and, when
+// durability is enabled, WAL) directories if needed. A manager with a WALDir
+// does not recover leftover logs on its own — call Recover before serving to
+// rebuild the sessions of a crashed predecessor.
 func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.ParkDir == "" {
 		return nil, fmt.Errorf("server: ManagerConfig.ParkDir is required")
@@ -118,11 +185,24 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if err := os.MkdirAll(cfg.ParkDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating park directory: %w", err)
 	}
+	ckptEvery := cfg.CheckpointEvery
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating WAL directory: %w", err)
+		}
+		if ckptEvery == 0 {
+			ckptEvery = DefaultCheckpointEvery
+		}
+	}
 	return &Manager{
-		budget:   cfg.MemoryBudget,
-		dir:      cfg.ParkDir,
-		sessions: make(map[string]*entry),
-		lru:      list.New(),
+		budget:     cfg.MemoryBudget,
+		dir:        cfg.ParkDir,
+		walDir:     cfg.WALDir,
+		walSync:    cfg.WALSync,
+		ckptEvery:  ckptEvery,
+		maxIngestQ: cfg.MaxQueuedIngest,
+		sessions:   make(map[string]*entry),
+		lru:        list.New(),
 	}, nil
 }
 
@@ -191,6 +271,13 @@ func (m *Manager) install(name string, build func() (*crowdval.Session, error)) 
 	m.mu.Unlock()
 
 	sess, err := build()
+	var w *sessionWAL
+	if err == nil && m.walDir != "" {
+		// Log-before-serve: the creation is durable (a create record carrying
+		// the fresh snapshot) before the name is published, so no acknowledged
+		// creation can be lost to a crash.
+		w, err = m.createWAL(name, sess)
+	}
 	if err != nil {
 		e.deleted = true
 		e.mu.Unlock()
@@ -201,6 +288,7 @@ func (m *Manager) install(name string, build func() (*crowdval.Session, error)) 
 		return err
 	}
 	e.sess = sess
+	e.log = w
 	victims := m.settle(e)
 	e.mu.Unlock()
 	m.parkAll(victims)
@@ -232,6 +320,11 @@ func (m *Manager) Delete(name string) error {
 	e.deleted = true
 	e.sess = nil
 	e.isParked = false
+	if e.log != nil {
+		e.log.close()
+		e.log = nil
+	}
+	m.removeWALFiles(name)
 	_ = os.Remove(m.parkPath(name))
 	e.mu.Unlock()
 
@@ -275,6 +368,30 @@ func (m *Manager) update(ctx context.Context, name string, fn func(*crowdval.Ses
 		return err
 	}
 	return m.exclusive(e, name, fn)
+}
+
+// updateLogged is update with the log-before-apply discipline: rec is
+// appended to the session's WAL (when one is configured) before fn runs, a
+// failed append skips fn entirely, and a checkpoint is taken afterwards when
+// due. fn's own error does not suppress the logged record — replaying a
+// record whose application failed re-fails deterministically, because the
+// library rejects invalid mutations without mutating.
+func (m *Manager) updateLogged(ctx context.Context, name string, rec wal.Record, fn func(*crowdval.Session) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e, err := m.lookup(name)
+	if err != nil {
+		return err
+	}
+	return m.exclusive(e, name, func(s *crowdval.Session) error {
+		if err := m.logMutation(e, rec); err != nil {
+			return err
+		}
+		opErr := fn(s)
+		m.maybeCheckpoint(e)
+		return opErr
+	})
 }
 
 // exclusive is the shared write path behind update and view's parked-session
@@ -341,6 +458,7 @@ func (m *Manager) unpark(e *entry) error {
 	e.sess = sess
 	e.isParked = false
 	e.emSeen = 0
+	e.deltaSeen = 0
 	m.mu.Lock()
 	e.bytes = sess.MemoryEstimate()
 	m.resident += e.bytes
@@ -358,11 +476,14 @@ func (m *Manager) unpark(e *entry) error {
 // this one could deadlock two settles picking each other's entry).
 func (m *Manager) settle(e *entry) []*entry {
 	cur := e.sess.TotalEMIterations()
+	dcur := e.sess.TotalDeltaIterations()
 	size := e.sess.MemoryEstimate()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.emIters += int64(cur - e.emSeen)
 	e.emSeen = cur
+	m.deltaIters += int64(dcur - e.deltaSeen)
+	e.deltaSeen = dcur
 	m.resident += size - e.bytes
 	e.bytes = size
 	if m.budget <= 0 {
@@ -470,6 +591,11 @@ func (m *Manager) AddAnswers(ctx context.Context, name string, answers []crowdva
 	}
 	t := &ingestTicket{answers: answers, done: make(chan ingestOutcome, 1)}
 	e.ingestMu.Lock()
+	if m.maxIngestQ > 0 && len(e.ingestQueue) >= m.maxIngestQ {
+		e.ingestMu.Unlock()
+		m.shed.Add(1)
+		return 0, fmt.Errorf("%w: session %q has %d queued ingest requests", cverr.ErrOverloaded, name, m.maxIngestQ)
+	}
 	e.ingestQueue = append(e.ingestQueue, t)
 	e.ingestMu.Unlock()
 
@@ -525,10 +651,14 @@ func (m *Manager) drainIngest(ctx context.Context, own *ingestTicket, e *entry, 
 	// delta path. Full-path sessions drain sequentially.
 	if len(tickets) == 1 || !s.DeltaIngestEnabled() {
 		for _, t := range tickets {
-			err := s.AddAnswers(ticketCtx(t), t.answers)
-			m.accountIngest(1, 0, ingestedOnSuccess(err, len(t.answers)))
+			err := m.logMutation(e, answersRecord(t.answers))
+			if err == nil {
+				err = s.AddAnswers(ticketCtx(t), t.answers)
+				m.accountIngest(1, 0, ingestedOnSuccess(err, len(t.answers)))
+			}
 			t.done <- ingestOutcome{total: s.AnswerCount(), err: err}
 		}
+		m.maybeCheckpoint(e)
 		return
 	}
 
@@ -543,6 +673,15 @@ func (m *Manager) drainIngest(ctx context.Context, own *ingestTicket, e *entry, 
 	for _, t := range tickets {
 		batch = append(batch, t.answers...)
 	}
+	// The WAL gets the *merged* batch — exactly what the live session is
+	// about to apply — so replay walks the same aggregation trajectory. A log
+	// failure fails every merged request; nothing was applied.
+	if err := m.logMutation(e, answersRecord(batch)); err != nil {
+		for _, t := range tickets {
+			t.done <- ingestOutcome{err: err}
+		}
+		return
+	}
 	err := s.AddAnswers(context.WithoutCancel(ctx), batch)
 	if err == nil {
 		total := s.AnswerCount()
@@ -550,17 +689,25 @@ func (m *Manager) drainIngest(ctx context.Context, own *ingestTicket, e *entry, 
 		for _, t := range tickets {
 			t.done <- ingestOutcome{total: total}
 		}
+		m.maybeCheckpoint(e)
 		return
 	}
 	// Session.AddAnswers validates every answer before mutating anything, so
 	// a merged failure means some request carried an invalid answer and the
 	// session is untouched. Re-apply per ticket: the error lands on the
-	// request that caused it and the valid requests still go through.
+	// request that caused it and the valid requests still go through. Each
+	// retry is logged individually; the already-logged merged record replays
+	// against the same pre-batch state and re-fails deterministically, so the
+	// log still prescribes exactly the applied mutations.
 	for _, t := range tickets {
-		terr := s.AddAnswers(context.WithoutCancel(ctx), t.answers)
-		m.accountIngest(1, 0, ingestedOnSuccess(terr, len(t.answers)))
+		terr := m.logMutation(e, answersRecord(t.answers))
+		if terr == nil {
+			terr = s.AddAnswers(context.WithoutCancel(ctx), t.answers)
+			m.accountIngest(1, 0, ingestedOnSuccess(terr, len(t.answers)))
+		}
 		t.done <- ingestOutcome{total: s.AnswerCount(), err: terr}
 	}
+	m.maybeCheckpoint(e)
 }
 
 // failOwnIngest removes the caller's own ticket from the queue and resolves
@@ -641,7 +788,7 @@ func (m *Manager) NextObjects(ctx context.Context, name string, k int) ([]crowdv
 // Submit integrates one expert validation.
 func (m *Manager) Submit(ctx context.Context, name string, object int, label crowdval.Label) (crowdval.StepInfo, error) {
 	var info crowdval.StepInfo
-	err := m.update(ctx, name, func(s *crowdval.Session) error {
+	err := m.updateLogged(ctx, name, submitRecord(object, label), func(s *crowdval.Session) error {
 		var err error
 		info, err = s.SubmitValidationContext(ctx, object, label)
 		return err
@@ -659,7 +806,7 @@ func (m *Manager) Submit(ctx context.Context, name string, object int, label cro
 // (see Session.SubmitValidations).
 func (m *Manager) SubmitBatch(ctx context.Context, name string, inputs []crowdval.ValidationInput) ([]crowdval.StepInfo, error) {
 	var infos []crowdval.StepInfo
-	err := m.update(ctx, name, func(s *crowdval.Session) error {
+	err := m.updateLogged(ctx, name, submitBatchRecord(inputs), func(s *crowdval.Session) error {
 		var err error
 		infos, err = s.SubmitValidations(ctx, inputs)
 		return err
@@ -767,13 +914,33 @@ type Stats struct {
 	Evictions            int64 `json:"evictions"`
 	Resumes              int64 `json:"resumes"`
 	EMIterations         int64 `json:"emIterations"`
+	// DeltaIterations is the cumulative count of frontier-restricted
+	// iterations run by delta-incremental sessions (see WithDeltaIngest).
+	DeltaIterations int64 `json:"deltaIterations"`
+	// ShedIngests counts AddAnswers requests rejected with ErrOverloaded
+	// because a session's ingest queue was at its configured bound.
+	ShedIngests int64 `json:"shedIngests"`
+	// Durability counters; all zero when the manager runs without a WAL.
+	// WALRecords/WALBytes/WALSyncs are cumulative appender totals across all
+	// sessions; Checkpoints/CheckpointFailures count snapshot-checkpoint
+	// rotations; RecoveredSessions/ReplayedRecords describe the crash
+	// recovery this process performed at boot.
+	WALRecords         int64 `json:"walRecords"`
+	WALBytes           int64 `json:"walBytes"`
+	WALSyncs           int64 `json:"walSyncs"`
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpointFailures"`
+	RecoveredSessions  int64 `json:"recoveredSessions"`
+	ReplayedRecords    int64 `json:"replayedRecords"`
 }
 
-// Stats returns a consistent snapshot of the manager's aggregate state.
+// Stats returns a consistent snapshot of the manager's aggregate state. The
+// durability counters are atomics sampled individually — a scrape never
+// waits behind an in-flight fsync — so they can trail the mu-guarded fields
+// by a few operations; every counter is individually monotone.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Sessions:             int64(len(m.sessions)),
 		Resident:             int64(len(m.sessions)) - m.parked,
 		Parked:               m.parked,
@@ -787,5 +954,16 @@ func (m *Manager) Stats() Stats {
 		Evictions:            m.evictions,
 		Resumes:              m.resumes,
 		EMIterations:         m.emIters,
+		DeltaIterations:      m.deltaIters,
 	}
+	m.mu.Unlock()
+	s.ShedIngests = m.shed.Load()
+	s.WALRecords = m.walRecords.Load()
+	s.WALBytes = m.walBytes.Load()
+	s.WALSyncs = m.walSyncs.Load()
+	s.Checkpoints = m.checkpoints.Load()
+	s.CheckpointFailures = m.checkpointFails.Load()
+	s.RecoveredSessions = m.recovered.Load()
+	s.ReplayedRecords = m.replayed.Load()
+	return s
 }

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// This file renders the manager statistics in the Prometheus text exposition
+// format (version 0.0.4), served at GET /metrics alongside the JSON form at
+// GET /v1/metrics. The scrape path reads only manager-guarded counters and
+// lock-free atomics — it never touches an entry lock, so a scrape cannot
+// queue behind an in-flight aggregation or fsync.
+
+// promMetric is one exposed metric: name, type, help, and a getter against a
+// Stats snapshot. Ratios (coalescing effectiveness, park/resume churn) are
+// left to the scraper: counters stay raw so rate() works.
+type promMetric struct {
+	name  string
+	typ   string // "counter" or "gauge"
+	help  string
+	value func(Stats) int64
+}
+
+var promMetrics = []promMetric{
+	{"crowdval_sessions", "gauge", "Managed sessions.", func(s Stats) int64 { return s.Sessions }},
+	{"crowdval_sessions_resident", "gauge", "Sessions resident in memory.", func(s Stats) int64 { return s.Resident }},
+	{"crowdval_sessions_parked", "gauge", "Sessions parked to disk.", func(s Stats) int64 { return s.Parked }},
+	{"crowdval_resident_bytes", "gauge", "Estimated bytes of resident session state.", func(s Stats) int64 { return s.ResidentBytes }},
+	{"crowdval_memory_budget_bytes", "gauge", "Configured resident-memory budget (0 = unlimited).", func(s Stats) int64 { return s.MemoryBudget }},
+	{"crowdval_ingested_answers_total", "counter", "Crowd answers ingested.", func(s Stats) int64 { return s.IngestedAnswers }},
+	{"crowdval_ingest_batches_total", "counter", "AddAnswers batches executed against sessions.", func(s Stats) int64 { return s.IngestBatches }},
+	{"crowdval_coalesced_ingests_total", "counter", "Ingest requests merged into another request's batch.", func(s Stats) int64 { return s.CoalescedIngests }},
+	{"crowdval_shed_ingests_total", "counter", "Ingest requests shed with ErrOverloaded (HTTP 429).", func(s Stats) int64 { return s.ShedIngests }},
+	{"crowdval_validations_total", "counter", "Expert validations submitted.", func(s Stats) int64 { return s.SubmittedValidations }},
+	{"crowdval_selections_total", "counter", "Next-object selections served.", func(s Stats) int64 { return s.Selections }},
+	{"crowdval_evictions_total", "counter", "Sessions parked to disk under memory pressure.", func(s Stats) int64 { return s.Evictions }},
+	{"crowdval_resumes_total", "counter", "Parked sessions resumed on touch.", func(s Stats) int64 { return s.Resumes }},
+	{"crowdval_em_iterations_total", "counter", "Full EM iterations run across all sessions.", func(s Stats) int64 { return s.EMIterations }},
+	{"crowdval_delta_iterations_total", "counter", "Frontier-restricted delta iterations run across all sessions.", func(s Stats) int64 { return s.DeltaIterations }},
+	{"crowdval_wal_records_total", "counter", "Records appended to session write-ahead logs.", func(s Stats) int64 { return s.WALRecords }},
+	{"crowdval_wal_bytes_total", "counter", "Bytes written to session write-ahead logs.", func(s Stats) int64 { return s.WALBytes }},
+	{"crowdval_wal_fsyncs_total", "counter", "Fsyncs issued by session write-ahead logs.", func(s Stats) int64 { return s.WALSyncs }},
+	{"crowdval_checkpoints_total", "counter", "Snapshot checkpoints written (with log truncation).", func(s Stats) int64 { return s.Checkpoints }},
+	{"crowdval_checkpoint_failures_total", "counter", "Snapshot checkpoints that failed (log left untruncated).", func(s Stats) int64 { return s.CheckpointFailures }},
+	{"crowdval_recovered_sessions", "gauge", "Sessions rebuilt from WAL recovery at boot.", func(s Stats) int64 { return s.RecoveredSessions }},
+	{"crowdval_replayed_records", "gauge", "WAL records replayed during boot recovery.", func(s Stats) int64 { return s.ReplayedRecords }},
+}
+
+// RenderPrometheus renders a Stats snapshot in the Prometheus text format.
+func RenderPrometheus(s Stats) string {
+	var b strings.Builder
+	for _, m := range promMetrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		fmt.Fprintf(&b, "%s %d\n", m.name, m.value(s))
+	}
+	return b.String()
+}
+
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = fmt.Fprint(w, RenderPrometheus(s.manager.Stats()))
+}

@@ -30,7 +30,8 @@ const MaxNextK = 1000
 //	POST   /v1/sessions/{name}/validations   submit one validation or a batch
 //	GET    /v1/sessions/{name}/result        current estimates (?probabilities=1)
 //	DELETE /v1/sessions/{name}               delete a session
-//	GET    /v1/metrics                       manager statistics
+//	GET    /v1/metrics                       manager statistics (JSON)
+//	GET    /metrics                          manager statistics (Prometheus text)
 //
 // Every handler honors the request context: a client that disconnects or a
 // ?timeout= that expires cancels the in-flight session operation, which rolls
@@ -57,6 +58,7 @@ func New(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{name}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	return s
 }
 

@@ -1,0 +1,600 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"crowdval"
+	"crowdval/internal/cverr"
+	"crowdval/internal/wal"
+)
+
+// This file is the durability glue between the session manager and the
+// internal/wal package: per-session log state, the log-before-apply mutation
+// discipline, checkpoint rotation with a two-generation fallback, and crash
+// recovery.
+//
+// On-disk layout per session (inside ManagerConfig.WALDir):
+//
+//	<name>.wal        append-only mutation log (see package wal)
+//	<name>.ckpt       newest checkpoint: snapshot + LSN it covers
+//	<name>.ckpt.prev  previous checkpoint generation, the fallback when the
+//	                  newest one is damaged
+//	*.tmp             in-flight atomic writes; debris after a crash, removed
+//	                  by recovery
+//
+// Rotation invariant: the log is only ever truncated down to the LSN of the
+// *older* surviving checkpoint, so a corrupt newest checkpoint can always
+// fall back to <name>.ckpt.prev plus a longer replay — no single torn write
+// can lose acknowledged state.
+
+// sessionWAL is one session's write-ahead log state. It is guarded by the
+// owning entry's mu, like the session itself: every append runs inside the
+// session's write critical section, which keeps log order identical to apply
+// order.
+type sessionWAL struct {
+	f   *os.File
+	app *wal.Appender
+	// broken records the first append or rotation failure. A log whose write
+	// failed partway is in an unknown byte state, so the session fails stop:
+	// every further mutation is rejected until a restart re-runs recovery.
+	broken error
+	// sinceCkpt counts records logged since the last checkpoint; lastCkptLSN
+	// is the LSN the newest checkpoint covers (the truncation floor for the
+	// *next* rotation is this value, i.e. the generation being demoted).
+	sinceCkpt   int
+	lastCkptLSN uint64
+	// seen* are the appender metrics already folded into the manager's
+	// atomic counters.
+	seenBytes, seenRecords, seenSyncs int64
+}
+
+func (w *sessionWAL) close() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+func (m *Manager) walPath(name string) string {
+	return filepath.Join(m.walDir, name+".wal")
+}
+
+func (m *Manager) ckptPath(name string) string {
+	return filepath.Join(m.walDir, name+".ckpt")
+}
+
+func (m *Manager) ckptPrevPath(name string) string {
+	return filepath.Join(m.walDir, name+".ckpt.prev")
+}
+
+// wrapWAL applies the crash-test fault-injection hook to a freshly opened log
+// file; in production it is the identity.
+func (m *Manager) wrapWAL(name string, f *os.File) wal.File {
+	if m.walOpen != nil {
+		return m.walOpen(name, f)
+	}
+	return f
+}
+
+// foldWALMetrics folds the appender's cumulative metrics into the manager's
+// atomic counters as deltas against the last fold.
+func (m *Manager) foldWALMetrics(w *sessionWAL) {
+	b, r, s := w.app.Metrics()
+	m.walBytes.Add(b - w.seenBytes)
+	m.walRecords.Add(r - w.seenRecords)
+	m.walSyncs.Add(s - w.seenSyncs)
+	w.seenBytes, w.seenRecords, w.seenSyncs = b, r, s
+}
+
+// createWAL starts the log of a freshly created session: a new file whose
+// first record carries the session's snapshot, synced regardless of policy —
+// session creation is durable before it is acknowledged, whatever the
+// per-mutation trade-off. A failure fails the creation.
+func (m *Manager) createWAL(name string, sess *crowdval.Session) (*sessionWAL, error) {
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshotting session %q for its WAL: %w", name, err)
+	}
+	path := m.walPath(name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: creating WAL for session %q: %w", name, err)
+	}
+	w := &sessionWAL{f: f}
+	fail := func(err error) (*sessionWAL, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("server: creating WAL for session %q: %w", name, err)
+	}
+	app, err := wal.NewAppender(m.wrapWAL(name, f), 0, m.walSync)
+	if err != nil {
+		return fail(err)
+	}
+	w.app = app
+	if _, err := app.Append(wal.Record{Type: wal.RecCreate, Snapshot: snap}); err != nil {
+		return fail(err)
+	}
+	if err := app.Sync(); err != nil {
+		return fail(err)
+	}
+	m.foldWALMetrics(w)
+	// A stale checkpoint pair from a deleted predecessor of the same name
+	// must not shadow the fresh log.
+	os.Remove(m.ckptPath(name))
+	os.Remove(m.ckptPrevPath(name))
+	return w, nil
+}
+
+// removeWALFiles deletes every durability file of a session (Delete path).
+func (m *Manager) removeWALFiles(name string) {
+	if m.walDir == "" {
+		return
+	}
+	os.Remove(m.walPath(name))
+	os.Remove(m.ckptPath(name))
+	os.Remove(m.ckptPrevPath(name))
+	os.Remove(m.walPath(name) + ".tmp")
+	os.Remove(m.ckptPath(name) + ".tmp")
+}
+
+// logMutation appends one mutation record to the entry's log, before the
+// mutation is applied. A nil log (WAL disabled) is a no-op. On failure the
+// caller must not apply the mutation, and the log fails stop. The caller
+// holds the entry's write lock.
+func (m *Manager) logMutation(e *entry, rec wal.Record) error {
+	w := e.log
+	if w == nil {
+		return nil
+	}
+	if w.broken != nil {
+		return fmt.Errorf("server: WAL of session %q failed earlier, mutations rejected until restart: %w", e.name, w.broken)
+	}
+	_, err := w.app.Append(rec)
+	m.foldWALMetrics(w)
+	if err != nil {
+		w.broken = err
+		return fmt.Errorf("server: logging mutation for session %q: %w", e.name, err)
+	}
+	w.sinceCkpt++
+	return nil
+}
+
+// maybeCheckpoint writes a snapshot checkpoint and truncates the log when the
+// configured record interval has elapsed. Failures are counted, not retried
+// per-mutation (the next full interval tries again), and never truncate. The
+// caller holds the entry's write lock with a resident session.
+func (m *Manager) maybeCheckpoint(e *entry) {
+	w := e.log
+	if w == nil || w.broken != nil || m.ckptEvery <= 0 || w.sinceCkpt < m.ckptEvery || e.sess == nil {
+		return
+	}
+	if err := m.checkpoint(e.name, e.sess, w); err != nil {
+		m.checkpointFails.Add(1)
+		w.sinceCkpt = 0
+		return
+	}
+	m.checkpoints.Add(1)
+}
+
+// checkpoint writes the session's snapshot as the new newest checkpoint,
+// demotes the previous newest to the fallback generation, and truncates the
+// log down to the demoted generation's LSN. The caller holds the session's
+// write lock.
+func (m *Manager) checkpoint(name string, sess *crowdval.Session, w *sessionWAL) error {
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	// Every logged record must be durable before any truncation decision:
+	// the checkpoint claims to cover them.
+	if err := w.app.Sync(); err != nil {
+		w.broken = err
+		return err
+	}
+	m.foldWALMetrics(w)
+	lsn := w.app.LSN()
+
+	ckpt := m.ckptPath(name)
+	tmp := ckpt + ".tmp"
+	if err := writeFileSynced(tmp, func(f *os.File) error {
+		return wal.WriteCheckpoint(f, lsn, snap)
+	}); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	floor := w.lastCkptLSN
+	if err := os.Rename(ckpt, m.ckptPrevPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, ckpt); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := m.rewriteLog(name, w, floor, lsn); err != nil {
+		return err
+	}
+	w.lastCkptLSN = lsn
+	w.sinceCkpt = 0
+	return nil
+}
+
+// rewriteLog replaces the session's log with a canonical re-encode of its
+// intact records above floor, rebased to baseLSN=floor, and swaps the live
+// appender onto the new file at lastLSN. Any torn tail bytes (from a failed
+// append or a crash) vanish in the rewrite. On failure after the swap point
+// the log fails stop.
+func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) error {
+	path := m.walPath(name)
+	tmp := path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	// The rewrite is plumbing, not new mutations: it writes straight to the
+	// *os.File (no fault-injection wrap, no per-record fsync) and syncs once
+	// before the atomic swap.
+	app, err := wal.NewAppender(nf, floor, wal.SyncPolicy{Mode: wal.SyncOff})
+	if err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	fail := func(err error) error {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Make the old file's buffered/kernel state visible to the read below.
+	if old, err := os.Open(path); err == nil {
+		rd, rerr := wal.NewReader(old)
+		if rerr == nil {
+			for {
+				rec, lsn, nerr := rd.Next()
+				if nerr != nil {
+					// io.EOF is the clean end; anything else is a torn tail,
+					// which the rewrite drops by construction.
+					break
+				}
+				if lsn <= floor {
+					continue
+				}
+				if _, aerr := app.Append(rec); aerr != nil {
+					old.Close()
+					return fail(aerr)
+				}
+			}
+		}
+		old.Close()
+	}
+	if err := app.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := nf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Swap the live appender onto the rewritten file.
+	w.close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.broken = err
+		return err
+	}
+	w.f = f
+	w.app = wal.ResumeAppender(m.wrapWAL(name, f), lastLSN, m.walSync)
+	w.seenBytes, w.seenRecords, w.seenSyncs = 0, 0, 0
+	return nil
+}
+
+// writeFileSynced writes a file through fn, fsyncs and closes it — the
+// prefix of every atomic tmp-then-rename sequence in this file.
+func writeFileSynced(path string, fn func(*os.File) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readCheckpointFile loads and verifies one checkpoint generation.
+func readCheckpointFile(path string) (lsn uint64, snapshot []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return wal.ReadCheckpoint(f)
+}
+
+// answersRecord frames an ingest batch as a log record.
+func answersRecord(answers []crowdval.Answer) wal.Record {
+	rec := wal.Record{Type: wal.RecAddAnswers, Answers: make([]wal.Answer, len(answers))}
+	for i, a := range answers {
+		rec.Answers[i] = wal.Answer{Object: a.Object, Worker: a.Worker, Label: int(a.Label)}
+	}
+	return rec
+}
+
+// submitRecord frames one expert validation as a log record.
+func submitRecord(object int, label crowdval.Label) wal.Record {
+	return wal.Record{Type: wal.RecSubmit, Validations: []wal.Validation{{Object: object, Label: int(label)}}}
+}
+
+// submitBatchRecord frames a transactional validation batch as a log record.
+func submitBatchRecord(inputs []crowdval.ValidationInput) wal.Record {
+	rec := wal.Record{Type: wal.RecSubmitBatch, Validations: make([]wal.Validation, len(inputs))}
+	for i, in := range inputs {
+		rec.Validations[i] = wal.Validation{Object: in.Object, Label: int(in.Label)}
+	}
+	return rec
+}
+
+// RecoveredSession reports the outcome of recovering one session's log.
+type RecoveredSession struct {
+	// Name is the session name (the log file's base name).
+	Name string `json:"name"`
+	// CheckpointLSN is the LSN covered by the checkpoint that was resumed;
+	// zero when the session was rebuilt from its create record alone.
+	CheckpointLSN uint64 `json:"checkpointLSN"`
+	// LastLSN is the LSN of the last intact record applied.
+	LastLSN uint64 `json:"lastLSN"`
+	// Replayed is the number of tail records replayed through the session API.
+	Replayed int `json:"replayed"`
+	// UsedFallback reports that the newest checkpoint was unreadable and the
+	// previous generation was resumed instead (with a longer replay).
+	UsedFallback bool `json:"usedFallback,omitempty"`
+	// TornTail reports that the log ended in a torn or corrupt record, which
+	// recovery dropped — the signature of a crash mid-append.
+	TornTail bool `json:"tornTail,omitempty"`
+	// Err is non-nil when the session could not be recovered at all; the
+	// manager does not serve it. Other sessions recover independently.
+	Err error `json:"-"`
+}
+
+// Recover scans the WAL directory and rebuilds every logged session: resume
+// the newest intact checkpoint (falling back one generation when it is
+// damaged), replay the log tail through the session API, and install the
+// session in the manager. It must run before the manager serves traffic.
+// Each recovered session ends with a fresh checkpoint + log rotation, so a
+// torn tail never survives into the resumed log. Per-session failures are
+// reported in the returned slice, not as the overall error — one damaged
+// session must not block the rest.
+func (m *Manager) Recover(ctx context.Context) ([]RecoveredSession, error) {
+	if m.walDir == "" {
+		return nil, nil
+	}
+	des, err := os.ReadDir(m.walDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: scanning WAL directory: %w", err)
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		if name, ok := strings.CutSuffix(de.Name(), ".wal"); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []RecoveredSession
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		r := m.recoverSession(ctx, name)
+		if r.Err == nil {
+			m.recovered.Add(1)
+			m.replayed.Add(int64(r.Replayed))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// recoverSession rebuilds one session from its checkpoint and log.
+func (m *Manager) recoverSession(ctx context.Context, name string) (r RecoveredSession) {
+	r.Name = name
+	// Debris of an interrupted checkpoint or rotation.
+	os.Remove(m.ckptPath(name) + ".tmp")
+	os.Remove(m.walPath(name) + ".tmp")
+
+	// Newest intact checkpoint, falling back one generation. A missing
+	// newest with a present fallback is also a crash signature (killed
+	// between the two renames of a rotation), so any failure to read the
+	// newest tries the fallback.
+	var snap []byte
+	var ckptLSN uint64
+	haveCkpt := false
+	if lsn, s, err := readCheckpointFile(m.ckptPath(name)); err == nil {
+		snap, ckptLSN, haveCkpt = s, lsn, true
+	} else if lsn, s, err := readCheckpointFile(m.ckptPrevPath(name)); err == nil {
+		snap, ckptLSN, haveCkpt = s, lsn, true
+		r.UsedFallback = true
+	}
+
+	f, err := os.Open(m.walPath(name))
+	if err != nil {
+		r.Err = fmt.Errorf("server: opening WAL of session %q: %w", name, err)
+		return r
+	}
+	rd, rdErr := wal.NewReader(f)
+	if rdErr != nil && !haveCkpt {
+		f.Close()
+		r.Err = fmt.Errorf("server: session %q: log header unreadable and no intact checkpoint: %w", name, rdErr)
+		return r
+	}
+
+	var sess *crowdval.Session
+	if haveCkpt {
+		sess, err = crowdval.ResumeSession(snap)
+		if err != nil {
+			f.Close()
+			r.Err = fmt.Errorf("server: resuming checkpoint of session %q: %w", name, err)
+			return r
+		}
+		r.CheckpointLSN = ckptLSN
+	}
+	lastLSN := ckptLSN
+	if rdErr != nil {
+		// Unreadable log with a good checkpoint: recover the checkpoint state
+		// with an empty tail; the closing rotation rebuilds a clean log.
+		r.TornTail = true
+	} else {
+		for {
+			rec, lsn, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.TornTail = true
+				break
+			}
+			if haveCkpt && lsn <= ckptLSN {
+				continue // already folded into the checkpoint snapshot
+			}
+			if sess == nil {
+				if rec.Type != wal.RecCreate {
+					r.Err = fmt.Errorf("server: session %q: log starts with record type %d instead of a create record and no checkpoint is intact: %w", name, rec.Type, cverr.ErrBadWAL)
+					f.Close()
+					return r
+				}
+				sess, err = crowdval.ResumeSession(rec.Snapshot)
+				if err != nil {
+					f.Close()
+					r.Err = fmt.Errorf("server: resuming create record of session %q: %w", name, err)
+					return r
+				}
+				lastLSN = lsn
+				r.Replayed++
+				continue
+			}
+			if rec.Type == wal.RecCreate {
+				// A create record beyond the resumed state means the tail is
+				// inconsistent; stop as if torn.
+				r.TornTail = true
+				break
+			}
+			if aerr := replayRecord(ctx, sess, rec); aerr != nil {
+				// Per-record application errors re-fail exactly as they did
+				// live (the library rejects without mutating), so replay
+				// ignores them; only cancellation aborts recovery.
+				if errors.Is(aerr, context.Canceled) || errors.Is(aerr, context.DeadlineExceeded) {
+					f.Close()
+					r.Err = aerr
+					return r
+				}
+			}
+			lastLSN = lsn
+			r.Replayed++
+		}
+	}
+	f.Close()
+	if sess == nil {
+		r.Err = fmt.Errorf("server: session %q has neither an intact checkpoint nor a create record: %w", name, cverr.ErrBadWAL)
+		return r
+	}
+	r.LastLSN = lastLSN
+
+	// Reattach an appender at the clean LSN. The file may still carry torn
+	// tail bytes; the unconditional rotation below rewrites it canonically
+	// before any new record is appended.
+	af, err := os.OpenFile(m.walPath(name), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		r.Err = fmt.Errorf("server: reopening WAL of session %q: %w", name, err)
+		return r
+	}
+	w := &sessionWAL{
+		f:           af,
+		app:         wal.ResumeAppender(m.wrapWAL(name, af), lastLSN, m.walSync),
+		lastCkptLSN: ckptLSN,
+	}
+	if r.UsedFallback {
+		// The newest checkpoint is corrupt; deleting it keeps the rotation
+		// below from demoting garbage over the good fallback generation.
+		os.Remove(m.ckptPath(name))
+	}
+	if err := m.checkpoint(name, sess, w); err != nil {
+		m.checkpointFails.Add(1)
+		if r.TornTail {
+			// Without the rewrite the torn bytes are still in the file and
+			// appending after them would corrupt the log: fail stop.
+			w.broken = err
+		}
+	} else {
+		m.checkpoints.Add(1)
+	}
+
+	if err := m.installRecovered(name, sess, w); err != nil {
+		w.close()
+		r.Err = err
+	}
+	return r
+}
+
+// replayRecord applies one logged mutation to a session being recovered.
+func replayRecord(ctx context.Context, sess *crowdval.Session, rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecAddAnswers:
+		answers := make([]crowdval.Answer, len(rec.Answers))
+		for i, a := range rec.Answers {
+			answers[i] = crowdval.Answer{Object: a.Object, Worker: a.Worker, Label: crowdval.Label(a.Label)}
+		}
+		return sess.AddAnswers(ctx, answers)
+	case wal.RecSubmit:
+		_, err := sess.SubmitValidationContext(ctx, rec.Validations[0].Object, crowdval.Label(rec.Validations[0].Label))
+		return err
+	case wal.RecSubmitBatch:
+		inputs := make([]crowdval.ValidationInput, len(rec.Validations))
+		for i, v := range rec.Validations {
+			inputs[i] = crowdval.ValidationInput{Object: v.Object, Label: crowdval.Label(v.Label)}
+		}
+		_, err := sess.SubmitValidations(ctx, inputs)
+		return err
+	default:
+		return fmt.Errorf("server: replaying unknown record type %d: %w", rec.Type, cverr.ErrBadWAL)
+	}
+}
+
+// installRecovered publishes a recovered session in the manager, mirroring
+// install but with the session and its log already built.
+func (m *Manager) installRecovered(name string, sess *crowdval.Session, w *sessionWAL) error {
+	if err := ValidateSessionName(name); err != nil {
+		return err
+	}
+	e := &entry{name: name, sess: sess, log: w}
+	e.mu.Lock()
+	m.mu.Lock()
+	if _, exists := m.sessions[name]; exists {
+		m.mu.Unlock()
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", cverr.ErrSessionExists, name)
+	}
+	m.sessions[name] = e
+	e.elem = m.lru.PushFront(e)
+	m.mu.Unlock()
+	victims := m.settle(e)
+	e.mu.Unlock()
+	m.parkAll(victims)
+	return nil
+}

@@ -14,6 +14,10 @@
 //     reference scorer on the same candidate set. A change that erodes it
 //     (e.g. the delta scorer silently falling back to full re-aggregations)
 //     is caught the same way.
+//   - wal: the WAL-on (interval sync, the serve default) / WAL-off ingest
+//     ratio — the durability tax on one ingest batch. A change that bloats
+//     record framing or fsyncs more often than the policy asks for is
+//     caught as ratio growth on any hardware.
 //
 // Usage:
 //
@@ -48,13 +52,18 @@ var knownPairs = map[string]ratioPair{
 		num:  "BenchmarkNextObject/50000x500/delta",
 		den:  "BenchmarkNextObject/50000x500/exact-full-em",
 	},
+	"wal": {
+		name: "WAL-on/WAL-off ingest",
+		num:  "BenchmarkIngestWithWAL/sync-interval",
+		den:  "BenchmarkIngestWithWAL/nowal",
+	},
 }
 
 func main() {
 	benchPath := flag.String("bench", "", "file with the fresh `go test -bench` output")
 	baselinePath := flag.String("baseline", "BENCHMARKS.md", "committed baseline file")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximal tolerated relative regression of each guarded ratio")
-	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next)")
+	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next, wal)")
 	flag.Parse()
 	if *benchPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
@@ -80,7 +89,7 @@ func main() {
 		}
 		pair, ok := knownPairs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next)\n", name)
+			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next, wal)\n", name)
 			os.Exit(2)
 		}
 		currentRatio, err := ratioOf(fresh, pair, *benchPath)
