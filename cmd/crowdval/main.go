@@ -318,8 +318,16 @@ func cmdServe(args []string, out io.Writer) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(shutdownCtx)
+		// In-flight requests are done: flush and fsync the session WALs so a
+		// graceful restart loses nothing (the buffered-records risk window of
+		// the interval/off sync policies is for crashes only).
+		if cerr := manager.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
 	case err := <-errc:
+		_ = manager.Close()
 		return err
 	}
 }

@@ -376,7 +376,14 @@ func (m *Manager) update(ctx context.Context, name string, fn func(*crowdval.Ses
 // due. fn's own error does not suppress the logged record — replaying a
 // record whose application failed re-fails deterministically, because the
 // library rejects invalid mutations without mutating.
-func (m *Manager) updateLogged(ctx context.Context, name string, rec wal.Record, fn func(*crowdval.Session) error) error {
+//
+// fn receives the context to apply the mutation under, not the request's
+// context verbatim: once the record is logged it WILL be replayed after a
+// crash, so the live apply must not be abortable by the request's
+// cancellation — a mutation rolled back on a client timeout would resurrect
+// during recovery and diverge recovered state from live state. Cancellation
+// still rejects the request cleanly before anything is logged.
+func (m *Manager) updateLogged(ctx context.Context, name string, rec wal.Record, fn func(context.Context, *crowdval.Session) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -388,7 +395,11 @@ func (m *Manager) updateLogged(ctx context.Context, name string, rec wal.Record,
 		if err := m.logMutation(e, rec); err != nil {
 			return err
 		}
-		opErr := fn(s)
+		applyCtx := ctx
+		if e.log != nil {
+			applyCtx = context.WithoutCancel(ctx)
+		}
+		opErr := fn(applyCtx, s)
 		m.maybeCheckpoint(e)
 		return opErr
 	})
@@ -626,10 +637,11 @@ func (m *Manager) AddAnswers(ctx context.Context, name string, answers []crowdva
 // full-path sessions — and resolves the tickets. It runs under the entry's
 // write lock; the queue take is atomic, so no ticket is ever drained twice.
 // own is the drainer's ticket: only that ticket's work may run under the
-// drainer's cancellable ctx, everything done on behalf of other requests
-// runs cancellation-free (a drained queue can hold foreign tickets even
-// when it has length one — the drainer's own may have been drained by an
-// earlier lock holder).
+// drainer's cancellable ctx — and only when no WAL is configured, see
+// ticketCtx — everything done on behalf of other requests runs
+// cancellation-free (a drained queue can hold foreign tickets even when it
+// has length one — the drainer's own may have been drained by an earlier
+// lock holder).
 func (m *Manager) drainIngest(ctx context.Context, own *ingestTicket, e *entry, s *crowdval.Session) {
 	e.ingestMu.Lock()
 	tickets := e.ingestQueue
@@ -638,8 +650,12 @@ func (m *Manager) drainIngest(ctx context.Context, own *ingestTicket, e *entry, 
 	if len(tickets) == 0 {
 		return
 	}
+	// With a WAL configured even the drainer's own ticket applies
+	// cancellation-free: its record is logged (and will be replayed after a
+	// crash) before AddAnswers runs, so a cancellation rollback of the live
+	// apply would diverge recovered state from live state.
 	ticketCtx := func(t *ingestTicket) context.Context {
-		if t == own {
+		if t == own && e.log == nil {
 			return ctx
 		}
 		return context.WithoutCancel(ctx)
@@ -788,7 +804,7 @@ func (m *Manager) NextObjects(ctx context.Context, name string, k int) ([]crowdv
 // Submit integrates one expert validation.
 func (m *Manager) Submit(ctx context.Context, name string, object int, label crowdval.Label) (crowdval.StepInfo, error) {
 	var info crowdval.StepInfo
-	err := m.updateLogged(ctx, name, submitRecord(object, label), func(s *crowdval.Session) error {
+	err := m.updateLogged(ctx, name, submitRecord(object, label), func(ctx context.Context, s *crowdval.Session) error {
 		var err error
 		info, err = s.SubmitValidationContext(ctx, object, label)
 		return err
@@ -806,7 +822,7 @@ func (m *Manager) Submit(ctx context.Context, name string, object int, label cro
 // (see Session.SubmitValidations).
 func (m *Manager) SubmitBatch(ctx context.Context, name string, inputs []crowdval.ValidationInput) ([]crowdval.StepInfo, error) {
 	var infos []crowdval.StepInfo
-	err := m.updateLogged(ctx, name, submitBatchRecord(inputs), func(s *crowdval.Session) error {
+	err := m.updateLogged(ctx, name, submitBatchRecord(inputs), func(ctx context.Context, s *crowdval.Session) error {
 		var err error
 		infos, err = s.SubmitValidations(ctx, inputs)
 		return err

@@ -546,6 +546,174 @@ func TestPrometheusEndpoint(t *testing.T) {
 	}
 }
 
+// TestLoggedMutationIgnoresRequestCancellation pins the acknowledge-after-log
+// contract: once a mutation's record is appended to the WAL it will be
+// replayed after a crash, so the live apply must run to completion even when
+// the request's context is cancelled mid-flight — a cancellation rollback of
+// the live state would diverge from recovery. Checked on both logged write
+// paths (updateLogged, and the ingest drain's own-ticket path), and recovery
+// must land bit-for-bit on the live state.
+func TestLoggedMutationIgnoresRequestCancellation(t *testing.T) {
+	d := testCrowd(t, 16, 5, 67)
+	walDir := t.TempDir()
+	m1, err := NewManager(walManagerConfig(t, walDir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "cancelled"
+	if err := m1.Create(context.Background(), name, d.Answers.Clone(), sessionOpts()...); err != nil {
+		t.Fatal(err)
+	}
+
+	// updateLogged path: the client vanishes after the record is logged,
+	// while fn is applying. fn must have been handed a cancellation-free
+	// context and the mutation must still succeed.
+	ctx, cancel := context.WithCancel(context.Background())
+	err = m1.updateLogged(ctx, name, submitRecord(0, d.Truth[0]), func(applyCtx context.Context, s *crowdval.Session) error {
+		cancel()
+		if applyCtx.Err() != nil {
+			t.Errorf("logged apply saw the request cancellation: %v", applyCtx.Err())
+		}
+		_, err := s.SubmitValidationContext(applyCtx, 0, d.Truth[0])
+		return err
+	})
+	if err != nil {
+		t.Fatalf("logged submit rolled back on cancellation: %v", err)
+	}
+
+	// Ingest drain path: park the ticket behind a held write lock, cancel the
+	// request while it is queued, then let it drain. The logged batch must
+	// apply and be acknowledged.
+	m1.mu.Lock()
+	e := m1.sessions[name]
+	m1.mu.Unlock()
+	ictx, icancel := context.WithCancel(context.Background())
+	defer icancel()
+	e.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := m1.AddAnswers(ictx, name, []crowdval.Answer{{Object: 1, Worker: 5, Label: 1}})
+		done <- err
+	}()
+	waitFor(t, func() bool {
+		e.ingestMu.Lock()
+		defer e.ingestMu.Unlock()
+		return len(e.ingestQueue) == 1
+	})
+	icancel()
+	e.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("logged ingest rolled back on cancellation: %v", err)
+	}
+
+	want := managerSnapshot(t, m1, name)
+	m2, report := recoverInto(t, walDir, -1)
+	if len(report) != 1 || report[0].Err != nil {
+		t.Fatalf("recovery report: %+v", report)
+	}
+	if got := managerSnapshot(t, m2, name); !bytes.Equal(got, want) {
+		t.Fatal("recovered state diverged from the live state after cancelled requests")
+	}
+}
+
+// TestRotationFailsStopOnCorruptLog pins the rotation integrity check: every
+// record through the checkpoint's LSN was fsynced before rotation starts, so
+// a record that cannot be read back is corruption, not a torn tail — the
+// rotation must fail the session stop instead of installing a shortened log
+// with an implicit-LSN gap. A restart then heals through the (intact) newest
+// checkpoint.
+func TestRotationFailsStopOnCorruptLog(t *testing.T) {
+	d := testCrowd(t, 16, 5, 71)
+	extra := testCrowd(t, 16, 3, 73)
+	walDir := t.TempDir()
+	m1, err := NewManager(walManagerConfig(t, walDir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "midrot"
+	if err := m1.Create(context.Background(), name, d.Answers.Clone(), sessionOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	ops := walScript(d, extra)
+	runScript(t, m1, name, ops[:3], true)
+
+	// Flip a byte inside the create record's payload — a durable record far
+	// below the LSN the next checkpoint will cover.
+	f, err := os.OpenFile(m1.walPath(name), os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAB}, 16+8+5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Ops 4 and 5 log fine; the 5th trips the checkpoint whose rotation hits
+	// the corrupt record and fails the session stop.
+	runScript(t, m1, name, ops[3:5], true)
+	if got := m1.Stats().CheckpointFailures; got != 1 {
+		t.Fatalf("CheckpointFailures = %d, want 1", got)
+	}
+	if _, err := m1.Submit(context.Background(), name, 10, d.Truth[10]); err == nil {
+		t.Fatal("mutation accepted after the log failed stop")
+	} else if !errors.Is(err, cverr.ErrBadWAL) {
+		t.Fatalf("fail-stop error %v does not wrap ErrBadWAL", err)
+	}
+	want := managerSnapshot(t, m1, name) // state after the acknowledged ops
+
+	// The rotation installed its checkpoint before failing, so a restart
+	// recovers everything — including the two ops logged after the corruption.
+	m2, report := recoverInto(t, walDir, 5)
+	if len(report) != 1 || report[0].Err != nil {
+		t.Fatalf("recovery report: %+v", report)
+	}
+	if got := managerSnapshot(t, m2, name); !bytes.Equal(got, want) {
+		t.Fatal("post-fail-stop recovery diverged from the live state")
+	}
+}
+
+// TestCloseFlushesBufferedRecords pins graceful shutdown under SyncOff: the
+// acknowledged records sitting in the appender's buffer must reach the disk
+// through Manager.Close, so a clean restart loses nothing — the
+// buffered-records risk window is for crashes only.
+func TestCloseFlushesBufferedRecords(t *testing.T) {
+	d := testCrowd(t, 16, 5, 79)
+	extra := testCrowd(t, 16, 3, 83)
+	walDir := t.TempDir()
+	cfg := walManagerConfig(t, walDir, -1)
+	cfg.WALSync = wal.SyncPolicy{Mode: wal.SyncOff}
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "graceful"
+	if err := m1.Create(context.Background(), name, d.Answers.Clone(), sessionOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, m1, name, walScript(d, extra), true)
+	want := managerSnapshot(t, m1, name)
+	if err := m1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := m1.Submit(context.Background(), name, 10, d.Truth[10]); err == nil {
+		t.Fatal("mutation accepted after Close")
+	}
+
+	m2, report := recoverInto(t, walDir, -1)
+	if len(report) != 1 || report[0].Err != nil {
+		t.Fatalf("recovery report: %+v", report)
+	}
+	if report[0].TornTail {
+		t.Fatal("gracefully closed log reported a torn tail")
+	}
+	if got := managerSnapshot(t, m2, name); !bytes.Equal(got, want) {
+		t.Fatal("graceful shutdown lost buffered records")
+	}
+}
+
 // TestConcurrentMetricsScrape hammers /metrics while 8 clients ingest and
 // validate through eviction/resume churn (tiny memory budget) on a durable
 // manager — the unsynchronized-stats audit. Run with -race in CI: the scrape

@@ -227,10 +227,12 @@ func (m *Manager) checkpoint(name string, sess *crowdval.Session, w *sessionWAL)
 }
 
 // rewriteLog replaces the session's log with a canonical re-encode of its
-// intact records above floor, rebased to baseLSN=floor, and swaps the live
-// appender onto the new file at lastLSN. Any torn tail bytes (from a failed
-// append or a crash) vanish in the rewrite. On failure after the swap point
-// the log fails stop.
+// records in (floor, lastLSN], rebased to baseLSN=floor, and swaps the live
+// appender onto the new file at lastLSN. Any torn tail bytes beyond lastLSN
+// (from a failed append or a crash) vanish in the rewrite; a record at or
+// below lastLSN that cannot be read back fails the session stop instead —
+// see failStop below. On failure after the swap point the log fails stop
+// too.
 func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) error {
 	path := m.walPath(name)
 	tmp := path + ".tmp"
@@ -252,24 +254,44 @@ func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) 
 		os.Remove(tmp)
 		return err
 	}
-	// Make the old file's buffered/kernel state visible to the read below.
-	if old, err := os.Open(path); err == nil {
-		rd, rerr := wal.NewReader(old)
-		if rerr == nil {
-			for {
-				rec, lsn, nerr := rd.Next()
-				if nerr != nil {
-					// io.EOF is the clean end; anything else is a torn tail,
-					// which the rewrite drops by construction.
-					break
+	// Every record through lastLSN was fsynced before this rotation started,
+	// so the rewrite must be able to read all of them back. Failing to —
+	// unopenable file, bad header, a corrupt or missing record at or below
+	// lastLSN — is corruption of the live log, not a torn tail: installing a
+	// shortened log here would leave an implicit-LSN gap that a later
+	// fallback recovery silently skips over. The session fails stop instead.
+	// Only bytes strictly beyond lastLSN are a droppable torn tail.
+	failStop := func(err error) error {
+		err = fmt.Errorf("server: rotating WAL of session %q: %w", name, err)
+		w.broken = err
+		return fail(err)
+	}
+	if lastLSN > floor {
+		old, err := os.Open(path)
+		if err != nil {
+			return failStop(err)
+		}
+		rd, err := wal.NewReader(old)
+		if err != nil {
+			old.Close()
+			return failStop(err)
+		}
+		for lsn := rd.BaseLSN(); lsn < lastLSN; {
+			rec, recLSN, nerr := rd.Next()
+			if nerr != nil {
+				old.Close()
+				if nerr == io.EOF {
+					nerr = fmt.Errorf("%w: log ends at LSN %d, %d durable records missing", cverr.ErrBadWAL, lsn, lastLSN-lsn)
 				}
-				if lsn <= floor {
-					continue
-				}
-				if _, aerr := app.Append(rec); aerr != nil {
-					old.Close()
-					return fail(aerr)
-				}
+				return failStop(nerr)
+			}
+			lsn = recLSN
+			if recLSN <= floor {
+				continue
+			}
+			if _, aerr := app.Append(rec); aerr != nil {
+				old.Close()
+				return fail(aerr)
 			}
 		}
 		old.Close()
@@ -574,6 +596,51 @@ func replayRecord(ctx context.Context, sess *crowdval.Session, rec wal.Record) e
 	default:
 		return fmt.Errorf("server: replaying unknown record type %d: %w", rec.Type, cverr.ErrBadWAL)
 	}
+}
+
+// errManagerClosed marks session logs retired by Manager.Close: further
+// mutations are rejected through the fail-stop path instead of silently
+// applying unlogged.
+var errManagerClosed = errors.New("server: manager closed")
+
+// Close flushes and fsyncs every open session write-ahead log and releases
+// the log file handles — the graceful-shutdown counterpart of crash
+// recovery. Under the interval and off sync policies acknowledged records
+// may still sit in an appender's buffer; without this flush a perfectly
+// clean restart could lose more than the documented crash-risk window. Call
+// it after the HTTP server has stopped accepting requests; Close is
+// idempotent, mutations attempted afterwards are rejected through the
+// fail-stop path, and a manager without a WAL has nothing to do.
+func (m *Manager) Close() error {
+	if m.walDir == "" {
+		return nil
+	}
+	m.mu.Lock()
+	entries := make([]*entry, 0, len(m.sessions))
+	for _, e := range m.sessions {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	var firstErr error
+	for _, e := range entries {
+		e.mu.Lock()
+		if w := e.log; w != nil {
+			if w.broken == nil {
+				if err := w.app.Sync(); err != nil {
+					w.broken = err
+					if firstErr == nil {
+						firstErr = fmt.Errorf("server: syncing WAL of session %q at shutdown: %w", e.name, err)
+					}
+				} else {
+					m.foldWALMetrics(w)
+					w.broken = errManagerClosed
+				}
+			}
+			w.close()
+		}
+		e.mu.Unlock()
+	}
+	return firstErr
 }
 
 // installRecovered publishes a recovered session in the manager, mirroring
