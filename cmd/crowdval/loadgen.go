@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"crowdval"
+	"crowdval/internal/cluster"
 	"crowdval/internal/server"
 	"crowdval/internal/simulation"
 )
@@ -27,10 +28,14 @@ import (
 // ingest coalescing merged). With no -addr it spins up an in-process server
 // over a fresh synthetic dataset, so a single command measures the serving
 // stack on any machine; with -addr it targets a running `crowdval serve`.
+// A comma-separated -addr list spreads the sessions over a fabric: each
+// session is created on (and driven against) its rendezvous-hash owner, and
+// the report breaks throughput down per node — the numbers behind the
+// 1-node vs 3-node scaling table in BENCHMARKS.md.
 func cmdLoadgen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "target server address (empty = start an in-process server)")
+		addr     = fs.String("addr", "", "target server address, or comma-separated fabric node list (empty = start an in-process server)")
 		sessions = fs.Int("sessions", 4, "number of sessions to create and spread traffic over")
 		clients  = fs.Int("clients", 8, "concurrent client goroutines")
 		requests = fs.Int("requests", 25, "ingest requests per client")
@@ -74,8 +79,9 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		return err
 	}
 
-	baseURL := "http://" + *addr
-	if *addr == "" {
+	targets := splitPeers(*addr)
+	var baseURLs []string
+	if len(targets) == 0 {
 		parkDir, err := os.MkdirTemp("", "crowdval-loadgen-")
 		if err != nil {
 			return fmt.Errorf("loadgen: %w", err)
@@ -87,7 +93,27 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		}
 		srv := httptest.NewServer(server.New(manager))
 		defer srv.Close()
-		baseURL = srv.URL
+		targets = []string{"in-process"}
+		baseURLs = []string{srv.URL}
+	} else {
+		for _, t := range targets {
+			baseURLs = append(baseURLs, "http://"+t)
+		}
+	}
+	// Sessions land on their rendezvous-hash owner, mirroring how the
+	// routing tier would place them, so a multi-node run measures the fabric
+	// without a router in the measurement path.
+	nodeOf := func(string) int { return 0 }
+	if len(targets) > 1 {
+		ring, err := cluster.NewRing(targets)
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		index := make(map[string]int, len(targets))
+		for i, t := range targets {
+			index[t] = i
+		}
+		nodeOf = func(name string) int { return index[ring.Owner(name)] }
 	}
 	client := &http.Client{Timeout: 2 * time.Minute}
 
@@ -100,8 +126,10 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		}
 	}
 	names := make([]string, *sessions)
+	sessionNode := make([]int, *sessions)
 	for i := range names {
 		names[i] = fmt.Sprintf("loadgen-%d", i)
+		sessionNode[i] = nodeOf(names[i])
 		req := server.CreateSessionRequest{
 			Name:    names[i],
 			Objects: *objects, Workers: *workers, NumLabels: *labels,
@@ -111,11 +139,13 @@ func cmdLoadgen(args []string, out io.Writer) error {
 				Delta: *delta, DeltaScoring: *deltaSc,
 			},
 		}
-		if err := postJSON(client, baseURL+"/v1/sessions", req, http.StatusCreated); err != nil {
+		if err := postJSON(client, baseURLs[sessionNode[i]]+"/v1/sessions", req, http.StatusCreated); err != nil {
 			return fmt.Errorf("loadgen: creating session %s: %w", names[i], err)
 		}
 	}
 
+	type nodeCounters struct{ sent, next, failed atomic.Int64 }
+	perNode := make([]nodeCounters, len(baseURLs))
 	var sent, nextSent, failed atomic.Int64
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
@@ -126,6 +156,8 @@ func cmdLoadgen(args []string, out io.Writer) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + 1000*int64(c)))
 			session := names[c%len(names)]
+			node := sessionNode[c%len(names)]
+			baseURL := baseURLs[node]
 			for r := 0; r < *requests; r++ {
 				if *arrival == "poisson" && *rate > 0 {
 					time.Sleep(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
@@ -138,10 +170,12 @@ func cmdLoadgen(args []string, out io.Writer) error {
 					url := fmt.Sprintf("%s/v1/sessions/%s/next?k=%d", baseURL, session, *nextK)
 					if err := getJSON(client, url, &next); err != nil {
 						failed.Add(1)
+						perNode[node].failed.Add(1)
 						firstErr.CompareAndSwap(nil, &err)
 						continue
 					}
 					nextSent.Add(1)
+					perNode[node].next.Add(1)
 					continue
 				}
 				req := server.IngestRequest{Answers: make([]server.AnswerJSON, *batch)}
@@ -154,10 +188,12 @@ func cmdLoadgen(args []string, out io.Writer) error {
 				}
 				if err := postJSON(client, baseURL+"/v1/sessions/"+session+"/answers", req, http.StatusOK); err != nil {
 					failed.Add(1)
+					perNode[node].failed.Add(1)
 					firstErr.CompareAndSwap(nil, &err)
 					continue
 				}
 				sent.Add(1)
+				perNode[node].sent.Add(1)
 			}
 		}(c)
 	}
@@ -165,8 +201,16 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	var stats server.Stats
-	if err := getJSON(client, baseURL+"/v1/metrics", &stats); err != nil {
-		return fmt.Errorf("loadgen: fetching metrics: %w", err)
+	for _, baseURL := range baseURLs {
+		var s server.Stats
+		if err := getJSON(client, baseURL+"/v1/metrics", &s); err != nil {
+			return fmt.Errorf("loadgen: fetching metrics from %s: %w", baseURL, err)
+		}
+		stats.IngestedAnswers += s.IngestedAnswers
+		stats.IngestBatches += s.IngestBatches
+		stats.CoalescedIngests += s.CoalescedIngests
+		stats.Selections += s.Selections
+		stats.EMIterations += s.EMIterations
 	}
 	ok := sent.Load()
 	nextOK := nextSent.Load()
@@ -179,6 +223,15 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	if *mix == "next" {
 		fmt.Fprintf(out, "  selections: %.1f next/sec end to end (k=%d)\n",
 			float64(nextOK)/elapsed.Seconds(), *nextK)
+	}
+	if len(baseURLs) > 1 {
+		for i, t := range targets {
+			nodeOK, nodeNext := perNode[i].sent.Load(), perNode[i].next.Load()
+			fmt.Fprintf(out, "  node %-21s %d ingest ok, %d next ok, %d failed (%.1f req/sec, %.0f answers/sec)\n",
+				t+":", nodeOK, nodeNext, perNode[i].failed.Load(),
+				float64(nodeOK+nodeNext)/elapsed.Seconds(),
+				float64(nodeOK)*float64(*batch)/elapsed.Seconds())
+		}
 	}
 	fmt.Fprintf(out, "  server:     %d answers ingested in %d batches, %d requests coalesced, %d selections, %d EM iterations\n",
 		stats.IngestedAnswers, stats.IngestBatches, stats.CoalescedIngests, stats.Selections, stats.EMIterations)

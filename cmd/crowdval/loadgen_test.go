@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net"
+	"net/http"
 	"strings"
 	"testing"
+
+	"crowdval/internal/cluster"
+	"crowdval/internal/server"
 )
 
 // TestCLILoadgenInProcess smoke-tests the loadgen subcommand against its own
@@ -68,6 +73,59 @@ func TestCLILoadgenMixedNextWorkload(t *testing.T) {
 	}
 	if !strings.Contains(text, "4 selections") {
 		t.Fatalf("server did not count the selections:\n%s", text)
+	}
+}
+
+// TestCLILoadgenMultiNode drives a comma-separated node list: a real 2-node
+// fabric with the ownership gate installed, so any session routed to the
+// wrong node would be rejected with 421 and counted as failed. All-success
+// proves loadgen's rendezvous placement agrees with the fabric's.
+func TestCLILoadgenMultiNode(t *testing.T) {
+	addrs := make([]string, 2)
+	listeners := make([]net.Listener, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for i := range addrs {
+		manager, err := server.NewManager(server.ManagerConfig{ParkDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		api := server.New(manager)
+		api.SetReady(true)
+		node, err := cluster.NewNode(cluster.NodeConfig{Self: addrs[i], Peers: addrs, Manager: manager, Server: api})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: node}
+		go func(l net.Listener) { _ = srv.Serve(l) }(listeners[i])
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+
+	var out bytes.Buffer
+	err := run([]string{"loadgen",
+		"-addr", addrs[0] + "," + addrs[1],
+		"-sessions", "4", "-clients", "4", "-requests", "2", "-batch", "5",
+		"-objects", "60", "-workers", "10", "-seed", "11"}, &out)
+	if err != nil {
+		t.Fatalf("multi-node loadgen: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "8 ingest ok, 0 next ok, 0 failed") {
+		t.Fatalf("multi-node loadgen requests did not all succeed:\n%s", text)
+	}
+	for _, a := range addrs {
+		if !strings.Contains(text, "node "+a+":") {
+			t.Fatalf("report lacks the per-node line for %s:\n%s", a, text)
+		}
+	}
+	if !strings.Contains(text, "40 answers ingested") {
+		t.Fatalf("fabric did not ingest every answer:\n%s", text)
 	}
 }
 

@@ -14,8 +14,12 @@
 //	crowdval stats    -in data.json
 //	crowdval serve    -addr 127.0.0.1:8080 -memory-budget 268435456
 //	crowdval serve    -wal-dir ./wal -wal-sync always -checkpoint-every 256
+//	crowdval serve    -addr :7001 -wal-dir ./wal -peers host1:7001,host2:7001,host3:7001
+//	crowdval serve    -addr :7002 -wal-dir ./wal -peers ... -follow host1:7001
+//	crowdval route    -addr :8080 -peers host1:7001,host2:7001,host3:7001
 //	crowdval recover  -wal-dir ./wal
 //	crowdval loadgen  -sessions 4 -clients 8 -batch 100 -delta
+//	crowdval loadgen  -addr host1:7001,host2:7001,host3:7001 -sessions 6
 //	crowdval profiles
 package main
 
@@ -27,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"crowdval"
+	"crowdval/internal/cluster"
 	"crowdval/internal/dataset"
 	"crowdval/internal/metrics"
 	"crowdval/internal/server"
@@ -66,6 +72,8 @@ func run(args []string, out io.Writer) error {
 		return cmdStats(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "route":
+		return cmdRoute(args[1:], out)
 	case "recover":
 		return cmdRecover(args[1:], out)
 	case "loadgen":
@@ -75,12 +83,23 @@ func run(args []string, out io.Writer) error {
 	case "help", "-h", "--help":
 		return usageError()
 	default:
-		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, recover, loadgen, profiles)", args[0])
+		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, route, recover, loadgen, profiles)", args[0])
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|recover|loadgen|profiles> [flags]")
+	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|route|recover|loadgen|profiles> [flags]")
+}
+
+// splitPeers parses a comma-separated address list, trimming blanks.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func cmdGenerate(args []string, out io.Writer) error {
@@ -269,9 +288,19 @@ func cmdServe(args []string, out io.Writer) error {
 		walSync   = fs.String("wal-sync", "interval", "WAL fsync policy: always (every record), interval (every N records), off (kernel writeback only)")
 		ckptEvery = fs.Int("checkpoint-every", 0, "records between snapshot checkpoints that truncate a session's log (0 = default, negative = never)")
 		maxQueued = fs.Int("max-queued-ingest", 0, "per-session bound on queued ingest requests before AddAnswers is shed with HTTP 429 (0 = unbounded)")
+		peers     = fs.String("peers", "", "comma-separated fabric member addresses (host:port); joins this node to a session fabric (requires -wal-dir)")
+		advertise = fs.String("advertise", "", "address this node advertises to the fabric (default: -addr)")
+		follow    = fs.String("follow", "", "leader address whose sessions this node replicates as a promotable follower (requires -peers)")
+		drain     = fs.Bool("drain", false, "on shutdown, hand every owned session to the next preferred peer before exiting (requires -peers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *peers == "" && (*follow != "" || *drain) {
+		return fmt.Errorf("serve: -follow and -drain require -peers")
+	}
+	if *peers != "" && *walDir == "" {
+		return fmt.Errorf("serve: -peers requires -wal-dir (handoff and replication stream the per-session WAL)")
 	}
 	dir := *parkDir
 	if dir == "" {
@@ -286,6 +315,9 @@ func cmdServe(args []string, out io.Writer) error {
 		ParkDir:         dir,
 		CheckpointEvery: *ckptEvery,
 		MaxQueuedIngest: *maxQueued,
+		// In a fabric, flush each record so followers tailing the log see
+		// acknowledged mutations immediately (visibility, not durability).
+		WALFlushEachRecord: *peers != "",
 	}
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walSync)
@@ -300,6 +332,7 @@ func cmdServe(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	api := server.New(manager)
 	if *walDir != "" {
 		report, err := manager.Recover(ctx)
 		if err != nil {
@@ -307,15 +340,76 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 		printRecoveryReport(out, report)
 	}
-	srv := &http.Server{Addr: *addr, Handler: server.New(manager)}
+	// Readiness flips only after recovery finished: /readyz gates traffic
+	// behind a warm, replayed session set.
+	api.SetReady(true)
+
+	var handler http.Handler = api
+	var node *cluster.Node
+	var followStop context.CancelFunc
+	followDone := make(chan struct{})
+	close(followDone)
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		n, err := cluster.NewNode(cluster.NodeConfig{
+			Self: self, Peers: splitPeers(*peers),
+			Manager: manager, Server: api,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		node, handler = n, n
+		if *follow != "" {
+			f, err := cluster.NewFollower(cluster.FollowerConfig{Manager: manager, Leader: *follow})
+			if err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
+			node.AttachFollower(f)
+			followCtx, cancel := context.WithCancel(context.Background())
+			followStop = cancel
+			followDone = make(chan struct{})
+			go func() {
+				f.Run(followCtx)
+				close(followDone)
+			}()
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(out, "serving crowdval sessions on http://%s (park dir %s)\n", *addr, dir)
 	if *walDir != "" {
 		fmt.Fprintf(out, "durability: WAL in %s, sync policy %s\n", *walDir, *walSync)
 	}
+	if node != nil {
+		fmt.Fprintf(out, "fabric: node %s of %d peers", node.Self(), len(node.Ring().Peers()))
+		if *follow != "" {
+			fmt.Fprintf(out, ", following %s", *follow)
+		}
+		fmt.Fprintln(out)
+	}
 	select {
 	case <-ctx.Done():
+		// Stop applying replicated records before shutting down, so the
+		// local state is quiescent for the final flush.
+		if followStop != nil {
+			followStop()
+			<-followDone
+		}
+		if node != nil && *drain {
+			drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			derr := node.Drain(drainCtx)
+			cancel()
+			if derr != nil {
+				fmt.Fprintf(out, "drain: %v (undrained sessions recover from the WAL on restart)\n", derr)
+			} else {
+				fmt.Fprintf(out, "drain: %d sessions handed off\n", node.Stats().HandoffsOut)
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
@@ -327,7 +421,47 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 		return err
 	case err := <-errc:
+		if followStop != nil {
+			followStop()
+			<-followDone
+		}
 		_ = manager.Close()
+		return err
+	}
+}
+
+// cmdRoute runs the routing tier: a stateless proxy that consistent-hashes
+// each request's session name onto the fabric, follows HTTP 421 ownership
+// redirects, and fails over past dead nodes. Run several for availability —
+// routers share no state.
+func cmdRoute(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8080", "listen address of the routing tier")
+		peers = fs.String("peers", "", "comma-separated fabric node addresses to route across (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers == "" {
+		return fmt.Errorf("route: -peers is required")
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Peers: splitPeers(*peers)})
+	if err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "routing crowdval sessions on http://%s across %d nodes\n", *addr, len(splitPeers(*peers)))
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errc:
 		return err
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,6 +107,57 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"generate", "-out", filepath.Join(t.TempDir(), "x.json"), "-profile", "nope"}, &out); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+	if err := run([]string{"serve", "-follow", "h:1"}, &out); err == nil {
+		t.Fatal("serve accepted -follow without -peers")
+	}
+	if err := run([]string{"serve", "-drain"}, &out); err == nil {
+		t.Fatal("serve accepted -drain without -peers")
+	}
+	if err := run([]string{"serve", "-peers", "h:1,h:2"}, &out); err == nil {
+		t.Fatal("serve accepted -peers without -wal-dir")
+	}
+	if err := run([]string{"route"}, &out); err == nil {
+		t.Fatal("route accepted a missing -peers")
+	}
+}
+
+// TestCLIServeFabricListenError boots the full fabric wiring — manager with
+// WAL, node, follower — against an already-bound address, so the command
+// constructs everything, prints the fabric banner, and exits through the
+// listen-error path instead of blocking on a signal.
+func TestCLIServeFabricListenError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().String()
+	var out bytes.Buffer
+	err = run([]string{"serve", "-addr", addr, "-wal-dir", t.TempDir(),
+		"-peers", addr + ",peer2:1", "-follow", "peer2:1", "-drain"}, &out)
+	if err == nil {
+		t.Fatal("serve on a bound address succeeded")
+	}
+	if !strings.Contains(out.String(), "fabric: node "+addr+" of 2 peers, following peer2:1") {
+		t.Fatalf("serve did not report its fabric membership:\n%s", out.String())
+	}
+}
+
+// TestCLIRouteListenError covers the router construction the same way.
+func TestCLIRouteListenError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var out bytes.Buffer
+	err = run([]string{"route", "-addr", l.Addr().String(), "-peers", "a:1,b:1"}, &out)
+	if err == nil {
+		t.Fatal("route on a bound address succeeded")
+	}
+	if !strings.Contains(out.String(), "across 2 nodes") {
+		t.Fatalf("route did not report its peer count:\n%s", out.String())
 	}
 }
 

@@ -26,7 +26,8 @@ import (
 //     ErrAlreadyValidated, ErrNotValidated, ErrUnknownStrategy,
 //     ErrNoCandidates, ErrNilExpert, ErrNoGroundTruth.
 //   - Snapshots: ErrBadSnapshot, ErrSnapshotVersion.
-//   - Serving tier: ErrSessionNotFound, ErrSessionExists, ErrOverloaded.
+//   - Serving tier: ErrSessionNotFound, ErrSessionExists, ErrOverloaded,
+//     ErrNotOwner.
 //   - Durability: ErrBadWAL.
 //
 // Context cancellation is reported with the standard context.Canceled and
@@ -88,6 +89,11 @@ var (
 	// backpressure (HTTP 429); the operation was not applied and can be
 	// retried.
 	ErrOverloaded = cverr.ErrOverloaded
+	// ErrNotOwner reports an operation sent to a cluster node that does not
+	// own the session (HTTP 421); the response names the owning node so the
+	// request can be retried there (see internal/cluster and the crowdval
+	// route command).
+	ErrNotOwner = cverr.ErrNotOwner
 
 	// ErrBadWAL reports a structurally damaged write-ahead log or checkpoint
 	// file (see internal/wal and the crowdval recover command).

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdval"
+	"crowdval/internal/server"
+	"crowdval/internal/wal"
+)
+
+// The harness boots real fabric nodes on loopback listeners: each node is a
+// Manager with a live WAL, wrapped by a Server and a Node, served by its own
+// http.Server. Killing a node closes its listener and connections but never
+// its manager — crash semantics, not shutdown semantics.
+
+// testCrowd mirrors the serving tier's durability-test crowd: spammers
+// included so detection state is part of what replication must reproduce.
+func testCrowd(t testing.TB, objects, workers int, seed int64) *crowdval.Dataset {
+	t.Helper()
+	d, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: objects, NumWorkers: workers, NumLabels: 2,
+		Mix:            crowdval.WorkerMix{Normal: 0.6, RandomSpammer: 0.2, UniformSpammer: 0.2},
+		NormalAccuracy: 0.85,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sessionOpts are the deterministic options the fabric tests use (baseline
+// strategy: full-path sessions replay bit for bit).
+func sessionOpts(extra ...crowdval.Option) []crowdval.Option {
+	return append([]crowdval.Option{
+		crowdval.WithStrategy(crowdval.StrategyBaseline),
+		crowdval.WithSeed(3),
+		crowdval.WithParallelism(1),
+	}, extra...)
+}
+
+func matrixOf(answers *crowdval.AnswerSet) [][]int {
+	matrix := make([][]int, answers.NumObjects())
+	for o := range matrix {
+		row := make([]int, answers.NumWorkers())
+		for w := range row {
+			row[w] = int(answers.Answer(o, w))
+		}
+		matrix[o] = row
+	}
+	return matrix
+}
+
+// fabOp is one scripted session mutation; each op logs exactly one WAL
+// record, so op i of a session corresponds to LSN i+2 (the create record is
+// LSN 1).
+type fabOp struct {
+	answers     []crowdval.Answer
+	object      int
+	label       crowdval.Label
+	batch       []crowdval.ValidationInput
+	expectError bool
+}
+
+// fabricScript is the serving tier's durability script: ingests from extra
+// workers, single and batch validations, and one op that fails identically
+// live and replayed.
+func fabricScript(d, extra *crowdval.Dataset) []fabOp {
+	ingest := func(worker, from, to int) []crowdval.Answer {
+		var answers []crowdval.Answer
+		for o := from; o < to; o++ {
+			if l := extra.Answers.Answer(o, worker); l >= 0 {
+				answers = append(answers, crowdval.Answer{Object: o, Worker: d.Answers.NumWorkers() + worker, Label: l})
+			}
+		}
+		return answers
+	}
+	return []fabOp{
+		{answers: ingest(0, 0, 8)},
+		{object: 0, label: d.Truth[0]},
+		{answers: ingest(1, 4, 12)},
+		{object: 1, label: d.Truth[1]},
+		{object: 0, label: d.Truth[0], expectError: true}, // ErrAlreadyValidated
+		{batch: []crowdval.ValidationInput{{Object: 2, Label: d.Truth[2]}, {Object: 3, Label: d.Truth[3]}}},
+		{answers: ingest(2, 0, 16)},
+		{object: 4, label: d.Truth[4]},
+	}
+}
+
+// applyOps runs ops against a manager and returns which were acknowledged.
+func applyOps(t testing.TB, m *server.Manager, name string, ops []fabOp) []bool {
+	t.Helper()
+	ctx := context.Background()
+	acked := make([]bool, len(ops))
+	for i, op := range ops {
+		var err error
+		switch {
+		case op.answers != nil:
+			_, err = m.AddAnswers(ctx, name, op.answers)
+		case op.batch != nil:
+			_, err = m.SubmitBatch(ctx, name, op.batch)
+		default:
+			_, err = m.Submit(ctx, name, op.object, op.label)
+		}
+		if op.expectError {
+			if err == nil {
+				t.Fatalf("op %d: expected an application error", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		acked[i] = true
+	}
+	return acked
+}
+
+// serialReplay rebuilds the ground-truth state: a fresh session plus the
+// acknowledged ops applied in order.
+func serialReplay(t testing.TB, d *crowdval.Dataset, opts []crowdval.Option, ops []fabOp, acked []bool) []byte {
+	t.Helper()
+	ctx := context.Background()
+	sess, err := crowdval.NewSession(d.Answers.Clone(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if !acked[i] || op.expectError {
+			continue
+		}
+		switch {
+		case op.answers != nil:
+			err = sess.AddAnswers(ctx, op.answers)
+		case op.batch != nil:
+			_, err = sess.SubmitValidations(ctx, op.batch)
+		default:
+			_, err = sess.SubmitValidationContext(ctx, op.object, op.label)
+		}
+		if err != nil {
+			t.Fatalf("serial replay op %d: %v", i, err)
+		}
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// fabricNode is one running fabric member.
+type fabricNode struct {
+	t       testing.TB
+	addr    string
+	walDir  string
+	manager *server.Manager
+	api     *server.Server
+	node    *Node
+	httpSrv *http.Server
+
+	mu           sync.Mutex
+	killed       bool
+	followCancel context.CancelFunc
+	followDone   chan struct{}
+}
+
+// startFabric boots n nodes that all know the full peer list. ckptEvery
+// tunes checkpoint rotation (small values exercise the tailer's rotation
+// path mid-stream; -1 disables).
+func startFabric(t testing.TB, n, ckptEvery int) []*fabricNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	nodes := make([]*fabricNode, n)
+	for i := range nodes {
+		walDir := t.TempDir()
+		cfg := server.ManagerConfig{
+			ParkDir:            t.TempDir(),
+			CheckpointEvery:    ckptEvery,
+			WALFlushEachRecord: true,
+		}.WithWAL(walDir, wal.SyncPolicy{Mode: wal.SyncAlways})
+		manager, err := server.NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		api := server.New(manager)
+		api.SetReady(true)
+		node, err := NewNode(NodeConfig{Self: addrs[i], Peers: addrs, Manager: manager, Server: api})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := &fabricNode{
+			t: t, addr: addrs[i], walDir: walDir,
+			manager: manager, api: api, node: node,
+			httpSrv: &http.Server{Handler: node},
+		}
+		go func(l net.Listener) { _ = fn.httpSrv.Serve(l) }(listeners[i])
+		nodes[i] = fn
+		t.Cleanup(fn.kill)
+	}
+	return nodes
+}
+
+// kill closes the node's listener and connections abruptly. The manager is
+// deliberately NOT closed: a crash never flushes.
+func (fn *fabricNode) kill() {
+	fn.mu.Lock()
+	dead := fn.killed
+	fn.killed = true
+	fn.mu.Unlock()
+	if !dead {
+		_ = fn.httpSrv.Close()
+	}
+}
+
+// follow starts a Follower replicating from leader into this node.
+func (fn *fabricNode) follow(leader string) {
+	fn.t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		Manager:          fn.manager,
+		Leader:           leader,
+		DiscoverInterval: 20 * time.Millisecond,
+		RetryInterval:    20 * time.Millisecond,
+	})
+	if err != nil {
+		fn.t.Fatal(err)
+	}
+	fn.node.AttachFollower(f)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		f.Run(ctx)
+		close(done)
+	}()
+	fn.mu.Lock()
+	fn.followCancel, fn.followDone = cancel, done
+	fn.mu.Unlock()
+	fn.t.Cleanup(fn.stopFollower)
+}
+
+// stopFollower cancels the follower and waits for every tail loop to exit,
+// leaving the replicated state quiescent.
+func (fn *fabricNode) stopFollower() {
+	fn.mu.Lock()
+	cancel, done := fn.followCancel, fn.followDone
+	fn.followCancel, fn.followDone = nil, nil
+	fn.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// nameOwnedBy finds a session name the ring assigns to addr.
+func nameOwnedBy(r *Ring, addr string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("session-%d", i)
+		if r.Owner(name) == addr {
+			return name
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func managerSnapshot(t testing.TB, m *server.Manager, name string) []byte {
+	t.Helper()
+	snap, err := m.Snapshot(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}

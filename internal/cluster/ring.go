@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring maps session names onto a static peer set with rendezvous
+// (highest-random-weight) hashing: every peer is scored against the name and
+// the highest score owns it. Unlike a hash ring with virtual nodes there is
+// no token table to agree on — any process given the same peer list computes
+// the same owner — and removing one peer reassigns only that peer's
+// sessions, each to its next-preferred survivor. A Ring is immutable.
+type Ring struct {
+	peers []string
+}
+
+// NewRing builds a ring over the given peer addresses (host:port). Blank
+// entries and duplicates are dropped; at least one peer must remain.
+func NewRing(peers []string) (*Ring, error) {
+	seen := make(map[string]bool, len(peers))
+	kept := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(kept)
+	return &Ring{peers: kept}, nil
+}
+
+// Peers returns the ring members in sorted order.
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// Contains reports whether addr is a ring member.
+func (r *Ring) Contains(addr string) bool {
+	for _, p := range r.peers {
+		if p == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// score is the rendezvous weight of peer for session: FNV-1a 64 over
+// peer NUL session, pushed through a 64-bit avalanche finalizer. The NUL
+// separator keeps ("ab","c") and ("a","bc") distinct; the finalizer matters
+// because raw FNV of near-identical peer strings (n1:1 vs n2:1) leaves the
+// high bits correlated, which skews rendezvous ownership badly.
+func score(peer, session string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(session))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the peer that owns session: the highest-scoring member,
+// ties broken by address order so every process agrees.
+func (r *Ring) Owner(session string) string {
+	best, bestScore := "", uint64(0)
+	for _, p := range r.peers {
+		if s := score(p, session); best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// Prefs returns all ring members in descending preference order for
+// session: Prefs(s)[0] == Owner(s), and if the owner is removed the session
+// belongs to Prefs(s)[1], and so on. Routers walk this order on failover;
+// draining nodes hand sessions to the first willing entry after themselves.
+func (r *Ring) Prefs(session string) []string {
+	out := r.Peers()
+	sort.SliceStable(out, func(i, j int) bool {
+		return score(out[i], session) > score(out[j], session)
+	})
+	return out
+}

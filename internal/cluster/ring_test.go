@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:1", "n3:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:1", "n1:1", "n2:1", "n1:1", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("session-%d", i)
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("owner of %q differs across peer orderings", name)
+		}
+	}
+}
+
+func TestRingPrefsAndMinimalDisruption(t *testing.T) {
+	peers := []string{"n1:1", "n2:1", "n3:1", "n4:1"}
+	full, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove one peer: only its sessions move, each to its next preference.
+	const victim = "n2:1"
+	var survivors []string
+	for _, p := range peers {
+		if p != victim {
+			survivors = append(survivors, p)
+		}
+	}
+	reduced, err := NewRing(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("session-%d", i)
+		prefs := full.Prefs(name)
+		if len(prefs) != len(peers) {
+			t.Fatalf("Prefs(%q) has %d entries, want %d", name, len(prefs), len(peers))
+		}
+		if prefs[0] != full.Owner(name) {
+			t.Fatalf("Prefs(%q)[0] = %s, Owner = %s", name, prefs[0], full.Owner(name))
+		}
+		switch owner := full.Owner(name); owner {
+		case victim:
+			moved++
+			want := prefs[1]
+			if got := reduced.Owner(name); got != want {
+				t.Fatalf("after removing %s, %q went to %s, want next preference %s", victim, name, got, want)
+			}
+		default:
+			if got := reduced.Owner(name); got != owner {
+				t.Fatalf("session %q moved from %s to %s although its owner survived", name, owner, got)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no sessions: test exercised nothing")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:1", "n3:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const total = 600
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("session-%d", i))]++
+	}
+	for _, p := range r.Peers() {
+		if counts[p] < total/6 {
+			t.Fatalf("peer %s owns only %d of %d sessions: badly unbalanced", p, counts[p], total)
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"", ""}); err == nil {
+		t.Fatal("all-blank ring accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"crowdval/internal/server"
+)
+
+// RouterConfig configures a routing tier instance.
+type RouterConfig struct {
+	// Peers is the fabric membership the router hashes session names onto.
+	Peers []string
+	// Client performs the proxied requests (http.DefaultClient if nil).
+	Client *http.Client
+	// DownTTL is how long a peer stays skipped after a connection failure
+	// before it is probed again (default 1s).
+	DownTTL time.Duration
+	// MaxBodyBytes caps buffered request bodies (default 1 GiB, matching
+	// the server's own request cap). Bodies are buffered so a request can
+	// be retried against another peer.
+	MaxBodyBytes int64
+}
+
+// Router proxies the public JSON API onto the fabric. Each request's
+// session name is consistent-hashed to its ring owner; an HTTP 421 response
+// redirects the request to the owner the responding node named (ownership
+// moved via handoff or promotion), and a connection failure fails over to
+// the next peer in the session's preference order. Learned owners are
+// cached so the steady state is one hop.
+type Router struct {
+	ring    *Ring
+	client  *http.Client
+	downTTL time.Duration
+	maxBody int64
+
+	mu     sync.Mutex
+	owners map[string]string    // learned session -> owner
+	down   map[string]time.Time // peer -> don't retry before
+}
+
+// NewRouter builds a router over a static peer list.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ring, err := NewRing(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		ring:    ring,
+		client:  cfg.Client,
+		downTTL: cfg.DownTTL,
+		maxBody: cfg.MaxBodyBytes,
+		owners:  make(map[string]string),
+		down:    make(map[string]time.Time),
+	}
+	if rt.client == nil {
+		rt.client = http.DefaultClient
+	}
+	if rt.downTTL <= 0 {
+		rt.downTTL = time.Second
+	}
+	if rt.maxBody <= 0 {
+		rt.maxBody = 1 << 30
+	}
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz" || r.URL.Path == "/readyz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+		return
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/sessions":
+		rt.handleList(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.maxBody+1))
+	if err != nil {
+		http.Error(w, "router: reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > rt.maxBody {
+		http.Error(w, "router: request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	name, ok := sessionName(r, body)
+	if !ok {
+		http.Error(w, "router: cannot route request: no session name", http.StatusNotFound)
+		return
+	}
+	rt.proxy(w, r, name, body)
+}
+
+// sessionName extracts the routing key: the {name} path element of
+// /v1/sessions/{name}/..., or the name field of a create body.
+func sessionName(r *http.Request, body []byte) (string, bool) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/sessions" {
+		var req struct {
+			Name string `json:"name"`
+		}
+		if json.Unmarshal(body, &req) != nil || req.Name == "" {
+			return "", false
+		}
+		return req.Name, true
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/sessions/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// proxy walks the session's candidate list: the cached owner first, then the
+// ring preference order. A 421 inserts the named owner at the front of the
+// remaining queue; a connection error quarantines the peer and moves on.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, name string, body []byte) {
+	queue := rt.candidates(name)
+	tried := make(map[string]bool, len(queue))
+	var lastErr error
+	skippedDown := false
+	for attempt := 0; len(queue) > 0 && attempt < 2*len(rt.ring.peers)+2; attempt++ {
+		target := queue[0]
+		queue = queue[1:]
+		if tried[target] {
+			continue
+		}
+		if rt.isDown(target) {
+			// Remember we skipped someone: if everyone else fails we retry
+			// the quarantined peers once rather than giving up early.
+			skippedDown = true
+			continue
+		}
+		tried[target] = true
+		resp, err := rt.forward(r, target, body)
+		if err != nil {
+			rt.markDown(target)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			owner := ownerFromResponse(resp)
+			resp.Body.Close()
+			if owner != "" {
+				rt.learnOwner(name, owner)
+				if !tried[owner] {
+					queue = append([]string{owner}, queue...)
+					continue
+				}
+			}
+			lastErr = fmt.Errorf("router: %s redirected %q to %q", target, name, owner)
+			continue
+		}
+		// Any definitive answer (success or a real API error) settles the
+		// request; a success also confirms the responding peer as owner.
+		if resp.StatusCode < 500 {
+			rt.learnOwner(name, target)
+		}
+		copyResponse(w, resp)
+		resp.Body.Close()
+		return
+	}
+	if skippedDown && len(tried) == 0 {
+		// Everything was quarantined: probe the full preference order once.
+		rt.clearDown()
+		rt.proxy(w, r, name, body)
+		return
+	}
+	msg := "router: no fabric node could serve the request"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	http.Error(w, msg, http.StatusBadGateway)
+}
+
+// candidates returns the attempt order for a session: learned owner first,
+// then every ring member in preference order.
+func (rt *Router) candidates(name string) []string {
+	prefs := rt.ring.Prefs(name)
+	rt.mu.Lock()
+	owner, ok := rt.owners[name]
+	rt.mu.Unlock()
+	if !ok {
+		return prefs
+	}
+	out := make([]string, 0, len(prefs)+1)
+	out = append(out, owner)
+	return append(out, prefs...)
+}
+
+func (rt *Router) learnOwner(name, owner string) {
+	rt.mu.Lock()
+	rt.owners[name] = owner
+	rt.mu.Unlock()
+}
+
+func (rt *Router) isDown(peer string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	until, ok := rt.down[peer]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(rt.down, peer)
+		return false
+	}
+	return true
+}
+
+func (rt *Router) markDown(peer string) {
+	rt.mu.Lock()
+	rt.down[peer] = time.Now().Add(rt.downTTL)
+	rt.mu.Unlock()
+}
+
+func (rt *Router) clearDown() {
+	rt.mu.Lock()
+	rt.down = make(map[string]time.Time)
+	rt.mu.Unlock()
+}
+
+func (rt *Router) forward(r *http.Request, target string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.client.Do(req)
+}
+
+// ownerFromResponse parses the owner address out of a 421 body.
+func ownerFromResponse(resp *http.Response) string {
+	var er server.ErrorResponse
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) != nil {
+		return ""
+	}
+	return er.Owner
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleList fans GET /v1/sessions out to every reachable peer and merges
+// the results, deduplicating by name (a session shows up on its owner and
+// on any follower replicating it).
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	seen := make(map[string]bool)
+	merged := []server.SessionInfo{}
+	reached := 0
+	for _, peer := range rt.ring.Peers() {
+		if rt.isDown(peer) {
+			continue
+		}
+		resp, err := rt.forward(r, peer, nil)
+		if err != nil {
+			rt.markDown(peer)
+			continue
+		}
+		var infos []server.SessionInfo
+		err = json.NewDecoder(resp.Body).Decode(&infos)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		reached++
+		for _, info := range infos {
+			if !seen[info.Name] {
+				seen[info.Name] = true
+				merged = append(merged, info)
+			}
+		}
+	}
+	if reached == 0 {
+		http.Error(w, "router: no fabric node reachable", http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(merged)
+}

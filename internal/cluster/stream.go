@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"crowdval/internal/server"
+	"crowdval/internal/wal"
+)
+
+// The subscribe stream reuses the WAL byte format as its wire format: a log
+// header (whose base LSN aligns the implicit record numbering with the
+// leader's log) followed by CRC-framed records. A follower that is behind
+// the leader's log floor — or connecting fresh — first receives a RecCreate
+// record carrying a full snapshot at the header's base+1; after that, every
+// record is a live mutation with the leader's own LSN. The follower parses
+// the stream with wal.NewReader and applies records through the same
+// log-before-apply path recovery uses, so leader and follower states agree
+// byte for byte at equal LSNs.
+
+// streamPollInterval is how long the leader waits before re-checking a
+// session's log for new records when a subscribed follower is fully caught
+// up.
+const streamPollInterval = 20 * time.Millisecond
+
+// streamFile adapts an HTTP response to wal.File for the out-bound
+// Appender: Sync flushes buffered frames down the wire so a follower sees a
+// record as soon as it is streamed, not when the response buffer fills.
+type streamFile struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (s streamFile) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+func (s streamFile) Sync() error {
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+	return nil
+}
+
+// streamSession streams session name's WAL to one subscriber, starting
+// after LSN from (0 = from scratch), until ctx ends, the subscriber goes
+// away (write error), or the session's log disappears (deleted or handed
+// off). It returns nil only on ctx cancellation.
+func streamSession(ctx context.Context, m *server.Manager, name string, from uint64, w io.Writer, fl http.Flusher) error {
+	path, err := m.SessionWALPath(name)
+	if err != nil {
+		return err
+	}
+	cur, err := m.SessionLSN(name)
+	if err != nil {
+		return err
+	}
+
+	// Decide whether the follower can continue from its position or needs a
+	// snapshot reset: resets cover fresh followers, followers behind the log
+	// floor (records truncated by a checkpoint), and followers ahead of the
+	// leader (the session was deleted and recreated, restarting LSNs).
+	var tl *wal.Tailer
+	needReset := from == 0 || from > cur
+	if !needReset {
+		switch t, err := wal.OpenTailer(path); {
+		case err != nil:
+			needReset = true // header not settled yet, or rotated away
+		case t.BaseLSN() > from:
+			t.Close()
+			needReset = true
+		default:
+			tl = t
+		}
+	}
+
+	out := streamFile{w: w, fl: fl}
+	var app *wal.Appender
+	last := from
+	if needReset {
+		snap, lsn, err := m.SnapshotWithLSN(ctx, name)
+		if err != nil {
+			return err
+		}
+		if lsn == 0 {
+			return fmt.Errorf("cluster: session %q has no logged state to stream", name)
+		}
+		// SyncAlways here means "flush to the subscriber after every
+		// record" — streamFile.Sync is a client-side flush, not an fsync.
+		app, err = wal.NewAppender(out, lsn-1, wal.SyncPolicy{Mode: wal.SyncAlways})
+		if err != nil {
+			return err
+		}
+		if _, err := app.Append(wal.Record{Type: wal.RecCreate, Snapshot: snap}); err != nil {
+			return err
+		}
+		last = lsn
+	} else {
+		if app, err = wal.NewAppender(out, from, wal.SyncPolicy{Mode: wal.SyncAlways}); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		if tl != nil {
+			tl.Close()
+		}
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		if tl == nil {
+			switch t, err := wal.OpenTailer(path); {
+			case err == nil:
+				tl = t
+			case err == io.EOF:
+				// Log exists but its header hasn't been flushed yet.
+				if err := sleepCtx(ctx, streamPollInterval); err != nil {
+					return nil
+				}
+				continue
+			default:
+				return err // deleted, handed off, or corrupt
+			}
+		}
+		rec, lsn, err := tl.Next()
+		switch {
+		case err == nil:
+			if lsn <= last {
+				continue // already covered by the snapshot or a prior read
+			}
+			if lsn != last+1 {
+				return fmt.Errorf("cluster: session %q log jumped from LSN %d to %d", name, last, lsn)
+			}
+			if _, err := app.Append(rec); err != nil {
+				return err // subscriber went away
+			}
+			last = lsn
+		case err == io.EOF:
+			if err := sleepCtx(ctx, streamPollInterval); err != nil {
+				return nil
+			}
+		case errors.Is(err, wal.ErrLogRotated):
+			// A checkpoint replaced the log file. The old inode was fully
+			// drained, so reopening and skipping <= last continues gap-free.
+			tl.Close()
+			tl = nil
+		default:
+			return err
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx's error in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

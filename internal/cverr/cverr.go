@@ -115,6 +115,10 @@ var (
 	// backpressure (e.g. a session's ingest queue is at its configured
 	// bound). The operation was not applied and can be retried.
 	ErrOverloaded = reg("ErrOverloaded", "crowdval: server overloaded")
+	// ErrNotOwner is returned when a cluster node receives an operation for a
+	// session another node owns (HTTP 421). The response carries the owner's
+	// address so routers and clients can retry against the right node.
+	ErrNotOwner = reg("ErrNotOwner", "crowdval: session owned by another node")
 )
 
 // Durability errors.

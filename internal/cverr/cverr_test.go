@@ -72,6 +72,7 @@ func TestNameForEveryExportedSentinel(t *testing.T) {
 		"ErrSessionNotFound":   ErrSessionNotFound,
 		"ErrSessionExists":     ErrSessionExists,
 		"ErrOverloaded":        ErrOverloaded,
+		"ErrNotOwner":          ErrNotOwner,
 		"ErrBadWAL":            ErrBadWAL,
 	}
 	if len(cases) != len(named) {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"crowdval"
 	"crowdval/internal/cverr"
@@ -222,11 +223,34 @@ type ResultResponse struct {
 
 // ErrorResponse is the JSON body of every non-2xx response. Code is the
 // stable sentinel name from crowdval.ErrorName (empty for errors outside the
-// taxonomy, e.g. malformed JSON).
+// taxonomy, e.g. malformed JSON). Owner accompanies code "ErrNotOwner" (HTTP
+// 421): the address of the node that owns the session, so routers and
+// clients retry there instead of guessing.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	Owner string `json:"owner,omitempty"`
 }
+
+// NotOwnerError rejects an operation on a session another node owns. It
+// wraps cverr.ErrNotOwner (so errors.Is matching works across the taxonomy)
+// and carries the owner's address into the 421 response body.
+type NotOwnerError struct {
+	Name  string
+	Owner string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("%v: session %q is owned by %s", cverr.ErrNotOwner, e.Name, e.Owner)
+}
+
+func (e *NotOwnerError) Unwrap() error { return cverr.ErrNotOwner }
+
+// RetryAfterSeconds is the Retry-After value sent with HTTP 429 responses:
+// shed ingests clear as soon as the session's queued batch drains, which is
+// sub-second for healthy sessions, so clients should back off briefly and
+// retry rather than fail.
+const RetryAfterSeconds = 1
 
 // statusFor maps an error to its HTTP status: 404 for unknown sessions, 409
 // for state conflicts (duplicate names or validations, exhausted budgets,
@@ -256,6 +280,8 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, cverr.ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, cverr.ErrNotOwner):
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -266,8 +292,16 @@ func statusFor(err error) int {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
 	body := ErrorResponse{Error: err.Error(), Code: cverr.Name(err)}
-	writeJSON(w, statusFor(err), body)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	}
+	var notOwner *NotOwnerError
+	if errors.As(err, &notOwner) {
+		body.Owner = notOwner.Owner
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -54,6 +54,12 @@ type ManagerConfig struct {
 	// ErrOverloaded (HTTP 429) instead of piling up behind a slow
 	// aggregation. Zero or negative means unbounded.
 	MaxQueuedIngest int
+	// WALFlushEachRecord flushes (without fsyncing) the log buffer after every
+	// appended record, so a WAL tailer — a follower subscription — sees a
+	// record as soon as it is logged instead of at the next sync point. It
+	// costs a small write per mutation and changes no durability guarantee;
+	// irrelevant (and ignored) under wal.SyncAlways, which flushes anyway.
+	WALFlushEachRecord bool
 }
 
 // WithWAL returns a copy of the config with the write-ahead log enabled in
@@ -80,10 +86,11 @@ type Manager struct {
 	dir    string
 
 	// Durability configuration (immutable after NewManager).
-	walDir     string
-	walSync    wal.SyncPolicy
-	ckptEvery  int
-	maxIngestQ int
+	walDir       string
+	walSync      wal.SyncPolicy
+	ckptEvery    int
+	maxIngestQ   int
+	walFlushEach bool
 	// walOpen wraps every opened log file; the crash-fault-injection tests
 	// install a writer that dies at a chosen byte offset. nil = identity.
 	walOpen func(name string, f *os.File) wal.File
@@ -144,6 +151,9 @@ type entry struct {
 	// the session's write critical section, which is what keeps log order
 	// identical to apply order.
 	log *sessionWAL
+	// replicaLSN tracks the stream position of a followed session when no WAL
+	// records it (with one, the log's own LSN is authoritative). Guarded by mu.
+	replicaLSN uint64
 
 	bytes   int64 // last accounted MemoryEstimate; 0 while parked
 	parking bool  // selected as an eviction victim, park in flight
@@ -195,14 +205,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		}
 	}
 	return &Manager{
-		budget:     cfg.MemoryBudget,
-		dir:        cfg.ParkDir,
-		walDir:     cfg.WALDir,
-		walSync:    cfg.WALSync,
-		ckptEvery:  ckptEvery,
-		maxIngestQ: cfg.MaxQueuedIngest,
-		sessions:   make(map[string]*entry),
-		lru:        list.New(),
+		budget:       cfg.MemoryBudget,
+		dir:          cfg.ParkDir,
+		walDir:       cfg.WALDir,
+		walSync:      cfg.WALSync,
+		ckptEvery:    ckptEvery,
+		maxIngestQ:   cfg.MaxQueuedIngest,
+		walFlushEach: cfg.WALFlushEachRecord,
+		sessions:     make(map[string]*entry),
+		lru:          list.New(),
 	}, nil
 }
 

@@ -58,7 +58,71 @@ func RenderPrometheus(s Stats) string {
 	return b.String()
 }
 
+// ClusterStats is the cluster fabric's contribution to the metrics endpoints
+// (see internal/cluster); all zero on a standalone node. Like Stats it is a
+// point-in-time sample of independently monotone (or gauge) counters.
+type ClusterStats struct {
+	// Self is this node's advertised address; Peers the fabric size.
+	Self  string `json:"self,omitempty"`
+	Peers int64  `json:"peers"`
+	// SessionsOwned counts sessions this node currently owns (serves writes
+	// for); FollowedSessions counts sessions it replicates from a leader.
+	SessionsOwned    int64 `json:"sessionsOwned"`
+	FollowedSessions int64 `json:"followedSessions"`
+	// HandoffsIn/HandoffsOut count live session migrations received/sent.
+	HandoffsIn  int64 `json:"handoffsIn"`
+	HandoffsOut int64 `json:"handoffsOut"`
+	// ReplicationLagLSN is the largest (leader LSN − applied LSN) gap across
+	// the sessions this node follows, from the latest stream samples.
+	ReplicationLagLSN int64 `json:"replicationLagLSN"`
+	// Promotions counts followed sessions this node promoted to ownership
+	// after a leader failure.
+	Promotions int64 `json:"promotions"`
+	// NotOwnerRejects counts requests bounced with HTTP 421 because another
+	// node owns the session.
+	NotOwnerRejects int64 `json:"notOwnerRejects"`
+}
+
+// MetricsResponse is the body of GET /v1/metrics: the manager statistics,
+// plus the cluster fabric's counters when the node is part of one.
+type MetricsResponse struct {
+	Stats
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// clusterPromMetrics mirrors ClusterStats in the Prometheus exposition.
+var clusterPromMetrics = []struct {
+	name  string
+	typ   string
+	help  string
+	value func(ClusterStats) int64
+}{
+	{"crowdval_cluster_peers", "gauge", "Member nodes in the cluster fabric.", func(c ClusterStats) int64 { return c.Peers }},
+	{"crowdval_cluster_sessions_owned", "gauge", "Sessions this node currently owns.", func(c ClusterStats) int64 { return c.SessionsOwned }},
+	{"crowdval_cluster_sessions_followed", "gauge", "Sessions this node replicates from a leader.", func(c ClusterStats) int64 { return c.FollowedSessions }},
+	{"crowdval_cluster_handoffs_in_total", "counter", "Live session migrations received.", func(c ClusterStats) int64 { return c.HandoffsIn }},
+	{"crowdval_cluster_handoffs_out_total", "counter", "Live session migrations sent.", func(c ClusterStats) int64 { return c.HandoffsOut }},
+	{"crowdval_cluster_replication_lag_lsns", "gauge", "Largest leader-to-follower LSN gap across followed sessions.", func(c ClusterStats) int64 { return c.ReplicationLagLSN }},
+	{"crowdval_cluster_promotions_total", "counter", "Followed sessions promoted to ownership after a leader failure.", func(c ClusterStats) int64 { return c.Promotions }},
+	{"crowdval_cluster_not_owner_total", "counter", "Requests rejected with HTTP 421 (session owned elsewhere).", func(c ClusterStats) int64 { return c.NotOwnerRejects }},
+}
+
+// RenderPrometheusCluster renders a ClusterStats sample in the Prometheus
+// text format.
+func RenderPrometheusCluster(c ClusterStats) string {
+	var b strings.Builder
+	for _, m := range clusterPromMetrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		fmt.Fprintf(&b, "%s %d\n", m.name, m.value(c))
+	}
+	return b.String()
+}
+
 func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = fmt.Fprint(w, RenderPrometheus(s.manager.Stats()))
+	if s.clusterStats != nil {
+		_, _ = fmt.Fprint(w, RenderPrometheusCluster(s.clusterStats()))
+	}
 }

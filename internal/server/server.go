@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"crowdval"
@@ -32,6 +34,8 @@ const MaxNextK = 1000
 //	DELETE /v1/sessions/{name}               delete a session
 //	GET    /v1/metrics                       manager statistics (JSON)
 //	GET    /metrics                          manager statistics (Prometheus text)
+//	GET    /healthz                          liveness probe (always 200 while serving)
+//	GET    /readyz                           readiness probe (200 once recovery finished and not draining)
 //
 // Every handler honors the request context: a client that disconnects or a
 // ?timeout= that expires cancels the in-flight session operation, which rolls
@@ -43,11 +47,29 @@ type Server struct {
 	mux     *http.ServeMux
 	// MaxBodyBytes caps request body sizes; DefaultMaxBodyBytes when zero.
 	MaxBodyBytes int64
+
+	// ready flips to true once recovery has finished (SetReady); draining
+	// flips to true when a drain-on-shutdown walk starts (SetDraining). Both
+	// feed /readyz, which is how the router and orchestrators keep traffic
+	// away from a node that cannot own sessions yet (or anymore).
+	ready    atomic.Bool
+	draining atomic.Bool
+	// ownerCheck gates session-owning operations when the server is part of a
+	// cluster fabric: non-nil, it is consulted with the session name and its
+	// error (a *NotOwnerError, HTTP 421 with the owner's address) rejects the
+	// request. nil means standalone — every session is local.
+	ownerCheck func(name string) error
+	// clusterStats, when non-nil, contributes the cluster fabric's counters
+	// to both metrics endpoints. It must be cheap and lock-free (atomics), as
+	// the scrape path guarantees.
+	clusterStats func() ClusterStats
 }
 
 // New builds the HTTP facade for a manager.
 func New(m *Manager) *Server {
 	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/resume", s.handleResume)
@@ -65,6 +87,55 @@ func New(m *Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// SetReady records that recovery has finished and the node may own traffic;
+// /readyz reports 200 from here on (unless draining).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetDraining marks the node as handing its sessions off before shutdown;
+// /readyz reports 503 so routers stop sending it new work.
+func (s *Server) SetDraining(draining bool) { s.draining.Store(draining) }
+
+// SetOwnerCheck installs the cluster fabric's ownership gate; call it before
+// the server starts handling requests.
+func (s *Server) SetOwnerCheck(check func(name string) error) { s.ownerCheck = check }
+
+// SetClusterStats installs the cluster fabric's counter source for the
+// metrics endpoints; call it before the server starts handling requests.
+func (s *Server) SetClusterStats(stats func() ClusterStats) { s.clusterStats = stats }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// ReadyResponse is the body of GET /readyz.
+type ReadyResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Ready: s.ready.Load(), Draining: s.draining.Load()}
+	status := http.StatusOK
+	if !resp.Ready || resp.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// checkOwner applies the cluster ownership gate to a session-owning request;
+// false means the rejection was already written.
+func (s *Server) checkOwner(w http.ResponseWriter, name string) bool {
+	if s.ownerCheck == nil {
+		return true
+	}
+	if err := s.ownerCheck(name); err != nil {
+		writeError(w, err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) maxBody() int64 {
@@ -109,6 +180,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
+	if !s.checkOwner(w, req.Name) {
+		return
+	}
 	answers, err := req.answerSet()
 	if err != nil {
 		writeError(w, err)
@@ -135,6 +209,9 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	name := r.PathValue("name")
+	if !s.checkOwner(w, name) {
+		return
+	}
 	body := http.MaxBytesReader(nil, r.Body, s.maxBody())
 	if err := s.manager.CreateFromSnapshot(ctx, name, body); err != nil {
 		writeError(w, err)
@@ -191,11 +268,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
+	name := r.PathValue("name")
+	if !s.checkOwner(w, name) {
+		return
+	}
 	answers := make([]crowdval.Answer, len(req.Answers))
 	for i, a := range req.Answers {
 		answers[i] = crowdval.Answer{Object: a.Object, Worker: a.Worker, Label: crowdval.Label(a.Label)}
 	}
-	total, err := s.manager.AddAnswers(ctx, r.PathValue("name"), answers)
+	total, err := s.manager.AddAnswers(ctx, name, answers)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -218,6 +299,12 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 				ErrorResponse{Error: fmt.Sprintf("invalid k %q (must be an integer in 1..%d)", raw, MaxNextK)})
 			return
 		}
+	}
+	// Next-object guidance mutates strategy state (the hybrid roulette draw),
+	// so like the writers it is owner-only; result and snapshot reads may be
+	// served from any node holding a copy.
+	if !s.checkOwner(w, r.PathValue("name")) {
+		return
 	}
 	ranked, err := s.manager.NextObjects(ctx, r.PathValue("name"), k)
 	if err != nil {
@@ -248,6 +335,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if !s.checkOwner(w, name) {
+		return
+	}
 	var infos []crowdval.StepInfo
 	if len(req.Validations) == 1 {
 		v := req.Validations[0]
@@ -323,6 +413,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.checkOwner(w, r.PathValue("name")) {
+		return
+	}
 	if err := s.manager.Delete(r.PathValue("name")); err != nil {
 		writeError(w, err)
 		return
@@ -335,5 +428,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.manager.Stats())
+	resp := MetricsResponse{Stats: s.manager.Stats()}
+	if s.clusterStats != nil {
+		c := s.clusterStats()
+		resp.Cluster = &c
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

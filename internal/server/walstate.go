@@ -163,6 +163,15 @@ func (m *Manager) logMutation(e *entry, rec wal.Record) error {
 		return fmt.Errorf("server: logging mutation for session %q: %w", e.name, err)
 	}
 	w.sinceCkpt++
+	if m.walFlushEach {
+		// Make the record visible to tailing followers right away. A failed
+		// flush leaves the file in an unknown byte state, the same situation
+		// as a failed append: fail stop.
+		if err := w.app.Flush(); err != nil {
+			w.broken = err
+			return fmt.Errorf("server: flushing WAL of session %q: %w", e.name, err)
+		}
+	}
 	return nil
 }
 
