@@ -42,11 +42,14 @@ import (
 // one probabilistic answer set: per-object entropies (computed once instead
 // of once per sort comparison), the total uncertainty, and — for the
 // delta-accelerated hypothetical scorer — the log-prior and log-confusion
-// tables of the current fixed point. An index is valid for exactly one
-// aggregation result; every state change (validation integrated, answers
-// ingested, quarantine change) invalidates it. The index itself is immutable
-// after EnsureHypoTables and safe for concurrent readers; per-goroutine
-// mutable state lives in HypoScratch values.
+// tables of the current fixed point. An index describes exactly one
+// aggregation result; when the state moves to a successor result the index is
+// either patched onto it in place (Rebase — the maintained-view path, cost
+// proportional to what actually changed) or rebuilt from scratch. The index
+// is immutable between those transitions and safe for concurrent readers;
+// Rebase mutates it and must be serialized against readers by the caller
+// (the engine runs it under its selection lock, with mutations excluded).
+// Per-goroutine mutable state lives in HypoScratch values.
 type ScoreIndex struct {
 	answers   *model.AnswerSet
 	probSet   *model.ProbabilisticAnswerSet
@@ -56,9 +59,16 @@ type ScoreIndex struct {
 	entropies []float64
 	totalH    float64
 
-	// Hypothetical-scoring tables, built by EnsureHypoTables.
+	// Hypothetical-scoring tables, built by EnsureHypoTables. logConf holds
+	// per-worker m² blocks in true-label-major layout (block[l·m + a] =
+	// log F(l, a)); logConfT holds the same values transposed into
+	// answered-label-major layout (blockT[a·m + l]), so the blocked E-step
+	// reads the m-vector of one observed answer as one contiguous run (see
+	// NewBlockedScratch). Both tables are filled from the same floats, so
+	// the two layouts are bit-identical cell for cell.
 	logPriors []float64
 	logConf   []float64
+	logConfT  []float64
 }
 
 // NewScoreIndex builds the scoring index for one aggregation result. The
@@ -107,18 +117,27 @@ func (ix *ScoreIndex) EnsureHypoTables() {
 	}
 	m := ix.m
 	logPriors := make([]float64, m)
-	for l, p := range ix.probSet.Assignment.Priors() {
-		if p <= 0 {
-			p = 1e-12
-		}
-		logPriors[l] = math.Log(p)
-	}
+	fillLogPriors(logPriors, ix.probSet.Assignment)
 	logConf := make([]float64, len(ix.probSet.Confusions)*m*m)
+	logConfT := make([]float64, len(logConf))
 	for w := range ix.probSet.Confusions {
 		fillLogConfBlock(logConf[w*m*m:(w+1)*m*m], ix.probSet.Confusions[w], m)
+		fillLogConfBlockT(logConfT[w*m*m:(w+1)*m*m], ix.probSet.Confusions[w], m)
 	}
 	ix.logPriors = logPriors
 	ix.logConf = logConf
+	ix.logConfT = logConfT
+}
+
+// fillLogPriors writes the log class priors of the assignment into dst,
+// flooring hard zeros at 1e-12 like the hypo tables do.
+func fillLogPriors(dst []float64, u *model.AssignmentMatrix) {
+	for l, p := range u.Priors() {
+		if p <= 0 {
+			p = 1e-12
+		}
+		dst[l] = math.Log(p)
+	}
 }
 
 // HypoScratch is the per-goroutine scratch state of the delta-accelerated
@@ -137,13 +156,19 @@ type HypoScratch struct {
 	// conf is the reusable confusion matrix of the frontier M-step.
 	conf *model.ConfusionMatrix
 	// workers and blocks hold the candidate's answering workers and their
-	// re-estimated log-confusion blocks (m² each, same layout as the global
-	// table).
+	// re-estimated log-confusion blocks (m² each; true-label-major like
+	// ScoreIndex.logConf for a scalar scratch, answered-label-major like
+	// ScoreIndex.logConfT for a blocked one).
 	workers []int
 	blocks  []float64
 	// seen/stamp deduplicate ripple objects shared by several workers.
 	seen  []int32
 	stamp int32
+	// blocked routes the E/M passes through the contiguous transposed-table
+	// variants (NewBlockedScratch); confT is the blocked M-step's
+	// answered-label-major soft-count accumulator.
+	blocked bool
+	confT   []float64
 }
 
 // NewScratch prepares a per-goroutine scratch for hypothetical scoring.
@@ -205,8 +230,13 @@ func (sc *HypoScratch) hypotheticalUncertainty(object int, label model.Label) fl
 	}
 	for i, wa := range touched {
 		sc.workers = append(sc.workers, wa.Worker)
-		reestimateConfusionHypo(sc.conf, ix.answers, ix.probSet.Assignment, wa.Worker, ix.smoothing, object, sc.hypoRow)
-		fillLogConfBlock(sc.blocks[i*mm:(i+1)*mm], sc.conf, m)
+		if sc.blocked {
+			sc.reestimateConfusionBlocked(wa.Worker, object)
+			fillLogBlockFromT(sc.blocks[i*mm:(i+1)*mm], sc.confT)
+		} else {
+			reestimateConfusionHypo(sc.conf, ix.answers, ix.probSet.Assignment, wa.Worker, ix.smoothing, object, sc.hypoRow)
+			fillLogConfBlock(sc.blocks[i*mm:(i+1)*mm], sc.conf, m)
+		}
 	}
 
 	// The pinned row's entropy drops to zero.
@@ -228,7 +258,11 @@ func (sc *HypoScratch) hypotheticalUncertainty(object int, label model.Label) fl
 			if validation.Get(o) != model.NoLabel {
 				continue
 			}
-			sc.posteriorRowHypo(o)
+			if sc.blocked {
+				sc.posteriorRowHypoBlocked(o)
+			} else {
+				sc.posteriorRowHypo(o)
+			}
 			deltaH += entropyOfRow(sc.row) - ix.entropies[o]
 		}
 	}

@@ -1,0 +1,163 @@
+package aggregation
+
+import (
+	"math"
+
+	"crowdval/internal/model"
+)
+
+// This file implements the blocked-rows variant of the hypothetical E/M pass.
+// The scalar scratch (NewScratch) walks the log-confusion table in
+// true-label-major layout, so accumulating one observed answer a into a
+// posterior row reads block[a], block[a+m], block[a+2m], ... — an m-strided
+// gather the compiler cannot vectorize and the cache dislikes. The blocked
+// scratch reads the transposed answered-label-major table (ScoreIndex.logConfT
+// and a transposed staged-block layout), where the same accumulation is one
+// contiguous m-length run — row[l] += blockT[a·m + l] — that auto-vectorizes;
+// the M-step likewise accumulates soft counts into a transposed scratch with
+// the assignment row hoisted once per answer instead of m Prob calls.
+//
+// The blocked variant is BIT-IDENTICAL to the scalar one by construction:
+// every floating-point operation happens on the same values in the same order
+// — the per-cell soft-count add sequence, the eps smoothing, the per-true-
+// label row normalization (sum in ascending answered-label order, uniform
+// fallback on non-positive sums), the 1e-12 log floor, and the E-step's
+// accumulate/max/exp/normalize tail all mirror reestimateConfusionHypo +
+// model.ConfusionMatrix.Smooth and posteriorRowHypo operation for operation,
+// only through a different memory layout. TestBlockedScratchMatchesScalar
+// pins the equivalence bit for bit, which is what lets the engine default to
+// the blocked path without changing any selection contract. Per BENCHMARKS.md
+// ground rules the scalar path stays frozen under its recorded variant names;
+// the blocked layout benchmarks under new "blocked-rows" variants.
+
+// NewBlockedScratch prepares a per-goroutine scratch whose hypothetical E/M
+// passes run on the contiguous transposed layout. Results are bit-identical
+// to NewScratch; only the walk order over memory differs. EnsureHypoTables is
+// run on the index if it has not been already.
+func (ix *ScoreIndex) NewBlockedScratch() *HypoScratch {
+	ix.EnsureHypoTables()
+	return &HypoScratch{
+		ix:      ix,
+		hypoRow: make([]float64, ix.m),
+		row:     make([]float64, ix.m),
+		confT:   make([]float64, ix.m*ix.m),
+		seen:    make([]int32, ix.n),
+		blocked: true,
+	}
+}
+
+// reestimateConfusionBlocked is the blocked mirror of reestimateConfusionHypo:
+// it re-estimates worker w's confusion matrix with the assignment row of
+// hypoObject substituted by sc.hypoRow, accumulating into the transposed
+// answered-label-major scratch sc.confT. The per-cell operation sequence —
+// adds in ascending true-label order per answer, eps smoothing, per-true-label
+// row normalization with the uniform fallback — matches the scalar path (and
+// model.ConfusionMatrix.Smooth) exactly, so every cell holds the same bits.
+func (sc *HypoScratch) reestimateConfusionBlocked(w, hypoObject int) {
+	ix := sc.ix
+	m := ix.m
+	u := ix.probSet.Assignment
+	confT := sc.confT
+	for i := range confT {
+		confT[i] = 0
+	}
+	for _, oa := range ix.answers.WorkerView(w) {
+		row := u.RowSlice(oa.Object)
+		if oa.Object == hypoObject {
+			row = sc.hypoRow
+		}
+		dst := confT[int(oa.Label)*m : (int(oa.Label)+1)*m]
+		for l, p := range row {
+			dst[l] += p
+		}
+	}
+	for i := range confT {
+		confT[i] += ix.smoothing
+	}
+	for l := 0; l < m; l++ {
+		sum := 0.0
+		for a := 0; a < m; a++ {
+			sum += confT[a*m+l]
+		}
+		if sum <= 0 {
+			p := 1 / float64(m)
+			for a := 0; a < m; a++ {
+				confT[a*m+l] = p
+			}
+			continue
+		}
+		for a := 0; a < m; a++ {
+			confT[a*m+l] /= sum
+		}
+	}
+}
+
+// fillLogBlockFromT writes the log of a transposed confusion scratch into a
+// transposed staged block, flooring hard zeros at 1e-12 — the same floor and
+// log fillLogConfBlock applies, on the same cell values, so staged blocks of
+// the two layouts are bit-identical transposes of each other.
+func fillLogBlockFromT(dst, confT []float64) {
+	for i, p := range confT {
+		if p <= 0 {
+			p = 1e-12
+		}
+		dst[i] = math.Log(p)
+	}
+}
+
+// fillLogConfBlockT writes one worker's m² log-confusion block in transposed
+// answered-label-major layout (dst[a·m + l] = log F(l, a), floored at 1e-12).
+// It logs exactly the cells fillLogConfBlock logs, so the two global tables
+// carry identical bits in transposed positions.
+func fillLogConfBlockT(dst []float64, f *model.ConfusionMatrix, m int) {
+	for l := 0; l < m; l++ {
+		for a := 0; a < m; a++ {
+			p := f.At(model.Label(l), model.Label(a))
+			if p <= 0 {
+				p = 1e-12
+			}
+			dst[a*m+l] = math.Log(p)
+		}
+	}
+}
+
+// posteriorRowHypoBlocked is the blocked mirror of posteriorRowHypo: one
+// ripple object's E-step posterior into sc.row, reading the transposed staged
+// blocks for touched workers and the transposed global table for everyone
+// else. Per answer it accumulates one contiguous m-run instead of an m-strided
+// gather; the accumulation order over answers and labels, and the
+// max/exp/normalize tail, match the scalar path operation for operation.
+func (sc *HypoScratch) posteriorRowHypoBlocked(o int) {
+	ix := sc.ix
+	m := ix.m
+	mm := m * m
+	row := sc.row
+	copy(row, ix.logPriors)
+	for _, wa := range ix.answers.ObjectView(o) {
+		lf := ix.logConfT[wa.Worker*mm+int(wa.Label)*m:]
+		for i, w := range sc.workers {
+			if w == wa.Worker {
+				lf = sc.blocks[i*mm+int(wa.Label)*m:]
+				break
+			}
+		}
+		lf = lf[:m]
+		for l, v := range lf {
+			row[l] += v
+		}
+	}
+	maxLog := row[0]
+	for l := 1; l < m; l++ {
+		if row[l] > maxLog {
+			maxLog = row[l]
+		}
+	}
+	sum := 0.0
+	for l := 0; l < m; l++ {
+		row[l] = math.Exp(row[l] - maxLog)
+		sum += row[l]
+	}
+	for l := 0; l < m; l++ {
+		row[l] /= sum
+	}
+}

@@ -1,0 +1,283 @@
+package aggregation
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"crowdval/internal/model"
+)
+
+// This file pins the maintained-view contract of the ScoreIndex: after any
+// history of mutations and delta aggregations, an index maintained by
+// in-place Rebase patches is bit-identical — entropies, totalH, log-prior and
+// both log-confusion table layouts — to one rebuilt from scratch with
+// NewScoreIndex + EnsureHypoTables on the same state. It also pins the
+// blocked (transposed-slab) hypothetical scorer against the scalar one, bit
+// for bit, which is what lets the engine default to the blocked layout.
+
+// assertIndexBitIdentical compares every maintained table of got against a
+// from-scratch rebuild want, bit for bit.
+func assertIndexBitIdentical(t *testing.T, step int, got, want *ScoreIndex) {
+	t.Helper()
+	if got.ProbSet() != want.ProbSet() {
+		t.Fatalf("step %d: maintained index describes %p, rebuild describes %p", step, got.ProbSet(), want.ProbSet())
+	}
+	if got.n != want.n || got.m != want.m {
+		t.Fatalf("step %d: maintained dims %dx%d, rebuild %dx%d", step, got.n, got.m, want.n, want.m)
+	}
+	for o := 0; o < want.n; o++ {
+		if got.entropies[o] != want.entropies[o] {
+			t.Fatalf("step %d: entropy of object %d: maintained %v, rebuild %v",
+				step, o, got.entropies[o], want.entropies[o])
+		}
+	}
+	if got.totalH != want.totalH {
+		t.Fatalf("step %d: totalH: maintained %v, rebuild %v", step, got.totalH, want.totalH)
+	}
+	for name, pair := range map[string][2][]float64{
+		"logPriors": {got.logPriors, want.logPriors},
+		"logConf":   {got.logConf, want.logConf},
+		"logConfT":  {got.logConfT, want.logConfT},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("step %d: %s length: maintained %d, rebuild %d", step, name, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[1] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("step %d: %s[%d]: maintained %v, rebuild %v", step, name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+func sortedDedup(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestScoreIndexRebaseMatchesRebuild drives seeded random histories of
+// ingests, validations, retractions and growth through the delta aggregation
+// path, maintaining one index by Rebase across every step and asserting it
+// stays bit-identical to a from-scratch rebuild. Mid-history the maintained
+// index is dropped and rebuilt cold — the snapshot/resume shape — and
+// patching must resume seamlessly. Growth must fail the patch (dimension
+// change) and fall back to the rebuild.
+func TestScoreIndexRebaseMatchesRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5} {
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			n, k, m := 24+rng.Intn(8), 6, 2+rng.Intn(2)
+			answers := model.MustNewAnswerSet(n, k, m)
+			for o := 0; o < n; o++ {
+				truth := model.Label(o % m)
+				for w := 0; w < k-1; w++ {
+					l := truth
+					if rng.Float64() > 0.75 {
+						l = model.Label(rng.Intn(m))
+					}
+					if err := answers.SetAnswer(o, w, l); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			validation := model.NewValidation(n)
+			cfg := EMConfig{Parallelism: 1}
+			iem := &IncrementalEM{Config: cfg, Delta: DeltaConfig{Enabled: true}}
+			res, err := iem.Aggregate(answers, validation, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maintained := NewScoreIndex(answers, res.ProbSet, cfg)
+			maintained.EnsureHypoTables()
+
+			patched, rebuilt := 0, 0
+			for step := 0; step < 40; step++ {
+				var dirtyObjects, dirtyWorkers []int
+				grew := false
+				switch op := rng.Intn(10); {
+				case op < 4: // ingest one answer for an existing object
+					o, w := rng.Intn(answers.NumObjects()), rng.Intn(answers.NumWorkers())
+					if err := answers.SetAnswer(o, w, model.Label(rng.Intn(m))); err != nil {
+						t.Fatal(err)
+					}
+					dirtyObjects = append(dirtyObjects, o)
+					dirtyWorkers = append(dirtyWorkers, w)
+				case op < 7: // expert validates an object
+					o := rng.Intn(answers.NumObjects())
+					validation.Set(o, model.Label(rng.Intn(m)))
+					dirtyObjects = append(dirtyObjects, o)
+				case op < 9: // a validation is retracted
+					o := rng.Intn(answers.NumObjects())
+					validation.Set(o, model.NoLabel)
+					dirtyObjects = append(dirtyObjects, o)
+				default: // growth: a new object with a couple of answers
+					grew = true
+					o := answers.NumObjects()
+					if err := answers.Grow(o+1, answers.NumWorkers()); err != nil {
+						t.Fatal(err)
+					}
+					if err := validation.Grow(o + 1); err != nil {
+						t.Fatal(err)
+					}
+					for w := 0; w < 2; w++ {
+						if err := answers.SetAnswer(o, w, model.Label(rng.Intn(m))); err != nil {
+							t.Fatal(err)
+						}
+						dirtyWorkers = append(dirtyWorkers, w)
+					}
+					dirtyObjects = append(dirtyObjects, o)
+				}
+
+				prev := res.ProbSet
+				if grew {
+					// A grown session re-aggregates cold at this layer; the
+					// engine's warm growth path is covered by the root suite.
+					res, err = iem.Aggregate(answers, validation, nil)
+				} else {
+					delta := &Delta{Objects: sortedDedup(dirtyObjects), Workers: sortedDedup(dirtyWorkers)}
+					res, err = iem.AggregateDeltaContext(context.Background(), answers, validation, prev, delta)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if step == 20 {
+					// Snapshot/resume shape: the maintained index does not
+					// survive a process boundary; a resumed process builds
+					// cold and patches from there.
+					maintained = NewScoreIndex(answers, res.ProbSet, cfg)
+					maintained.EnsureHypoTables()
+				} else if maintained.Rebase(answers, res.ProbSet) {
+					patched++
+				} else {
+					if !grew {
+						t.Fatalf("step %d: Rebase failed without a dimension change", step)
+					}
+					maintained = NewScoreIndex(answers, res.ProbSet, cfg)
+					maintained.EnsureHypoTables()
+					rebuilt++
+				}
+				if grew && step != 20 && maintained.NumObjects() == 0 {
+					t.Fatalf("step %d: empty index after growth rebuild", step)
+				}
+
+				fresh := NewScoreIndex(answers, res.ProbSet, cfg)
+				fresh.EnsureHypoTables()
+				assertIndexBitIdentical(t, step, maintained, fresh)
+
+				// The maintained index must also serve hypothetical scoring
+				// identically to the rebuild, concurrently (race coverage:
+				// Rebase above ran with readers excluded, scoring below
+				// shares the patched index across goroutines).
+				candidates := validation.UnvalidatedObjects()
+				if len(candidates) > 3 {
+					candidates = candidates[:3]
+				}
+				var wg sync.WaitGroup
+				for _, o := range candidates {
+					wg.Add(1)
+					go func(o int) {
+						defer wg.Done()
+						got := maintained.NewScratch().ConditionalUncertainty(o)
+						want := fresh.NewScratch().ConditionalUncertainty(o)
+						if got != want {
+							t.Errorf("step %d: H(P|%d): maintained %v, rebuild %v", step, o, got, want)
+						}
+					}(o)
+				}
+				wg.Wait()
+			}
+			if patched == 0 {
+				t.Fatal("history never exercised the patch path")
+			}
+			if rebuilt == 0 {
+				t.Fatal("history never exercised the growth-rebuild fallback")
+			}
+		})
+	}
+}
+
+// TestRebaseRejectsShapeChanges: the patch must refuse states it cannot
+// describe — a different answer set, changed dimensions, a changed worker
+// count, or nil — leaving the index untouched and valid for its own state.
+func TestRebaseRejectsShapeChanges(t *testing.T) {
+	answers, _, res := scoreIndexCrowd(t, 16, 1)
+	ix := NewScoreIndex(answers, res.ProbSet, EMConfig{})
+	if ix.Rebase(answers, nil) {
+		t.Fatal("Rebase accepted a nil state")
+	}
+	other := answers.Clone()
+	if ix.Rebase(other, res.ProbSet) {
+		t.Fatal("Rebase accepted a different answer set")
+	}
+	grown := &model.ProbabilisticAnswerSet{
+		Answers:    answers,
+		Validation: res.ProbSet.Validation,
+		Assignment: model.NewAssignmentMatrix(answers.NumObjects()+1, answers.NumLabels()),
+		Confusions: res.ProbSet.Confusions,
+	}
+	if ix.Rebase(answers, grown) {
+		t.Fatal("Rebase accepted changed dimensions")
+	}
+	fewer := &model.ProbabilisticAnswerSet{
+		Answers:    answers,
+		Validation: res.ProbSet.Validation,
+		Assignment: res.ProbSet.Assignment,
+		Confusions: res.ProbSet.Confusions[:len(res.ProbSet.Confusions)-1],
+	}
+	if ix.Rebase(answers, fewer) {
+		t.Fatal("Rebase accepted a changed worker count")
+	}
+	if ix.ProbSet() != res.ProbSet {
+		t.Fatal("failed Rebase moved the index off its state")
+	}
+}
+
+// TestBlockedScratchMatchesScalar pins the blocked (contiguous transposed
+// slab) hypothetical scorer against the scalar reference, bit for bit, on
+// every candidate of several seeded crowds — the equivalence that lets the
+// engine route delta scoring through the blocked layout by default.
+func TestBlockedScratchMatchesScalar(t *testing.T) {
+	for _, seed := range []int64{1, 3, 7, 13} {
+		answers, validation, res := scoreIndexCrowd(t, 32, seed)
+		ix := NewScoreIndex(answers, res.ProbSet, EMConfig{})
+		scalar := ix.NewScratch()
+		blocked := ix.NewBlockedScratch()
+		for _, o := range validation.UnvalidatedObjects() {
+			s, b := scalar.ConditionalUncertainty(o), blocked.ConditionalUncertainty(o)
+			if s != b {
+				t.Fatalf("seed %d object %d: scalar H(P|o) = %v, blocked = %v", seed, o, s, b)
+			}
+		}
+	}
+}
+
+// TestBlockedScratchZeroAllocsPerCandidate: the blocked scorer must keep the
+// scalar path's zero-allocation steady state.
+func TestBlockedScratchZeroAllocsPerCandidate(t *testing.T) {
+	answers, validation, res := scoreIndexCrowd(t, 64, 7)
+	ix := NewScoreIndex(answers, res.ProbSet, EMConfig{})
+	sc := ix.NewBlockedScratch()
+	candidates := validation.UnvalidatedObjects()
+	for _, o := range candidates {
+		sc.ConditionalUncertainty(o)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		sc.ConditionalUncertainty(candidates[i%len(candidates)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("blocked scorer allocates %.1f objects per candidate, want 0", allocs)
+	}
+}

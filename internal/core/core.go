@@ -104,6 +104,13 @@ type Config struct {
 	// (the worker-driven scorer is exact); like Delta it is opt-in because
 	// selections are no longer bit-identical to the reference scorer.
 	DeltaScoring bool
+	// DisableSelectionCache turns off the maintained-view serving caches: the
+	// in-place ScoreIndex patching (Rebase) and the per-strategy ranking
+	// memoization. Every aggregation then invalidates the scoring index and
+	// every selection rebuilds and rescans — the pre-maintained-view behavior.
+	// It is a pure performance knob for benchmarking and differential testing:
+	// selections are bit-identical either way.
+	DisableSelectionCache bool
 	// Rand drives stochastic components (hybrid roulette wheel). Nil uses a
 	// fixed seed so runs are reproducible.
 	Rand *rand.Rand
@@ -185,9 +192,31 @@ type Engine struct {
 	selMu sync.Mutex
 	// scoreIndex is the per-aggregation guidance scoring index (per-object
 	// entropies, hypothetical-scoring tables), built lazily on the first
-	// selection after an aggregation and invalidated whenever the
-	// probabilistic state changes.
+	// selection after an aggregation. With the delta path enabled it is a
+	// maintained view: when the probabilistic state moves it is kept and
+	// patched in place onto the successor result (ScoreIndex.Rebase) at the
+	// next selection — one patch per coalesced batch, cost proportional to
+	// what changed — instead of being rebuilt from scratch. Full invalidation
+	// remains the fallback for full-path aggregations, quarantine changes and
+	// growth (see invalidateIndex), and for sessions without the delta path.
 	scoreIndex *aggregation.ScoreIndex
+	// invalidateIndex marks the maintained scoreIndex as not patchable onto
+	// the next state: set by the mutation paths on full-path aggregations and
+	// quarantine changes, consumed by refreshScoreIndex. Mutations are
+	// exclusive (the caller's single-writer contract), so the flag itself
+	// needs no extra lock.
+	invalidateIndex bool
+	// rankCache memoizes the most recent ranking per stateless scoring
+	// strategy, keyed by strategy instance, so repeated SelectNextK calls on
+	// an unchanged state are served in O(k) from the maintained view instead
+	// of re-scoring every candidate. Guarded by selMu; dropped whenever the
+	// probabilistic state moves.
+	rankCache map[guidance.Strategy]cachedRanking
+	// scoreIndexBuilds and scoreIndexPatches count from-scratch index builds
+	// and successful in-place patches (selMu). Serving-tier statistics like
+	// emIterations, not snapshot state.
+	scoreIndexBuilds  int
+	scoreIndexPatches int
 
 	iteration   int
 	effortSpent int
@@ -229,13 +258,53 @@ func NewEngineContext(ctx context.Context, answers *model.AnswerSet, cfg Config)
 	return e, nil
 }
 
+// rankCacheWidth is how many candidates a cacheable selection ranks beyond
+// the caller's k, so subsequent selections on the same state with any k up to
+// the width are served from the memoized ranking.
+const rankCacheWidth = 64
+
+// cachedRanking memoizes one strategy's ranking of the current probabilistic
+// state. The slice is never handed out directly — lookups and stores copy —
+// so callers may retain or truncate returned rankings freely.
+type cachedRanking struct {
+	ranked []guidance.ScoredObject
+	// exhaustive records that ranked holds every candidate the strategy had,
+	// so requests for more than len(ranked) are still cache hits.
+	exhaustive bool
+}
+
 // setProbSet installs a new probabilistic state: it re-instantiates the
-// deterministic assignment and invalidates the guidance scoring index, which
-// is only valid for the aggregation it was built from.
+// deterministic assignment and reconciles the maintained selection state
+// (scoring index, memoized rankings) with the move. Installing the state the
+// engine already holds — a no-op settle — is free and keeps every cache
+// valid.
 func (e *Engine) setProbSet(p *model.ProbabilisticAnswerSet) {
+	if p == e.probSet {
+		return
+	}
 	e.probSet = p
 	e.assignment = p.Instantiate()
-	e.scoreIndex = nil
+	e.refreshScoreIndex()
+}
+
+// refreshScoreIndex reconciles the maintained selection state with a new
+// probabilistic answer set, under the selection lock so in-flight selections
+// on other goroutines never observe a half-moved view. Memoized rankings
+// always describe exactly one state and are dropped. The scoring index is
+// kept for an in-place Rebase at the next selection (the maintained-view
+// path) unless a mutation flagged the move as non-patchable — full-path
+// aggregation, quarantine change — or the session runs without the delta
+// path or with the caches disabled, in which case it is dropped for a
+// from-scratch rebuild.
+func (e *Engine) refreshScoreIndex() {
+	e.selMu.Lock()
+	defer e.selMu.Unlock()
+	clear(e.rankCache)
+	drop := e.invalidateIndex
+	e.invalidateIndex = false
+	if e.scoreIndex != nil && (drop || !e.cfg.Delta.Enabled || e.cfg.DisableSelectionCache) {
+		e.scoreIndex = nil
+	}
 }
 
 // newEngineShell wires up an engine — components, quarantine, bookkeeping —
@@ -293,12 +362,22 @@ func newEngineShell(answers *model.AnswerSet, cfg Config) (*Engine, error) {
 	if h, ok := e.strategy.(*guidance.Hybrid); ok {
 		e.hybrid = h
 		e.cfg.HandleFaultyWorkers = true
+		// Give the hybrid stable branch instances: ChooseBranch otherwise
+		// mints a fresh strategy value per draw, which would defeat the
+		// per-strategy ranking memoization (and grow its map per selection).
+		if h.Worker == nil {
+			h.Worker = &guidance.WorkerDriven{}
+		}
+		if h.Uncertainty == nil {
+			h.Uncertainty = &guidance.UncertaintyDriven{}
+		}
 	}
 	if _, ok := e.strategy.(*guidance.WorkerDriven); ok {
 		e.workerDriven = true
 	}
 	e.quarantine = spamdetect.NewQuarantine()
 	e.confirmedValidations = make(map[int]model.Label)
+	e.rankCache = make(map[guidance.Strategy]cachedRanking)
 	return e, nil
 }
 
@@ -454,6 +533,17 @@ func (e *Engine) TotalEMIterations() int { return e.emIterations }
 // statistic, not snapshot state.
 func (e *Engine) TotalDeltaIterations() int { return e.deltaIterations }
 
+// ScoreIndexStats returns how many times the guidance scoring index was
+// built from scratch and how many times it was patched in place onto a
+// successor aggregation result (ScoreIndex.Rebase). Like TotalEMIterations
+// they are serving-tier statistics, not snapshot state: a restored engine
+// counts from zero.
+func (e *Engine) ScoreIndexStats() (builds, patches int) {
+	e.selMu.Lock()
+	defer e.selMu.Unlock()
+	return e.scoreIndexBuilds, e.scoreIndexPatches
+}
+
 // QuarantinedWorkers returns the indices of currently quarantined workers.
 func (e *Engine) QuarantinedWorkers() []int { return e.quarantine.MaskedWorkers() }
 
@@ -480,19 +570,35 @@ func (e *Engine) guidanceContext(ctx context.Context) *guidance.Context {
 		Parallel:       e.cfg.Parallel,
 		MaxParallelism: e.cfg.MaxParallelism,
 		DeltaScore:     e.cfg.DeltaScoring,
+		// The blocked (contiguous transposed-table) hypothetical scorer is
+		// bit-identical to the scalar one and strictly faster, so it is the
+		// default whenever delta scoring is on.
+		BlockedRows: e.cfg.DeltaScoring,
 	}
 }
 
 // ensureScoreIndex returns the guidance scoring index for the current
-// probabilistic state, building it (and, for delta scoring, its hypothetical
-// tables) on the first selection after an aggregation. Callers hold selMu.
+// probabilistic state. Callers hold selMu. An index retained across a delta
+// aggregation is patched onto the current state in place
+// (ScoreIndex.Rebase), touching only entries whose rows actually moved; a
+// failed patch (growth, snapshot resume, shape change) and a missing index
+// fall back to the from-scratch build. For delta scoring the hypothetical
+// tables are (re)filled as part of the same step.
 func (e *Engine) ensureScoreIndex() *aggregation.ScoreIndex {
+	if ix := e.scoreIndex; ix != nil && ix.ProbSet() != e.probSet {
+		if ix.Rebase(e.working, e.probSet) {
+			e.scoreIndexPatches++
+		} else {
+			e.scoreIndex = nil
+		}
+	}
 	if e.scoreIndex == nil {
 		ix := aggregation.NewScoreIndex(e.working, e.probSet, aggregation.EMConfigOf(e.scoringAggregator))
 		if e.cfg.DeltaScoring {
 			ix.EnsureHypoTables()
 		}
 		e.scoreIndex = ix
+		e.scoreIndexBuilds++
 	}
 	return e.scoreIndex
 }
@@ -518,12 +624,27 @@ func (e *Engine) aggregate(ctx context.Context) (*aggregation.Result, error) {
 	if e.cfg.Delta.Enabled && e.working.DirtyTracking() {
 		if da, ok := e.aggregator.(aggregation.DeltaAggregator); ok {
 			delta := &aggregation.Delta{Objects: e.working.DirtyObjects(), Workers: e.working.DirtyWorkers()}
+			if len(delta.Objects) == 0 && len(delta.Workers) == 0 && e.probSet != nil {
+				// No-op settle: nothing dirtied the state since the previous
+				// fixed point (e.g. an ingest whose answers were all stashed
+				// with the quarantine), so that fixed point still holds.
+				// Returning it as-is also keeps the maintained index and
+				// memoized rankings valid — setProbSet sees the same pointer
+				// — instead of forcing a pointless rebuild.
+				return &aggregation.Result{ProbSet: e.probSet, Converged: true}, nil
+			}
 			res, err := da.AggregateDeltaContext(ctx, e.working, e.validation, e.probSet, delta)
 			if err != nil {
 				return nil, err
 			}
 			e.working.ClearDirty()
 			e.deltaIterations += res.DeltaIterations
+			if res.DeltaIterations == 0 {
+				// The aggregator fell back to the full path (cold state or
+				// oversized frontier): every row may have moved, so patching
+				// the index would cost as much as rebuilding it.
+				e.invalidateIndex = true
+			}
 			return res, nil
 		}
 	}
@@ -532,6 +653,7 @@ func (e *Engine) aggregate(ctx context.Context) (*aggregation.Result, error) {
 		return nil, err
 	}
 	e.working.ClearDirty()
+	e.invalidateIndex = true
 	return res, nil
 }
 
@@ -583,19 +705,30 @@ func (e *Engine) SelectNextKContext(ctx context.Context, k int) ([]guidance.Scor
 // selections under its read lock concurrently with other selections and
 // views.
 func (e *Engine) selectRanked(ctx context.Context, k int) ([]guidance.ScoredObject, error) {
-	exec, gctx, release, err := e.beginSelection(ctx)
+	sel, err := e.beginSelection(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	defer release()
+	defer sel.release()
+	if sel.cached != nil {
+		return sel.cached, nil
+	}
+	want := k
+	if sel.cacheable && want < rankCacheWidth {
+		// Rank a wider prefix than asked so subsequent selections on the
+		// same state are served from the memoized ranking. The comparator is
+		// a strict total order (score descending, object ascending), so the
+		// first k entries of the wider ranking are exactly the k-ranking.
+		want = rankCacheWidth
+	}
 	var ranked []guidance.ScoredObject
-	if ks, ok := exec.(guidance.KSelector); ok {
-		ranked, err = ks.SelectK(gctx, k)
+	if ks, ok := sel.exec.(guidance.KSelector); ok {
+		ranked, err = ks.SelectK(sel.gctx, want)
 	} else {
 		// A caller-supplied strategy without batched selection still serves
 		// k = 1 semantics: the single selected object, unranked.
 		var object int
-		object, err = exec.Select(gctx)
+		object, err = sel.exec.Select(sel.gctx)
 		if err == nil {
 			ranked = []guidance.ScoredObject{{Object: object}}
 		}
@@ -608,36 +741,106 @@ func (e *Engine) selectRanked(ctx context.Context, k int) ([]guidance.ScoredObje
 		// empty ranking when its own filtering leaves no candidate.
 		return nil, fmt.Errorf("core: selection failed: %w", cverr.ErrNoCandidates)
 	}
+	if sel.cacheable {
+		e.storeRanking(sel.exec, sel.gctx, ranked, want)
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
 	return ranked, nil
+}
+
+// selection carries one selection's execution state out of beginSelection.
+type selection struct {
+	exec    guidance.Strategy
+	gctx    *guidance.Context
+	release func()
+	// cached, when non-nil, is the ranking served straight from the
+	// per-strategy memoization — the maintained-view fast path; exec and
+	// gctx are unset and no scoring runs.
+	cached []guidance.ScoredObject
+	// cacheable marks exec as a stateless scoring strategy whose ranking of
+	// the current state may be memoized.
+	cacheable bool
+}
+
+// cachedRanking returns a copy of the memoized ranking prefix for exec if it
+// can serve k candidates of the current state. Callers hold selMu.
+func (e *Engine) cachedRanking(exec guidance.Strategy, k int) ([]guidance.ScoredObject, bool) {
+	entry, ok := e.rankCache[exec]
+	if !ok || len(entry.ranked) == 0 {
+		return nil, false
+	}
+	if len(entry.ranked) < k && !entry.exhaustive {
+		return nil, false
+	}
+	n := k
+	if len(entry.ranked) < n {
+		n = len(entry.ranked)
+	}
+	out := make([]guidance.ScoredObject, n)
+	copy(out, entry.ranked[:n])
+	return out, true
+}
+
+// storeRanking memoizes a freshly computed ranking for exec. It runs outside
+// the selection lock (after the unlocked scoring), so it re-takes the lock
+// and drops the store if the probabilistic state moved since the scoring
+// started — a stale ranking must never be memoized against a newer state.
+// want is how many candidates the scoring asked for: a shorter result means
+// the strategy ran out of candidates, making the ranking exhaustive.
+func (e *Engine) storeRanking(exec guidance.Strategy, gctx *guidance.Context, ranked []guidance.ScoredObject, want int) {
+	entry := cachedRanking{
+		ranked:     append([]guidance.ScoredObject(nil), ranked...),
+		exhaustive: len(ranked) < want,
+	}
+	e.selMu.Lock()
+	defer e.selMu.Unlock()
+	if gctx.ProbSet != e.probSet {
+		return
+	}
+	if len(e.rankCache) >= 8 {
+		// Defensive bound for caller-supplied strategies that are not
+		// pointer-stable across selections; the engine's own strategies are
+		// at most a handful of stable instances.
+		clear(e.rankCache)
+	}
+	e.rankCache[exec] = entry
 }
 
 // beginSelection performs the serialized prologue of one selection under the
 // selection lock: the effort/goal preconditions, the stateful strategy-branch
-// decision (hybrid roulette draw, lastWorkerDriven bookkeeping) and the
-// scoring-index build. For the stateless scoring strategies it releases the
-// lock before returning, so the expensive scoring runs unlocked; stateful or
-// unknown strategies (Random, custom implementations) keep the lock for the
-// whole selection and the returned release function drops it afterwards.
-func (e *Engine) beginSelection(ctx context.Context) (guidance.Strategy, *guidance.Context, func(), error) {
+// decision (hybrid roulette draw, lastWorkerDriven bookkeeping), the
+// memoized-ranking lookup and the scoring-index build-or-patch. The hybrid
+// draw is consumed before the cache lookup, so cache hits and misses consume
+// identical pseudo-random state and snapshots stay aligned either way. For
+// the stateless scoring strategies it releases the lock before returning, so
+// the expensive scoring runs unlocked; stateful or unknown strategies
+// (Random, custom implementations) keep the lock for the whole selection and
+// the returned release function drops it afterwards.
+func (e *Engine) beginSelection(ctx context.Context, k int) (*selection, error) {
 	e.selMu.Lock()
 	if e.cfg.Goal != nil && e.cfg.Goal(e) {
 		e.selMu.Unlock()
-		return nil, nil, nil, fmt.Errorf("core: goal reached: %w", cverr.ErrSessionDone)
+		return nil, fmt.Errorf("core: goal reached: %w", cverr.ErrSessionDone)
 	}
-	if len(e.validation.UnvalidatedObjects()) == 0 {
+	// Count instead of materializing UnvalidatedObjects: the precondition
+	// runs under the lock on every selection, and allocating an index slice
+	// per request is measurable at serving rates.
+	if e.validation.Count() == e.validation.NumObjects() {
 		e.selMu.Unlock()
-		return nil, nil, nil, fmt.Errorf("core: all objects are already validated: %w", cverr.ErrSessionDone)
+		return nil, fmt.Errorf("core: all objects are already validated: %w", cverr.ErrSessionDone)
 	}
 	if e.effortSpent >= e.budget() {
 		e.selMu.Unlock()
-		return nil, nil, nil, fmt.Errorf("core: %w: spent %d of %d", cverr.ErrBudgetExhausted, e.effortSpent, e.budget())
+		return nil, fmt.Errorf("core: %w: spent %d of %d", cverr.ErrBudgetExhausted, e.effortSpent, e.budget())
 	}
 	// Bail before the strategy runs: an already-cancelled context must not
 	// consume state (in particular not the hybrid roulette draw), so retrying
 	// after cancellation stays deterministic.
 	if err := ctx.Err(); err != nil {
 		e.selMu.Unlock()
-		return nil, nil, nil, err
+		return nil, err
 	}
 	exec := e.strategy
 	if e.hybrid != nil {
@@ -646,16 +849,28 @@ func (e *Engine) beginSelection(ctx context.Context) (guidance.Strategy, *guidan
 	} else {
 		e.lastWorkerDriven = e.workerDriven
 	}
-	gctx := e.guidanceContext(ctx)
+	sel := &selection{exec: exec, release: func() {}}
 	switch exec.(type) {
 	case *guidance.UncertaintyDriven, *guidance.WorkerDriven, *guidance.Baseline:
-		// Stateless scorers: share the per-aggregation index and score
+		// Stateless scorers: serve from the memoized ranking when the state
+		// has not moved, otherwise share the per-aggregation index and score
 		// outside the lock.
-		gctx.Index = e.ensureScoreIndex()
+		sel.cacheable = !e.cfg.DisableSelectionCache
+		if sel.cacheable {
+			if hit, ok := e.cachedRanking(exec, k); ok {
+				e.selMu.Unlock()
+				sel.cached = hit
+				return sel, nil
+			}
+		}
+		sel.gctx = e.guidanceContext(ctx)
+		sel.gctx.Index = e.ensureScoreIndex()
 		e.selMu.Unlock()
-		return exec, gctx, func() {}, nil
+		return sel, nil
 	default:
-		return exec, gctx, e.selMu.Unlock, nil
+		sel.gctx = e.guidanceContext(ctx)
+		sel.release = e.selMu.Unlock
+		return sel, nil
 	}
 }
 
@@ -728,6 +943,11 @@ func (e *Engine) IntegrateContext(ctx context.Context, object int, label model.L
 		masked, restored = e.quarantine.Apply(e.working, detection)
 		record.MaskedWorkers = masked
 		record.RestoredWorkers = restored
+		if len(masked)+len(restored) > 0 {
+			// Quarantine changes rewrite whole workers' answer sets; the
+			// maintained scoring index is rebuilt rather than patched.
+			e.invalidateIndex = true
+		}
 	}
 	if e.hybrid != nil {
 		record.HybridWeight = e.hybrid.UpdateWeight(record.ErrorRate, detection.FaultyRatio(), e.validation.Ratio())
@@ -1049,13 +1269,18 @@ func (e *Engine) AddAnswers(ctx context.Context, newAnswers []model.Answer) erro
 	}
 
 	// Install the grown warm state before aggregating so the engine stays
-	// consistent even if the aggregation below is cancelled.
-	e.setProbSet(&model.ProbabilisticAnswerSet{
-		Answers:    e.working,
-		Validation: e.validation.Clone(),
-		Assignment: assignment,
-		Confusions: confusions,
-	})
+	// consistent even if the aggregation below is cancelled. Without growth
+	// the current state is already consistent and is kept as-is — installing
+	// a fresh wrapper here would churn the maintained selection state even
+	// for batches that end up dirtying nothing (e.g. fully stashed ones).
+	if newN > oldN || newK > oldK {
+		e.setProbSet(&model.ProbabilisticAnswerSet{
+			Answers:    e.working,
+			Validation: e.validation.Clone(),
+			Assignment: assignment,
+			Confusions: confusions,
+		})
+	}
 
 	res, err := e.aggregate(ctx)
 	if err != nil {

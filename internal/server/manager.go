@@ -126,6 +126,13 @@ type Manager struct {
 	recovered       atomic.Int64
 	replayed        atomic.Int64
 	shed            atomic.Int64
+
+	// Maintained-view counters: cumulative from-scratch score-index builds
+	// and in-place patches across all sessions. Atomics for the same reason
+	// as the durability counters — selections account them under the entry's
+	// shared read lock, where a mu-guarded field would serialize readers.
+	scoreIndexBuilds  atomic.Int64
+	scoreIndexPatches atomic.Int64
 }
 
 // entry is the manager's handle for one named session.
@@ -146,6 +153,12 @@ type entry struct {
 	// counters; a resumed session restarts at zero.
 	emSeen    int
 	deltaSeen int
+	// scoreBuildsSeen/scorePatchesSeen are the session's ScoreIndexStats
+	// values already folded into the manager's cumulative counters, like
+	// emSeen — but atomics, because selections fold them while holding only
+	// the entry's read lock (addMonotone makes concurrent folds exact).
+	scoreBuildsSeen  atomic.Int64
+	scorePatchesSeen atomic.Int64
 	// log is the session's write-ahead log state; nil when the manager runs
 	// without a WAL. It is guarded by mu like sess: every append runs inside
 	// the session's write critical section, which is what keeps log order
@@ -457,10 +470,38 @@ func (m *Manager) view(ctx context.Context, name string, fn func(*crowdval.Sessi
 	}
 	if e.sess != nil {
 		defer e.mu.RUnlock()
-		return fn(e.sess)
+		err := fn(e.sess)
+		m.accountScoreIndex(e, e.sess)
+		return err
 	}
 	e.mu.RUnlock()
 	return m.exclusive(e, name, fn)
+}
+
+// accountScoreIndex folds a session's cumulative score-index build/patch
+// counts into the manager's counters. It runs on the shared view path (read
+// lock held), so the folding is CAS-monotone rather than mu-guarded.
+func (m *Manager) accountScoreIndex(e *entry, sess *crowdval.Session) {
+	builds, patches := sess.ScoreIndexStats()
+	addMonotone(&e.scoreBuildsSeen, &m.scoreIndexBuilds, int64(builds))
+	addMonotone(&e.scorePatchesSeen, &m.scoreIndexPatches, int64(patches))
+}
+
+// addMonotone folds a session's monotone cumulative counter value cur into
+// total, with seen remembering how much of cur is already folded in. Safe for
+// concurrent callers: the CAS guarantees each increment of cur is added to
+// total exactly once, and callers observing a stale (smaller) cur drop out.
+func addMonotone(seen, total *atomic.Int64, cur int64) {
+	for {
+		s := seen.Load()
+		if cur <= s {
+			return
+		}
+		if seen.CompareAndSwap(s, cur) {
+			total.Add(cur - s)
+			return
+		}
+	}
 }
 
 // unpark resumes a parked session from its park file. The caller holds the
@@ -481,6 +522,8 @@ func (m *Manager) unpark(e *entry) error {
 	e.isParked = false
 	e.emSeen = 0
 	e.deltaSeen = 0
+	e.scoreBuildsSeen.Store(0)
+	e.scorePatchesSeen.Store(0)
 	m.mu.Lock()
 	e.bytes = sess.MemoryEstimate()
 	m.resident += e.bytes
@@ -506,6 +549,7 @@ func (m *Manager) settle(e *entry) []*entry {
 	e.emSeen = cur
 	m.deltaIters += int64(dcur - e.deltaSeen)
 	e.deltaSeen = dcur
+	m.accountScoreIndex(e, e.sess)
 	m.resident += size - e.bytes
 	e.bytes = size
 	if m.budget <= 0 {
@@ -947,6 +991,13 @@ type Stats struct {
 	// ShedIngests counts AddAnswers requests rejected with ErrOverloaded
 	// because a session's ingest queue was at its configured bound.
 	ShedIngests int64 `json:"shedIngests"`
+	// ScoreIndexBuilds/ScoreIndexPatches count, across all sessions, how
+	// often a selection built the guidance scoring index from scratch versus
+	// patching the maintained one in place (the incremental-view path); a
+	// patch-dominated ratio means selections are being served at cost
+	// proportional to what each ingest changed.
+	ScoreIndexBuilds  int64 `json:"scoreIndexBuilds"`
+	ScoreIndexPatches int64 `json:"scoreIndexPatches"`
 	// Durability counters; all zero when the manager runs without a WAL.
 	// WALRecords/WALBytes/WALSyncs are cumulative appender totals across all
 	// sessions; Checkpoints/CheckpointFailures count snapshot-checkpoint
@@ -985,6 +1036,8 @@ func (m *Manager) Stats() Stats {
 	}
 	m.mu.Unlock()
 	s.ShedIngests = m.shed.Load()
+	s.ScoreIndexBuilds = m.scoreIndexBuilds.Load()
+	s.ScoreIndexPatches = m.scoreIndexPatches.Load()
 	s.WALRecords = m.walRecords.Load()
 	s.WALBytes = m.walBytes.Load()
 	s.WALSyncs = m.walSyncs.Load()

@@ -38,6 +38,8 @@ var promMetrics = []promMetric{
 	{"crowdval_resumes_total", "counter", "Parked sessions resumed on touch.", func(s Stats) int64 { return s.Resumes }},
 	{"crowdval_em_iterations_total", "counter", "Full EM iterations run across all sessions.", func(s Stats) int64 { return s.EMIterations }},
 	{"crowdval_delta_iterations_total", "counter", "Frontier-restricted delta iterations run across all sessions.", func(s Stats) int64 { return s.DeltaIterations }},
+	{"crowdval_score_index_builds_total", "counter", "Guidance scoring indexes built from scratch.", func(s Stats) int64 { return s.ScoreIndexBuilds }},
+	{"crowdval_score_index_patches_total", "counter", "Guidance scoring indexes patched in place (maintained view).", func(s Stats) int64 { return s.ScoreIndexPatches }},
 	{"crowdval_wal_records_total", "counter", "Records appended to session write-ahead logs.", func(s Stats) int64 { return s.WALRecords }},
 	{"crowdval_wal_bytes_total", "counter", "Bytes written to session write-ahead logs.", func(s Stats) int64 { return s.WALBytes }},
 	{"crowdval_wal_fsyncs_total", "counter", "Fsyncs issued by session write-ahead logs.", func(s Stats) int64 { return s.WALSyncs }},

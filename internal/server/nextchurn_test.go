@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"crowdval"
+)
+
+// TestNextKChurnBitForBit extends the concurrent bit-for-bit contract to the
+// maintained selection view: a delta-scoring session serves a storm of
+// concurrent GET /next?k= requests interleaved with ingest and validation
+// churn, every ranking respects the ordering contract, and the final state
+// still matches a serial replay byte for byte — the ranked reads are
+// genuinely read-only no matter how the maintained index is patched, rebuilt
+// and memoized underneath them. It also pins the score_index_{builds,patches}
+// observability: the JSON stats and the Prometheus exposition must both carry
+// the maintained-view counters, with the patch path actually taken.
+func TestNextKChurnBitForBit(t *testing.T) {
+	const steps = 12
+	c, _ := newTestServer(t, 0)
+
+	d := testCrowd(t, 40, 10, 42)
+	baseMatrix := matrixOf(d.Answers)
+	var extras []crowdval.Answer
+	for o := 0; o < d.Answers.NumObjects(); o++ {
+		for w := 0; w < d.Answers.NumWorkers(); w++ {
+			if baseMatrix[o][w] >= 0 && (o+w)%7 == 0 {
+				extras = append(extras, crowdval.Answer{Object: o, Worker: w, Label: crowdval.Label(baseMatrix[o][w])})
+				baseMatrix[o][w] = -1
+			}
+		}
+	}
+	chunks := make([][]crowdval.Answer, 3)
+	for j, a := range extras {
+		chunks[j%3] = append(chunks[j%3], a)
+	}
+	options := SessionConfig{
+		Strategy: string(crowdval.StrategyUncertainty), Seed: 9, CandidateLimit: 8,
+		Delta: true, DeltaScoring: true,
+	}
+	c.must("POST", "/v1/sessions", CreateSessionRequest{
+		Name: "churn", Matrix: baseMatrix, NumLabels: 2, Options: options,
+	}, nil)
+
+	checkRanking := func(next NextResponse, k int) error {
+		if len(next.Ranking) == 0 || len(next.Ranking) > k {
+			return fmt.Errorf("ranking has %d entries for k=%d", len(next.Ranking), k)
+		}
+		if next.Object != next.Ranking[0].Object {
+			return fmt.Errorf("object %d != ranking head %d", next.Object, next.Ranking[0].Object)
+		}
+		for i := 1; i < len(next.Ranking); i++ {
+			prev, cur := next.Ranking[i-1], next.Ranking[i]
+			if prev.Score < cur.Score || (prev.Score == cur.Score && prev.Object > cur.Object) {
+				return fmt.Errorf("ranking order violated: %+v", next.Ranking)
+			}
+		}
+		return nil
+	}
+
+	lowestUnvalidated := func(validated []int, total, n int) []int {
+		isValidated := make(map[int]bool, len(validated))
+		for _, o := range validated {
+			isValidated[o] = true
+		}
+		var picks []int
+		for o := 0; o < total && len(picks) < n; o++ {
+			if !isValidated[o] {
+				picks = append(picks, o)
+			}
+		}
+		return picks
+	}
+
+	errs := make(chan error, 8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: a deterministic, selection-free mutation sequence. Concurrent
+	// ranked reads must not be able to perturb it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for step := 0; step < steps; step++ {
+			if step%4 == 0 && step/4 < len(chunks) {
+				answers := make([]AnswerJSON, len(chunks[step/4]))
+				for j, a := range chunks[step/4] {
+					answers[j] = AnswerJSON{Object: a.Object, Worker: a.Worker, Label: int(a.Label)}
+				}
+				if status, e := c.do("POST", "/v1/sessions/churn/answers", IngestRequest{Answers: answers}, nil); e != nil {
+					errs <- fmt.Errorf("ingest step %d: status %d %+v", step, status, e)
+					return
+				}
+				continue
+			}
+			var result ResultResponse
+			if status, e := c.do("GET", "/v1/sessions/churn/result", nil, &result); e != nil {
+				errs <- fmt.Errorf("result step %d: status %d %+v", step, status, e)
+				return
+			}
+			picks := lowestUnvalidated(result.Validated, result.Objects, 1)
+			batch := make([]ValidationJSON, len(picks))
+			for j, o := range picks {
+				batch[j] = ValidationJSON{Object: o, Label: int(d.Truth[o])}
+			}
+			if status, e := c.do("POST", "/v1/sessions/churn/validations", SubmitRequest{Validations: batch}, nil); e != nil {
+				errs <- fmt.Errorf("submit step %d: status %d %+v", step, status, e)
+				return
+			}
+		}
+	}()
+
+	// Readers: hammer ranked selections with varying k until the writer is
+	// done, checking the ordering contract on every response.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k := 1 + (g+i)%5
+				var next NextResponse
+				if status, e := c.do("GET", fmt.Sprintf("/v1/sessions/churn/next?k=%d", k), nil, &next); e != nil {
+					errs <- fmt.Errorf("reader %d: status %d %+v", g, status, e)
+					return
+				}
+				if err := checkRanking(next, k); err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Serial replay of the writer's sequence on a plain Session — no server,
+	// no concurrent reads — must land on the identical snapshot.
+	answers, err := crowdval.NewAnswerSetFromMatrix(baseMatrix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := crowdval.NewSession(answers, options.libraryOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for step := 0; step < steps; step++ {
+		if step%4 == 0 && step/4 < len(chunks) {
+			if err := ref.AddAnswers(ctx, chunks[step/4]); err != nil {
+				t.Fatalf("replay ingest step %d: %v", step, err)
+			}
+			continue
+		}
+		validation := ref.Validation()
+		var validated []int
+		for o := 0; o < ref.NumObjects(); o++ {
+			if validation.Validated(o) {
+				validated = append(validated, o)
+			}
+		}
+		picks := lowestUnvalidated(validated, ref.NumObjects(), 1)
+		batch := make([]crowdval.ValidationInput, len(picks))
+		for j, o := range picks {
+			batch[j] = crowdval.ValidationInput{Object: o, Label: d.Truth[o]}
+		}
+		if _, err := ref.SubmitValidations(ctx, batch); err != nil {
+			t.Fatalf("replay submit step %d: %v", step, err)
+		}
+	}
+	want, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.snapshotBytes("churn"); !bytes.Equal(got, want) {
+		t.Fatalf("server snapshot differs from serial replay (%d vs %d bytes) — ranked reads perturbed the session", len(got), len(want))
+	}
+
+	// Maintained-view observability: the JSON stats carry both counters, the
+	// patch path was actually exercised by the churn, and the Prometheus
+	// exposition exports them.
+	var stats Stats
+	c.must("GET", "/v1/metrics", nil, &stats)
+	if stats.ScoreIndexBuilds == 0 {
+		t.Fatalf("no score index builds recorded: %+v", stats)
+	}
+	if stats.ScoreIndexPatches == 0 {
+		t.Fatalf("churn over a delta session recorded no index patches: %+v", stats)
+	}
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	for _, name := range []string{"crowdval_score_index_builds_total", "crowdval_score_index_patches_total"} {
+		if !strings.Contains(string(raw), name) {
+			t.Fatalf("Prometheus exposition missing %s:\n%s", name, raw)
+		}
+	}
+}

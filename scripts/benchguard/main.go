@@ -18,6 +18,11 @@
 //     ratio — the durability tax on one ingest batch. A change that bloats
 //     record framing or fsyncs more often than the policy asks for is
 //     caught as ratio growth on any hardware.
+//   - nextserve: the maintained/rebuild served-selection ratio — how much
+//     cheaper a GET /next?k= against the maintained scoring view (patched
+//     index + memoized rankings) is than the same request rescanning from
+//     scratch. A change that erodes it (e.g. an invalidation bug dropping
+//     the index on every request) is caught as ratio growth on any hardware.
 //
 // Usage:
 //
@@ -57,13 +62,18 @@ var knownPairs = map[string]ratioPair{
 		num:  "BenchmarkIngestWithWAL/sync-interval",
 		den:  "BenchmarkIngestWithWAL/nowal",
 	},
+	"nextserve": {
+		name: "maintained/rebuild served selection",
+		num:  "BenchmarkServerNext/maintained",
+		den:  "BenchmarkServerNext/rebuild",
+	},
 }
 
 func main() {
 	benchPath := flag.String("bench", "", "file with the fresh `go test -bench` output")
 	baselinePath := flag.String("baseline", "BENCHMARKS.md", "committed baseline file")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximal tolerated relative regression of each guarded ratio")
-	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next, wal)")
+	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next, wal, nextserve)")
 	flag.Parse()
 	if *benchPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
@@ -89,7 +99,7 @@ func main() {
 		}
 		pair, ok := knownPairs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next, wal)\n", name)
+			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next, wal, nextserve)\n", name)
 			os.Exit(2)
 		}
 		currentRatio, err := ratioOf(fresh, pair, *benchPath)

@@ -52,6 +52,7 @@ type sessionConfig struct {
 	deltaEnabled          bool
 	deltaMaxDirtyFraction float64
 	deltaScoring          bool
+	noSelectionCache      bool
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -167,6 +168,19 @@ func WithDeltaMaxDirtyFraction(fraction float64) Option {
 // resumed session keeps its scoring mode.
 func WithDeltaScoring() Option { return func(c *sessionConfig) { c.deltaScoring = true } }
 
+// WithoutSelectionCache disables the maintained-view serving caches: the
+// in-place score-index patching across aggregations and the per-strategy
+// ranking memoization that serves repeated NextObject/NextObjects calls on an
+// unchanged state without re-scoring. With the caches off, every aggregation
+// invalidates the scoring index and every selection rescans its candidates —
+// the pre-maintained-view behavior.
+//
+// This is a pure performance knob for benchmarking and differential testing:
+// selections are bit-identical with and without the caches (the differential
+// suite pins this), and the option is not part of the snapshot state — a
+// resumed session uses whatever the resuming process passes.
+func WithoutSelectionCache() Option { return func(c *sessionConfig) { c.noSelectionCache = true } }
+
 // StepInfo summarizes the consequences of one submitted validation.
 type StepInfo struct {
 	// Object and Label echo the submitted validation.
@@ -247,7 +261,8 @@ func newSession(answers *AnswerSet, cfg sessionConfig, restored *core.RestoredSt
 			Enabled:          cfg.deltaEnabled,
 			MaxDirtyFraction: cfg.deltaMaxDirtyFraction,
 		},
-		DeltaScoring: cfg.deltaScoring,
+		DeltaScoring:          cfg.deltaScoring,
+		DisableSelectionCache: cfg.noSelectionCache,
 	}
 	if cfg.confirmationPeriod > 0 {
 		engineCfg.Confirmation = &guidance.ConfirmationCheck{Period: cfg.confirmationPeriod}
@@ -483,6 +498,13 @@ func (s *Session) TotalEMIterations() int { return s.engine.TotalEMIterations() 
 // iterations the delta-incremental path ran (see WithDeltaIngest). Zero for
 // sessions without the delta path; not part of the snapshot state.
 func (s *Session) TotalDeltaIterations() int { return s.engine.TotalDeltaIterations() }
+
+// ScoreIndexStats returns how many times the session's guidance scoring
+// index was built from scratch and how many times it was patched in place
+// onto a new aggregation result (the maintained-view path). Serving tiers
+// report the pair as score_index_builds / score_index_patches; like
+// TotalEMIterations it is a statistic, not snapshot state.
+func (s *Session) ScoreIndexStats() (builds, patches int) { return s.engine.ScoreIndexStats() }
 
 // DeltaIngestEnabled reports whether the session runs the delta-incremental
 // aggregation path (WithDeltaIngest). Serving tiers use it to decide whether
