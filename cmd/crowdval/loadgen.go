@@ -46,7 +46,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		perObj   = fs.Int("answers-per-object", 5, "initial crowd answers per object")
 		delta    = fs.Bool("delta", false, "create the sessions with the delta-incremental ingest path enabled")
 		deltaSc  = fs.Bool("delta-scoring", false, "create the sessions with delta-accelerated guidance scoring enabled")
-		mix      = fs.String("mix", "ingest", "workload mix: ingest (pure ingestion) or next (alternate ingest and next-object requests)")
+		mix      = fs.String("mix", "ingest", "workload mix: ingest (pure ingestion), next (alternate ingest and next-object requests), or globalnext (alternate ingest and global cross-session rankings)")
 		strategy = fs.String("strategy", string(crowdval.StrategyBaseline), "guidance strategy of the created sessions")
 		nextK    = fs.Int("next-k", 5, "ranking size of the next-object requests of -mix next")
 		arrival  = fs.String("arrival", "closed", "arrival pattern: closed (back-to-back) or poisson")
@@ -62,8 +62,8 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	if *arrival != "closed" && *arrival != "poisson" {
 		return fmt.Errorf("loadgen: unknown arrival pattern %q (closed, poisson)", *arrival)
 	}
-	if *mix != "ingest" && *mix != "next" {
-		return fmt.Errorf("loadgen: unknown mix %q (ingest, next)", *mix)
+	if *mix != "ingest" && *mix != "next" && *mix != "globalnext" {
+		return fmt.Errorf("loadgen: unknown mix %q (ingest, next, globalnext)", *mix)
 	}
 
 	d, err := simulation.GenerateCrowd(simulation.CrowdConfig{
@@ -165,10 +165,17 @@ func cmdLoadgen(args []string, out io.Writer) error {
 				// The mixed workload alternates ingest and next-object
 				// requests, exercising writers and read-locked guidance
 				// scoring against the same sessions concurrently.
-				if *mix == "next" && r%2 == 1 {
-					var next server.NextResponse
+				if (*mix == "next" || *mix == "globalnext") && r%2 == 1 {
 					url := fmt.Sprintf("%s/v1/sessions/%s/next?k=%d", baseURL, session, *nextK)
-					if err := getJSON(client, url, &next); err != nil {
+					var into any = &server.NextResponse{}
+					if *mix == "globalnext" {
+						// The marketplace read: rank across every session the
+						// node holds, concurrently with the other clients'
+						// ingest writers.
+						url = fmt.Sprintf("%s/v1/next?k=%d", baseURL, *nextK)
+						into = &server.GlobalNextResponse{}
+					}
+					if err := getJSON(client, url, into); err != nil {
 						failed.Add(1)
 						perNode[node].failed.Add(1)
 						firstErr.CompareAndSwap(nil, &err)
@@ -220,7 +227,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		ok, nextOK, failed.Load(), float64(ok+nextOK)/elapsed.Seconds())
 	fmt.Fprintf(out, "  answers:    %.0f answers/sec end to end\n",
 		float64(ok)*float64(*batch)/elapsed.Seconds())
-	if *mix == "next" {
+	if *mix == "next" || *mix == "globalnext" {
 		fmt.Fprintf(out, "  selections: %.1f next/sec end to end (k=%d)\n",
 			float64(nextOK)/elapsed.Seconds(), *nextK)
 	}

@@ -18,6 +18,7 @@
 //	crowdval serve    -addr :7002 -wal-dir ./wal -peers ... -follow host1:7001
 //	crowdval route    -addr :8080 -peers host1:7001,host2:7001,host3:7001
 //	crowdval recover  -wal-dir ./wal
+//	crowdval next     -addr 127.0.0.1:8080 -k 10
 //	crowdval loadgen  -sessions 4 -clients 8 -batch 100 -delta
 //	crowdval loadgen  -addr host1:7001,host2:7001,host3:7001 -sessions 6
 //	crowdval profiles
@@ -25,6 +26,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -76,6 +78,8 @@ func run(args []string, out io.Writer) error {
 		return cmdRoute(args[1:], out)
 	case "recover":
 		return cmdRecover(args[1:], out)
+	case "next":
+		return cmdNext(args[1:], out)
 	case "loadgen":
 		return cmdLoadgen(args[1:], out)
 	case "profiles":
@@ -83,12 +87,12 @@ func run(args []string, out io.Writer) error {
 	case "help", "-h", "--help":
 		return usageError()
 	default:
-		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, route, recover, loadgen, profiles)", args[0])
+		return fmt.Errorf("unknown command %q (try: generate, validate, workers, stats, serve, route, recover, next, loadgen, profiles)", args[0])
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|route|recover|loadgen|profiles> [flags]")
+	return fmt.Errorf("usage: crowdval <generate|validate|workers|stats|serve|route|recover|next|loadgen|profiles> [flags]")
 }
 
 // splitPeers parses a comma-separated address list, trimming blanks.
@@ -512,6 +516,58 @@ func cmdRecover(args []string, out io.Writer) error {
 		if r.Err != nil {
 			return fmt.Errorf("recover: session %q: %w", r.Name, r.Err)
 		}
+	}
+	return nil
+}
+
+// cmdNext queries a serving node (or a router, which fans it out across the
+// fabric) for the global cross-session ranking of the next expert
+// validations — the marketplace view: which object of which tenant buys the
+// most expected information per unit cost right now.
+func cmdNext(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("next", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "address of a crowdval server or router")
+		k       = fs.Int("k", 10, "number of global candidates to return")
+		parked  = fs.Bool("parked", false, "scan parked sessions too (resumes them)")
+		timeout = fs.Duration("timeout", 30*time.Second, "request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 1 {
+		return fmt.Errorf("next: -k must be >= 1")
+	}
+	url := fmt.Sprintf("http://%s/v1/next?k=%d", *addr, *k)
+	if *parked {
+		url += "&parked=1"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("next: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("next: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("next: %s returned %s: %s", *addr, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var body server.GlobalNextResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("next: decoding response: %w", err)
+	}
+	if len(body.Candidates) == 0 {
+		fmt.Fprintln(out, "no candidates: every session is done, exhausted, or absent")
+		return nil
+	}
+	fmt.Fprintf(out, "%-4s %-24s %-8s %-12s %s\n", "#", "SESSION", "OBJECT", "GAIN/COST", "GAIN")
+	for i, c := range body.Candidates {
+		fmt.Fprintf(out, "%-4d %-24s %-8d %-12.6g %.6g\n", i+1, c.Session, c.Object, c.GainPerCost, c.Gain)
 	}
 	return nil
 }

@@ -14,6 +14,15 @@ type (
 	BudgetAllocation = cost.Allocation
 	// CompletionTime models campaign completion time under expert validation.
 	CompletionTime = cost.CompletionTime
+	// CostTracker is the online per-tenant budget/deadline state: a fixed
+	// budget charged validation by validation (see WithCostBudget), with an
+	// optional completion-time deadline. Serving tiers normalize guidance
+	// scores by it to rank sessions on gain per unit cost.
+	CostTracker = cost.Tracker
+	// GlobalNextCandidate is one entry of a global cross-session ranking:
+	// an object of a named session with its guidance score and the
+	// budget-normalized gain per unit cost.
+	GlobalNextCandidate = cost.GlobalCandidate
 )
 
 // DefaultExpertCrowdCostRatio is the default expert-to-crowd cost ratio θ
@@ -24,4 +33,13 @@ const DefaultExpertCrowdCostRatio = cost.DefaultTheta
 // validations fit within the completion-time limit.
 func FeasibleAllocations(allocations []BudgetAllocation, timeModel CompletionTime, timeLimit float64) []BudgetAllocation {
 	return cost.FeasibleAllocations(allocations, timeModel, timeLimit)
+}
+
+// MergeGlobalNext merges per-session candidates to a deterministic global
+// top-k: gain/cost descending, ties broken by session name then object
+// ascending. The order is total, so the result is invariant under the
+// enumeration order of the input — managers and routers merge partial
+// answers without coordination.
+func MergeGlobalNext(cands []GlobalNextCandidate, k int) []GlobalNextCandidate {
+	return cost.MergeTopK(cands, k)
 }

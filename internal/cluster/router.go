@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"crowdval"
 	"crowdval/internal/server"
 )
 
@@ -79,6 +80,9 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	case r.Method == http.MethodGet && r.URL.Path == "/v1/sessions":
 		rt.handleList(w, r)
+		return
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/next":
+		rt.handleGlobalNext(w, r)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, rt.maxBody+1))
@@ -299,4 +303,69 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(merged)
+}
+
+// handleGlobalNext fans GET /v1/next out to every reachable peer and merges
+// the partial rankings into the fabric-wide global top-k. Each node answers
+// for the sessions it holds; a session visible on both its owner and a
+// follower reports identical candidates (replication is bit-for-bit), so
+// duplicates are dropped by (session, object). The merge re-applies the same
+// total order every node used — gain per cost descending, ties by session
+// name then object ascending — which makes the fabric-wide answer
+// deterministic regardless of peer enumeration or response order.
+func (rt *Router) handleGlobalNext(w http.ResponseWriter, r *http.Request) {
+	k := 1
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if _, err := fmt.Sscanf(raw, "%d", &k); err != nil || k < 1 {
+			http.Error(w, "router: invalid k "+raw, http.StatusBadRequest)
+			return
+		}
+	}
+	type key struct {
+		session string
+		object  int
+	}
+	seen := make(map[key]bool)
+	var merged []crowdval.GlobalNextCandidate
+	reached := 0
+	for _, peer := range rt.ring.Peers() {
+		if rt.isDown(peer) {
+			continue
+		}
+		resp, err := rt.forward(r, peer, nil)
+		if err != nil {
+			rt.markDown(peer)
+			continue
+		}
+		var body server.GlobalNextResponse
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		reached++
+		for _, c := range body.Candidates {
+			id := key{session: c.Session, object: c.Object}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			merged = append(merged, crowdval.GlobalNextCandidate{
+				Session: c.Session, Object: c.Object, Gain: c.Gain, GainPerCost: c.GainPerCost,
+			})
+		}
+	}
+	if reached == 0 {
+		http.Error(w, "router: no fabric node reachable", http.StatusBadGateway)
+		return
+	}
+	top := crowdval.MergeGlobalNext(merged, k)
+	out := server.GlobalNextResponse{Candidates: make([]server.GlobalCandidateJSON, len(top))}
+	for i, c := range top {
+		out.Candidates[i] = server.GlobalCandidateJSON{
+			Session: c.Session, Object: c.Object, Gain: c.Gain, GainPerCost: c.GainPerCost,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }

@@ -8,6 +8,9 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"crowdval/internal/cverr"
 )
 
 // Defaults derived from the paper: the average crowd wage on AMT is just
@@ -188,4 +191,152 @@ func FeasibleAllocations(allocations []Allocation, timeModel CompletionTime, tim
 		}
 	}
 	return out
+}
+
+// Tracker is the per-tenant budget/deadline state of an expert-validation
+// campaign: a fixed budget b (in crowd-answer units), the expert cost ratio
+// θ, the validations charged so far, and an optional completion-time
+// deadline. It is the online counterpart of the offline allocation above —
+// instead of choosing a split once up front, a serving tier charges the
+// tracker on every accepted validation and refuses further spending once
+// neither the budget nor the deadline admits another one.
+//
+// All checks compare integer validation counts (budget and deadline are
+// converted once by flooring), so a Charge followed by a Refund restores the
+// tracker bit for bit: no floating-point balance is accumulated.
+type Tracker struct {
+	// Theta is θ, the cost of one validation in crowd-answer units
+	// (<= 0 falls back to DefaultTheta).
+	Theta float64
+	// Budget is b, the total budget in crowd-answer units. It must be
+	// positive: a tenant with no budget configured has no Tracker at all.
+	Budget float64
+	// Spent is the number of validations charged so far.
+	Spent int
+	// Time and TimeLimit bound the campaign's completion time; a TimeLimit
+	// <= 0 disables the deadline.
+	Time      CompletionTime
+	TimeLimit float64
+}
+
+func (t Tracker) theta() float64 {
+	if t.Theta <= 0 {
+		return DefaultTheta
+	}
+	return t.Theta
+}
+
+// maxValidations returns the total number of validations the budget and the
+// deadline jointly admit (spent ones included). Budgets beyond what int32
+// counts saturate at MaxInt32 (matching MaxValidationsWithin's unbounded
+// sentinel) instead of overflowing the float→int conversion.
+func (t Tracker) maxValidations() int {
+	var max int
+	switch q := t.Budget / t.theta(); {
+	case q >= math.MaxInt32:
+		max = math.MaxInt32
+	case q > 0:
+		max = int(math.Floor(q))
+	}
+	if t.TimeLimit > 0 {
+		if t.Time.Total(0) > t.TimeLimit {
+			return 0
+		}
+		if byTime := t.Time.MaxValidationsWithin(t.TimeLimit); byTime < max {
+			max = byTime
+		}
+	}
+	return max
+}
+
+// FeasibleValidations returns how many further validations the tracker
+// admits: the budget and deadline caps minus what was already spent.
+func (t Tracker) FeasibleValidations() int {
+	n := t.maxValidations() - t.Spent
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Exhausted reports whether no further validation fits the budget/deadline.
+func (t Tracker) Exhausted() bool { return t.FeasibleValidations() == 0 }
+
+// Remaining returns the unspent budget b − θ·spent in crowd-answer units,
+// clamped at zero (a deadline can refuse validations the budget would fund).
+func (t Tracker) Remaining() float64 {
+	r := t.Budget - t.theta()*float64(t.Spent)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Charge spends n validations, or refuses with ErrBudgetExhausted (leaving
+// the tracker unchanged) when they do not all fit: a batch is charged as a
+// whole, mirroring the all-or-nothing semantics of transactional submits.
+func (t *Tracker) Charge(n int) error {
+	if n < 0 {
+		return fmt.Errorf("cost: negative charge of %d validations", n)
+	}
+	if n > t.FeasibleValidations() {
+		return fmt.Errorf("%w: %d validations requested, %d feasible (θ=%g, spent %d of %g)",
+			cverr.ErrBudgetExhausted, n, t.FeasibleValidations(), t.theta(), t.Spent, t.Budget)
+	}
+	t.Spent += n
+	return nil
+}
+
+// Refund returns n validations to the tracker — the undo of a Charge whose
+// mutation failed to apply. Refunding what was charged restores the tracker
+// exactly; refunds never drive Spent negative.
+func (t *Tracker) Refund(n int) {
+	t.Spent -= n
+	if t.Spent < 0 {
+		t.Spent = 0
+	}
+}
+
+// GainPerCost normalizes an expected-information-gain score to gain per unit
+// cost under the tenant's θ: the quantity the global marketplace ranks on.
+// An exhausted tracker yields 0 — a session that cannot pay for a validation
+// has no claim on the next expert dollar.
+func (t Tracker) GainPerCost(gain float64) float64 {
+	if t.Exhausted() {
+		return 0
+	}
+	return gain / t.theta()
+}
+
+// GlobalCandidate is one entry of the marketplace's global ranking: an
+// object of a named session with its raw guidance score and the
+// budget-normalized gain per unit cost the ranking orders on.
+type GlobalCandidate struct {
+	Session     string
+	Object      int
+	Gain        float64
+	GainPerCost float64
+}
+
+// MergeTopK merges candidates from any number of sessions to the global
+// top-k: gain/cost descending, ties broken by session name then object
+// ascending. The order is total over distinct (session, object) pairs, so
+// the result is invariant under the enumeration order of the input — the
+// property that lets a manager scan sessions in any order and a router merge
+// per-node answers without coordination. The input slice is sorted in place.
+func MergeTopK(cands []GlobalCandidate, k int) []GlobalCandidate {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.GainPerCost != b.GainPerCost {
+			return a.GainPerCost > b.GainPerCost
+		}
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		return a.Object < b.Object
+	})
+	if k >= 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
 }

@@ -1,0 +1,301 @@
+package cost
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crowdval/internal/cverr"
+	"crowdval/internal/rng"
+)
+
+// This file is the property-based suite for the §6.8 cost model and the
+// online Tracker/marketplace layer on top of it. Each property is the
+// invariant a serving tier actually relies on: budget monotonicity (paying
+// more never buys less), deadline monotonicity (tightening a deadline never
+// admits more), exact charge/refund reversibility (a failed mutation's
+// refund restores the tracker bit for bit), and enumeration-order invariance
+// of the global ranking (the manager may scan sessions, and the router may
+// merge nodes, in any order). All randomness flows from the repo's SplitMix64
+// generator, so a failure reproduces from the logged seed.
+
+// trackerGen draws a tracker with parameters in the regimes that matter:
+// default and explicit θ, budgets from sub-θ to millions of validations,
+// with and without a deadline, partially spent.
+func trackerGen(r *rand.Rand) Tracker {
+	t := Tracker{
+		Budget: math.Floor(r.Float64()*1e6*100) / 100, // 2 decimals, [0, 1e6)
+	}
+	if r.Intn(2) == 0 {
+		t.Theta = 1 + math.Floor(r.Float64()*50*4)/4 // quarters in [1, 51)
+	}
+	if r.Intn(2) == 0 {
+		t.Time = CompletionTime{
+			CrowdTime:         r.Float64() * 10,
+			TimePerValidation: r.Float64() * 2,
+		}
+		t.TimeLimit = r.Float64() * 100
+	}
+	t.Spent = r.Intn(200)
+	return t
+}
+
+// TestPropertyBudgetMonotone: granting a tenant more budget never yields
+// fewer feasible validations — for the offline model's ValidationsForBudget
+// and for the online Tracker alike.
+func TestPropertyBudgetMonotone(t *testing.T) {
+	r := rand.New(rng.New(1))
+	for i := 0; i < 500; i++ {
+		tr := trackerGen(r)
+		extra := r.Float64() * 1e5
+		bigger := tr
+		bigger.Budget += extra
+		if got, want := bigger.FeasibleValidations(), tr.FeasibleValidations(); got < want {
+			t.Fatalf("iteration %d: budget %g admits %d validations but budget %g admits %d",
+				i, bigger.Budget, got, tr.Budget, want)
+		}
+
+		m := Model{Theta: tr.Theta, NumObjects: 1 + r.Intn(1000), InitialAnswersPerObject: float64(r.Intn(10))}
+		b := r.Float64() * 1e6
+		if got, want := m.ValidationsForBudget(b+extra), m.ValidationsForBudget(b); got < want {
+			t.Fatalf("iteration %d: ValidationsForBudget(%g) = %d < ValidationsForBudget(%g) = %d",
+				i, b+extra, got, b, want)
+		}
+	}
+}
+
+// TestPropertyBudgetSaturates: astronomically large budgets saturate at the
+// MaxInt32 sentinel instead of overflowing the float→int conversion into a
+// negative count (which would invert the monotonicity above).
+func TestPropertyBudgetSaturates(t *testing.T) {
+	huge := Tracker{Budget: math.MaxFloat64}
+	if got := huge.FeasibleValidations(); got != math.MaxInt32 {
+		t.Fatalf("unbounded budget admits %d validations, want MaxInt32", got)
+	}
+	small := Tracker{Budget: 125}
+	if huge.FeasibleValidations() < small.FeasibleValidations() {
+		t.Fatal("a larger budget admits fewer validations")
+	}
+}
+
+// TestPropertyDeadlineMonotone: tightening the deadline never grows the
+// feasible set — FeasibleAllocations(t1) is a subset of
+// FeasibleAllocations(t2) whenever t1 <= t2, and the Tracker's feasible
+// count is monotone in its TimeLimit.
+func TestPropertyDeadlineMonotone(t *testing.T) {
+	r := rand.New(rng.New(2))
+	for i := 0; i < 500; i++ {
+		tm := CompletionTime{CrowdTime: r.Float64() * 10, TimePerValidation: r.Float64() * 2}
+		var allocs []Allocation
+		b := Budget{Rho: r.Float64(), Theta: 1 + r.Float64()*49, NumObjects: 1 + r.Intn(500)}
+		for share := 0.0; share <= 1.0; share += 0.1 {
+			a, err := b.Allocate(share)
+			if err != nil {
+				t.Fatalf("Allocate(%g): %v", share, err)
+			}
+			allocs = append(allocs, a)
+		}
+		t1 := r.Float64() * 50
+		t2 := t1 + r.Float64()*50
+		tight := FeasibleAllocations(allocs, tm, t1)
+		loose := FeasibleAllocations(allocs, tm, t2)
+		if len(tight) > len(loose) {
+			t.Fatalf("iteration %d: limit %g admits %d allocations, looser limit %g only %d",
+				i, t1, len(tight), t2, len(loose))
+		}
+		inLoose := make(map[float64]bool, len(loose))
+		for _, a := range loose {
+			inLoose[a.CrowdShare] = true
+		}
+		for _, a := range tight {
+			if !inLoose[a.CrowdShare] {
+				t.Fatalf("iteration %d: allocation %v feasible at limit %g but not at looser %g",
+					i, a.CrowdShare, t1, t2)
+			}
+		}
+
+		tr := trackerGen(r)
+		tr.Time = tm
+		tr.TimeLimit = t1
+		tighter := tr.FeasibleValidations()
+		tr.TimeLimit = t2
+		if looser := tr.FeasibleValidations(); tighter > looser {
+			t.Fatalf("iteration %d: deadline %g admits %d validations, looser %g only %d",
+				i, t1, tighter, t2, looser)
+		}
+	}
+}
+
+// TestPropertyChargeRefundExact: a Charge followed by a Refund of the same
+// count restores the tracker bit for bit (the invariant the session's
+// charge-before-apply/refund-on-error submission path depends on), and a
+// refused Charge leaves it untouched.
+func TestPropertyChargeRefundExact(t *testing.T) {
+	r := rand.New(rng.New(3))
+	f := func(seed int64) bool {
+		rr := rand.New(rng.New(seed))
+		tr := trackerGen(rr)
+		before := tr
+		n := rr.Intn(50)
+		err := tr.Charge(n)
+		if err != nil {
+			// A refused charge must not have mutated anything, and must be
+			// the typed sentinel when the cause is exhaustion.
+			if n > before.FeasibleValidations() && !errors.Is(err, cverr.ErrBudgetExhausted) {
+				t.Errorf("refusal carries untyped error: %v", err)
+			}
+			return reflect.DeepEqual(tr, before)
+		}
+		if tr.Spent != before.Spent+n {
+			return false
+		}
+		tr.Refund(n)
+		return reflect.DeepEqual(tr, before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyChargeNeverOverspends: any sequence of charges and refunds
+// keeps Spent within [0, maxValidations] and Remaining consistent with the
+// integer spend count.
+func TestPropertyChargeNeverOverspends(t *testing.T) {
+	r := rand.New(rng.New(4))
+	for i := 0; i < 200; i++ {
+		tr := trackerGen(r)
+		tr.Spent = 0
+		charged := 0
+		for step := 0; step < 50; step++ {
+			n := r.Intn(5)
+			if r.Intn(4) == 0 {
+				refund := r.Intn(n + 1)
+				if refund > charged {
+					refund = charged
+				}
+				tr.Refund(refund)
+				charged -= refund
+				continue
+			}
+			if err := tr.Charge(n); err == nil {
+				charged += n
+			}
+		}
+		if tr.Spent != charged {
+			t.Fatalf("iteration %d: Spent %d after %d net accepted charges", i, tr.Spent, charged)
+		}
+		if tr.Spent > tr.maxValidations() {
+			t.Fatalf("iteration %d: Spent %d exceeds admissible %d", i, tr.Spent, tr.maxValidations())
+		}
+		if rem := tr.Remaining(); rem < 0 {
+			t.Fatalf("iteration %d: negative Remaining %g", i, rem)
+		}
+	}
+}
+
+// TestTrackerEdges pins the tracker's edge semantics directly: exhaustion,
+// the Remaining clamp when a deadline refuses budget-funded validations,
+// negative charges, over-refunds, and the gain/cost normalization.
+func TestTrackerEdges(t *testing.T) {
+	tr := Tracker{Theta: 10, Budget: 25}
+	if tr.Exhausted() {
+		t.Fatal("fresh tracker with budget for 2 validations reports exhausted")
+	}
+	if got := tr.GainPerCost(5); got != 0.5 {
+		t.Fatalf("GainPerCost(5) = %g, want 0.5", got)
+	}
+	if err := tr.Charge(-1); err == nil || errors.Is(err, cverr.ErrBudgetExhausted) {
+		t.Fatalf("negative charge: %v, want a plain error", err)
+	}
+	if err := tr.Charge(2); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Exhausted() {
+		t.Fatal("tracker with 5 crowd-units left (θ=10) not exhausted")
+	}
+	if got := tr.Remaining(); got != 5 {
+		t.Fatalf("Remaining = %g, want 5", got)
+	}
+	if got := tr.GainPerCost(5); got != 0 {
+		t.Fatalf("exhausted GainPerCost = %g, want 0", got)
+	}
+	if err := tr.Charge(1); !errors.Is(err, cverr.ErrBudgetExhausted) {
+		t.Fatalf("charge beyond budget: %v, want ErrBudgetExhausted", err)
+	}
+	tr.Refund(10) // over-refund clamps at zero, never goes negative
+	if tr.Spent != 0 {
+		t.Fatalf("over-refund left Spent = %d", tr.Spent)
+	}
+
+	// A deadline that admits fewer validations than the budget funds: the
+	// feasible count follows the deadline, Remaining still reports money.
+	dl := Tracker{Theta: 1, Budget: 100, Time: CompletionTime{CrowdTime: 1, TimePerValidation: 1}, TimeLimit: 4}
+	if got := dl.FeasibleValidations(); got != 3 {
+		t.Fatalf("deadline-capped feasible = %d, want 3", got)
+	}
+	// Crowd phase alone misses the deadline: nothing is feasible.
+	late := Tracker{Theta: 1, Budget: 100, Time: CompletionTime{CrowdTime: 9}, TimeLimit: 4}
+	if !late.Exhausted() {
+		t.Fatal("crowd phase beyond the deadline should exhaust the tracker")
+	}
+	// Spending past what a shrunken budget covers clamps Remaining at zero.
+	over := Tracker{Theta: 10, Budget: 15, Spent: 2}
+	if got := over.Remaining(); got != 0 {
+		t.Fatalf("over-spent Remaining = %g, want clamp at 0", got)
+	}
+}
+
+// TestPropertyMergeOrderInvariant: MergeTopK yields the identical ranking
+// whatever order the candidates are enumerated in — the property that lets
+// the manager scan sessions in any order and the router merge per-node
+// partial answers without coordination.
+func TestPropertyMergeOrderInvariant(t *testing.T) {
+	r := rand.New(rng.New(5))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(60)
+		cands := make([]GlobalCandidate, n)
+		for j := range cands {
+			// Coarse scores on purpose: collisions exercise the
+			// session/object tie-break. Gain is derived from the sort key so
+			// that order-equal candidates are fully identical — the order is
+			// total over (gain/cost, session, object), not over Gain.
+			gpc := math.Floor(r.Float64()*8) / 4
+			cands[j] = GlobalCandidate{
+				Session:     string(rune('a' + r.Intn(6))),
+				Object:      r.Intn(20),
+				Gain:        gpc * DefaultTheta,
+				GainPerCost: gpc,
+			}
+		}
+		k := r.Intn(n + 2)
+		want := MergeTopK(append([]GlobalCandidate(nil), cands...), k)
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			perm := append([]GlobalCandidate(nil), cands...)
+			r.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			if got := MergeTopK(perm, k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("iteration %d shuffle %d: ranking depends on enumeration order:\n got %v\nwant %v",
+					i, shuffle, got, want)
+			}
+		}
+		// The result really is sorted under the documented total order.
+		if !sort.SliceIsSorted(want, func(a, b int) bool {
+			x, y := want[a], want[b]
+			if x.GainPerCost != y.GainPerCost {
+				return x.GainPerCost > y.GainPerCost
+			}
+			if x.Session != y.Session {
+				return x.Session < y.Session
+			}
+			return x.Object < y.Object
+		}) {
+			t.Fatalf("iteration %d: merged ranking not in total order: %v", i, want)
+		}
+		if k >= 0 && len(want) > k {
+			t.Fatalf("iteration %d: MergeTopK returned %d > k=%d candidates", i, len(want), k)
+		}
+	}
+}

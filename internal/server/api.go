@@ -62,6 +62,22 @@ type SessionConfig struct {
 	// per candidate hypothesis, trading a documented selection tolerance for
 	// orders of magnitude in latency.
 	DeltaScoring bool `json:"deltaScoring,omitempty"`
+	// CostBudget enables the monetary budget tracker (WithCostBudget): the
+	// total budget b, charged θ per expert validation; further submissions
+	// are refused with ErrBudgetExhausted (HTTP 409) once it is spent. The
+	// "budget" option above is the distinct effort *count* limit. Zero
+	// leaves the session unbudgeted.
+	CostBudget float64 `json:"costBudget,omitempty"`
+	// CostTheta overrides the expert-to-crowd cost ratio θ; 0 keeps the
+	// default (≈ 12.5).
+	CostTheta float64 `json:"costTheta,omitempty"`
+	// CostCrowdTime/CostTimePerValidation/CostTimeLimit parameterize the
+	// optional completion-time deadline (§6.8): validations beyond what fits
+	// in the time limit are infeasible even when money remains. A zero
+	// CostTimeLimit disables the deadline.
+	CostCrowdTime         float64 `json:"costCrowdTime,omitempty"`
+	CostTimePerValidation float64 `json:"costTimePerValidation,omitempty"`
+	CostTimeLimit         float64 `json:"costTimeLimit,omitempty"`
 }
 
 func (c SessionConfig) options() []crowdval.Option {
@@ -101,6 +117,17 @@ func (c SessionConfig) options() []crowdval.Option {
 	}
 	if c.DeltaScoring {
 		opts = append(opts, crowdval.WithDeltaScoring())
+	}
+	if c.CostBudget > 0 {
+		opts = append(opts, crowdval.WithCostBudget(crowdval.CostTracker{
+			Theta:  c.CostTheta,
+			Budget: c.CostBudget,
+			Time: crowdval.CompletionTime{
+				CrowdTime:         c.CostCrowdTime,
+				TimePerValidation: c.CostTimePerValidation,
+			},
+			TimeLimit: c.CostTimeLimit,
+		}))
 	}
 	return opts
 }
@@ -196,6 +223,58 @@ type ScoredObjectJSON struct {
 type NextResponse struct {
 	Object  int                `json:"object"`
 	Ranking []ScoredObjectJSON `json:"ranking"`
+}
+
+// GlobalCandidateJSON is one entry of the global cross-session ranking.
+type GlobalCandidateJSON struct {
+	Session     string  `json:"session"`
+	Object      int     `json:"object"`
+	Gain        float64 `json:"gain"`
+	GainPerCost float64 `json:"gainPerCost"`
+}
+
+// GlobalNextResponse is the body of GET /v1/next: the global top-k next
+// validations across all sessions of this node (or, through the router's
+// fan-out, the whole fabric), ranked by expected information gain per unit
+// cost descending with ties broken by session name then object ascending.
+type GlobalNextResponse struct {
+	Candidates []GlobalCandidateJSON `json:"candidates"`
+}
+
+// BudgetRequest is the body of POST /v1/sessions/{name}/budget: install or
+// replace the session's monetary budget. Validations already spent are kept.
+type BudgetRequest struct {
+	// Budget is the total monetary budget b; it must be positive.
+	Budget float64 `json:"budget"`
+	// Theta overrides the expert-to-crowd cost ratio θ; 0 keeps the default.
+	Theta float64 `json:"theta,omitempty"`
+	// CrowdTime/TimePerValidation/TimeLimit parameterize the optional
+	// completion-time deadline; a zero TimeLimit disables it.
+	CrowdTime         float64 `json:"crowdTime,omitempty"`
+	TimePerValidation float64 `json:"timePerValidation,omitempty"`
+	TimeLimit         float64 `json:"timeLimit,omitempty"`
+}
+
+func (r BudgetRequest) tracker() crowdval.CostTracker {
+	return crowdval.CostTracker{
+		Theta:  r.Theta,
+		Budget: r.Budget,
+		Time: crowdval.CompletionTime{
+			CrowdTime:         r.CrowdTime,
+			TimePerValidation: r.TimePerValidation,
+		},
+		TimeLimit: r.TimeLimit,
+	}
+}
+
+// BudgetResponse echoes the session's budget state after a POST .../budget.
+type BudgetResponse struct {
+	Theta               float64 `json:"theta"`
+	Budget              float64 `json:"budget"`
+	Spent               int     `json:"spent"`
+	Remaining           float64 `json:"remaining"`
+	FeasibleValidations int     `json:"feasibleValidations"`
+	Exhausted           bool    `json:"exhausted"`
 }
 
 // ResultResponse is the body of GET /v1/sessions/{name}/result: the current

@@ -135,6 +135,96 @@ func BenchmarkServerNext(b *testing.B) {
 	b.Run("rebuild", func(b *testing.B) { benchmarkServerNext(b, crowdval.WithoutSelectionCache()) })
 }
 
+// BenchmarkGlobalNext measures the marketplace read path: GET /v1/next?k=10
+// ranks the next expert validations across every resident session — each
+// budgeted with its own θ, scored under its per-session read lock from the
+// maintained view, normalized to gain per unit cost and merged to the global
+// top-k. The sweep over the resident-session count (1, 8, 64) shows how the
+// fan-out scales; sessions are warm (index built, rankings memoized), so the
+// steady-state cost is k-candidate reads plus the merge, per session.
+//
+// The 64-sessions/BenchmarkServerNext-maintained ratio is guarded by
+// scripts/benchguard (-pairs globalnext): a global top-10 over 64 warm
+// sessions must stay within an order of magnitude of one single-session
+// served selection, the contract that makes the marketplace endpoint
+// pollable at interactive rates.
+func BenchmarkGlobalNext(b *testing.B) {
+	// Named "N-sessions" rather than "sessions-N": benchguard strips a
+	// trailing numeric dash suffix as the GOMAXPROCS marker, so a numeric
+	// tail would make the 64-session variant unaddressable as a pair.
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("%d-sessions", sessions), func(b *testing.B) {
+			benchmarkGlobalNext(b, sessions)
+		})
+	}
+}
+
+func benchmarkGlobalNext(b *testing.B, numSessions int) {
+	const (
+		objects = 2000
+		workers = 100
+	)
+	d, err := crowdval.GenerateCrowd(crowdval.CrowdConfig{
+		NumObjects: objects, NumWorkers: workers, NumLabels: 2,
+		AnswersPerObject: 5,
+		NormalAccuracy:   0.7,
+		Mix:              crowdval.WorkerMix{Normal: 0.75, RandomSpammer: 0.25},
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	manager, err := NewManager(ManagerConfig{ParkDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(New(manager))
+	defer srv.Close()
+
+	for i := 0; i < numSessions; i++ {
+		opts := []crowdval.Option{
+			crowdval.WithStrategy(crowdval.StrategyUncertainty),
+			crowdval.WithCandidateLimit(64),
+			crowdval.WithDeltaScoring(),
+			crowdval.WithSeed(int64(i)),
+			crowdval.WithCostBudget(crowdval.CostTracker{Theta: 10 + float64(i), Budget: 1e6}),
+		}
+		if err := manager.Create(context.Background(), fmt.Sprintf("mkt-%d", i), d.Answers.Clone(), opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Warm every session's maintained view, then the global endpoint once.
+	for i := 0; i < numSessions; i++ {
+		resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/v1/sessions/mkt-%d/next?k=10", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warmup status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := srv.Client()
+		for pb.Next() {
+			resp, err := client.Get(srv.URL + "/v1/next?k=10")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("global next status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	stats := manager.Stats()
+	b.ReportMetric(float64(stats.GlobalSelections)/b.Elapsed().Seconds(), "rankings/sec")
+}
+
 func benchmarkServerNext(b *testing.B, extraOpts ...crowdval.Option) {
 	const (
 		numSessions = 4

@@ -184,6 +184,96 @@ func TestCrashAtEveryWALByte(t *testing.T) {
 	}
 }
 
+// budgetCrashScript interleaves monetary budget installs with the mutation
+// mix: a tight budget (θ=10, b=35: exactly three validations) is spent down
+// to exhaustion, then refunded mid-stream. Every op is valid, so ack-or-not
+// depends only on where the WAL was cut — and the recovered tracker (θ,
+// total, spent, deadline) must equal the serial replay of exactly the acked
+// ops, which the v4 snapshot comparison checks bit for bit.
+func budgetCrashScript(d, extra *crowdval.Dataset) []walOp {
+	base := walScript(d, extra)
+	return []walOp{
+		{budget: &crowdval.CostTracker{Theta: 10, Budget: 35}},
+		base[0], // ingest
+		base[1], // submit object 0: spent 1
+		base[5], // batch of 2: spent 3, budget exhausted
+		{budget: &crowdval.CostTracker{Theta: 10, Budget: 90}}, // refund; spent carries over
+		base[7], // submit object 4: spent 4
+	}
+}
+
+// TestCrashBudgetAtEveryWALByte is the kill-at-every-byte harness for the
+// RecBudget record: the budgeted script is run with the WAL cut at every
+// byte offset, and recovery must reconstruct the per-tenant budget state —
+// θ, total, spent count, exhaustion — of exactly the acknowledged prefix.
+// A lost budget install must not resurrect spending headroom, and a torn
+// submit must not leave a phantom charge.
+func TestCrashBudgetAtEveryWALByte(t *testing.T) {
+	d := testCrowd(t, 16, 5, 97)
+	extra := testCrowd(t, 16, 3, 101)
+	ops := budgetCrashScript(d, extra)
+	const name = "budgetcrash"
+
+	cleanDir := t.TempDir()
+	m := faultManager(t, cleanDir, -1, -1)
+	created, acked := runToCrash(t, m, name, d, ops)
+	if !created || countTrue(acked) != len(ops) {
+		t.Fatalf("clean run dropped ops: created=%v acked=%d/%d", created, countTrue(acked), len(ops))
+	}
+	info, err := os.Stat(m.walPath(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logSize := info.Size()
+
+	for budget := int64(0); budget <= logSize; budget++ {
+		budget := budget
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			t.Parallel()
+			walDir := t.TempDir()
+			m := faultManager(t, walDir, -1, budget)
+			created, acked := runToCrash(t, m, name, d, ops)
+			verifyRecovery(t, walDir, -1, d, name, created, ops, acked)
+		})
+	}
+}
+
+// TestCrashBudgetDuringCheckpoint drives the budgeted script through
+// aggressive checkpointing so crashes land inside v4 snapshot writes and log
+// rewrites: a checkpoint that dies mid-write must fall back to the previous
+// generation without losing or double-charging a single validation.
+func TestCrashBudgetDuringCheckpoint(t *testing.T) {
+	d := testCrowd(t, 16, 5, 103)
+	extra := testCrowd(t, 16, 3, 107)
+	ops := budgetCrashScript(d, extra)
+	const name = "budgetckpt"
+
+	m := faultManager(t, t.TempDir(), 2, -1)
+	created, acked := runToCrash(t, m, name, d, ops)
+	if !created || countTrue(acked) != len(ops) {
+		t.Fatal("clean checkpointing run dropped ops")
+	}
+	total := m.Stats().WALBytes
+	if m.Stats().Checkpoints < 2 {
+		t.Fatalf("clean run made %d checkpoints; the test needs rotation", m.Stats().Checkpoints)
+	}
+
+	budgets := []int64{0, 1, total - 1, total}
+	for b := int64(2); b < total-1; b += 7 {
+		budgets = append(budgets, b)
+	}
+	for _, budget := range budgets {
+		budget := budget
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			t.Parallel()
+			walDir := t.TempDir()
+			m := faultManager(t, walDir, 2, budget)
+			created, acked := runToCrash(t, m, name, d, ops)
+			verifyRecovery(t, walDir, 2, d, name, created, ops, acked)
+		})
+	}
+}
+
 // TestCrashDuringCheckpoint aims crashes at the checkpoint/rotation machinery:
 // with aggressive checkpointing the byte budget trips inside snapshot writes
 // and log rewrites as often as inside appends. Rotation must never lose an

@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"crowdval"
+)
+
+// globalOptions is the session shape the global-next tests use: the
+// uncertainty strategy is deterministic and selection-free (no RNG draw per
+// read), so concurrent ranked reads cannot perturb the session and a serial
+// replica lands on identical scores.
+func globalOptions(seed int64, costBudget, theta float64) SessionConfig {
+	return SessionConfig{
+		Strategy: string(crowdval.StrategyUncertainty), Seed: seed, CandidateLimit: 8,
+		Delta: true, DeltaScoring: true,
+		CostBudget: costBudget, CostTheta: theta,
+	}
+}
+
+// serialGlobalMerge recomputes the global top-k the way the acceptance
+// criterion prescribes: call per-session NextObjects serially, normalize each
+// score through the session's own tracker, and merge. The replicas must be in
+// the same state as the server-side sessions.
+func serialGlobalMerge(t *testing.T, refs map[string]*crowdval.Session, k int) []GlobalCandidateJSON {
+	t.Helper()
+	var cands []crowdval.GlobalNextCandidate
+	for name, ref := range refs {
+		tracker, hasBudget := ref.CostBudget()
+		if hasBudget && tracker.Exhausted() {
+			continue
+		}
+		ranked, err := ref.NextObjects(k)
+		if err != nil {
+			t.Fatalf("serial NextObjects(%s): %v", name, err)
+		}
+		for _, so := range ranked {
+			gpc := so.Score / crowdval.DefaultExpertCrowdCostRatio
+			if hasBudget {
+				gpc = tracker.GainPerCost(so.Score)
+			}
+			cands = append(cands, crowdval.GlobalNextCandidate{
+				Session: name, Object: so.Object, Gain: so.Score, GainPerCost: gpc,
+			})
+		}
+	}
+	top := crowdval.MergeGlobalNext(cands, k)
+	out := make([]GlobalCandidateJSON, len(top))
+	for i, c := range top {
+		out[i] = GlobalCandidateJSON{Session: c.Session, Object: c.Object, Gain: c.Gain, GainPerCost: c.GainPerCost}
+	}
+	return out
+}
+
+// checkGlobalOrder asserts the response honors the marketplace's total order:
+// gain per cost descending, ties by session name then object ascending, at
+// most k entries.
+func checkGlobalOrder(resp GlobalNextResponse, k int) error {
+	if len(resp.Candidates) > k {
+		return fmt.Errorf("%d candidates for k=%d", len(resp.Candidates), k)
+	}
+	for i := 1; i < len(resp.Candidates); i++ {
+		a, b := resp.Candidates[i-1], resp.Candidates[i]
+		switch {
+		case a.GainPerCost > b.GainPerCost:
+		case a.GainPerCost < b.GainPerCost:
+			return fmt.Errorf("gain/cost order violated at %d: %+v", i, resp.Candidates)
+		case a.Session < b.Session:
+		case a.Session > b.Session:
+			return fmt.Errorf("session tie-break violated at %d: %+v", i, resp.Candidates)
+		case a.Object >= b.Object:
+			return fmt.Errorf("object tie-break violated at %d: %+v", i, resp.Candidates)
+		}
+	}
+	return nil
+}
+
+// TestGlobalNextMatchesSerialMerge is the acceptance pin for the marketplace
+// read path: GET /v1/next?k= must return exactly the ranking obtained by
+// serially calling each session's NextObjects and merging the results —
+// budgeted sessions normalized by their own θ, unbudgeted ones by the default
+// expert/crowd cost ratio.
+func TestGlobalNextMatchesSerialMerge(t *testing.T) {
+	c, _ := newTestServer(t, 0)
+
+	shapes := []struct {
+		name          string
+		seed          int64
+		budget, theta float64
+	}{
+		{"alpha", 11, 500, 0}, // budgeted, default θ
+		{"beta", 12, 250, 25}, // budgeted, expensive expert
+		{"gamma", 13, 0, 0},   // unbudgeted: ranked at the default ratio
+	}
+	refs := make(map[string]*crowdval.Session)
+	truths := make(map[string][]crowdval.Label)
+	for _, sh := range shapes {
+		d := testCrowd(t, 30, 8, sh.seed)
+		options := globalOptions(sh.seed, sh.budget, sh.theta)
+		c.must("POST", "/v1/sessions", CreateSessionRequest{
+			Name: sh.name, Matrix: matrixOf(d.Answers), NumLabels: 2, Options: options,
+		}, nil)
+		answers, err := crowdval.NewAnswerSetFromMatrix(matrixOf(d.Answers), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := crowdval.NewSession(answers, options.libraryOptions()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[sh.name] = ref
+		truths[sh.name] = d.Truth
+	}
+
+	// Skew the states: validate a few objects on alpha and beta, both through
+	// the API and on the replicas.
+	ctx := context.Background()
+	for _, step := range []struct {
+		session string
+		objects []int
+	}{{"alpha", []int{0, 1}}, {"beta", []int{2}}} {
+		batch := make([]ValidationJSON, len(step.objects))
+		serial := make([]crowdval.ValidationInput, len(step.objects))
+		for j, o := range step.objects {
+			batch[j] = ValidationJSON{Object: o, Label: int(truths[step.session][o])}
+			serial[j] = crowdval.ValidationInput{Object: o, Label: truths[step.session][o]}
+		}
+		c.must("POST", "/v1/sessions/"+step.session+"/validations", SubmitRequest{Validations: batch}, nil)
+		if _, err := refs[step.session].SubmitValidations(ctx, serial); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, k := range []int{1, 3, 5, 10} {
+		var resp GlobalNextResponse
+		c.must("GET", fmt.Sprintf("/v1/next?k=%d", k), nil, &resp)
+		if err := checkGlobalOrder(resp, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := serialGlobalMerge(t, refs, k)
+		got, err := json.Marshal(resp.Candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRaw, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantRaw) {
+			t.Fatalf("k=%d: global ranking differs from serial per-session merge:\n got %s\nwant %s", k, got, wantRaw)
+		}
+	}
+
+	// Top candidates must span multiple sessions — otherwise this test only
+	// exercised a single-session ranking with extra steps.
+	var resp GlobalNextResponse
+	c.must("GET", "/v1/next?k=10", nil, &resp)
+	names := make(map[string]bool)
+	for _, cand := range resp.Candidates {
+		names[cand.Session] = true
+	}
+	if len(names) < 2 {
+		t.Fatalf("global top-10 covers %d session(s), want several: %+v", len(names), resp.Candidates)
+	}
+
+	// k=0 is a client error, not an empty answer.
+	if status, _ := c.do("GET", "/v1/next?k=0", nil, nil); status != http.StatusBadRequest {
+		t.Fatalf("k=0: status %d, want 400", status)
+	}
+}
+
+// TestGlobalNextParked pins the parked-session semantics: by default the
+// marketplace ranks only resident sessions; ?parked=1 wakes parked ones so
+// the answer covers every session of the node.
+func TestGlobalNextParked(t *testing.T) {
+	c, manager := newTestServer(t, 1) // 1-byte budget: sessions park immediately
+
+	refs := make(map[string]*crowdval.Session)
+	for i, name := range []string{"cold-a", "cold-b"} {
+		d := testCrowd(t, 20, 6, int64(30+i))
+		options := globalOptions(int64(30+i), 300, 0)
+		c.must("POST", "/v1/sessions", CreateSessionRequest{
+			Name: name, Matrix: matrixOf(d.Answers), NumLabels: 2, Options: options,
+		}, nil)
+		answers, err := crowdval.NewAnswerSetFromMatrix(matrixOf(d.Answers), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := crowdval.NewSession(answers, options.libraryOptions()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = ref
+	}
+	if manager.Stats().Parked == 0 {
+		t.Fatal("nothing parked under a 1-byte budget")
+	}
+
+	var woken GlobalNextResponse
+	c.must("GET", "/v1/next?k=8&parked=1", nil, &woken)
+	names := make(map[string]bool)
+	for _, cand := range woken.Candidates {
+		names[cand.Session] = true
+	}
+	if !names["cold-a"] || !names["cold-b"] {
+		t.Fatalf("parked=1 did not cover both parked sessions: %+v", woken.Candidates)
+	}
+	want := serialGlobalMerge(t, refs, 8)
+	got, _ := json.Marshal(woken.Candidates)
+	wantRaw, _ := json.Marshal(want)
+	if !bytes.Equal(got, wantRaw) {
+		t.Fatalf("parked=1 ranking differs from serial merge:\n got %s\nwant %s", got, wantRaw)
+	}
+
+	// Default reads never wake a parked session: whatever is parked right now
+	// must not show up, and the resume counter must not move.
+	resumesBefore := manager.Stats().Resumes
+	parkedNow := make(map[string]bool)
+	for _, info := range manager.Sessions() {
+		if info.Parked {
+			parkedNow[info.Name] = true
+		}
+	}
+	var resident GlobalNextResponse
+	c.must("GET", "/v1/next?k=8", nil, &resident)
+	for _, cand := range resident.Candidates {
+		if parkedNow[cand.Session] {
+			t.Fatalf("default read surfaced parked session %s: %+v", cand.Session, resident.Candidates)
+		}
+	}
+	if got := manager.Stats().Resumes; got != resumesBefore {
+		t.Fatalf("default global read resumed parked sessions (%d -> %d resumes)", resumesBefore, got)
+	}
+}
+
+// TestGlobalNextChurnBitForBit extends the churn determinism contract to the
+// manager level: four budgeted sessions take interleaved ingest and
+// validation traffic under a 1-byte memory budget (so sessions constantly
+// park and resume) while concurrent readers hammer GET /v1/next?parked=1 —
+// every concurrent answer must honor the marketplace's total order, and the
+// final global ranking must match a serial replay byte for byte. Run with
+// -race in CI.
+func TestGlobalNextChurnBitForBit(t *testing.T) {
+	const numSessions = 4
+	const steps = 12
+	c, _ := newTestServer(t, 1)
+
+	type plan struct {
+		name    string
+		dataset *crowdval.Dataset
+		matrix  [][]int
+		chunks  [][]crowdval.Answer
+		options SessionConfig
+	}
+	plans := make([]*plan, numSessions)
+	for i := range plans {
+		d := testCrowd(t, 24, 8, int64(200+i))
+		baseMatrix := matrixOf(d.Answers)
+		var extras []crowdval.Answer
+		for o := 0; o < d.Answers.NumObjects(); o++ {
+			for w := 0; w < d.Answers.NumWorkers(); w++ {
+				if baseMatrix[o][w] >= 0 && (o+w)%3 == 0 {
+					extras = append(extras, crowdval.Answer{Object: o, Worker: w, Label: crowdval.Label(baseMatrix[o][w])})
+					baseMatrix[o][w] = -1
+				}
+			}
+		}
+		chunks := make([][]crowdval.Answer, 3)
+		for j, a := range extras {
+			chunks[j%3] = append(chunks[j%3], a)
+		}
+		plans[i] = &plan{
+			name:    fmt.Sprintf("g%d", i),
+			dataset: d,
+			matrix:  baseMatrix,
+			chunks:  chunks,
+			options: globalOptions(int64(20+i), 400+100*float64(i), 0),
+		}
+		c.must("POST", "/v1/sessions", CreateSessionRequest{
+			Name: plans[i].name, Matrix: baseMatrix, NumLabels: 2, Options: plans[i].options,
+		}, nil)
+	}
+
+	lowestUnvalidated := func(validated []int, total int) []int {
+		isValidated := make(map[int]bool, len(validated))
+		for _, o := range validated {
+			isValidated[o] = true
+		}
+		for o := 0; o < total; o++ {
+			if !isValidated[o] {
+				return []int{o}
+			}
+		}
+		return nil
+	}
+
+	errs := make(chan error, numSessions+4)
+	var wg sync.WaitGroup
+	var writers sync.WaitGroup
+	done := make(chan struct{})
+
+	for _, p := range plans {
+		wg.Add(1)
+		writers.Add(1)
+		go func(p *plan) {
+			defer wg.Done()
+			defer writers.Done()
+			for step := 0; step < steps; step++ {
+				if step%4 == 0 && step/4 < len(p.chunks) {
+					answers := make([]AnswerJSON, len(p.chunks[step/4]))
+					for j, a := range p.chunks[step/4] {
+						answers[j] = AnswerJSON{Object: a.Object, Worker: a.Worker, Label: int(a.Label)}
+					}
+					if status, e := c.do("POST", "/v1/sessions/"+p.name+"/answers", IngestRequest{Answers: answers}, nil); e != nil {
+						errs <- fmt.Errorf("writer %s ingest step %d: status %d %+v", p.name, step, status, e)
+						return
+					}
+					continue
+				}
+				var result ResultResponse
+				if status, e := c.do("GET", "/v1/sessions/"+p.name+"/result", nil, &result); e != nil {
+					errs <- fmt.Errorf("writer %s result step %d: status %d %+v", p.name, step, status, e)
+					return
+				}
+				picks := lowestUnvalidated(result.Validated, result.Objects)
+				batch := make([]ValidationJSON, len(picks))
+				for j, o := range picks {
+					batch[j] = ValidationJSON{Object: o, Label: int(p.dataset.Truth[o])}
+				}
+				if status, e := c.do("POST", "/v1/sessions/"+p.name+"/validations", SubmitRequest{Validations: batch}, nil); e != nil {
+					errs <- fmt.Errorf("writer %s submit step %d: status %d %+v", p.name, step, status, e)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		writers.Wait()
+		close(done)
+	}()
+
+	// Readers: concurrent global marketplace reads across the churn, waking
+	// parked sessions, every answer checked against the ordering contract.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k := 1 + (g+i)%5
+				var resp GlobalNextResponse
+				if status, e := c.do("GET", fmt.Sprintf("/v1/next?k=%d&parked=1", k), nil, &resp); e != nil {
+					errs <- fmt.Errorf("global reader %d: status %d %+v", g, status, e)
+					return
+				}
+				if err := checkGlobalOrder(resp, k); err != nil {
+					errs <- fmt.Errorf("global reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Serial replay of each writer's sequence on plain sessions; the global
+	// merge over the replicas must match the server's answer byte for byte.
+	ctx := context.Background()
+	refs := make(map[string]*crowdval.Session)
+	for _, p := range plans {
+		answers, err := crowdval.NewAnswerSetFromMatrix(p.matrix, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := crowdval.NewSession(answers, p.options.libraryOptions()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < steps; step++ {
+			if step%4 == 0 && step/4 < len(p.chunks) {
+				if err := ref.AddAnswers(ctx, p.chunks[step/4]); err != nil {
+					t.Fatalf("replay %s ingest step %d: %v", p.name, step, err)
+				}
+				continue
+			}
+			validation := ref.Validation()
+			var validated []int
+			for o := 0; o < ref.NumObjects(); o++ {
+				if validation.Validated(o) {
+					validated = append(validated, o)
+				}
+			}
+			picks := lowestUnvalidated(validated, ref.NumObjects())
+			batch := make([]crowdval.ValidationInput, len(picks))
+			for j, o := range picks {
+				batch[j] = crowdval.ValidationInput{Object: o, Label: p.dataset.Truth[o]}
+			}
+			if _, err := ref.SubmitValidations(ctx, batch); err != nil {
+				t.Fatalf("replay %s submit step %d: %v", p.name, step, err)
+			}
+		}
+		refs[p.name] = ref
+
+		// Per-session state must also agree bit for bit (budget included):
+		// the concurrent global reads must not have perturbed anything.
+		want, err := ref.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.snapshotBytes(p.name); !bytes.Equal(got, want) {
+			t.Fatalf("session %s: snapshot differs from serial replay (%d vs %d bytes)", p.name, len(got), len(want))
+		}
+	}
+	var final GlobalNextResponse
+	c.must("GET", "/v1/next?k=10&parked=1", nil, &final)
+	want := serialGlobalMerge(t, refs, 10)
+	got, _ := json.Marshal(final.Candidates)
+	wantRaw, _ := json.Marshal(want)
+	if !bytes.Equal(got, wantRaw) {
+		t.Fatalf("final global ranking differs from serial replay:\n got %s\nwant %s", got, wantRaw)
+	}
+}
+
+// TestBudgetExhaustionEndToEnd walks the budget lifecycle over the wire: a
+// session funded for exactly two validations accepts two, refuses the third
+// with HTTP 409 and the typed sentinel, disappears from the global
+// marketplace while broke, and rejoins after POST .../budget refunds it —
+// with the validations already spent preserved.
+func TestBudgetExhaustionEndToEnd(t *testing.T) {
+	c, _ := newTestServer(t, 0)
+	d := testCrowd(t, 20, 8, 77)
+	c.must("POST", "/v1/sessions", CreateSessionRequest{
+		Name: "pay", Matrix: matrixOf(d.Answers), NumLabels: 2,
+		Options: globalOptions(77, 25, 0), // θ defaults to 12.5: budget covers 2
+	}, nil)
+
+	submit := func(object int) (int, *ErrorResponse) {
+		return c.do("POST", "/v1/sessions/pay/validations", SubmitRequest{
+			Validations: []ValidationJSON{{Object: object, Label: int(d.Truth[object])}},
+		}, nil)
+	}
+	for _, o := range []int{0, 1} {
+		if status, e := submit(o); e != nil {
+			t.Fatalf("funded submit of %d: status %d %+v", o, status, e)
+		}
+	}
+	status, errResp := submit(2)
+	if status != http.StatusConflict || errResp.Code != "ErrBudgetExhausted" {
+		t.Fatalf("broke submit: status %d, %+v", status, errResp)
+	}
+
+	// An exhausted session has no claim on the global marketplace.
+	var resp GlobalNextResponse
+	c.must("GET", "/v1/next?k=5", nil, &resp)
+	if len(resp.Candidates) != 0 {
+		t.Fatalf("exhausted session still ranked globally: %+v", resp.Candidates)
+	}
+
+	// Refund via the budget endpoint: spent validations carry over.
+	var budget BudgetResponse
+	c.must("POST", "/v1/sessions/pay/budget", BudgetRequest{Budget: 100}, &budget)
+	if budget.Spent != 2 || budget.Theta != crowdval.DefaultExpertCrowdCostRatio {
+		t.Fatalf("budget after refund: %+v", budget)
+	}
+	if budget.Remaining != 75 || budget.FeasibleValidations != 6 || budget.Exhausted {
+		t.Fatalf("budget math after refund: %+v", budget)
+	}
+	if status, e := submit(2); e != nil {
+		t.Fatalf("refunded submit: status %d %+v", status, e)
+	}
+	c.must("GET", "/v1/next?k=5", nil, &resp)
+	if len(resp.Candidates) == 0 || resp.Candidates[0].Session != "pay" {
+		t.Fatalf("refunded session missing from the marketplace: %+v", resp.Candidates)
+	}
+
+	// A non-positive budget is a client error.
+	if status, _ := c.do("POST", "/v1/sessions/pay/budget", BudgetRequest{Budget: 0}, nil); status != http.StatusBadRequest {
+		t.Fatalf("zero budget: status %d, want 400", status)
+	}
+
+	// Observability: the JSON stats and the Prometheus exposition both carry
+	// the marketplace counters and the summed remaining budget.
+	var stats Stats
+	c.must("GET", "/v1/metrics", nil, &stats)
+	if stats.GlobalSelections < 2 {
+		t.Fatalf("global selections not counted: %+v", stats)
+	}
+	if stats.BudgetRemaining != 62.5 {
+		t.Fatalf("budget remaining = %g, want 62.5 (100 - 3·12.5)", stats.BudgetRemaining)
+	}
+	httpResp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"crowdval_global_selections_total", "crowdval_budget_remaining 62.5"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("Prometheus exposition missing %q:\n%s", want, raw)
+		}
+	}
+}

@@ -12,10 +12,12 @@ package server
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -113,6 +115,10 @@ type Manager struct {
 	resumes       int64
 	emIters       int64
 	deltaIters    int64
+	// budgetRemaining is the summed monetary budget remaining across all
+	// budgeted sessions, folded in by settle after every exclusive operation
+	// (a read never changes a budget).
+	budgetRemaining float64
 
 	// Durability counters. They are atomics, not mu-guarded fields: the WAL
 	// appends that update them run inside per-session critical sections, and
@@ -133,6 +139,11 @@ type Manager struct {
 	// shared read lock, where a mu-guarded field would serialize readers.
 	scoreIndexBuilds  atomic.Int64
 	scoreIndexPatches atomic.Int64
+
+	// globalSelections counts served marketplace reads (GlobalNext calls).
+	// An atomic for the same reason: global reads run under shared entry
+	// read locks.
+	globalSelections atomic.Int64
 }
 
 // entry is the manager's handle for one named session.
@@ -170,6 +181,10 @@ type entry struct {
 
 	bytes   int64 // last accounted MemoryEstimate; 0 while parked
 	parking bool  // selected as an eviction victim, park in flight
+	// budgetRemaining is the session's monetary budget remaining as last
+	// folded into the manager's sum; guarded by the manager's mu like bytes.
+	// It survives parking — a parked tenant's budget is still outstanding.
+	budgetRemaining float64
 	// parkedAccounted mirrors isParked under the manager's mu, so listings
 	// and stats never have to touch an entry lock (which an in-flight EM
 	// re-aggregation may hold for a long time).
@@ -360,6 +375,8 @@ func (m *Manager) Delete(name string) error {
 	m.resident -= e.bytes
 	e.bytes = 0
 	e.parkedAccounted = false
+	m.budgetRemaining -= e.budgetRemaining
+	e.budgetRemaining = 0
 	if wasParked {
 		m.parked--
 	}
@@ -550,6 +567,12 @@ func (m *Manager) settle(e *entry) []*entry {
 	m.deltaIters += int64(dcur - e.deltaSeen)
 	e.deltaSeen = dcur
 	m.accountScoreIndex(e, e.sess)
+	rem := 0.0
+	if t, ok := e.sess.CostBudget(); ok {
+		rem = t.Remaining()
+	}
+	m.budgetRemaining += rem - e.budgetRemaining
+	e.budgetRemaining = rem
 	m.resident += size - e.bytes
 	e.bytes = size
 	if m.budget <= 0 {
@@ -856,6 +879,119 @@ func (m *Manager) NextObjects(ctx context.Context, name string, k int) ([]crowdv
 	return ranked, nil
 }
 
+// GlobalNext is the marketplace read path: it ranks the next expert
+// validations across *all* managed sessions and returns the global top k by
+// expected information gain per unit cost. Each resident session is scored
+// under its shared read lock with the cheap maintained-index NextObjects
+// pass, scores are normalized by the session's monetary budget tracker
+// (gain/θ; sessions without a budget use the default expert-to-crowd cost
+// ratio), exhausted tenants are skipped, and the partial rankings merge
+// under a total order — gain/cost descending, ties broken by session name
+// then object ascending — so the result is deterministic and independent of
+// enumeration order. Parked sessions are skipped unless includeParked is
+// set, in which case they are resumed (counted as Resumes) and scored too.
+//
+// Sessions that currently have nothing to offer — done, effort budget
+// spent, no candidates — contribute nothing rather than failing the global
+// answer; only cancellation and infrastructure errors abort.
+func (m *Manager) GlobalNext(ctx context.Context, k int, includeParked bool) ([]crowdval.GlobalNextCandidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, &badRequestError{msg: "server: global next needs k >= 1"}
+	}
+	m.mu.Lock()
+	entries := make([]*entry, 0, len(m.sessions))
+	for _, e := range m.sessions {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	var cands []crowdval.GlobalNextCandidate
+	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		per, err := m.sessionCandidates(ctx, e, k, includeParked)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, per...)
+	}
+	m.globalSelections.Add(1)
+	return crowdval.MergeGlobalNext(cands, k), nil
+}
+
+// sessionCandidates scores one session's top-k candidates for the global
+// ranking, normalized to gain per unit cost. A resident session is read
+// under the shared lock; a parked one is skipped or resumed per
+// resumeParked. Deleted sessions and benign per-session exhaustion yield no
+// candidates and no error.
+func (m *Manager) sessionCandidates(ctx context.Context, e *entry, k int, resumeParked bool) ([]crowdval.GlobalNextCandidate, error) {
+	var out []crowdval.GlobalNextCandidate
+	fn := func(s *crowdval.Session) error {
+		tracker, hasBudget := s.CostBudget()
+		if hasBudget && tracker.Exhausted() {
+			return nil
+		}
+		ranked, err := s.NextObjectsContext(ctx, k)
+		if err != nil {
+			if errors.Is(err, cverr.ErrSessionDone) || errors.Is(err, cverr.ErrNoCandidates) ||
+				errors.Is(err, cverr.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		for _, so := range ranked {
+			gpc := so.Score / crowdval.DefaultExpertCrowdCostRatio
+			if hasBudget {
+				gpc = tracker.GainPerCost(so.Score)
+			}
+			out = append(out, crowdval.GlobalNextCandidate{
+				Session:     e.name,
+				Object:      so.Object,
+				Gain:        so.Score,
+				GainPerCost: gpc,
+			})
+		}
+		return nil
+	}
+
+	e.mu.RLock()
+	if e.deleted {
+		e.mu.RUnlock()
+		return nil, nil
+	}
+	if e.sess != nil {
+		err := fn(e.sess)
+		m.accountScoreIndex(e, e.sess)
+		e.mu.RUnlock()
+		return out, err
+	}
+	e.mu.RUnlock()
+	if !resumeParked {
+		return nil, nil
+	}
+	err := m.exclusive(e, e.name, fn)
+	if errors.Is(err, cverr.ErrSessionNotFound) {
+		return nil, nil // deleted while we waited
+	}
+	return out, err
+}
+
+// SetBudget installs or replaces the monetary budget of the named session
+// (see crowdval.Session.SetCostBudget: validations already spent are kept).
+// The change is logged to the session's WAL before it applies, like every
+// other mutation, so budget state survives a crash exactly.
+func (m *Manager) SetBudget(ctx context.Context, name string, t crowdval.CostTracker) error {
+	return m.updateLogged(ctx, name, budgetRecord(t), func(ctx context.Context, s *crowdval.Session) error {
+		s.SetCostBudget(t)
+		return nil
+	})
+}
+
 // Submit integrates one expert validation.
 func (m *Manager) Submit(ctx context.Context, name string, object int, label crowdval.Label) (crowdval.StepInfo, error) {
 	var info crowdval.StepInfo
@@ -982,9 +1118,16 @@ type Stats struct {
 	CoalescedIngests     int64 `json:"coalescedIngests"`
 	SubmittedValidations int64 `json:"submittedValidations"`
 	Selections           int64 `json:"selections"`
-	Evictions            int64 `json:"evictions"`
-	Resumes              int64 `json:"resumes"`
-	EMIterations         int64 `json:"emIterations"`
+	// GlobalSelections counts served marketplace reads (GET /v1/next), each
+	// of which merges per-session rankings into one global answer.
+	GlobalSelections int64 `json:"globalSelections"`
+	// BudgetRemaining is the summed monetary budget remaining across all
+	// budgeted sessions (θ · validations still affordable, bounded by the
+	// configured totals). Sessions without a cost budget contribute zero.
+	BudgetRemaining float64 `json:"budgetRemaining"`
+	Evictions       int64   `json:"evictions"`
+	Resumes         int64   `json:"resumes"`
+	EMIterations    int64   `json:"emIterations"`
 	// DeltaIterations is the cumulative count of frontier-restricted
 	// iterations run by delta-incremental sessions (see WithDeltaIngest).
 	DeltaIterations int64 `json:"deltaIterations"`
@@ -1033,8 +1176,10 @@ func (m *Manager) Stats() Stats {
 		Resumes:              m.resumes,
 		EMIterations:         m.emIters,
 		DeltaIterations:      m.deltaIters,
+		BudgetRemaining:      m.budgetRemaining,
 	}
 	m.mu.Unlock()
+	s.GlobalSelections = m.globalSelections.Load()
 	s.ShedIngests = m.shed.Load()
 	s.ScoreIndexBuilds = m.scoreIndexBuilds.Load()
 	s.ScoreIndexPatches = m.scoreIndexPatches.Load()

@@ -34,6 +34,7 @@ var promMetrics = []promMetric{
 	{"crowdval_shed_ingests_total", "counter", "Ingest requests shed with ErrOverloaded (HTTP 429).", func(s Stats) int64 { return s.ShedIngests }},
 	{"crowdval_validations_total", "counter", "Expert validations submitted.", func(s Stats) int64 { return s.SubmittedValidations }},
 	{"crowdval_selections_total", "counter", "Next-object selections served.", func(s Stats) int64 { return s.Selections }},
+	{"crowdval_global_selections_total", "counter", "Global cross-session rankings served (GET /v1/next).", func(s Stats) int64 { return s.GlobalSelections }},
 	{"crowdval_evictions_total", "counter", "Sessions parked to disk under memory pressure.", func(s Stats) int64 { return s.Evictions }},
 	{"crowdval_resumes_total", "counter", "Parked sessions resumed on touch.", func(s Stats) int64 { return s.Resumes }},
 	{"crowdval_em_iterations_total", "counter", "Full EM iterations run across all sessions.", func(s Stats) int64 { return s.EMIterations }},
@@ -57,6 +58,11 @@ func RenderPrometheus(s Stats) string {
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
 		fmt.Fprintf(&b, "%s %d\n", m.name, m.value(s))
 	}
+	// The one float-valued metric: monetary budget is a continuous quantity,
+	// not a count, so it is rendered with %g outside the integer table.
+	fmt.Fprintf(&b, "# HELP crowdval_budget_remaining Summed monetary budget remaining across budgeted sessions.\n")
+	fmt.Fprintf(&b, "# TYPE crowdval_budget_remaining gauge\n")
+	fmt.Fprintf(&b, "crowdval_budget_remaining %g\n", s.BudgetRemaining)
 	return b.String()
 }
 

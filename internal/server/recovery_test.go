@@ -23,6 +23,7 @@ type walOp struct {
 	object      int               // validation otherwise
 	label       crowdval.Label
 	batch       []crowdval.ValidationInput // transactional batch when non-nil
+	budget      *crowdval.CostTracker      // install/replace the monetary budget when non-nil
 	expectError bool                       // the op is expected to be rejected (and must re-reject on replay)
 }
 
@@ -65,6 +66,8 @@ func runScript(t testing.TB, m *Manager, name string, ops []walOp, strict bool) 
 			_, err = m.AddAnswers(ctx, name, op.answers)
 		case op.batch != nil:
 			_, err = m.SubmitBatch(ctx, name, op.batch)
+		case op.budget != nil:
+			err = m.SetBudget(ctx, name, *op.budget)
 		default:
 			_, err = m.Submit(ctx, name, op.object, op.label)
 		}
@@ -101,6 +104,8 @@ func replaySerial(t testing.TB, d *crowdval.Dataset, opts []crowdval.Option, ops
 			err = sess.AddAnswers(ctx, op.answers)
 		case op.batch != nil:
 			_, err = sess.SubmitValidations(ctx, op.batch)
+		case op.budget != nil:
+			sess.SetCostBudget(*op.budget)
 		default:
 			_, err = sess.SubmitValidationContext(ctx, op.object, op.label)
 		}

@@ -29,6 +29,8 @@ const MaxNextK = 1000
 //	GET    /v1/sessions/{name}/snapshot      download the session snapshot
 //	POST   /v1/sessions/{name}/answers       ingest crowd answers (AddAnswers)
 //	GET    /v1/sessions/{name}/next          next-object guidance (?k= for a top-k ranking)
+//	GET    /v1/next                          global cross-session guidance (?k=, ?parked=1 to scan parked sessions too)
+//	POST   /v1/sessions/{name}/budget        install or replace the session's monetary budget
 //	POST   /v1/sessions/{name}/validations   submit one validation or a batch
 //	GET    /v1/sessions/{name}/result        current estimates (?probabilities=1)
 //	DELETE /v1/sessions/{name}               delete a session
@@ -76,6 +78,8 @@ func New(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/answers", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/next", s.handleNext)
+	s.mux.HandleFunc("GET /v1/next", s.handleGlobalNext)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/budget", s.handleSetBudget)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/validations", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
@@ -291,14 +295,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	k := 1
-	if raw := r.URL.Query().Get("k"); raw != "" {
-		k, err = strconv.Atoi(raw)
-		if err != nil || k < 1 || k > MaxNextK {
-			writeJSON(w, http.StatusBadRequest,
-				ErrorResponse{Error: fmt.Sprintf("invalid k %q (must be an integer in 1..%d)", raw, MaxNextK)})
-			return
-		}
+	k, ok := parseK(w, r, 1)
+	if !ok {
+		return
 	}
 	// Next-object guidance mutates strategy state (the hybrid roulette draw),
 	// so like the writers it is owner-only; result and snapshot reads may be
@@ -314,6 +313,104 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	resp := NextResponse{Object: ranked[0].Object, Ranking: make([]ScoredObjectJSON, len(ranked))}
 	for i, c := range ranked {
 		resp.Ranking[i] = ScoredObjectJSON{Object: c.Object, Score: c.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseK extracts and bounds the ?k= ranking size; def when absent. A write
+// on the error path means the rejection was already sent.
+func parseK(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	k := def
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 || k > MaxNextK {
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("invalid k %q (must be an integer in 1..%d)", raw, MaxNextK)})
+			return 0, false
+		}
+	}
+	return k, true
+}
+
+// handleGlobalNext serves the marketplace read: the global top-k next
+// validations across every session of this node, ranked by gain per unit
+// cost (see Manager.GlobalNext). It is deliberately not owner-gated — the
+// answer describes only the sessions this node holds, and the router
+// fan-outs it across the fabric to build the cluster-wide ranking.
+func (s *Server) handleGlobalNext(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	k, ok := parseK(w, r, 1)
+	if !ok {
+		return
+	}
+	includeParked := r.URL.Query().Get("parked") == "1"
+	cands, err := s.manager.GlobalNext(ctx, k, includeParked)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := GlobalNextResponse{Candidates: make([]GlobalCandidateJSON, len(cands))}
+	for i, c := range cands {
+		resp.Candidates[i] = GlobalCandidateJSON{
+			Session: c.Session, Object: c.Object, Gain: c.Gain, GainPerCost: c.GainPerCost,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSetBudget(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+	var req BudgetRequest
+	if err := decodeJSON(r, s.maxBody(), &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if req.Budget <= 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "budget must be positive"})
+		return
+	}
+	name := r.PathValue("name")
+	if !s.checkOwner(w, name) {
+		return
+	}
+	if err := s.manager.SetBudget(ctx, name, req.tracker()); err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp BudgetResponse
+	err = s.manager.View(ctx, name, func(sess *crowdval.Session) error {
+		t, ok := sess.CostBudget()
+		if !ok {
+			return fmt.Errorf("server: session %q lost its budget after SetBudget", name)
+		}
+		theta := t.Theta
+		if theta <= 0 {
+			theta = crowdval.DefaultExpertCrowdCostRatio
+		}
+		resp = BudgetResponse{
+			Theta:               theta,
+			Budget:              t.Budget,
+			Spent:               t.Spent,
+			Remaining:           t.Remaining(),
+			FeasibleValidations: t.FeasibleValidations(),
+			Exhausted:           t.Exhausted(),
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

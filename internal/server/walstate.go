@@ -380,6 +380,20 @@ func submitBatchRecord(inputs []crowdval.ValidationInput) wal.Record {
 	return rec
 }
 
+// budgetRecord frames a monetary budget (re)configuration as a log record.
+// Only the parameters are logged — the spent count is reconstructed during
+// recovery by replaying the acknowledged submit records, which re-charge the
+// tracker through the same Submit paths the live requests took.
+func budgetRecord(t crowdval.CostTracker) wal.Record {
+	return wal.Record{Type: wal.RecBudget, Budget: &wal.Budget{
+		Theta:             t.Theta,
+		Total:             t.Budget,
+		CrowdTime:         t.Time.CrowdTime,
+		TimePerValidation: t.Time.TimePerValidation,
+		TimeLimit:         t.TimeLimit,
+	}}
+}
+
 // RecoveredSession reports the outcome of recovering one session's log.
 type RecoveredSession struct {
 	// Name is the session name (the log file's base name).
@@ -602,6 +616,18 @@ func replayRecord(ctx context.Context, sess *crowdval.Session, rec wal.Record) e
 		}
 		_, err := sess.SubmitValidations(ctx, inputs)
 		return err
+	case wal.RecBudget:
+		b := rec.Budget
+		sess.SetCostBudget(crowdval.CostTracker{
+			Theta:  b.Theta,
+			Budget: b.Total,
+			Time: crowdval.CompletionTime{
+				CrowdTime:         b.CrowdTime,
+				TimePerValidation: b.TimePerValidation,
+			},
+			TimeLimit: b.TimeLimit,
+		})
+		return nil
 	default:
 		return fmt.Errorf("server: replaying unknown record type %d: %w", rec.Type, cverr.ErrBadWAL)
 	}

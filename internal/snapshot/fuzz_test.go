@@ -82,6 +82,79 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// budgetFuzzSeeds returns encodings whose version-4 budget tail the mutator
+// starts from: an enabled budget mid-campaign, a deadline-bound budget, a
+// disabled tail, and a version-3 image with no tail at all. The same seeds
+// are checked into testdata/fuzz/FuzzDecodeBudget.
+func budgetFuzzSeeds() [][]byte {
+	spent := sampleState()
+	spent.BudgetEnabled = true
+	spent.BudgetTheta = 12.5
+	spent.BudgetTotal = 312.5
+	spent.BudgetSpent = 11
+	deadline := sampleState()
+	deadline.BudgetEnabled = true
+	deadline.BudgetTotal = 1000
+	deadline.BudgetCrowdTime = 2
+	deadline.BudgetTimePerValidation = 0.5
+	deadline.BudgetTimeLimit = 10
+	v3 := Encode(sampleState())
+	v3 = v3[:len(v3)-v4TailLen]
+	v3[4], v3[5] = 3, 0
+	return [][]byte{
+		Encode(spent),
+		Encode(deadline),
+		Encode(sampleState()),
+		v3,
+	}
+}
+
+// FuzzDecodeBudget focuses the mutator on the version-4 budget tail: the
+// seeds differ from each other almost exclusively in the tail bytes, so
+// mutations concentrate there. The contract extends FuzzDecode's — never
+// panic, typed errors, slice/stream agreement, canonical fixed point — with
+// the version gate: an accepted pre-v4 image must decode every budget field
+// as zero, since older snapshots carry no budget state to misread.
+func FuzzDecodeBudget(f *testing.F) {
+	for _, seed := range budgetFuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		streamState, streamErr := DecodeFrom(bytes.NewReader(data))
+		if err != nil {
+			typedCodecError(t, err)
+			if streamErr == nil {
+				t.Fatal("stream decoder accepted input the slice decoder rejected")
+			}
+			typedCodecError(t, streamErr)
+			return
+		}
+		if streamErr != nil {
+			t.Fatalf("stream decoder rejected input the slice decoder accepted: %v", streamErr)
+		}
+		if len(data) >= 6 {
+			if version := uint16(data[4]) | uint16(data[5])<<8; version < 4 {
+				if s.BudgetEnabled || s.BudgetTheta != 0 || s.BudgetTotal != 0 || s.BudgetSpent != 0 ||
+					s.BudgetCrowdTime != 0 || s.BudgetTimePerValidation != 0 || s.BudgetTimeLimit != 0 {
+					t.Fatalf("version-%d snapshot decoded non-zero budget fields: %+v", version, s)
+				}
+			}
+		}
+		canonical := Encode(s)
+		s2, err := Decode(canonical)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !bytes.Equal(Encode(s2), canonical) {
+			t.Fatal("encode→decode→encode is not a fixed point")
+		}
+		if !bytes.Equal(Encode(streamState), canonical) {
+			t.Fatal("stream decoder state differs from slice decoder state")
+		}
+	})
+}
+
 // FuzzDecodeFrom stresses the streaming decoder's incremental reads: the same
 // input is decoded from a one-byte-at-a-time reader, which exercises every
 // partial-read path in the primitives, and must behave exactly like the

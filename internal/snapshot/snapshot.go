@@ -29,9 +29,10 @@ const Magic = 0x4356534e
 
 // Version is the current encoding version. Version 2 appends the
 // delta-ingest configuration after the history records, version 3 the
-// delta-scoring flag after that; snapshots of older versions are still
-// decoded (their missing fields read as zero, i.e. the paths disabled).
-const Version = 3
+// delta-scoring flag after that, version 4 the per-tenant budget/deadline
+// state after that; snapshots of older versions are still decoded (their
+// missing fields read as zero, i.e. the paths disabled).
+const Version = 4
 
 // State is the serializable form of a validation session. It mirrors the
 // session options and the engine's dynamic state with plain integers, floats
@@ -88,6 +89,18 @@ type State struct {
 	// Delta-accelerated guidance scoring (encoding version 3; false for
 	// older snapshots, i.e. the exact full-EM scorer).
 	DeltaScoring bool
+
+	// Per-tenant budget/deadline state of the §6.8 cost model (encoding
+	// version 4; zero for older snapshots, i.e. no budget configured).
+	// BudgetSpent counts the validations already charged, the floats mirror
+	// cost.Tracker bit for bit.
+	BudgetEnabled           bool
+	BudgetTheta             float64
+	BudgetTotal             float64
+	BudgetSpent             int64
+	BudgetCrowdTime         float64
+	BudgetTimePerValidation float64
+	BudgetTimeLimit         float64
 }
 
 // HistoryRecord is the serializable form of one core.IterationRecord.
@@ -201,6 +214,15 @@ func (w *writer) encode(s *State) {
 
 	// Version-3 tail.
 	w.bool(s.DeltaScoring)
+
+	// Version-4 tail.
+	w.bool(s.BudgetEnabled)
+	w.f64(s.BudgetTheta)
+	w.f64(s.BudgetTotal)
+	w.i64(s.BudgetSpent)
+	w.f64(s.BudgetCrowdTime)
+	w.f64(s.BudgetTimePerValidation)
+	w.f64(s.BudgetTimeLimit)
 }
 
 // Decode deserializes a snapshot produced by Encode. It fails with
@@ -325,6 +347,22 @@ func (r *reader) decode() (*State, error) {
 	if version >= 3 {
 		if s.DeltaScoring, err = r.bool(); err != nil {
 			return nil, err
+		}
+	}
+	if version >= 4 {
+		budgetSteps := []func() error{
+			func() (err error) { s.BudgetEnabled, err = r.bool(); return },
+			func() (err error) { s.BudgetTheta, err = r.f64(); return },
+			func() (err error) { s.BudgetTotal, err = r.f64(); return },
+			func() (err error) { s.BudgetSpent, err = r.i64(); return },
+			func() (err error) { s.BudgetCrowdTime, err = r.f64(); return },
+			func() (err error) { s.BudgetTimePerValidation, err = r.f64(); return },
+			func() (err error) { s.BudgetTimeLimit, err = r.f64(); return },
+		}
+		for _, step := range budgetSteps {
+			if err := step(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s, nil

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"reflect"
@@ -66,15 +67,24 @@ func TestRoundTripDeltaFields(t *testing.T) {
 	}
 }
 
-// TestDecodeVersion1Compat: a version-1 snapshot (no delta tails) still
-// decodes, with the delta configuration reading as disabled.
+// Byte lengths of the per-version tails, used by the compat tests to derive
+// an older-version image from a current Encode: the version-2 tail is 1 bool
+// + 1 float, the version-3 tail 1 bool, the version-4 tail 1 bool + 5 floats
+// + 1 int64.
+const (
+	v2TailLen = 1 + 8
+	v3TailLen = 1
+	v4TailLen = 1 + 5*8 + 8
+)
+
+// TestDecodeVersion1Compat: a version-1 snapshot (no tails) still decodes,
+// with the delta configuration and the budget state reading as disabled.
 func TestDecodeVersion1Compat(t *testing.T) {
 	want := sampleState()
 	data := Encode(want)
-	// Strip the version-3 tail (1 bool byte) and the version-2 tail (1 bool
-	// byte + 8 float bytes), and rewrite the version field to 1; everything
-	// before the tails is the v1 encoding.
-	v1 := append([]byte(nil), data[:len(data)-10]...)
+	// Strip the version-4, -3 and -2 tails and rewrite the version field to
+	// 1; everything before the tails is the v1 encoding.
+	v1 := append([]byte(nil), data[:len(data)-(v2TailLen+v3TailLen+v4TailLen)]...)
 	v1[4], v1[5] = 1, 0 // little-endian uint16 version
 	got, err := Decode(v1)
 	if err != nil {
@@ -82,6 +92,9 @@ func TestDecodeVersion1Compat(t *testing.T) {
 	}
 	if got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0 || got.DeltaScoring {
 		t.Fatalf("version-1 snapshot decoded non-zero delta fields: %+v", got)
+	}
+	if got.BudgetEnabled || got.BudgetTheta != 0 || got.BudgetTotal != 0 || got.BudgetSpent != 0 {
+		t.Fatalf("version-1 snapshot decoded non-zero budget fields: %+v", got)
 	}
 	got.DeltaEnabled = want.DeltaEnabled
 	got.DeltaMaxDirtyFraction = want.DeltaMaxDirtyFraction
@@ -92,14 +105,15 @@ func TestDecodeVersion1Compat(t *testing.T) {
 }
 
 // TestDecodeVersion2Compat: a version-2 snapshot (delta-ingest tail, no
-// delta-scoring tail) still decodes, with delta scoring reading as disabled.
+// delta-scoring or budget tail) still decodes, with delta scoring and the
+// budget state reading as disabled.
 func TestDecodeVersion2Compat(t *testing.T) {
 	want := sampleState()
 	want.DeltaEnabled = true
 	want.DeltaMaxDirtyFraction = 0.125
 	want.DeltaScoring = true
 	data := Encode(want)
-	v2 := append([]byte(nil), data[:len(data)-1]...)
+	v2 := append([]byte(nil), data[:len(data)-(v3TailLen+v4TailLen)]...)
 	v2[4], v2[5] = 2, 0 // little-endian uint16 version
 	got, err := Decode(v2)
 	if err != nil {
@@ -108,8 +122,71 @@ func TestDecodeVersion2Compat(t *testing.T) {
 	if got.DeltaScoring {
 		t.Fatal("version-2 snapshot decoded delta scoring as enabled")
 	}
+	if got.BudgetEnabled {
+		t.Fatal("version-2 snapshot decoded a budget as enabled")
+	}
 	if !got.DeltaEnabled || got.DeltaMaxDirtyFraction != 0.125 {
 		t.Fatalf("version-2 delta-ingest fields lost: %+v", got)
+	}
+}
+
+// TestDecodeVersion3Compat: a version-3 snapshot (delta tails, no budget
+// tail) still decodes, with the budget state reading as disabled and every
+// pre-v4 field intact.
+func TestDecodeVersion3Compat(t *testing.T) {
+	want := sampleState()
+	want.DeltaEnabled = true
+	want.DeltaMaxDirtyFraction = 0.125
+	want.DeltaScoring = true
+	want.BudgetEnabled = true
+	want.BudgetTheta = 12.5
+	want.BudgetTotal = 500
+	want.BudgetSpent = 7
+	data := Encode(want)
+	v3 := append([]byte(nil), data[:len(data)-v4TailLen]...)
+	v3[4], v3[5] = 3, 0 // little-endian uint16 version
+	got, err := Decode(v3)
+	if err != nil {
+		t.Fatalf("version-3 snapshot rejected: %v", err)
+	}
+	if got.BudgetEnabled || got.BudgetTheta != 0 || got.BudgetTotal != 0 || got.BudgetSpent != 0 ||
+		got.BudgetCrowdTime != 0 || got.BudgetTimePerValidation != 0 || got.BudgetTimeLimit != 0 {
+		t.Fatalf("version-3 snapshot decoded non-zero budget fields: %+v", got)
+	}
+	want.BudgetEnabled, want.BudgetTheta, want.BudgetTotal, want.BudgetSpent = false, 0, 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("version-3 decode mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestRoundTripBudgetFields: the version-4 budget tail survives a round trip
+// bit for bit, both through the slice and the stream decoder.
+func TestRoundTripBudgetFields(t *testing.T) {
+	want := sampleState()
+	want.BudgetEnabled = true
+	want.BudgetTheta = 12.5
+	want.BudgetTotal = 312.5
+	want.BudgetSpent = 11
+	want.BudgetCrowdTime = 2.25
+	want.BudgetTimePerValidation = 0.5
+	want.BudgetTimeLimit = 40
+	data := Encode(want)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("budget round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+	if again := Encode(got); !bytes.Equal(again, data) {
+		t.Fatal("re-encoding the decoded budget state is not bit-for-bit identical")
+	}
+	streamed, err := DecodeFrom(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, want) {
+		t.Fatalf("streamed budget round trip mismatch:\n got  %+v\n want %+v", streamed, want)
 	}
 }
 

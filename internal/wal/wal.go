@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"crowdval/internal/cverr"
 )
@@ -74,6 +75,11 @@ const (
 	RecSubmit RecordType = 3
 	// RecSubmitBatch carries one transactional validation batch.
 	RecSubmitBatch RecordType = 4
+	// RecBudget carries a per-tenant budget/deadline update (the parameters
+	// of the §6.8 cost tracker). Only the parameters are logged: the spent
+	// count is reconstructed exactly by replaying the RecSubmit/RecSubmitBatch
+	// records that follow, each of which re-charges the tracker.
+	RecBudget RecordType = 5
 )
 
 // Answer is one crowd answer in a RecAddAnswers record.
@@ -90,14 +96,30 @@ type Validation struct {
 	Label  int
 }
 
+// Budget is the budget/deadline parameter set of a RecBudget record. All
+// fields are finite floats (NaN and infinities are rejected as corruption,
+// which keeps the encoding canonical under bitwise comparison).
+type Budget struct {
+	// Theta is θ, the expert-to-crowd cost ratio (<= 0 means the default).
+	Theta float64
+	// Total is b, the budget in crowd-answer units.
+	Total float64
+	// CrowdTime, TimePerValidation and TimeLimit carry the completion-time
+	// deadline; TimeLimit <= 0 disables it.
+	CrowdTime         float64
+	TimePerValidation float64
+	TimeLimit         float64
+}
+
 // Record is one logged mutation. Exactly the fields implied by Type are
 // meaningful: Snapshot for RecCreate, Answers for RecAddAnswers, Validations
-// for RecSubmit (length 1) and RecSubmitBatch.
+// for RecSubmit (length 1) and RecSubmitBatch, Budget for RecBudget.
 type Record struct {
 	Type        RecordType
 	Snapshot    []byte
 	Answers     []Answer
 	Validations []Validation
+	Budget      *Budget
 }
 
 // badWAL wraps a framing problem in the package's sentinel.
@@ -135,6 +157,17 @@ func encodePayload(rec Record) ([]byte, error) {
 		for _, v := range rec.Validations {
 			putU64(uint64(int64(v.Object)))
 			putU64(uint64(int64(v.Label)))
+		}
+	case RecBudget:
+		if rec.Budget == nil {
+			return nil, fmt.Errorf("wal: RecBudget must carry a budget")
+		}
+		for _, v := range [...]float64{rec.Budget.Theta, rec.Budget.Total,
+			rec.Budget.CrowdTime, rec.Budget.TimePerValidation, rec.Budget.TimeLimit} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("wal: non-finite budget parameter %v", v)
+			}
+			putU64(math.Float64bits(v))
 		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
@@ -214,6 +247,24 @@ func decodePayload(payload []byte) (Record, error) {
 				return Record{}, err
 			}
 		}
+	case RecBudget:
+		b := &Budget{}
+		for _, dst := range [...]*float64{&b.Theta, &b.Total,
+			&b.CrowdTime, &b.TimePerValidation, &b.TimeLimit} {
+			bits, err := takeU64()
+			if err != nil {
+				return Record{}, err
+			}
+			v := math.Float64frombits(bits)
+			// Non-finite parameters are corruption: the appender never writes
+			// them, and rejecting them keeps accepted records re-encodable bit
+			// for bit (NaN breaks bitwise/DeepEqual comparison).
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Record{}, badWAL("non-finite budget parameter")
+			}
+			*dst = v
+		}
+		rec.Budget = b
 	default:
 		return Record{}, badWAL("unknown record type %d", rec.Type)
 	}

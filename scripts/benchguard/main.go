@@ -23,6 +23,13 @@
 //     index + memoized rankings) is than the same request rescanning from
 //     scratch. A change that erodes it (e.g. an invalidation bug dropping
 //     the index on every request) is caught as ratio growth on any hardware.
+//   - globalnext: the global-over-64-sessions/single-session served
+//     selection ratio — what a GET /v1/next?k=10 across 64 warm resident
+//     sessions costs relative to one session's GET /next. The fan-out reads
+//     every session's memoized ranking under its read lock and merges, so
+//     the ratio must stay within an order of magnitude; a change that
+//     erodes it (e.g. the global path rebuilding per-session indexes per
+//     request) is caught as ratio growth on any hardware.
 //
 // Usage:
 //
@@ -67,13 +74,18 @@ var knownPairs = map[string]ratioPair{
 		num:  "BenchmarkServerNext/maintained",
 		den:  "BenchmarkServerNext/rebuild",
 	},
+	"globalnext": {
+		name: "global-64-sessions/single-session served selection",
+		num:  "BenchmarkGlobalNext/64-sessions",
+		den:  "BenchmarkServerNext/maintained",
+	},
 }
 
 func main() {
 	benchPath := flag.String("bench", "", "file with the fresh `go test -bench` output")
 	baselinePath := flag.String("baseline", "BENCHMARKS.md", "committed baseline file")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximal tolerated relative regression of each guarded ratio")
-	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next, wal, nextserve)")
+	pairNames := flag.String("pairs", "warm", "comma-separated guarded ratios to check (warm, next, wal, nextserve, globalnext)")
 	flag.Parse()
 	if *benchPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
@@ -99,7 +111,7 @@ func main() {
 		}
 		pair, ok := knownPairs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next, wal, nextserve)\n", name)
+			fmt.Fprintf(os.Stderr, "benchguard: unknown pair %q (known: warm, next, wal, nextserve, globalnext)\n", name)
 			os.Exit(2)
 		}
 		currentRatio, err := ratioOf(fresh, pair, *benchPath)

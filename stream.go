@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"crowdval/internal/core"
+	"crowdval/internal/cost"
 	"crowdval/internal/cverr"
 	"crowdval/internal/guidance"
 	"crowdval/internal/model"
@@ -71,6 +72,15 @@ func (s *Session) snapshotState() *snapshot.State {
 		LabelNames:            answers.LabelNames,
 		Iteration:             int64(engine.Iteration()),
 		EffortSpent:           int64(engine.EffortSpent()),
+	}
+	if s.budget != nil {
+		st.BudgetEnabled = true
+		st.BudgetTheta = s.budget.Theta
+		st.BudgetTotal = s.budget.Budget
+		st.BudgetSpent = int64(s.budget.Spent)
+		st.BudgetCrowdTime = s.budget.Time.CrowdTime
+		st.BudgetTimePerValidation = s.budget.Time.TimePerValidation
+		st.BudgetTimeLimit = s.budget.TimeLimit
 	}
 	engine.WithSelectionLock(func() {
 		st.RNGState = s.src.State()
@@ -241,6 +251,19 @@ func resumeFromState(st *snapshot.State, opts []Option) (*Session, error) {
 	cfg.deltaEnabled = st.DeltaEnabled
 	cfg.deltaMaxDirtyFraction = st.DeltaMaxDirtyFraction
 	cfg.deltaScoring = st.DeltaScoring
+	if st.BudgetEnabled {
+		cfg.costBudgetEnabled = true
+		cfg.costBudget = cost.Tracker{
+			Theta:  st.BudgetTheta,
+			Budget: st.BudgetTotal,
+			Spent:  int(st.BudgetSpent),
+			Time: cost.CompletionTime{
+				CrowdTime:         st.BudgetCrowdTime,
+				TimePerValidation: st.BudgetTimePerValidation,
+			},
+			TimeLimit: st.BudgetTimeLimit,
+		}
+	}
 	cfg.apply(opts)
 
 	session, err := newSession(answers, cfg, restored)
