@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,6 +148,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	type nodeCounters struct{ sent, next, failed atomic.Int64 }
 	perNode := make([]nodeCounters, len(baseURLs))
 	var sent, nextSent, failed atomic.Int64
+	var classes statusClasses
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -175,7 +177,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 						url = fmt.Sprintf("%s/v1/next?k=%d", baseURL, *nextK)
 						into = &server.GlobalNextResponse{}
 					}
-					if err := getJSON(client, url, into); err != nil {
+					if err := getJSONClassified(client, url, into, &classes); err != nil {
 						failed.Add(1)
 						perNode[node].failed.Add(1)
 						firstErr.CompareAndSwap(nil, &err)
@@ -193,7 +195,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 						Label:  rng.Intn(*labels),
 					}
 				}
-				if err := postJSON(client, baseURL+"/v1/sessions/"+session+"/answers", req, http.StatusOK); err != nil {
+				if err := postJSONClassified(client, baseURL+"/v1/sessions/"+session+"/answers", req, http.StatusOK, &classes); err != nil {
 					failed.Add(1)
 					perNode[node].failed.Add(1)
 					firstErr.CompareAndSwap(nil, &err)
@@ -225,6 +227,9 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		*clients, *requests, *batch, *arrival, *mix, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  requests:   %d ingest ok, %d next ok, %d failed (%.1f req/sec)\n",
 		ok, nextOK, failed.Load(), float64(ok+nextOK)/elapsed.Seconds())
+	fmt.Fprintf(out, "  status:     %d 2xx, %d 421 misdirected, %d 429 shed, %d 503 degraded, %d other; %d retries honored Retry-After\n",
+		classes.ok.Load(), classes.misdirected.Load(), classes.shed.Load(),
+		classes.degraded.Load(), classes.other.Load(), classes.retried.Load())
 	fmt.Fprintf(out, "  answers:    %.0f answers/sec end to end\n",
 		float64(ok)*float64(*batch)/elapsed.Seconds())
 	if *mix == "next" || *mix == "globalnext" {
@@ -248,6 +253,91 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		return fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", n, n+ok+nextOK, *firstErr.Load())
 	}
 	return nil
+}
+
+// statusClasses breaks the driven traffic down by response class: 2xx
+// (accepted), 421 (misdirected — the fabric moved the session), 429 (load
+// shed), 503 (degraded read-only mode), and everything else. retried counts
+// attempts that honored a Retry-After header before trying again.
+type statusClasses struct {
+	ok, misdirected, shed, degraded, other atomic.Int64
+	retried                                atomic.Int64
+}
+
+func (c *statusClasses) note(status int) {
+	switch {
+	case status >= 200 && status < 300:
+		c.ok.Add(1)
+	case status == http.StatusMisdirectedRequest:
+		c.misdirected.Add(1)
+	case status == http.StatusTooManyRequests:
+		c.shed.Add(1)
+	case status == http.StatusServiceUnavailable:
+		c.degraded.Add(1)
+	default:
+		c.other.Add(1)
+	}
+}
+
+// loadgenRetryAttempts bounds how often one logical request re-tries after a
+// Retry-After'd rejection before it is reported as failed.
+const loadgenRetryAttempts = 3
+
+// retryAfter reads a response's Retry-After header as a delay, false when
+// absent or unusable (only delta-seconds form is produced by crowdval).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// postJSONClassified is postJSON with per-status-class accounting, honoring
+// Retry-After on 429 (shed) and 503 (degraded) responses: the request is
+// retried after the server-indicated delay, a bounded number of times.
+func postJSONClassified(client *http.Client, url string, body any, wantStatus int, cls *statusClasses) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			cls.other.Add(1)
+			return err
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		cls.note(resp.StatusCode)
+		if resp.StatusCode == wantStatus {
+			return nil
+		}
+		if delay, ok := retryAfter(resp); ok && attempt < loadgenRetryAttempts &&
+			(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) {
+			cls.retried.Add(1)
+			time.Sleep(delay)
+			continue
+		}
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+}
+
+// getJSONClassified is getJSON with per-status-class accounting (reads are
+// never Retry-After'd: they keep serving even in degraded mode).
+func getJSONClassified(client *http.Client, url string, into any, cls *statusClasses) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		cls.other.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	cls.note(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
 }
 
 // postJSON posts a JSON body and checks the response status, draining the

@@ -40,6 +40,7 @@ import (
 	"crowdval"
 	"crowdval/internal/cluster"
 	"crowdval/internal/dataset"
+	"crowdval/internal/fault"
 	"crowdval/internal/metrics"
 	"crowdval/internal/server"
 	"crowdval/internal/simulation"
@@ -296,6 +297,14 @@ func cmdServe(args []string, out io.Writer) error {
 		advertise = fs.String("advertise", "", "address this node advertises to the fabric (default: -addr)")
 		follow    = fs.String("follow", "", "leader address whose sessions this node replicates as a promotable follower (requires -peers)")
 		drain     = fs.Bool("drain", false, "on shutdown, hand every owned session to the next preferred peer before exiting (requires -peers)")
+
+		readHeaderTimeout = fs.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers before the connection is dropped (slowloris guard)")
+		readTimeout       = fs.Duration("read-timeout", 2*time.Minute, "time allowed to read an entire request, body included (0 = unlimited)")
+		writeTimeout      = fs.Duration("write-timeout", 0, "time allowed to write a response (0 = unlimited; the default, because fabric WAL subscribe streams are long-lived responses)")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is retained (0 = unlimited)")
+
+		probeInterval = fs.Duration("probe-interval", 0, "interval of the WAL health probe that re-tests degraded sessions and heals them once writes succeed again (0 = default 1s; requires -wal-dir)")
+		faultInject   = fs.Bool("enable-fault-injection", false, "thread a fault injector through the WAL I/O and mount POST /internal/v1/faults to arm disk faults at runtime (chaos testing only, never in production)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -330,6 +339,11 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 		cfg = cfg.WithWAL(*walDir, policy)
 	}
+	var injector *fault.Injector
+	if *faultInject {
+		injector = fault.NewInjector()
+		cfg.FaultInjector = injector
+	}
 	manager, err := server.NewManager(cfg)
 	if err != nil {
 		return err
@@ -347,6 +361,11 @@ func cmdServe(args []string, out io.Writer) error {
 	// Readiness flips only after recovery finished: /readyz gates traffic
 	// behind a warm, replayed session set.
 	api.SetReady(true)
+	if *walDir != "" {
+		// Self-healing: degraded sessions are re-probed until writes succeed
+		// again, then healed in place — no restart needed.
+		go manager.HealthLoop(ctx, *probeInterval)
+	}
 
 	var handler http.Handler = api
 	var node *cluster.Node
@@ -382,10 +401,23 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	if injector != nil {
+		handler = withFaultAdmin(handler, injector)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(out, "serving crowdval sessions on http://%s (park dir %s)\n", *addr, dir)
+	if injector != nil {
+		fmt.Fprintf(out, "fault injection: ENABLED (POST http://%s/internal/v1/faults)\n", *addr)
+	}
 	if *walDir != "" {
 		fmt.Fprintf(out, "durability: WAL in %s, sync policy %s\n", *walDir, *walSync)
 	}
@@ -443,6 +475,13 @@ func cmdRoute(args []string, out io.Writer) error {
 	var (
 		addr  = fs.String("addr", "127.0.0.1:8080", "listen address of the routing tier")
 		peers = fs.String("peers", "", "comma-separated fabric node addresses to route across (required)")
+
+		// The router proxies only the bounded public API (no long-lived
+		// streams), so unlike serve it can afford a write timeout.
+		readHeaderTimeout = fs.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers before the connection is dropped (slowloris guard)")
+		readTimeout       = fs.Duration("read-timeout", 2*time.Minute, "time allowed to read an entire request, body included (0 = unlimited)")
+		writeTimeout      = fs.Duration("write-timeout", 2*time.Minute, "time allowed to write a response (0 = unlimited)")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is retained (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -456,7 +495,14 @@ func cmdRoute(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: rt}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(out, "routing crowdval sessions on http://%s across %d nodes\n", *addr, len(splitPeers(*peers)))

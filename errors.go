@@ -27,7 +27,7 @@ import (
 //     ErrNoCandidates, ErrNilExpert, ErrNoGroundTruth.
 //   - Snapshots: ErrBadSnapshot, ErrSnapshotVersion.
 //   - Serving tier: ErrSessionNotFound, ErrSessionExists, ErrOverloaded,
-//     ErrNotOwner.
+//     ErrNotOwner, ErrDegraded.
 //   - Durability: ErrBadWAL.
 //
 // Context cancellation is reported with the standard context.Canceled and
@@ -94,6 +94,11 @@ var (
 	// request can be retried there (see internal/cluster and the crowdval
 	// route command).
 	ErrNotOwner = cverr.ErrNotOwner
+	// ErrDegraded reports a mutation rejected because the session is serving
+	// in degraded read-only mode after a durability failure (HTTP 503 with a
+	// Retry-After header); reads keep serving, and the serving tier's probe
+	// loop heals the session once its disk accepts durable writes again.
+	ErrDegraded = cverr.ErrDegraded
 
 	// ErrBadWAL reports a structurally damaged write-ahead log or checkpoint
 	// file (see internal/wal and the crowdval recover command).

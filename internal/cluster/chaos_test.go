@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"crowdval"
+	"crowdval/internal/cverr"
+	"crowdval/internal/fault"
+	"crowdval/internal/server"
+)
+
+// The chaos harness drives a live three-node fabric through seeded
+// randomized fault schedules — leader disk faults, follower disk faults,
+// and network partitions on the replication path — and holds the fabric to
+// three invariants after every round:
+//
+//  1. no acknowledged op is ever lost (final states byte-equal a serial
+//     replay of exactly the acked ops),
+//  2. reads keep serving on the degraded node while mutations bounce with
+//     cverr.ErrDegraded,
+//  3. every node self-heals once the fault lifts (probe loop, no restarts)
+//     and every replica converges back to the leader's exact bytes.
+
+// chaosOps builds a deterministic pool of unique mutations: validations
+// walk distinct objects, ingests walk distinct (worker, object-range)
+// pairs, so any acked subset replays serially without conflicts.
+func chaosOps(t testing.TB, d, extra *crowdval.Dataset, n int) []fabOp {
+	t.Helper()
+	extraWorkers := extra.Answers.NumWorkers()
+	ops := make([]fabOp, 0, n)
+	nextObj, nextIngest := 0, 0
+	for len(ops) < n {
+		if len(ops)%2 == 0 {
+			if nextObj >= len(d.Truth) {
+				t.Fatalf("chaosOps: dataset too small for %d ops", n)
+			}
+			ops = append(ops, fabOp{object: nextObj, label: d.Truth[nextObj]})
+			nextObj++
+			continue
+		}
+		w := nextIngest % extraWorkers
+		from := (nextIngest / extraWorkers) * 4
+		nextIngest++
+		var answers []crowdval.Answer
+		for o := from; o < from+4 && o < d.Answers.NumObjects(); o++ {
+			if l := extra.Answers.Answer(o, w); l >= 0 {
+				answers = append(answers, crowdval.Answer{Object: o, Worker: d.Answers.NumWorkers() + w, Label: l})
+			}
+		}
+		if len(answers) == 0 {
+			continue
+		}
+		ops = append(ops, fabOp{answers: answers})
+	}
+	return ops
+}
+
+// applyOne runs a single scripted op and returns its error instead of
+// failing the test — the chaos schedule expects degraded rejections.
+func applyOne(ctx context.Context, m *server.Manager, name string, op fabOp) error {
+	switch {
+	case op.answers != nil:
+		_, err := m.AddAnswers(ctx, name, op.answers)
+		return err
+	case op.batch != nil:
+		_, err := m.SubmitBatch(ctx, name, op.batch)
+		return err
+	default:
+		_, err := m.Submit(ctx, name, op.object, op.label)
+		return err
+	}
+}
+
+func TestChaosRandomFaultSchedule(t *testing.T) {
+	const (
+		rounds   = 5
+		perRound = 4
+	)
+	for _, seed := range []int64{1, 7} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			d := testCrowd(t, 40, 5, 11)
+			extra := testCrowd(t, 40, 4, 13)
+			opts := sessionOpts()
+			ops := chaosOps(t, d, extra, rounds*perRound)
+
+			// Checkpoint every 3 records: rotations mid-schedule mean the
+			// follower streams end and must reconnect — which is exactly
+			// where a partition bites.
+			nodes, disk := startFabricInjected(t, 3, 3)
+			leader, followers := nodes[0], nodes[1:]
+			name := nameOwnedBy(leader.node.Ring(), leader.addr)
+			ctx := context.Background()
+			if err := leader.manager.Create(ctx, name, d.Answers.Clone(), opts...); err != nil {
+				t.Fatal(err)
+			}
+			// Each follower replicates through its own fault.Transport so a
+			// round can partition one replica's network path independently.
+			net := []*fault.Injector{fault.NewInjector(), fault.NewInjector()}
+			for i, fn := range followers {
+				fn.followWith(leader.addr, &http.Client{Transport: &fault.Transport{Injector: net[i]}})
+			}
+
+			// Self-healing is the probe loop's job, not the test's: every
+			// node runs its own loop and must recover without intervention.
+			loopCtx, cancelLoops := context.WithCancel(ctx)
+			defer cancelLoops()
+			for _, fn := range nodes {
+				go fn.manager.HealthLoop(loopCtx, 5*time.Millisecond)
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			acked := make([]bool, len(ops))
+			for round := 0; round < rounds; round++ {
+				kind := rng.Intn(4)
+				switch kind {
+				case 0: // leader disk: every fsync fails until cleared
+					disk[0].Arm(fault.Rule{Op: fault.OpSync, Err: fault.ErrIO})
+				case 1: // one follower's disk fails under replication
+					disk[1+rng.Intn(2)].Arm(fault.Rule{Op: fault.OpSync, Err: fault.ErrIO})
+				case 2: // partition one follower from the leader
+					net[rng.Intn(2)].Arm(fault.Rule{Op: fault.OpDial, Err: syscall.ECONNREFUSED})
+				default: // fault-free round
+				}
+
+				start := round * perRound
+				for i, op := range ops[start : start+perRound] {
+					err := applyOne(ctx, leader.manager, name, op)
+					if err == nil {
+						acked[start+i] = true
+						continue
+					}
+					if !errors.Is(err, cverr.ErrDegraded) {
+						t.Fatalf("round %d (fault %d) op %d: non-degraded failure: %v", round, kind, start+i, err)
+					}
+					// Degraded is read-only, not down: reads must keep
+					// serving on the very node that just bounced a write.
+					if _, rerr := leader.manager.Snapshot(ctx, name); rerr != nil {
+						t.Fatalf("round %d: read on degraded leader failed: %v", round, rerr)
+					}
+				}
+
+				// Let the fault bite replication before lifting it.
+				time.Sleep(20 * time.Millisecond)
+				for _, in := range disk {
+					in.Clear()
+				}
+				for _, in := range net {
+					in.Clear()
+				}
+
+				// Every node must self-heal via its probe loop, and every
+				// replica must converge on the leader's exact bytes, before
+				// the next round piles on.
+				for _, fn := range nodes {
+					fn := fn
+					waitFor(t, 30*time.Second, func() bool {
+						return fn.manager.Health().State == "healthy"
+					}, fmt.Sprintf("round %d: %s self-heal", round, fn.addr))
+				}
+				want := managerSnapshot(t, leader.manager, name)
+				for _, fn := range followers {
+					fn := fn
+					waitFor(t, 30*time.Second, func() bool {
+						got, err := fn.manager.Snapshot(ctx, name)
+						return err == nil && bytes.Equal(got, want)
+					}, fmt.Sprintf("round %d: %s convergence", round, fn.addr))
+				}
+			}
+
+			// Ground truth: the leader and every replica hold exactly the
+			// serial replay of the acked ops — nothing lost, nothing
+			// phantom, after the whole fault schedule.
+			want := serialReplay(t, d, opts, ops, acked)
+			for _, fn := range nodes {
+				if got := managerSnapshot(t, fn.manager, name); !bytes.Equal(got, want) {
+					t.Fatalf("node %s is not byte-identical to the serial replay of the acked ops", fn.addr)
+				}
+			}
+		})
+	}
+}

@@ -26,8 +26,10 @@ type FollowerConfig struct {
 	// the session. http.DefaultClient if nil.
 	Client *http.Client
 	// DiscoverInterval is how often the leader's session list is polled for
-	// new sessions (default 250ms). RetryInterval is the backoff between
-	// reconnects of a dropped stream (default 200ms).
+	// new sessions (default 250ms). RetryInterval is the base backoff between
+	// reconnects of a dropped stream (default 200ms); consecutive failed
+	// reconnects back off exponentially from there (capped, jittered per
+	// session), and a successful stream resets the backoff.
 	DiscoverInterval time.Duration
 	RetryInterval    time.Duration
 }
@@ -206,7 +208,14 @@ func (f *Follower) noteSeen(name string, lsn uint64) {
 
 // followSession reconnects the subscribe stream until ctx ends or the
 // leader reports the session gone (deleted or handed off elsewhere).
+// Consecutive failed reconnects back off exponentially with a per-session
+// jitter — during a partition every tail loop would otherwise hammer the
+// unreachable leader in lockstep at RetryInterval, and reconnect in one
+// synchronized herd when it heals. A stream that delivered (status 200)
+// resets the backoff to the base interval so a healthy leader's blips
+// recover fast.
 func (f *Follower) followSession(ctx context.Context, name string) {
+	fails := 0
 	for ctx.Err() == nil {
 		from, err := f.cfg.Manager.SessionLSN(name)
 		if err != nil {
@@ -218,6 +227,7 @@ func (f *Follower) followSession(ctx context.Context, name string) {
 		if err != nil {
 			return
 		}
+		fails++
 		resp, err := f.cfg.Client.Do(req)
 		if err == nil {
 			if resp.StatusCode == http.StatusNotFound {
@@ -225,11 +235,17 @@ func (f *Follower) followSession(ctx context.Context, name string) {
 				return
 			}
 			if resp.StatusCode == http.StatusOK {
+				fails = 0
 				f.consume(ctx, name, resp.Body)
 			}
 			resp.Body.Close()
 		}
-		if sleepCtx(ctx, f.cfg.RetryInterval) != nil {
+		wait := f.cfg.RetryInterval
+		if fails > 1 {
+			wait = f.cfg.RetryInterval << min(fails-1, maxBackoffShift)
+			wait += time.Duration(float64(wait) * peerJitter(name) / 4)
+		}
+		if sleepCtx(ctx, wait) != nil {
 			return
 		}
 	}

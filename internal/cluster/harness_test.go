@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crowdval"
+	"crowdval/internal/fault"
 	"crowdval/internal/server"
 	"crowdval/internal/wal"
 )
@@ -175,6 +176,16 @@ type fabricNode struct {
 // path mid-stream; -1 disables).
 func startFabric(t testing.TB, n, ckptEvery int) []*fabricNode {
 	t.Helper()
+	nodes, _ := startFabricInjected(t, n, ckptEvery)
+	return nodes
+}
+
+// startFabricInjected is startFabric with a fault injector threaded through
+// each node's durability I/O — the chaos harness arms and clears them
+// per-node. Unarmed injectors are pass-through, so the plain startFabric
+// path is unchanged.
+func startFabricInjected(t testing.TB, n, ckptEvery int) ([]*fabricNode, []*fault.Injector) {
+	t.Helper()
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range listeners {
@@ -186,12 +197,15 @@ func startFabric(t testing.TB, n, ckptEvery int) []*fabricNode {
 		addrs[i] = l.Addr().String()
 	}
 	nodes := make([]*fabricNode, n)
+	injectors := make([]*fault.Injector, n)
 	for i := range nodes {
 		walDir := t.TempDir()
+		injectors[i] = fault.NewInjector()
 		cfg := server.ManagerConfig{
 			ParkDir:            t.TempDir(),
 			CheckpointEvery:    ckptEvery,
 			WALFlushEachRecord: true,
+			FaultInjector:      injectors[i],
 		}.WithWAL(walDir, wal.SyncPolicy{Mode: wal.SyncAlways})
 		manager, err := server.NewManager(cfg)
 		if err != nil {
@@ -212,7 +226,7 @@ func startFabric(t testing.TB, n, ckptEvery int) []*fabricNode {
 		nodes[i] = fn
 		t.Cleanup(fn.kill)
 	}
-	return nodes
+	return nodes, injectors
 }
 
 // kill closes the node's listener and connections abruptly. The manager is
@@ -230,9 +244,17 @@ func (fn *fabricNode) kill() {
 // follow starts a Follower replicating from leader into this node.
 func (fn *fabricNode) follow(leader string) {
 	fn.t.Helper()
+	fn.followWith(leader, nil)
+}
+
+// followWith is follow with an explicit HTTP client — the chaos harness
+// passes one wrapped in a fault.Transport to partition the replication path.
+func (fn *fabricNode) followWith(leader string, client *http.Client) {
+	fn.t.Helper()
 	f, err := NewFollower(FollowerConfig{
 		Manager:          fn.manager,
 		Leader:           leader,
+		Client:           client,
 		DiscoverInterval: 20 * time.Millisecond,
 		RetryInterval:    20 * time.Millisecond,
 	})

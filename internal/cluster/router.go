@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
@@ -20,8 +21,10 @@ type RouterConfig struct {
 	Peers []string
 	// Client performs the proxied requests (http.DefaultClient if nil).
 	Client *http.Client
-	// DownTTL is how long a peer stays skipped after a connection failure
-	// before it is probed again (default 1s).
+	// DownTTL is the base of the per-peer retry backoff: after its first
+	// connection failure a peer is skipped for DownTTL, and each consecutive
+	// failure doubles the wait (capped, with a deterministic per-peer jitter
+	// so deadlines stay staggered). Default 1s.
 	DownTTL time.Duration
 	// MaxBodyBytes caps buffered request bodies (default 1 GiB, matching
 	// the server's own request cap). Bodies are buffered so a request can
@@ -41,10 +44,31 @@ type Router struct {
 	downTTL time.Duration
 	maxBody int64
 
-	mu     sync.Mutex
-	owners map[string]string    // learned session -> owner
-	down   map[string]time.Time // peer -> don't retry before
+	mu       sync.Mutex
+	owners   map[string]string       // learned session -> owner
+	breakers map[string]*peerBreaker // peer -> circuit breaker
 }
+
+// peerBreaker is one peer's circuit breaker. Closed (the zero value) lets
+// requests through; a connection failure opens it, and requests skip the peer
+// until its retry deadline. At the deadline the breaker goes half-open: it
+// admits exactly one request as a probe — concurrent requests keep failing
+// over instead of piling onto a peer that may still be down — and that
+// probe's outcome either closes the breaker or re-opens it with a doubled
+// backoff. Deadlines carry a deterministic per-peer jitter so peers downed
+// together (a partition healing, a rack rebooting) come back staggered
+// rather than as a reconnection herd.
+type peerBreaker struct {
+	fails   int       // consecutive connection failures
+	open    bool      // quarantined: skip until retryAt
+	probing bool      // half-open: one trial request is in flight
+	retryAt time.Time // when open, the next probe admission
+}
+
+// maxBackoffShift caps the exponential backoff at 2^5 = 32 times the base
+// DownTTL (~32s at the default): long enough to quiet a dead peer, short
+// enough that a healed one is noticed promptly.
+const maxBackoffShift = 5
 
 // NewRouter builds a router over a static peer list.
 func NewRouter(cfg RouterConfig) (*Router, error) {
@@ -53,12 +77,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, err
 	}
 	rt := &Router{
-		ring:    ring,
-		client:  cfg.Client,
-		downTTL: cfg.DownTTL,
-		maxBody: cfg.MaxBodyBytes,
-		owners:  make(map[string]string),
-		down:    make(map[string]time.Time),
+		ring:     ring,
+		client:   cfg.Client,
+		downTTL:  cfg.DownTTL,
+		maxBody:  cfg.MaxBodyBytes,
+		owners:   make(map[string]string),
+		breakers: make(map[string]*peerBreaker),
 	}
 	if rt.client == nil {
 		rt.client = http.DefaultClient
@@ -150,10 +174,11 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, name string, bod
 		tried[target] = true
 		resp, err := rt.forward(r, target, body)
 		if err != nil {
-			rt.markDown(target)
+			rt.reportFailure(target)
 			lastErr = err
 			continue
 		}
+		rt.reportSuccess(target)
 		if resp.StatusCode == http.StatusMisdirectedRequest {
 			owner := ownerFromResponse(resp)
 			resp.Body.Close()
@@ -177,10 +202,14 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, name string, bod
 		return
 	}
 	if skippedDown && len(tried) == 0 {
-		// Everything was quarantined: probe the full preference order once.
-		rt.clearDown()
-		rt.proxy(w, r, name, body)
-		return
+		// Everything was quarantined. Release only the candidate whose retry
+		// deadline is nearest — not the whole set — so total quarantine costs
+		// one staggered probe instead of a thundering herd of reconnections
+		// against peers that may all still be down.
+		if rt.releaseEarliest(rt.candidates(name)) {
+			rt.proxy(w, r, name, body)
+			return
+		}
 	}
 	msg := "router: no fabric node could serve the request"
 	if lastErr != nil {
@@ -210,30 +239,85 @@ func (rt *Router) learnOwner(name, owner string) {
 	rt.mu.Unlock()
 }
 
+// isDown consults the peer's breaker. Past an open breaker's retry deadline
+// it admits the caller as the single half-open probe, so "false" can mean
+// "go ahead, and your outcome decides the breaker" — callers must follow a
+// forward with reportSuccess or reportFailure.
 func (rt *Router) isDown(peer string) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	until, ok := rt.down[peer]
-	if !ok {
+	b := rt.breakers[peer]
+	if b == nil || !b.open {
 		return false
 	}
-	if time.Now().After(until) {
-		delete(rt.down, peer)
+	if b.probing || time.Now().Before(b.retryAt) {
+		return true
+	}
+	b.probing = true
+	return false
+}
+
+// reportSuccess closes the peer's breaker: the connection worked, whatever
+// the HTTP status said about the request itself.
+func (rt *Router) reportSuccess(peer string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if b := rt.breakers[peer]; b != nil {
+		b.fails = 0
+		b.open = false
+		b.probing = false
+	}
+}
+
+// reportFailure opens the peer's breaker with an exponentially growing,
+// per-peer-jittered retry deadline.
+func (rt *Router) reportFailure(peer string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := rt.breakers[peer]
+	if b == nil {
+		b = &peerBreaker{}
+		rt.breakers[peer] = b
+	}
+	b.fails++
+	b.open = true
+	b.probing = false
+	backoff := rt.downTTL << min(b.fails-1, maxBackoffShift)
+	// Stagger deadlines deterministically by peer identity: up to +25% keeps
+	// peers that failed in the same instant from retrying in the same instant.
+	backoff += time.Duration(float64(backoff) * peerJitter(peer) / 4)
+	b.retryAt = time.Now().Add(backoff)
+}
+
+// peerJitter maps a peer address to a stable fraction in [0, 1).
+func peerJitter(peer string) float64 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(peer))
+	return float64(h.Sum32()%256) / 256
+}
+
+// releaseEarliest moves the retry deadline of the best quarantined candidate
+// — the one that would have been probed soonest anyway — up to now, so the
+// caller's retry admits exactly that one peer as a probe. False when no
+// candidate qualifies (each is either not quarantined or already probing).
+func (rt *Router) releaseEarliest(candidates []string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var best *peerBreaker
+	for _, peer := range candidates {
+		b := rt.breakers[peer]
+		if b == nil || !b.open || b.probing {
+			continue
+		}
+		if best == nil || b.retryAt.Before(best.retryAt) {
+			best = b
+		}
+	}
+	if best == nil {
 		return false
 	}
+	best.retryAt = time.Now()
 	return true
-}
-
-func (rt *Router) markDown(peer string) {
-	rt.mu.Lock()
-	rt.down[peer] = time.Now().Add(rt.downTTL)
-	rt.mu.Unlock()
-}
-
-func (rt *Router) clearDown() {
-	rt.mu.Lock()
-	rt.down = make(map[string]time.Time)
-	rt.mu.Unlock()
 }
 
 func (rt *Router) forward(r *http.Request, target string, body []byte) (*http.Response, error) {
@@ -280,9 +364,10 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := rt.forward(r, peer, nil)
 		if err != nil {
-			rt.markDown(peer)
+			rt.reportFailure(peer)
 			continue
 		}
+		rt.reportSuccess(peer)
 		var infos []server.SessionInfo
 		err = json.NewDecoder(resp.Body).Decode(&infos)
 		resp.Body.Close()
@@ -334,9 +419,10 @@ func (rt *Router) handleGlobalNext(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := rt.forward(r, peer, nil)
 		if err != nil {
-			rt.markDown(peer)
+			rt.reportFailure(peer)
 			continue
 		}
+		rt.reportSuccess(peer)
 		var body server.GlobalNextResponse
 		err = json.NewDecoder(resp.Body).Decode(&body)
 		resp.Body.Close()

@@ -79,6 +79,7 @@ func streamSession(ctx context.Context, m *server.Manager, name string, from uin
 	out := streamFile{w: w, fl: fl}
 	var app *wal.Appender
 	last := from
+	durable := cur // highest LSN known applied+acked; refreshed on demand
 	if needReset {
 		snap, lsn, err := m.SnapshotWithLSN(ctx, name)
 		if err != nil {
@@ -134,6 +135,29 @@ func streamSession(ctx context.Context, m *server.Manager, name string, from uin
 			}
 			if lsn != last+1 {
 				return fmt.Errorf("cluster: session %q log jumped from LSN %d to %d", name, last, lsn)
+			}
+			// Never ship bytes past the session's applied LSN. A failed
+			// fsync can leave a fully-framed record in the file that the
+			// leader neither applied nor acknowledged — healing rebases it
+			// away, and replicating it would fork the follower from acked
+			// history. Back off and reopen so a rebase replaces what would
+			// have been sent. (durable is monotonic, so the cached value
+			// only ever under-admits and a refresh is needed at most once
+			// per record that outruns it.)
+			if lsn > durable {
+				d, derr := m.SessionLSN(name)
+				if derr != nil {
+					return derr
+				}
+				durable = d
+				if lsn > durable {
+					tl.Close()
+					tl = nil
+					if err := sleepCtx(ctx, streamPollInterval); err != nil {
+						return nil
+					}
+					continue
+				}
 			}
 			if _, err := app.Append(rec); err != nil {
 				return err // subscriber went away

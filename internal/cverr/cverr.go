@@ -119,6 +119,12 @@ var (
 	// session another node owns (HTTP 421). The response carries the owner's
 	// address so routers and clients can retry against the right node.
 	ErrNotOwner = reg("ErrNotOwner", "crowdval: session owned by another node")
+	// ErrDegraded is returned when a session is serving in degraded read-only
+	// mode after a durability failure (WAL append/fsync or checkpoint error):
+	// mutations are rejected (HTTP 503 + Retry-After) until the background
+	// probe confirms the disk accepts durable writes again and heals the
+	// session; reads keep serving throughout.
+	ErrDegraded = reg("ErrDegraded", "crowdval: session degraded to read-only")
 )
 
 // Durability errors.

@@ -73,6 +73,7 @@ func TestNameForEveryExportedSentinel(t *testing.T) {
 		"ErrSessionExists":     ErrSessionExists,
 		"ErrOverloaded":        ErrOverloaded,
 		"ErrNotOwner":          ErrNotOwner,
+		"ErrDegraded":          ErrDegraded,
 		"ErrBadWAL":            ErrBadWAL,
 	}
 	if len(cases) != len(named) {

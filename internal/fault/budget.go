@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by a BudgetFile once its byte budget is
+// exhausted: the write that crosses the budget is torn mid-buffer and
+// every operation after it fails, modeling a process that died with a
+// partially flushed page. The crash harness treats any surviving prefix
+// as what the disk may have kept.
+var ErrCrashed = errors.New("fault: injected crash")
+
+// Budget is a shared byte budget for one simulated crash. Every
+// BudgetFile wired to it draws from the same allowance, so a harness can
+// kill a WAL-plus-checkpoint write sequence at every byte offset across
+// files with a single counter.
+type Budget struct {
+	mu        sync.Mutex
+	remaining int64
+	tripped   bool
+}
+
+// NewBudget returns a budget allowing n bytes before the crash fires.
+func NewBudget(n int64) *Budget {
+	return &Budget{remaining: n}
+}
+
+// Tripped reports whether the budget has been exhausted.
+func (b *Budget) Tripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}
+
+// BudgetFile passes writes through to an underlying Sink until the shared
+// budget runs out; the write that crosses the line is shortened to the
+// remaining allowance and returns ErrCrashed, and every later write or
+// sync fails. This reproduces exactly the torn-tail images a SIGKILL can
+// leave behind.
+type BudgetFile struct {
+	F      Sink
+	Budget *Budget
+}
+
+func (f *BudgetFile) Write(p []byte) (int, error) {
+	f.Budget.mu.Lock()
+	defer f.Budget.mu.Unlock()
+	if f.Budget.tripped {
+		return 0, ErrCrashed
+	}
+	if int64(len(p)) > f.Budget.remaining {
+		keep := int(f.Budget.remaining)
+		f.Budget.tripped = true
+		f.Budget.remaining = 0
+		if keep > 0 {
+			if n, err := f.F.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		return keep, ErrCrashed
+	}
+	f.Budget.remaining -= int64(len(p))
+	return f.F.Write(p)
+}
+
+func (f *BudgetFile) Sync() error {
+	f.Budget.mu.Lock()
+	defer f.Budget.mu.Unlock()
+	if f.Budget.tripped {
+		return ErrCrashed
+	}
+	return f.F.Sync()
+}

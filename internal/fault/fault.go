@@ -1,0 +1,291 @@
+// Package fault injects disk and network faults behind the narrow
+// interfaces the durability and cluster layers already use, so the same
+// injector drives unit tests, the kill-at-every-byte crash harness, and
+// the chaos harness.
+//
+// The design splits deterministic *rules* from the wrapping seams:
+//
+//   - An Injector holds an ordered list of Rules. Each I/O operation that
+//     passes through a wrapped seam (file write, fsync, rename, open, or
+//     network dial) consults the injector; the first matching rule decides
+//     whether the operation fails, is shortened, or is delayed. Rules fire
+//     deterministically — Skip and Count make "fail the third fsync of the
+//     checkpoint file" expressible without randomness. Randomness, when a
+//     chaos schedule wants it, lives in the test that builds the rules from
+//     a seeded source, so every run is replayable from its seed.
+//
+//   - WrapFile/Rename/OpenFile/Transport are the seams. A nil *Injector is
+//     valid everywhere and injects nothing, so production call sites can
+//     thread an injector unconditionally and pay only a nil check.
+//
+// The package also carries the crash-harness budget fault (Budget /
+// BudgetFile in budget.go): a byte-budget file that tears the write that
+// exhausts it and fails everything after, which is the primitive behind
+// the kill-at-every-byte recovery tests.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Sentinel errors for the two disk failures operators actually meet. Both
+// wrap the corresponding syscall errno, so errors.Is(err, syscall.ENOSPC)
+// works on injected faults exactly as it does on real ones — the ENOSPC
+// reclaim path in the server cannot tell the difference, which is the
+// point.
+var (
+	// ErrNoSpace is an injected disk-full failure. errors.Is(ErrNoSpace,
+	// syscall.ENOSPC) is true.
+	ErrNoSpace = fmt.Errorf("fault: injected disk full: %w", syscall.ENOSPC)
+
+	// ErrIO is an injected generic I/O failure. errors.Is(ErrIO,
+	// syscall.EIO) is true.
+	ErrIO = fmt.Errorf("fault: injected i/o error: %w", syscall.EIO)
+)
+
+// Op names the operation class a rule applies to.
+type Op string
+
+const (
+	// OpWrite matches file data writes through WrapFile.
+	OpWrite Op = "write"
+	// OpSync matches fsync calls through WrapFile.
+	OpSync Op = "sync"
+	// OpRename matches Rename calls.
+	OpRename Op = "rename"
+	// OpOpen matches OpenFile calls.
+	OpOpen Op = "open"
+	// OpDial matches outbound HTTP requests through Transport, keyed on
+	// the target host.
+	OpDial Op = "dial"
+)
+
+// Rule describes one fault. Zero values are permissive: an empty Match
+// matches every path/host, Skip 0 fires immediately, Count <= 0 fires
+// forever once reached.
+type Rule struct {
+	// Op selects the operation class the rule applies to.
+	Op Op
+	// Match is a substring the operation's path (or host, for OpDial)
+	// must contain. Empty matches everything.
+	Match string
+	// Skip lets this many matching operations through before firing.
+	Skip int
+	// Count limits how many operations the rule fires on once armed;
+	// <= 0 means it keeps firing until cleared.
+	Count int
+	// Err is returned by the faulted operation. For OpWrite with a
+	// non-zero ShortBy the write is torn first (see ShortBy). A nil Err
+	// with a non-zero Latency delays without failing.
+	Err error
+	// ShortBy tears an OpWrite: the wrapped file writes len(p)-ShortBy
+	// bytes (floored at zero) and then returns Err (or ErrIO if Err is
+	// nil). Ignored for other ops.
+	ShortBy int
+	// Latency delays the operation before the error decision. A rule
+	// with Latency and nil Err models a slow disk or slow peer.
+	Latency time.Duration
+}
+
+// decision is the outcome of consulting the injector for one operation.
+type decision struct {
+	err     error
+	shortBy int
+	latency time.Duration
+}
+
+// Injector holds an ordered rule list and counts what it injected. The
+// zero value and the nil pointer are both valid, inject nothing, and are
+// safe for concurrent use.
+type Injector struct {
+	mu       sync.Mutex
+	rules    []*ruleState
+	injected int64
+}
+
+type ruleState struct {
+	rule  Rule
+	seen  int // matching operations observed (for Skip)
+	fired int // operations faulted (for Count)
+}
+
+// NewInjector returns an injector armed with the given rules.
+func NewInjector(rules ...Rule) *Injector {
+	in := &Injector{}
+	in.Arm(rules...)
+	return in
+}
+
+// Arm appends rules to the injector. Existing rules keep their progress.
+func (in *Injector) Arm(rules ...Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range rules {
+		rc := r
+		in.rules = append(in.rules, &ruleState{rule: rc})
+	}
+}
+
+// Clear removes every rule. In-flight operations that already took a
+// decision still complete with it.
+func (in *Injector) Clear() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Injected reports how many operations have been faulted so far.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// check consults the rules for one operation. The first rule whose Op and
+// Match apply and whose Skip window has passed decides the outcome; the
+// latency sleep happens in the caller, outside the lock.
+func (in *Injector) check(op Op, path string) decision {
+	if in == nil {
+		return decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		r := &rs.rule
+		if r.Op != op {
+			continue
+		}
+		if r.Match != "" && !contains(path, r.Match) {
+			continue
+		}
+		rs.seen++
+		if rs.seen <= r.Skip {
+			continue
+		}
+		if r.Count > 0 && rs.fired >= r.Count {
+			continue
+		}
+		rs.fired++
+		if r.Err != nil || r.ShortBy > 0 || r.Latency > 0 {
+			in.injected++
+		}
+		return decision{err: r.Err, shortBy: r.ShortBy, latency: r.Latency}
+	}
+	return decision{}
+}
+
+// contains reports whether s contains sub (strings.Contains without the
+// import, kept local so the hot nil-injector path stays dependency-free).
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Sink is the file surface the WAL appender writes through: data writes
+// plus fsync. It is structurally identical to wal.File; the local
+// definition keeps this package import-free of the layers it serves.
+type Sink interface {
+	io.Writer
+	Sync() error
+}
+
+// faultSink wraps a Sink with an injector keyed on a path.
+type faultSink struct {
+	name string
+	f    Sink
+	in   *Injector
+}
+
+// WrapFile returns f with the injector's OpWrite/OpSync rules applied to
+// operations on name. A nil injector returns f unchanged.
+func (in *Injector) WrapFile(name string, f Sink) Sink {
+	if in == nil {
+		return f
+	}
+	return &faultSink{name: name, f: f, in: in}
+}
+
+func (s *faultSink) Write(p []byte) (int, error) {
+	d := s.in.check(OpWrite, s.name)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err == nil && d.shortBy == 0 {
+		return s.f.Write(p)
+	}
+	err := d.err
+	if err == nil {
+		err = ErrIO
+	}
+	keep := len(p) - d.shortBy
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > 0 {
+		n, werr := s.f.Write(p[:keep])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (s *faultSink) Sync() error {
+	d := s.in.check(OpSync, s.name)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	return s.f.Sync()
+}
+
+// Rename applies OpRename rules (matching either path) and then performs
+// os.Rename. A nil injector renames directly.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if in != nil {
+		d := in.check(OpRename, oldpath+"\x00"+newpath)
+		if d.latency > 0 {
+			time.Sleep(d.latency)
+		}
+		if d.err != nil {
+			return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: d.err}
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// OpenFile applies OpOpen rules and then performs os.OpenFile. A nil
+// injector opens directly.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (*os.File, error) {
+	if in != nil {
+		d := in.check(OpOpen, name)
+		if d.latency > 0 {
+			time.Sleep(d.latency)
+		}
+		if d.err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: d.err}
+		}
+	}
+	return os.OpenFile(name, flag, perm)
+}

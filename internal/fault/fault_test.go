@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// memSink is an in-memory Sink recording writes and syncs.
+type memSink struct {
+	buf   bytes.Buffer
+	syncs int
+}
+
+func (m *memSink) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memSink) Sync() error                 { m.syncs++; return nil }
+
+func TestNilInjectorIsTransparent(t *testing.T) {
+	var in *Injector
+	m := &memSink{}
+	if got := in.WrapFile("x", m); got != Sink(m) {
+		t.Fatalf("nil injector wrapped the sink")
+	}
+	in.Arm(Rule{Op: OpWrite, Err: ErrIO})
+	in.Clear()
+	if in.Injected() != 0 {
+		t.Fatalf("nil injector reported injections")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("nil injector rename: %v", err)
+	}
+	f, err := in.OpenFile(filepath.Join(dir, "b"), os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("nil injector open: %v", err)
+	}
+	f.Close()
+}
+
+func TestSentinelsMatchSyscallErrors(t *testing.T) {
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatalf("ErrNoSpace does not wrap ENOSPC")
+	}
+	if !errors.Is(ErrIO, syscall.EIO) {
+		t.Fatalf("ErrIO does not wrap EIO")
+	}
+}
+
+func TestSkipAndCountWindows(t *testing.T) {
+	in := NewInjector(Rule{Op: OpSync, Skip: 2, Count: 1, Err: ErrIO})
+	m := &memSink{}
+	f := in.WrapFile("wal", m)
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d inside skip window failed: %v", i, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("third sync: got %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after count exhausted failed: %v", err)
+	}
+	if got := in.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestMatchFiltersByPath(t *testing.T) {
+	in := NewInjector(Rule{Op: OpWrite, Match: "wal", Err: ErrNoSpace})
+	other := in.WrapFile("checkpoint.tmp", &memSink{})
+	if _, err := other.Write([]byte("ok")); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	target := in.WrapFile("sessions/a.wal", &memSink{})
+	if _, err := target.Write([]byte("no")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("matching path: got %v, want ENOSPC", err)
+	}
+}
+
+func TestShortWriteTearsBuffer(t *testing.T) {
+	in := NewInjector(Rule{Op: OpWrite, ShortBy: 3})
+	m := &memSink{}
+	f := in.WrapFile("wal", m)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write: n=%d err=%v, want 5, EIO", n, err)
+	}
+	if got := m.buf.String(); got != "abcde" {
+		t.Fatalf("sink holds %q, want prefix abcde", got)
+	}
+	// ShortBy larger than the buffer floors at zero bytes written.
+	in2 := NewInjector(Rule{Op: OpWrite, ShortBy: 100, Err: ErrNoSpace})
+	m2 := &memSink{}
+	n, err = in2.WrapFile("wal", m2).Write([]byte("xy"))
+	if n != 0 || !errors.Is(err, syscall.ENOSPC) || m2.buf.Len() != 0 {
+		t.Fatalf("oversized tear: n=%d err=%v len=%d", n, err, m2.buf.Len())
+	}
+}
+
+func TestLatencyOnlyRuleDelaysWithoutFailing(t *testing.T) {
+	in := NewInjector(Rule{Op: OpWrite, Latency: 5 * time.Millisecond})
+	m := &memSink{}
+	start := time.Now()
+	if _, err := in.WrapFile("wal", m).Write([]byte("ok")); err != nil {
+		t.Fatalf("latency-only rule failed the write: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatalf("write returned before the injected latency elapsed")
+	}
+	if m.buf.String() != "ok" {
+		t.Fatalf("delayed write lost data: %q", m.buf.String())
+	}
+}
+
+func TestRenameAndOpenFaults(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "state.ckpt.tmp")
+	dst := filepath.Join(dir, "state.ckpt")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(
+		Rule{Op: OpRename, Match: ".ckpt", Count: 1, Err: ErrIO},
+		Rule{Op: OpOpen, Match: "state.ckpt", Count: 1, Err: ErrNoSpace},
+	)
+	if err := in.Rename(src, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("faulted rename: got %v, want EIO", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("faulted rename moved the file: %v", err)
+	}
+	if err := in.Rename(src, dst); err != nil {
+		t.Fatalf("rename after count exhausted: %v", err)
+	}
+	if _, err := in.OpenFile(dst, os.O_RDONLY, 0); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("faulted open: got %v, want ENOSPC", err)
+	}
+	f, err := in.OpenFile(dst, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open after count exhausted: %v", err)
+	}
+	f.Close()
+	if err := in.Rename(filepath.Join(dir, "missing"), dst); err == nil {
+		t.Fatalf("rename of missing file succeeded")
+	}
+}
+
+func TestClearStopsInjection(t *testing.T) {
+	in := NewInjector(Rule{Op: OpSync, Err: ErrIO})
+	f := in.WrapFile("wal", &memSink{})
+	if err := f.Sync(); err == nil {
+		t.Fatalf("armed rule did not fire")
+	}
+	in.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("cleared injector still fired: %v", err)
+	}
+}
+
+func TestBudgetFileTearsAtExhaustion(t *testing.T) {
+	b := NewBudget(5)
+	m := &memSink{}
+	f := &BudgetFile{F: m, Budget: b}
+	if n, err := f.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("within-budget write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write: n=%d err=%v, want 2, ErrCrashed", n, err)
+	}
+	if !b.Tripped() {
+		t.Fatalf("budget not tripped after exhaustion")
+	}
+	if m.buf.String() != "abcde" {
+		t.Fatalf("sink holds %q, want torn prefix abcde", m.buf.String())
+	}
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+}
+
+func TestBudgetFileSyncsWhileAlive(t *testing.T) {
+	m := &memSink{}
+	f := &BudgetFile{F: m, Budget: NewBudget(100)}
+	if err := f.Sync(); err != nil || m.syncs != 1 {
+		t.Fatalf("live sync: err=%v syncs=%d", err, m.syncs)
+	}
+}
+
+func TestSharedBudgetAcrossFiles(t *testing.T) {
+	b := NewBudget(4)
+	f1 := &BudgetFile{F: &memSink{}, Budget: b}
+	f2 := &BudgetFile{F: &memSink{}, Budget: b}
+	if _, err := f1.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f2.Write([]byte("yz")); n != 1 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("shared budget: n=%d err=%v, want 1, ErrCrashed", n, err)
+	}
+}
+
+func TestTransportPartitionAndHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	defer srv.Close()
+	in := NewInjector(Rule{Op: OpDial, Match: srv.Listener.Addr().String(), Err: syscall.ECONNRESET})
+	client := &http.Client{Transport: &Transport{Injector: in}}
+	if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("partitioned request: got %v, want ECONNRESET", err)
+	}
+	in.Clear()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("healed response body %q", body)
+	}
+}
+
+func TestTransportSlowPeerHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in := NewInjector(Rule{Op: OpDial, Latency: time.Minute})
+	client := &http.Client{Transport: &Transport{Injector: in}, Timeout: 20 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatalf("slow-peer request succeeded before latency elapsed")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("slow-peer request ignored the client timeout")
+	}
+}
+
+func TestTransportPassthroughWithNilInjector(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: &Transport{}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("nil-injector transport failed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

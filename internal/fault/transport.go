@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Transport is an http.RoundTripper that applies the injector's OpDial
+// rules to outbound requests, keyed on the target host. A matching rule
+// with an error models a partition or connection reset (the request never
+// reaches the peer); a rule with only Latency models a slow peer. With no
+// matching rule the request passes to Base (http.DefaultTransport when
+// nil), so a chaos test wires one Transport into every node's client and
+// flips partitions on and off by arming and clearing rules.
+type Transport struct {
+	Injector *Injector
+	Base     http.RoundTripper
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.Injector.check(OpDial, req.URL.Host)
+	if d.latency > 0 {
+		// Sleep honors request cancellation so a partitioned slow peer
+		// cannot pin a caller past its context deadline.
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.latency):
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("fault: dial %s: %w", req.URL.Host, d.err)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

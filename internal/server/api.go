@@ -325,16 +325,18 @@ func (e *NotOwnerError) Error() string {
 
 func (e *NotOwnerError) Unwrap() error { return cverr.ErrNotOwner }
 
-// RetryAfterSeconds is the Retry-After value sent with HTTP 429 responses:
-// shed ingests clear as soon as the session's queued batch drains, which is
-// sub-second for healthy sessions, so clients should back off briefly and
-// retry rather than fail.
+// RetryAfterSeconds is the Retry-After value sent with HTTP 429 responses and
+// with 503s carrying ErrDegraded: shed ingests clear as soon as the session's
+// queued batch drains, and the health probe loop re-tests a degraded WAL every
+// second (DefaultProbeInterval), so in both cases clients should back off
+// briefly and retry rather than fail.
 const RetryAfterSeconds = 1
 
 // statusFor maps an error to its HTTP status: 404 for unknown sessions, 409
 // for state conflicts (duplicate names or validations, exhausted budgets,
 // finished sessions), 400 for malformed input, 429 for load shed under
-// backpressure, 504/503 for deadline and cancellation, 500 otherwise.
+// backpressure, 503 for degraded read-only mode, 504/503 for deadline and
+// cancellation, 500 otherwise.
 func statusFor(err error) int {
 	var badReq *badRequestError
 	switch {
@@ -361,6 +363,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, cverr.ErrNotOwner):
 		return http.StatusMisdirectedRequest
+	case errors.Is(err, cverr.ErrDegraded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -373,7 +377,7 @@ func statusFor(err error) int {
 func writeError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	body := ErrorResponse{Error: err.Error(), Code: cverr.Name(err)}
-	if status == http.StatusTooManyRequests {
+	if status == http.StatusTooManyRequests || errors.Is(err, cverr.ErrDegraded) {
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 	}
 	var notOwner *NotOwnerError

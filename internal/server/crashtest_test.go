@@ -3,7 +3,6 @@ package server
 import (
 	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -12,58 +11,14 @@ import (
 
 	"crowdval"
 	"crowdval/internal/aggregation"
+	"crowdval/internal/fault"
 	"crowdval/internal/wal"
 )
 
-// faultBudget is a byte allowance shared by every WAL file a manager opens.
-// Once cumulative writes cross the budget the write that crossed it is
-// truncated at the boundary and fails, and every later write or fsync fails
-// too — the process "crashed" with exactly budget bytes durable. Partial
-// writes model a kernel that flushed only part of a page.
-type faultBudget struct {
-	mu        sync.Mutex
-	remaining int64
-	tripped   bool
-}
-
-var errCrashed = errors.New("crashtest: injected crash")
-
-// faultFile meters one WAL file against the shared budget.
-type faultFile struct {
-	f      *os.File
-	budget *faultBudget
-}
-
-func (ff *faultFile) Write(p []byte) (int, error) {
-	ff.budget.mu.Lock()
-	defer ff.budget.mu.Unlock()
-	if ff.budget.tripped {
-		return 0, errCrashed
-	}
-	if int64(len(p)) > ff.budget.remaining {
-		keep := int(ff.budget.remaining)
-		ff.budget.tripped = true
-		ff.budget.remaining = 0
-		if keep > 0 {
-			if _, err := ff.f.Write(p[:keep]); err != nil {
-				return 0, err
-			}
-		}
-		return keep, errCrashed
-	}
-	n, err := ff.f.Write(p)
-	ff.budget.remaining -= int64(n)
-	return n, err
-}
-
-func (ff *faultFile) Sync() error {
-	ff.budget.mu.Lock()
-	defer ff.budget.mu.Unlock()
-	if ff.budget.tripped {
-		return errCrashed
-	}
-	return ff.f.Sync()
-}
+// The crash harness meters every WAL file a manager opens against a shared
+// byte budget (fault.Budget / fault.BudgetFile): the write that crosses the
+// budget is truncated at the boundary and fails, and every later write or
+// fsync fails too — the process "crashed" with exactly budget bytes durable.
 
 // faultManager builds a durable manager whose WAL writes stop after budget
 // bytes. budget < 0 disables the fault (clean run).
@@ -74,9 +29,9 @@ func faultManager(t testing.TB, walDir string, ckptEvery int, budget int64) *Man
 		t.Fatal(err)
 	}
 	if budget >= 0 {
-		shared := &faultBudget{remaining: budget}
+		shared := fault.NewBudget(budget)
 		m.walOpen = func(name string, f *os.File) wal.File {
-			return &faultFile{f: f, budget: shared}
+			return &fault.BudgetFile{F: f, Budget: shared}
 		}
 	}
 	return m

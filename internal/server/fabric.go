@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 
 	"crowdval"
@@ -82,11 +83,11 @@ func (m *Manager) SnapshotWithLSN(ctx context.Context, name string) ([]byte, uin
 			return serr
 		}
 		if e.log != nil {
-			if e.log.broken != nil {
-				return fmt.Errorf("server: WAL of session %q failed earlier: %w", name, e.log.broken)
+			if e.log.state != walHealthy {
+				return e.log.unavailable(name)
 			}
 			if ferr := e.log.app.Flush(); ferr != nil {
-				e.log.broken = ferr
+				m.degradeWAL(e.log, ferr)
 				return fmt.Errorf("server: flushing WAL of session %q: %w", name, ferr)
 			}
 			lsn = e.log.app.LSN()
@@ -136,14 +137,14 @@ func (m *Manager) HandoffSession(ctx context.Context, name string, send func(sna
 	}
 	var lsn uint64
 	if e.log != nil {
-		if e.log.broken != nil {
-			return fail(fmt.Errorf("server: WAL of session %q failed earlier, not handing off: %w", name, e.log.broken))
+		if e.log.state != walHealthy {
+			return fail(fmt.Errorf("server: not handing off session %q: %w", name, e.log.unavailable(name)))
 		}
 		// Acknowledged mutations must be durable locally before the transfer:
 		// if the send dies halfway, this node is still the owner of record and
 		// must be able to crash-recover everything it acked.
 		if err := e.log.app.Sync(); err != nil {
-			e.log.broken = err
+			m.degradeWAL(e.log, err)
 			return fail(fmt.Errorf("server: syncing WAL of session %q for handoff: %w", name, err))
 		}
 		m.foldWALMetrics(e.log)
@@ -240,7 +241,7 @@ func (m *Manager) adoptWAL(name string, snapshot []byte, lsn uint64) (*sessionWA
 	ckpt := m.ckptPath(name)
 	os.Remove(m.ckptPrevPath(name))
 	tmp := ckpt + ".tmp"
-	if err := writeFileSynced(tmp, func(f *os.File) error {
+	if err := m.writeFileSynced(tmp, func(f io.Writer) error {
 		return wal.WriteCheckpoint(f, lsn, snapshot)
 	}); err != nil {
 		os.Remove(tmp)

@@ -23,6 +23,7 @@ import (
 
 	"crowdval"
 	"crowdval/internal/cverr"
+	"crowdval/internal/fault"
 	"crowdval/internal/wal"
 )
 
@@ -62,6 +63,12 @@ type ManagerConfig struct {
 	// costs a small write per mutation and changes no durability guarantee;
 	// irrelevant (and ignored) under wal.SyncAlways, which flushes anyway.
 	WALFlushEachRecord bool
+	// FaultInjector, when set, is threaded through every durability I/O seam
+	// — WAL appends and fsyncs, checkpoint writes, rotation renames, file
+	// opens, the health probe — so tests and chaos harnesses inject disk
+	// faults exactly where a real disk would fail. nil (the default) injects
+	// nothing and costs one nil check per seam.
+	FaultInjector *fault.Injector
 }
 
 // WithWAL returns a copy of the config with the write-ahead log enabled in
@@ -96,6 +103,9 @@ type Manager struct {
 	// walOpen wraps every opened log file; the crash-fault-injection tests
 	// install a writer that dies at a chosen byte offset. nil = identity.
 	walOpen func(name string, f *os.File) wal.File
+	// injector is the configured fault injector; nil injects nothing (its
+	// methods are nil-receiver safe, so seams call it unconditionally).
+	injector *fault.Injector
 
 	// mu guards the session table, the LRU list and the accounting fields
 	// below. It is never held while session work runs.
@@ -132,6 +142,17 @@ type Manager struct {
 	recovered       atomic.Int64
 	replayed        atomic.Int64
 	shed            atomic.Int64
+
+	// Health gauges and counters (see health.go). walDegraded/walFailStop
+	// are current-state gauges maintained by the state transitions, which
+	// run under entry write locks; the rest are cumulative. Atomics so
+	// scrapes and readiness probes never take a lock.
+	walDegraded    atomic.Int64
+	walFailStop    atomic.Int64
+	degradeEvents  atomic.Int64
+	walHeals       atomic.Int64
+	probeFailures  atomic.Int64
+	enospcReclaims atomic.Int64
 
 	// Maintained-view counters: cumulative from-scratch score-index builds
 	// and in-place patches across all sessions. Atomics for the same reason
@@ -240,6 +261,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		ckptEvery:    ckptEvery,
 		maxIngestQ:   cfg.MaxQueuedIngest,
 		walFlushEach: cfg.WALFlushEachRecord,
+		injector:     cfg.FaultInjector,
 		sessions:     make(map[string]*entry),
 		lru:          list.New(),
 	}, nil
@@ -1153,6 +1175,17 @@ type Stats struct {
 	CheckpointFailures int64 `json:"checkpointFailures"`
 	RecoveredSessions  int64 `json:"recoveredSessions"`
 	ReplayedRecords    int64 `json:"replayedRecords"`
+	// Health state machine (see health.go). WALDegradedSessions and
+	// WALFailStopSessions are current-state gauges; DegradeEvents, WALHeals,
+	// ProbeFailures and ENOSPCReclaims are cumulative counters. A reclaim is
+	// a full-disk append that recovered by checkpoint-and-truncate without
+	// ever degrading.
+	WALDegradedSessions int64 `json:"walDegradedSessions"`
+	WALFailStopSessions int64 `json:"walFailStopSessions"`
+	DegradeEvents       int64 `json:"degradeEvents"`
+	WALHeals            int64 `json:"walHeals"`
+	ProbeFailures       int64 `json:"probeFailures"`
+	ENOSPCReclaims      int64 `json:"enospcReclaims"`
 }
 
 // Stats returns a consistent snapshot of the manager's aggregate state. The
@@ -1190,5 +1223,11 @@ func (m *Manager) Stats() Stats {
 	s.CheckpointFailures = m.checkpointFails.Load()
 	s.RecoveredSessions = m.recovered.Load()
 	s.ReplayedRecords = m.replayed.Load()
+	s.WALDegradedSessions = m.walDegraded.Load()
+	s.WALFailStopSessions = m.walFailStop.Load()
+	s.DegradeEvents = m.degradeEvents.Load()
+	s.WALHeals = m.walHeals.Load()
+	s.ProbeFailures = m.probeFailures.Load()
+	s.ENOSPCReclaims = m.enospcReclaims.Load()
 	return s
 }

@@ -48,6 +48,12 @@ var promMetrics = []promMetric{
 	{"crowdval_checkpoint_failures_total", "counter", "Snapshot checkpoints that failed (log left untruncated).", func(s Stats) int64 { return s.CheckpointFailures }},
 	{"crowdval_recovered_sessions", "gauge", "Sessions rebuilt from WAL recovery at boot.", func(s Stats) int64 { return s.RecoveredSessions }},
 	{"crowdval_replayed_records", "gauge", "WAL records replayed during boot recovery.", func(s Stats) int64 { return s.ReplayedRecords }},
+	{"crowdval_wal_degraded_sessions", "gauge", "Sessions in degraded read-only mode after a durability failure.", func(s Stats) int64 { return s.WALDegradedSessions }},
+	{"crowdval_wal_failstop_sessions", "gauge", "Sessions fail-stopped until restart (durable log inconsistent).", func(s Stats) int64 { return s.WALFailStopSessions }},
+	{"crowdval_wal_degrade_events_total", "counter", "Transitions of a session into degraded read-only mode.", func(s Stats) int64 { return s.DegradeEvents }},
+	{"crowdval_wal_heals_total", "counter", "Degraded sessions healed back to healthy by the probe loop.", func(s Stats) int64 { return s.WALHeals }},
+	{"crowdval_wal_probe_failures_total", "counter", "Health probe writes that failed (disk still unavailable).", func(s Stats) int64 { return s.ProbeFailures }},
+	{"crowdval_wal_enospc_reclaims_total", "counter", "Successful checkpoint-and-truncate reclaims after ENOSPC.", func(s Stats) int64 { return s.ENOSPCReclaims }},
 }
 
 // RenderPrometheus renders a Stats snapshot in the Prometheus text format.

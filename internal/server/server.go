@@ -118,10 +118,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type ReadyResponse struct {
 	Ready    bool `json:"ready"`
 	Draining bool `json:"draining"`
+	// Health is the WAL durability state of the managed sessions: "healthy",
+	// "degraded" (some sessions read-only while the probe loop heals them) or
+	// "failstop" (some sessions need a restart to accept mutations again).
+	Health string `json:"health"`
+	// DegradedSessions / FailStopSessions count the sessions in each failure
+	// state.
+	DegradedSessions int64 `json:"degradedSessions"`
+	FailStopSessions int64 `json:"failStopSessions"`
 }
 
+// handleReadyz reports readiness. A merely degraded node stays 200: reads
+// still serve and the probe loop heals mutations back without a restart, so
+// pulling the node out of rotation would turn a partial outage into a full
+// one. The body carries the health detail for operators and orchestrators
+// that want to alert or reschedule on it.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	resp := ReadyResponse{Ready: s.ready.Load(), Draining: s.draining.Load()}
+	h := s.manager.Health()
+	resp := ReadyResponse{
+		Ready:            s.ready.Load(),
+		Draining:         s.draining.Load(),
+		Health:           h.State,
+		DegradedSessions: h.DegradedSessions,
+		FailStopSessions: h.FailStopSessions,
+	}
 	status := http.StatusOK
 	if !resp.Ready || resp.Draining {
 		status = http.StatusServiceUnavailable

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"crowdval"
 	"crowdval/internal/cverr"
@@ -41,10 +42,13 @@ import (
 type sessionWAL struct {
 	f   *os.File
 	app *wal.Appender
-	// broken records the first append or rotation failure. A log whose write
-	// failed partway is in an unknown byte state, so the session fails stop:
-	// every further mutation is rejected until a restart re-runs recovery.
-	broken error
+	// state is the log's health (healthy → degraded → fail-stop, see
+	// health.go); cause records the first failure that left healthy. A log
+	// whose write failed partway is in an unknown byte state, so the session
+	// degrades to read-only until the probe loop heals it — or fails stop
+	// when the durable history itself is inconsistent.
+	state walHealth
+	cause error
 	// sinceCkpt counts records logged since the last checkpoint; lastCkptLSN
 	// is the LSN the newest checkpoint covers (the truncation floor for the
 	// *next* rotation is this value, i.e. the generation being demoted).
@@ -74,13 +78,15 @@ func (m *Manager) ckptPrevPath(name string) string {
 	return filepath.Join(m.walDir, name+".ckpt.prev")
 }
 
-// wrapWAL applies the crash-test fault-injection hook to a freshly opened log
-// file; in production it is the identity.
+// wrapWAL applies the fault-injection seams to a freshly opened log file: the
+// crash-test byte-budget hook when installed, else the configured injector
+// (keyed on the log's path, so rules match on session name or ".wal"); in
+// production both are nil and it is the identity.
 func (m *Manager) wrapWAL(name string, f *os.File) wal.File {
 	if m.walOpen != nil {
 		return m.walOpen(name, f)
 	}
-	return f
+	return m.injector.WrapFile(m.walPath(name), f)
 }
 
 // foldWALMetrics folds the appender's cumulative metrics into the manager's
@@ -146,30 +152,44 @@ func (m *Manager) removeWALFiles(name string) {
 
 // logMutation appends one mutation record to the entry's log, before the
 // mutation is applied. A nil log (WAL disabled) is a no-op. On failure the
-// caller must not apply the mutation, and the log fails stop. The caller
-// holds the entry's write lock.
+// caller must not apply the mutation, and the log degrades to read-only —
+// with one exception: a full disk (ENOSPC) first tries a checkpoint-and-
+// truncate to reclaim log space and retries the append once, so a disk
+// filled by the log itself heals without ever degrading. The caller holds
+// the entry's write lock.
 func (m *Manager) logMutation(e *entry, rec wal.Record) error {
 	w := e.log
 	if w == nil {
 		return nil
 	}
-	if w.broken != nil {
-		return fmt.Errorf("server: WAL of session %q failed earlier, mutations rejected until restart: %w", e.name, w.broken)
+	if w.state != walHealthy {
+		return w.unavailable(e.name)
 	}
 	_, err := w.app.Append(rec)
 	m.foldWALMetrics(w)
+	if err != nil && errors.Is(err, syscall.ENOSPC) && e.sess != nil {
+		// The checkpoint-and-truncate drops every record the new checkpoint
+		// covers (and the failed append's torn bytes with them), which is
+		// the biggest space reclaim this session can make. The probe loop
+		// handles the case where even that does not fit.
+		if herr := m.healSession(e.name, e.sess, w); herr == nil {
+			m.enospcReclaims.Add(1)
+			_, err = w.app.Append(rec)
+			m.foldWALMetrics(w)
+		}
+	}
 	if err != nil {
-		w.broken = err
-		return fmt.Errorf("server: logging mutation for session %q: %w", e.name, err)
+		m.degradeWAL(w, err)
+		return fmt.Errorf("server: logging mutation for session %q: %w: %w", e.name, err, cverr.ErrDegraded)
 	}
 	w.sinceCkpt++
 	if m.walFlushEach {
 		// Make the record visible to tailing followers right away. A failed
 		// flush leaves the file in an unknown byte state, the same situation
-		// as a failed append: fail stop.
+		// as a failed append: degrade.
 		if err := w.app.Flush(); err != nil {
-			w.broken = err
-			return fmt.Errorf("server: flushing WAL of session %q: %w", e.name, err)
+			m.degradeWAL(w, err)
+			return fmt.Errorf("server: flushing WAL of session %q: %w: %w", e.name, err, cverr.ErrDegraded)
 		}
 	}
 	return nil
@@ -181,7 +201,7 @@ func (m *Manager) logMutation(e *entry, rec wal.Record) error {
 // caller holds the entry's write lock with a resident session.
 func (m *Manager) maybeCheckpoint(e *entry) {
 	w := e.log
-	if w == nil || w.broken != nil || m.ckptEvery <= 0 || w.sinceCkpt < m.ckptEvery || e.sess == nil {
+	if w == nil || w.state != walHealthy || m.ckptEvery <= 0 || w.sinceCkpt < m.ckptEvery || e.sess == nil {
 		return
 	}
 	if err := m.checkpoint(e.name, e.sess, w); err != nil {
@@ -204,7 +224,7 @@ func (m *Manager) checkpoint(name string, sess *crowdval.Session, w *sessionWAL)
 	// Every logged record must be durable before any truncation decision:
 	// the checkpoint claims to cover them.
 	if err := w.app.Sync(); err != nil {
-		w.broken = err
+		m.degradeWAL(w, err)
 		return err
 	}
 	m.foldWALMetrics(w)
@@ -212,18 +232,18 @@ func (m *Manager) checkpoint(name string, sess *crowdval.Session, w *sessionWAL)
 
 	ckpt := m.ckptPath(name)
 	tmp := ckpt + ".tmp"
-	if err := writeFileSynced(tmp, func(f *os.File) error {
+	if err := m.writeFileSynced(tmp, func(f io.Writer) error {
 		return wal.WriteCheckpoint(f, lsn, snap)
 	}); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	floor := w.lastCkptLSN
-	if err := os.Rename(ckpt, m.ckptPrevPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := m.injector.Rename(ckpt, m.ckptPrevPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, ckpt); err != nil {
+	if err := m.injector.Rename(tmp, ckpt); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -240,19 +260,18 @@ func (m *Manager) checkpoint(name string, sess *crowdval.Session, w *sessionWAL)
 // appender onto the new file at lastLSN. Any torn tail bytes beyond lastLSN
 // (from a failed append or a crash) vanish in the rewrite; a record at or
 // below lastLSN that cannot be read back fails the session stop instead —
-// see failStop below. On failure after the swap point the log fails stop
-// too.
+// see failStop below. On failure after the swap point the log degrades.
 func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) error {
 	path := m.walPath(name)
 	tmp := path + ".tmp"
-	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	nf, err := m.injector.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	// The rewrite is plumbing, not new mutations: it writes straight to the
-	// *os.File (no fault-injection wrap, no per-record fsync) and syncs once
-	// before the atomic swap.
-	app, err := wal.NewAppender(nf, floor, wal.SyncPolicy{Mode: wal.SyncOff})
+	// The rewrite is plumbing, not new mutations: no crash-test byte budget
+	// (the injector seam still applies — a disk that fails mid-rotation must
+	// be injectable), no per-record fsync, one sync before the atomic swap.
+	app, err := wal.NewAppender(m.injector.WrapFile(tmp, nf), floor, wal.SyncPolicy{Mode: wal.SyncOff})
 	if err != nil {
 		nf.Close()
 		os.Remove(tmp)
@@ -272,7 +291,7 @@ func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) 
 	// Only bytes strictly beyond lastLSN are a droppable torn tail.
 	failStop := func(err error) error {
 		err = fmt.Errorf("server: rotating WAL of session %q: %w", name, err)
-		w.broken = err
+		m.failStopWAL(w, err)
 		return fail(err)
 	}
 	if lastLSN > floor {
@@ -312,15 +331,18 @@ func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) 
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := m.injector.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	// Swap the live appender onto the rewritten file.
 	w.close()
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := m.injector.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		w.broken = err
+		// The rewritten file on disk is complete and consistent; only this
+		// process lost its handle. Degrade — the probe loop's next heal
+		// rebuilds the handle along with everything else.
+		m.degradeWAL(w, err)
 		return err
 	}
 	w.f = f
@@ -330,17 +352,20 @@ func (m *Manager) rewriteLog(name string, w *sessionWAL, floor, lastLSN uint64) 
 }
 
 // writeFileSynced writes a file through fn, fsyncs and closes it — the
-// prefix of every atomic tmp-then-rename sequence in this file.
-func writeFileSynced(path string, fn func(*os.File) error) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// prefix of every atomic tmp-then-rename sequence in this file. Open, write
+// and fsync all pass through the fault-injection seam, so checkpoint faults
+// are injectable at every step of a rotation.
+func (m *Manager) writeFileSynced(path string, fn func(io.Writer) error) error {
+	f, err := m.injector.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := fn(f); err != nil {
+	s := m.injector.WrapFile(path, f)
+	if err := fn(s); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := s.Sync(); err != nil {
 		f.Close()
 		return err
 	}
@@ -583,8 +608,9 @@ func (m *Manager) recoverSession(ctx context.Context, name string) (r RecoveredS
 		m.checkpointFails.Add(1)
 		if r.TornTail {
 			// Without the rewrite the torn bytes are still in the file and
-			// appending after them would corrupt the log: fail stop.
-			w.broken = err
+			// appending after them would corrupt the log: degrade, and let
+			// the probe loop retry the rewrite.
+			m.degradeWAL(w, err)
 		}
 	} else {
 		m.checkpoints.Add(1)
@@ -628,6 +654,8 @@ func replayRecord(ctx context.Context, sess *crowdval.Session, rec wal.Record) e
 			TimeLimit: b.TimeLimit,
 		})
 		return nil
+	case wal.RecNoop:
+		return nil
 	default:
 		return fmt.Errorf("server: replaying unknown record type %d: %w", rec.Type, cverr.ErrBadWAL)
 	}
@@ -660,17 +688,16 @@ func (m *Manager) Close() error {
 	for _, e := range entries {
 		e.mu.Lock()
 		if w := e.log; w != nil {
-			if w.broken == nil {
+			if w.state == walHealthy {
 				if err := w.app.Sync(); err != nil {
-					w.broken = err
 					if firstErr == nil {
 						firstErr = fmt.Errorf("server: syncing WAL of session %q at shutdown: %w", e.name, err)
 					}
 				} else {
 					m.foldWALMetrics(w)
-					w.broken = errManagerClosed
 				}
 			}
+			m.failStopWAL(w, errManagerClosed)
 			w.close()
 		}
 		e.mu.Unlock()

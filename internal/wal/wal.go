@@ -80,6 +80,10 @@ const (
 	// count is reconstructed exactly by replaying the RecSubmit/RecSubmitBatch
 	// records that follow, each of which re-charges the tracker.
 	RecBudget RecordType = 5
+	// RecNoop carries no body. The health prober appends and fsyncs one to a
+	// sidecar probe file to test whether the disk accepts durable writes
+	// again; replay ignores it, so a noop is harmless anywhere in a log.
+	RecNoop RecordType = 6
 )
 
 // Answer is one crowd answer in a RecAddAnswers record.
@@ -169,6 +173,8 @@ func encodePayload(rec Record) ([]byte, error) {
 			}
 			putU64(math.Float64bits(v))
 		}
+	case RecNoop:
+		// No body: the record is just its type byte.
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
 	}
@@ -265,6 +271,8 @@ func decodePayload(payload []byte) (Record, error) {
 			*dst = v
 		}
 		rec.Budget = b
+	case RecNoop:
+		// No body; the trailing-bytes check below enforces it.
 	default:
 		return Record{}, badWAL("unknown record type %d", rec.Type)
 	}
@@ -409,22 +417,29 @@ func (a *Appender) Append(rec Record) (uint64, error) {
 	if _, err := a.bw.Write(payload); err != nil {
 		return 0, fmt.Errorf("wal: appending record: %w", err)
 	}
-	a.lsn++
-	a.records++
-	a.bytes += int64(frameOverhead + len(payload))
+	// The position only advances once the record is as durable as the policy
+	// promises. A failed sync must leave LSN() at the last good record: the
+	// torn bytes are not part of the log's history, and a caller that heals
+	// by rebasing at LSN() — or a replica that resumes streaming from it —
+	// would otherwise skip a record that was never applied.
 	a.unsync++
 	switch a.policy.Mode {
 	case SyncAlways:
 		if err := a.sync(); err != nil {
+			a.unsync--
 			return 0, fmt.Errorf("wal: syncing record: %w", err)
 		}
 	case SyncInterval:
 		if a.unsync >= a.policy.interval() {
 			if err := a.sync(); err != nil {
+				a.unsync--
 				return 0, fmt.Errorf("wal: syncing record: %w", err)
 			}
 		}
 	}
+	a.lsn++
+	a.records++
+	a.bytes += int64(frameOverhead + len(payload))
 	return a.lsn, nil
 }
 
